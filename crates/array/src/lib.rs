@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # pim-array
+//!
+//! Model of a Processor-In-Memory (PIM) processor array as studied in the
+//! PetaFlop design-point project: a two-dimensional grid of processors, each
+//! with its own local memory, communicating via dimension-ordered (x-y)
+//! routing. The cost of transferring one unit of data between two processors
+//! is the Manhattan distance between them, with unit distance between
+//! adjacent processors.
+//!
+//! This crate is the hardware substrate of the reproduction: everything the
+//! scheduling algorithms in `pim-sched` know about the machine lives here.
+//!
+//! ## Modules
+//!
+//! * [`geom`] — points and the L1 (Manhattan) metric.
+//! * [`grid`] — the 2-D processor grid, processor ids, and iteration.
+//! * [`routing`] — x-y (dimension-ordered) route enumeration and links.
+//! * [`memory`] — per-processor memory capacity accounting.
+//! * [`mod@line`] — the 1-D processor array used by the paper's Lemma 1.
+//! * [`torus`] — a wrap-around grid (extension beyond the paper).
+//! * [`topology`] — a trait abstracting distance over the above machines.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pim_array::grid::Grid;
+//! use pim_array::geom::Point;
+//!
+//! let grid = Grid::new(4, 4);
+//! let a = grid.proc_at(Point::new(0, 0));
+//! let b = grid.proc_at(Point::new(3, 2));
+//! assert_eq!(grid.dist(a, b), 5); // |3-0| + |2-0|
+//! ```
+
+pub mod geom;
+pub mod grid;
+pub mod layout;
+pub mod line;
+pub mod memory;
+pub mod routing;
+pub mod topology;
+pub mod torus;
+
+pub use geom::Point;
+pub use grid::{Grid, ProcId};
+pub use layout::Layout;
+pub use memory::{CapacityError, MemoryMap, MemorySpec};
+pub use topology::Topology;

@@ -1,0 +1,120 @@
+//! Distance abstraction over processor arrays.
+//!
+//! The scheduling algorithms only need three things from the machine: how
+//! many processors there are, the distance between any two, and a way to
+//! enumerate them. Abstracting this lets the same SCDS/LOMCDS/GOMCDS code
+//! run on the paper's 2-D mesh, on a 1-D array, or on the torus extension —
+//! and lets tests cross-check optimized grid-specific solvers against the
+//! generic ones.
+
+use crate::grid::{Grid, ProcId};
+use crate::torus::Torus;
+
+/// A processor array with a distance metric.
+///
+/// Implementations must guarantee the metric axioms: `dist(a, a) == 0`,
+/// symmetry, and the triangle inequality. Property tests in this crate
+/// exercise all three for every provided implementation.
+pub trait Topology {
+    /// Number of processors in the array.
+    fn num_procs(&self) -> usize;
+
+    /// Distance (per unit volume communication cost) between processors.
+    fn dist(&self, a: ProcId, b: ProcId) -> u64;
+
+    /// Largest distance between any two processors.
+    fn diameter(&self) -> u64;
+
+    /// Iterate over every processor id.
+    fn proc_ids(&self) -> Box<dyn Iterator<Item = ProcId> + '_> {
+        Box::new((0..self.num_procs() as u32).map(ProcId))
+    }
+}
+
+impl Topology for Grid {
+    fn num_procs(&self) -> usize {
+        Grid::num_procs(self)
+    }
+
+    fn dist(&self, a: ProcId, b: ProcId) -> u64 {
+        Grid::dist(self, a, b)
+    }
+
+    fn diameter(&self) -> u64 {
+        Grid::diameter(self)
+    }
+}
+
+impl Topology for Torus {
+    fn num_procs(&self) -> usize {
+        Torus::num_procs(self)
+    }
+
+    fn dist(&self, a: ProcId, b: ProcId) -> u64 {
+        Torus::dist(self, a, b)
+    }
+
+    fn diameter(&self) -> u64 {
+        Torus::diameter(self)
+    }
+}
+
+/// Check the metric axioms exhaustively over all processor triples.
+/// Intended for tests on small arrays; cost is `O(n³)`.
+pub fn check_metric_axioms<T: Topology>(t: &T) -> Result<(), String> {
+    let ids: Vec<ProcId> = t.proc_ids().collect();
+    for &a in &ids {
+        if t.dist(a, a) != 0 {
+            return Err(format!("dist({a},{a}) != 0"));
+        }
+        for &b in &ids {
+            if t.dist(a, b) != t.dist(b, a) {
+                return Err(format!("dist({a},{b}) not symmetric"));
+            }
+            if t.dist(a, b) > t.diameter() {
+                return Err(format!("dist({a},{b}) exceeds diameter"));
+            }
+            for &c in &ids {
+                if t.dist(a, c) > t.dist(a, b) + t.dist(b, c) {
+                    return Err(format!("triangle inequality fails for {a},{b},{c}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_satisfies_metric_axioms() {
+        check_metric_axioms(&Grid::new(4, 4)).unwrap();
+        check_metric_axioms(&Grid::new(1, 7)).unwrap();
+        check_metric_axioms(&Grid::new(5, 2)).unwrap();
+    }
+
+    #[test]
+    fn torus_satisfies_metric_axioms() {
+        check_metric_axioms(&Torus::new(4, 4)).unwrap();
+        check_metric_axioms(&Torus::new(3, 5)).unwrap();
+    }
+
+    #[test]
+    fn proc_ids_enumeration() {
+        let g = Grid::new(2, 3);
+        let ids: Vec<_> = Topology::proc_ids(&g).collect();
+        assert_eq!(ids.len(), 6);
+        assert_eq!(ids[0], ProcId(0));
+        assert_eq!(ids[5], ProcId(5));
+    }
+
+    #[test]
+    fn dyn_dispatch_works() {
+        let g = Grid::new(4, 4);
+        let t: &dyn Topology = &g;
+        assert_eq!(t.num_procs(), 16);
+        assert_eq!(t.diameter(), 6);
+    }
+}

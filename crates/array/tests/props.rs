@@ -1,0 +1,98 @@
+//! Property tests for the array substrate: metric axioms, routing/distance
+//! agreement, and memory accounting invariants.
+
+use pim_array::grid::{Grid, ProcId};
+use pim_array::memory::{MemoryMap, MemorySpec};
+use pim_array::routing::{hop_count, visit_xy_links, xy_route, LinkIndex};
+use pim_array::torus::Torus;
+use proptest::prelude::*;
+
+fn arb_grid() -> impl Strategy<Value = Grid> {
+    (1u32..=12, 1u32..=12).prop_map(|(w, h)| Grid::new(w, h))
+}
+
+fn arb_grid_and_two_procs() -> impl Strategy<Value = (Grid, ProcId, ProcId)> {
+    arb_grid().prop_flat_map(|g| {
+        let n = g.num_procs() as u32;
+        (Just(g), 0..n, 0..n).prop_map(|(g, a, b)| (g, ProcId(a), ProcId(b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn dist_symmetric((g, a, b) in arb_grid_and_two_procs()) {
+        prop_assert_eq!(g.dist(a, b), g.dist(b, a));
+    }
+
+    #[test]
+    fn dist_zero_iff_equal((g, a, b) in arb_grid_and_two_procs()) {
+        prop_assert_eq!(g.dist(a, b) == 0, a == b);
+    }
+
+    #[test]
+    fn dist_bounded_by_diameter((g, a, b) in arb_grid_and_two_procs()) {
+        prop_assert!(g.dist(a, b) <= g.diameter());
+    }
+
+    #[test]
+    fn route_length_matches_distance((g, a, b) in arb_grid_and_two_procs()) {
+        let route = xy_route(&g, a, b);
+        prop_assert_eq!(route.len() as u64, g.dist(a, b) + 1);
+        prop_assert_eq!(hop_count(&g, a, b), g.dist(a, b));
+        // every step is a unit move
+        for w in route.windows(2) {
+            prop_assert_eq!(g.dist(w[0], w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn links_on_route_are_indexed_uniquely((g, a, b) in arb_grid_and_two_procs()) {
+        let idx = LinkIndex::new(g);
+        let mut slots = Vec::new();
+        visit_xy_links(&g, a, b, |l| slots.push(idx.index_of(l)));
+        prop_assert_eq!(slots.len() as u64, g.dist(a, b));
+        let mut dedup = slots.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        // x-y routes are simple paths: no link crossed twice
+        prop_assert_eq!(dedup.len(), slots.len());
+        for s in slots {
+            let link = idx.link_of(s).expect("route slot must map to a link");
+            prop_assert_eq!(idx.index_of(link), s);
+        }
+    }
+
+    #[test]
+    fn torus_dist_never_exceeds_mesh((w, h) in (1u32..=10, 1u32..=10), seed in 0u64..1000) {
+        let g = Grid::new(w, h);
+        let t = Torus::new(w, h);
+        let n = g.num_procs() as u64;
+        let a = ProcId((seed % n) as u32);
+        let b = ProcId(((seed / n.max(1)) % n) as u32);
+        prop_assert!(t.dist(a, b) <= g.dist(a, b));
+    }
+
+    #[test]
+    fn memory_allocate_up_to_capacity(cap in 1u32..16, g in arb_grid()) {
+        let mut m = MemoryMap::new(&g, MemorySpec::uniform(cap));
+        let p = ProcId(0);
+        for i in 0..cap {
+            prop_assert_eq!(m.used(p), i);
+            prop_assert!(m.allocate(p).is_ok());
+        }
+        prop_assert!(m.allocate(p).is_err());
+        prop_assert_eq!(m.used(p), cap);
+        m.release(p);
+        prop_assert!(m.allocate(p).is_ok());
+    }
+
+    #[test]
+    fn scaled_minimum_always_feasible(
+        g in arb_grid(),
+        total in 0usize..4096,
+        factor in 1u32..4,
+    ) {
+        let spec = MemorySpec::scaled_minimum(&g, total, factor);
+        prop_assert!(spec.feasible(&g, total));
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion bench: the per-candidate cost-table scan (paper Algorithm 1
+//! lines 2–4) vs the separable prefix-sum computation, and the L1 distance
+//! transform vs its naive form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_array::grid::Grid;
+use pim_sched::cost::{cost_table, cost_table_naive};
+use pim_sched::dt::{l1_relax, l1_relax_naive};
+use pim_trace::window::WindowRefs;
+use std::hint::black_box;
+
+fn refs_for(grid: &Grid, n: usize) -> WindowRefs {
+    WindowRefs::from_pairs((0..n).map(|i| {
+        let p = pim_array::grid::ProcId((i * 7 % grid.num_procs()) as u32);
+        (p, (i % 5 + 1) as u32)
+    }))
+}
+
+fn bench_cost_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_table");
+    for dim in [4u32, 16, 64] {
+        let grid = Grid::new(dim, dim);
+        let refs = refs_for(&grid, (dim as usize).pow(2) / 4);
+        group.bench_with_input(BenchmarkId::new("naive", dim), &refs, |b, refs| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                cost_table_naive(&grid, black_box(refs), &mut out);
+                black_box(out.last().copied())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("separable", dim), &refs, |b, refs| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                cost_table(&grid, black_box(refs), &mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_relax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l1_relax");
+    for dim in [4u32, 16, 64] {
+        let grid = Grid::new(dim, dim);
+        let input: Vec<u64> = (0..grid.num_procs() as u64).map(|i| i * 31 % 97).collect();
+        group.bench_with_input(BenchmarkId::new("naive", dim), &input, |b, input| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                l1_relax_naive(&grid, black_box(input), &mut out);
+                black_box(out.last().copied())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_pass", dim), &input, |b, input| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                l1_relax(&grid, black_box(input), &mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_tables, bench_relax);
+criterion_main!(benches);

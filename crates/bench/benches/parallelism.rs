@@ -1,0 +1,78 @@
+//! Criterion bench: the `pim-par` primitives themselves — parallel-map
+//! overhead vs chunk size, and the sharded counter vs a single atomic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_par::counter::ShardedCounter;
+use pim_par::{parallel_map_chunked, Pool};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn busy_work(x: u64) -> u64 {
+    // ~100ns of integer mixing
+    let mut v = x;
+    for _ in 0..32 {
+        v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        v ^= v >> 33;
+    }
+    v
+}
+
+fn bench_parallel_map(c: &mut Criterion) {
+    let items: Vec<u64> = (0..100_000).collect();
+    let mut group = c.benchmark_group("parallel_map");
+    group.sample_size(15);
+    for (label, pool, chunk) in [
+        ("serial", Pool::serial(), 1024usize),
+        ("4thr_chunk1", Pool::with_threads(4), 1),
+        ("4thr_chunk64", Pool::with_threads(4), 64),
+        ("4thr_chunk1024", Pool::with_threads(4), 1024),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &items, |b, items| {
+            b.iter(|| {
+                black_box(parallel_map_chunked(pool, black_box(items), chunk, |_, &x| {
+                    busy_work(x)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_8threads");
+    group.sample_size(15);
+    group.bench_function("sharded", |b| {
+        b.iter(|| {
+            let counter = ShardedCounter::new();
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..50_000 {
+                            counter.incr();
+                        }
+                    });
+                }
+            });
+            black_box(counter.get())
+        })
+    });
+    group.bench_function("single_atomic", |b| {
+        b.iter(|| {
+            let counter = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..50_000 {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            black_box(counter.load(Ordering::Relaxed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_map, bench_counters);
+criterion_main!(benches);

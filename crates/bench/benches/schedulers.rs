@@ -1,0 +1,62 @@
+//! Criterion bench: end-to-end scheduling throughput of every method on
+//! the paper benchmarks (4×4 array, 16×16 data, memory = 2× minimum).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_array::grid::Grid;
+use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_workloads::{windowed, Benchmark};
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let grid = Grid::new(4, 4);
+    let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
+    let mut group = c.benchmark_group("schedulers");
+    for bench in [Benchmark::Lu, Benchmark::MatMulCode] {
+        let (trace, _) = windowed(bench, grid, 16, 2, 1998);
+        for method in [
+            Method::Scds,
+            Method::Lomcds,
+            Method::Gomcds,
+            Method::GroupedLocal,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), bench.label()),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        let s = schedule(method, black_box(trace), memory);
+                        black_box(s.evaluate(trace).total())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let grid = Grid::new(8, 8);
+    let (trace, _) = windowed(Benchmark::MatMul, grid, 32, 2, 1998);
+    let mut group = c.benchmark_group("gomcds_parallel");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let pool = pim_par::Pool::with_threads(threads);
+                b.iter(|| {
+                    black_box(pim_sched::schedule_parallel(
+                        Method::Gomcds,
+                        black_box(&trace),
+                        pool,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_parallel_speedup);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: trace generation throughput for every paper benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_array::grid::Grid;
+use pim_workloads::{windowed, Benchmark};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let grid = Grid::new(4, 4);
+    let mut group = c.benchmark_group("workload_gen");
+    for bench in Benchmark::paper_set() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.label()),
+            &bench,
+            |b, &bench| {
+                b.iter(|| black_box(windowed(bench, grid, 16, 2, black_box(1998))))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

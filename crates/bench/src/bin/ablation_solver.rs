@@ -1,0 +1,57 @@
+//! Ablation A: naive `O(m²)` cost-graph relaxation vs the `O(m)` distance-
+//! transform solver inside GOMCDS. Verifies the two produce identical
+//! schedules on every paper benchmark, then times both on growing arrays
+//! (wall-clock; see `benches/gomcds_solvers.rs` for the Criterion version).
+
+use pim_array::grid::Grid;
+use pim_sched::gomcds::{gomcds_schedule_with, Solver};
+use pim_sched::MemoryPolicy;
+use pim_workloads::{windowed, Benchmark};
+use std::time::Instant;
+
+fn main() {
+    let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
+
+    println!("GOMCDS solver ablation: naive O(m^2) vs distance-transform O(m)\n");
+
+    // 1. bit-identical results on the paper set
+    let grid = Grid::new(4, 4);
+    for bench in Benchmark::paper_set() {
+        let (trace, _) = windowed(bench, grid, 16, 2, 1998);
+        let spec = memory.resolve(&trace);
+        let a = gomcds_schedule_with(&trace, spec, Solver::Naive);
+        let b = gomcds_schedule_with(&trace, spec, Solver::DistanceTransform);
+        assert_eq!(a, b, "solver divergence on benchmark {}", bench.label());
+        println!(
+            "benchmark {}: schedules identical (cost {})",
+            bench.label(),
+            a.evaluate(&trace).total()
+        );
+    }
+
+    // 2. scaling with array size
+    println!("\n{:>7} {:>12} {:>12} {:>8}", "grid", "naive", "dt", "speedup");
+    for dim in [4u32, 8, 16, 24] {
+        let grid = Grid::new(dim, dim);
+        let (trace, _) = windowed(Benchmark::MatMul, grid, 16, 2, 1998);
+        let spec = MemoryPolicy::Unbounded.resolve(&trace);
+
+        let t0 = Instant::now();
+        let a = gomcds_schedule_with(&trace, spec, Solver::Naive);
+        let naive = t0.elapsed();
+
+        let t0 = Instant::now();
+        let b = gomcds_schedule_with(&trace, spec, Solver::DistanceTransform);
+        let dt = t0.elapsed();
+
+        assert_eq!(a, b);
+        println!(
+            "{:>4}x{:<2} {:>10.2?} {:>10.2?} {:>7.1}x",
+            dim,
+            dim,
+            naive,
+            dt,
+            naive.as_secs_f64() / dt.as_secs_f64().max(1e-9)
+        );
+    }
+}

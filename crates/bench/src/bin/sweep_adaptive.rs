@@ -1,0 +1,64 @@
+//! Ablation K: fixed vs adaptive windowing.
+//!
+//! Fixed bucketing can split a program phase across a window boundary;
+//! adaptive windowing (cut on reference-centroid drift) aligns windows
+//! with phases. For each benchmark this sweep tunes the fixed window size
+//! and the adaptive drift threshold to produce *comparable window counts*
+//! and reports which windowing lets GOMCDS do better.
+
+use pim_array::grid::Grid;
+use pim_trace::adaptive::{window_adaptive, AdaptiveParams};
+use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_workloads::Benchmark;
+
+fn main() {
+    let grid = Grid::new(4, 4);
+    let n = 16;
+    let memory = MemoryPolicy::Unbounded;
+    let csv = std::env::args().any(|a| a == "--csv");
+
+    if csv {
+        println!("bench,windowing,windows,gomcds");
+    } else {
+        println!("Fixed vs adaptive windowing ({n}x{n} data, 4x4 array, GOMCDS, unbounded)\n");
+        println!(
+            "{:<6} {:<22} {:>8} {:>10}",
+            "bench", "windowing", "windows", "GOMCDS"
+        );
+    }
+
+    for bench in Benchmark::paper_set() {
+        let (steps, _) = bench.generate(grid, n, 1998);
+        let mut rows: Vec<(String, usize, u64)> = Vec::new();
+        for spw in [1usize, 2, 4] {
+            let trace = steps.window_fixed(spw);
+            let cost = schedule(Method::Gomcds, &trace, memory)
+                .evaluate(&trace)
+                .total();
+            rows.push((format!("fixed({spw})"), trace.num_windows(), cost));
+        }
+        for threshold in [0.5f64, 1.0, 2.0] {
+            let (trace, _) = window_adaptive(
+                &steps,
+                AdaptiveParams {
+                    drift_threshold: threshold,
+                    max_steps: 8,
+                },
+            );
+            let cost = schedule(Method::Gomcds, &trace, memory)
+                .evaluate(&trace)
+                .total();
+            rows.push((format!("adaptive(d={threshold})"), trace.num_windows(), cost));
+        }
+        for (name, windows, cost) in rows {
+            if csv {
+                println!("{},{name},{windows},{cost}", bench.label());
+            } else {
+                println!("{:<6} {:<22} {:>8} {:>10}", bench.label(), name, windows, cost);
+            }
+        }
+        if !csv {
+            println!();
+        }
+    }
+}

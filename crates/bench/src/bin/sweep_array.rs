@@ -1,0 +1,58 @@
+//! Ablation D: processor-array size vs total communication cost and
+//! improvement. Larger arrays mean longer distances and more placement
+//! freedom; this sweep shows how the schedulers' advantage scales from a
+//! 2×2 array to 16×16 (the PetaFlop design point contemplated far larger
+//! PIM meshes than the paper's 4×4 testbed).
+
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_sched::schedule::improvement_pct;
+use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_workloads::{windowed, Benchmark};
+
+fn main() {
+    let n = 16;
+    let csv = std::env::args().any(|a| a == "--csv");
+    let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
+
+    if csv {
+        println!("bench,grid,sf,gomcds,improvement_pct");
+    } else {
+        println!("Array-size sweep ({n}x{n} data, 2 steps/window, memory 2x)\n");
+        println!(
+            "{:<6} {:>7} {:>12} {:>12} {:>8}",
+            "bench", "grid", "S.F.", "GOMCDS", "%"
+        );
+    }
+
+    for bench in [Benchmark::Lu, Benchmark::MatMul] {
+        for dim in [2u32, 4, 8, 16] {
+            let grid = Grid::new(dim, dim);
+            let (trace, space) = windowed(bench, grid, n, 2, 1998);
+            let sf = space
+                .straightforward(&trace, Layout::RowWise)
+                .evaluate(&trace)
+                .total();
+            let go = schedule(Method::Gomcds, &trace, memory)
+                .evaluate(&trace)
+                .total();
+            let pct = improvement_pct(sf, go);
+            if csv {
+                println!("{},{dim}x{dim},{sf},{go},{pct:.2}", bench.label());
+            } else {
+                println!(
+                    "{:<6} {:>4}x{:<2} {:>12} {:>12} {:>7.1}%",
+                    bench.label(),
+                    dim,
+                    dim,
+                    sf,
+                    go,
+                    pct
+                );
+            }
+        }
+        if !csv {
+            println!();
+        }
+    }
+}

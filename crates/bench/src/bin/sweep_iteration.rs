@@ -1,0 +1,68 @@
+//! Ablation J: iteration-partition sensitivity.
+//!
+//! The paper prepares two stages before execution: the *iteration
+//! partition* (mapping loop iterations to processors) and the *data
+//! scheduling* studied in the paper. This sweep varies the iteration
+//! partition and re-runs the schedulers, checking that the data-scheduling
+//! gains are robust to how iterations were mapped — i.e. that the paper's
+//! contribution is not an artifact of one particular iteration layout.
+
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_sched::schedule::improvement_pct;
+use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_workloads::Benchmark;
+
+fn main() {
+    let grid = Grid::new(4, 4);
+    let n = 16;
+    let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
+    let csv = std::env::args().any(|a| a == "--csv");
+
+    if csv {
+        println!("bench,iter_layout,sf,scds,gomcds,gomcds_gain_pct");
+    } else {
+        println!("Iteration-partition sweep ({n}x{n} data, 4x4 array, memory 2x)\n");
+        println!(
+            "{:<6} {:<12} {:>10} {:>10} {:>10} {:>8}",
+            "bench", "iter layout", "S.F.", "SCDS", "GOMCDS", "gain"
+        );
+    }
+
+    for bench in [Benchmark::Lu, Benchmark::MatMul, Benchmark::LuCode] {
+        for layout in [
+            Layout::Block2D,
+            Layout::RowWise,
+            Layout::ColumnWise,
+            Layout::Cyclic,
+            Layout::Snake,
+            Layout::Diagonal,
+        ] {
+            let (steps, space) = bench.generate_with_layout(grid, n, 1998, layout);
+            let trace = steps.window_fixed(2);
+            let sf = space
+                .straightforward(&trace, Layout::RowWise)
+                .evaluate(&trace)
+                .total();
+            let scds = schedule(Method::Scds, &trace, memory).evaluate(&trace).total();
+            let go = schedule(Method::Gomcds, &trace, memory).evaluate(&trace).total();
+            let gain = improvement_pct(sf, go);
+            if csv {
+                println!("{},{},{sf},{scds},{go},{gain:.2}", bench.label(), layout.name());
+            } else {
+                println!(
+                    "{:<6} {:<12} {:>10} {:>10} {:>10} {:>7.1}%",
+                    bench.label(),
+                    layout.name(),
+                    sf,
+                    scds,
+                    go,
+                    gain
+                );
+            }
+        }
+        if !csv {
+            println!();
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Ablation C: memory pressure vs total communication cost.
+//!
+//! The tables fix per-processor memory at twice the balanced minimum; this
+//! sweep varies the factor from 1× (no slack — every processor exactly
+//! full, the processor list constantly overrides optimal centers) to 4×
+//! and unbounded, showing how much headroom the schedulers need.
+
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_workloads::{windowed, Benchmark};
+
+fn main() {
+    let grid = Grid::new(4, 4);
+    let n = 16;
+    let csv = std::env::args().any(|a| a == "--csv");
+
+    if csv {
+        println!("bench,memory,sf,scds,lomcds,gomcds,grouped");
+    } else {
+        println!("Memory-pressure sweep (4x4 array, {n}x{n} data, 2 steps/window)\n");
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "bench", "memory", "S.F.", "SCDS", "LOMCDS", "GOMCDS", "Grouped"
+        );
+    }
+
+    for bench in Benchmark::paper_set() {
+        let (trace, space) = windowed(bench, grid, n, 2, 1998);
+        let sf = space
+            .straightforward(&trace, Layout::RowWise)
+            .evaluate(&trace)
+            .total();
+        let policies: [(String, MemoryPolicy); 5] = [
+            ("1x".into(), MemoryPolicy::ScaledMinimum { factor: 1 }),
+            ("2x".into(), MemoryPolicy::ScaledMinimum { factor: 2 }),
+            ("3x".into(), MemoryPolicy::ScaledMinimum { factor: 3 }),
+            ("4x".into(), MemoryPolicy::ScaledMinimum { factor: 4 }),
+            ("unbounded".into(), MemoryPolicy::Unbounded),
+        ];
+        for (label, policy) in policies {
+            let cost = |m| schedule(m, &trace, policy).evaluate(&trace).total();
+            let row = (
+                cost(Method::Scds),
+                cost(Method::Lomcds),
+                cost(Method::Gomcds),
+                cost(Method::GroupedLocal),
+            );
+            if csv {
+                println!(
+                    "{},{},{},{},{},{},{}",
+                    bench.label(),
+                    label,
+                    sf,
+                    row.0,
+                    row.1,
+                    row.2,
+                    row.3
+                );
+            } else {
+                println!(
+                    "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    bench.label(),
+                    label,
+                    sf,
+                    row.0,
+                    row.1,
+                    row.2,
+                    row.3
+                );
+            }
+        }
+        if !csv {
+            println!();
+        }
+    }
+}

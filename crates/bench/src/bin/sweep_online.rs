@@ -1,0 +1,67 @@
+//! Ablation I: online scheduling vs the clairvoyant offline optimum.
+//!
+//! The paper's run-time data movement is planned offline from the full
+//! reference string. A real runtime discovers windows as they execute;
+//! this sweep runs the online keep-or-move policy across hysteresis
+//! thresholds and reports the competitive gap to offline GOMCDS — showing
+//! how much of the paper's gain survives without clairvoyance.
+
+use pim_array::grid::Grid;
+use pim_array::memory::MemorySpec;
+use pim_sched::online::{online_schedule, OnlinePolicy};
+use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_workloads::{windowed, Benchmark};
+
+fn main() {
+    let grid = Grid::new(4, 4);
+    let n = 16;
+    let csv = std::env::args().any(|a| a == "--csv");
+
+    if csv {
+        println!("bench,threshold,online,offline_gomcds,gap_pct");
+    } else {
+        println!("Online-vs-offline sweep ({n}x{n} data, 4x4 array, unbounded memory)\n");
+        println!(
+            "{:<6} {:>10} {:>10} {:>14} {:>8}",
+            "bench", "threshold", "online", "offline GOMCDS", "gap"
+        );
+    }
+
+    for bench in Benchmark::paper_set() {
+        let (trace, _) = windowed(bench, grid, n, 2, 1998);
+        let offline = schedule(Method::Gomcds, &trace, MemoryPolicy::Unbounded)
+            .evaluate(&trace)
+            .total();
+        for threshold in [0.0f64, 0.5, 1.0, 2.0, 4.0, 1e9] {
+            let s = online_schedule(
+                &trace,
+                OnlinePolicy {
+                    threshold,
+                    spec: MemorySpec::unbounded(),
+                },
+            );
+            let online = s.evaluate(&trace).total();
+            let gap = (online as f64 - offline as f64) / offline as f64 * 100.0;
+            let tl = if threshold >= 1e9 {
+                "inf".to_string()
+            } else {
+                format!("{threshold}")
+            };
+            if csv {
+                println!("{},{tl},{online},{offline},{gap:.2}", bench.label());
+            } else {
+                println!(
+                    "{:<6} {:>10} {:>10} {:>14} {:>7.1}%",
+                    bench.label(),
+                    tl,
+                    online,
+                    offline,
+                    gap
+                );
+            }
+        }
+        if !csv {
+            println!();
+        }
+    }
+}

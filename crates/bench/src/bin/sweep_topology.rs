@@ -1,0 +1,67 @@
+//! Ablation L: open mesh vs torus.
+//!
+//! PetaFlop-era PIM proposals differ on whether the mesh edges wrap. Using
+//! the topology-generic schedulers, this sweep reruns the paper's
+//! benchmarks on a torus of the same dimensions and reports how much of
+//! the communication (and of the scheduling gain) the wrap-around links
+//! absorb.
+
+use pim_array::grid::Grid;
+use pim_array::torus::Torus;
+use pim_sched::generic::{
+    evaluate_generic, gomcds_generic, scds_generic, striped_generic,
+};
+use pim_workloads::{windowed, Benchmark};
+
+fn main() {
+    let grid = Grid::new(4, 4);
+    let torus = Torus::new(4, 4);
+    let n = 16;
+    let csv = std::env::args().any(|a| a == "--csv");
+
+    if csv {
+        println!("bench,topology,striped,scds,gomcds,gain_pct");
+    } else {
+        println!("Mesh vs torus ({n}x{n} data, 4x4 array, unbounded memory)\n");
+        println!(
+            "{:<6} {:<7} {:>10} {:>10} {:>10} {:>8}",
+            "bench", "topo", "striped", "SCDS", "GOMCDS", "gain"
+        );
+    }
+
+    for bench in Benchmark::paper_set() {
+        let (trace, _) = windowed(bench, grid, n, 2, 1998);
+        let mut rows: Vec<(&str, u64, u64, u64)> = Vec::new();
+        {
+            let base = evaluate_generic(&grid, &trace, &striped_generic(&grid, &trace));
+            let sc = evaluate_generic(&grid, &trace, &scds_generic(&grid, &trace));
+            let go = evaluate_generic(&grid, &trace, &gomcds_generic(&grid, &trace));
+            rows.push(("mesh", base, sc, go));
+        }
+        {
+            let base = evaluate_generic(&torus, &trace, &striped_generic(&torus, &trace));
+            let sc = evaluate_generic(&torus, &trace, &scds_generic(&torus, &trace));
+            let go = evaluate_generic(&torus, &trace, &gomcds_generic(&torus, &trace));
+            rows.push(("torus", base, sc, go));
+        }
+        for (topo, base, sc, go) in rows {
+            let gain = (base as f64 - go as f64) / base as f64 * 100.0;
+            if csv {
+                println!("{},{topo},{base},{sc},{go},{gain:.2}", bench.label());
+            } else {
+                println!(
+                    "{:<6} {:<7} {:>10} {:>10} {:>10} {:>7.1}%",
+                    bench.label(),
+                    topo,
+                    base,
+                    sc,
+                    go,
+                    gain
+                );
+            }
+        }
+        if !csv {
+            println!();
+        }
+    }
+}

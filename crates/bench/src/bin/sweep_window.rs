@@ -1,0 +1,74 @@
+//! Ablation B: execution-window size vs total communication cost.
+//!
+//! Section 4 of the paper motivates window grouping with the observation
+//! that windows that are too small make inter-center movement dominate.
+//! This sweep quantifies it: for each benchmark, vary the number of raw
+//! steps bucketed per window and report each scheduler's total cost.
+
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_workloads::{windowed, Benchmark};
+
+fn main() {
+    let grid = Grid::new(4, 4);
+    let n = 16;
+    let seed = 1998;
+    let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
+    let csv = std::env::args().any(|a| a == "--csv");
+
+    if csv {
+        println!("bench,steps_per_window,windows,sf,scds,lomcds,gomcds,grouped");
+    } else {
+        println!("Window-size sweep: benchmark x steps/window (4x4 array, {n}x{n} data)\n");
+        println!(
+            "{:<6} {:>9} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "bench", "steps/win", "windows", "S.F.", "SCDS", "LOMCDS", "GOMCDS", "Grouped"
+        );
+    }
+
+    for bench in Benchmark::paper_set() {
+        for steps in [1usize, 2, 4, 8, 16, 32] {
+            let (trace, space) = windowed(bench, grid, n, steps, seed);
+            let sf = space
+                .straightforward(&trace, Layout::RowWise)
+                .evaluate(&trace)
+                .total();
+            let cost = |m| schedule(m, &trace, memory).evaluate(&trace).total();
+            let (scds, lomcds, gomcds, grouped) = (
+                cost(Method::Scds),
+                cost(Method::Lomcds),
+                cost(Method::Gomcds),
+                cost(Method::GroupedLocal),
+            );
+            if csv {
+                println!(
+                    "{},{},{},{},{},{},{},{}",
+                    bench.label(),
+                    steps,
+                    trace.num_windows(),
+                    sf,
+                    scds,
+                    lomcds,
+                    gomcds,
+                    grouped
+                );
+            } else {
+                println!(
+                    "{:<6} {:>9} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    bench.label(),
+                    steps,
+                    trace.num_windows(),
+                    sf,
+                    scds,
+                    lomcds,
+                    gomcds,
+                    grouped
+                );
+            }
+        }
+        if !csv {
+            println!();
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Table 1** of the paper: total communication cost of the
+//! straight-forward distribution vs SCDS, LOMCDS and GOMCDS (before window
+//! grouping), on a 4×4 PIM array with memory twice the balanced minimum.
+
+use pim_bench::experiments::{paper_config, run_table};
+use pim_bench::table;
+use pim_sched::Method;
+
+fn main() {
+    let cfg = paper_config();
+    let rows = run_table(&cfg, &[Method::Scds, Method::Lomcds, Method::Gomcds]);
+    if table::want_csv() {
+        print!("{}", table::render_csv(&rows));
+    } else {
+        print!(
+            "{}",
+            table::render(
+                "Table 1: total communication cost before grouping (4x4 array, memory = 2x minimum)",
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table 2** of the paper: total communication cost *after*
+//! the execution-window optimization (Algorithm 3, grouping decided with
+//! LOMCDS-computed centers), same setup as Table 1.
+//!
+//! Columns: SCDS is unchanged by grouping (a single center is insensitive
+//! to window boundaries) and is reported for reference; LOMCDS and GOMCDS
+//! run on the grouped windows.
+
+use pim_bench::experiments::{paper_config, run_table};
+use pim_bench::table;
+use pim_sched::Method;
+
+fn main() {
+    let cfg = paper_config();
+    let rows = run_table(
+        &cfg,
+        &[Method::Scds, Method::GroupedLocal, Method::GroupedGomcds],
+    );
+    if table::want_csv() {
+        print!("{}", table::render_csv(&rows));
+    } else {
+        print!(
+            "{}",
+            table::render(
+                "Table 2: total communication cost after grouping (Algorithm 3 with LOMCDS centers)",
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # pim-bench
+//!
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation plus the ablation sweeps listed in `DESIGN.md` §4.
+//!
+//! Binaries (run with `cargo run --release -p pim-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — total communication cost before grouping |
+//! | `table2` | Table 2 — after Algorithm 3 grouping |
+//! | `figure1` | Figure 1 — the worked single-datum example |
+//! | `sweep_window` | ablation B — window size vs cost |
+//! | `sweep_memory` | ablation C — memory pressure vs cost |
+//! | `sweep_array` | ablation D — array size vs cost |
+//! | `ablation_solver` | ablation A — naive vs distance-transform GOMCDS |
+//! | `ablation_grouping` | ablation E — greedy vs DP-optimal grouping |
+//!
+//! Criterion micro-benches live under `benches/`. All binaries accept
+//! `--csv` to emit machine-readable output alongside the pretty table.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{paper_config, run_comparison, ComparisonRow, PaperConfig};

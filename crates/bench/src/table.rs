@@ -1,0 +1,118 @@
+//! Table rendering in the paper's layout.
+
+use crate::experiments::{mean_improvement, ComparisonRow};
+
+/// Render rows in the paper's layout:
+///
+/// ```text
+/// B.  Size   S.F.      SCDS  Comm %   LOMCDS Comm %   GOMCDS Comm %
+/// ```
+pub fn render(title: &str, rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let methods: Vec<String> = rows
+        .first()
+        .map(|r| r.entries.iter().map(|e| e.0.name().to_string()).collect())
+        .unwrap_or_default();
+
+    out.push_str(&format!("{:<3} {:>7} {:>10}", "B.", "Size", "S.F."));
+    for m in &methods {
+        out.push_str(&format!(" | {:>12} {:>6}", m, "%"));
+    }
+    out.push('\n');
+    let width = 22 + methods.len() * 23;
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+
+    for r in rows {
+        out.push_str(&format!(
+            "{:<3} {:>4}x{:<3} {:>9}",
+            r.bench, r.size, r.size, r.sf
+        ));
+        for &(_, cost, pct) in &r.entries {
+            out.push_str(&format!(" | {cost:>12} {pct:>5.1}%"));
+        }
+        out.push('\n');
+    }
+
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("{:<3} {:>7} {:>10}", "avg", "", ""));
+    for i in 0..methods.len() {
+        out.push_str(&format!(
+            " | {:>12} {:>5.1}%",
+            "",
+            mean_improvement(rows, i)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render rows as CSV (one line per row-method pair).
+pub fn render_csv(rows: &[ComparisonRow]) -> String {
+    let mut out = String::from("bench,size,sf,method,comm,improvement_pct\n");
+    for r in rows {
+        for &(m, cost, pct) in &r.entries {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.2}\n",
+                r.bench,
+                r.size,
+                r.sf,
+                m.name(),
+                cost,
+                pct
+            ));
+        }
+    }
+    out
+}
+
+/// Whether `--csv` was requested on the command line.
+pub fn want_csv() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sched::Method;
+
+    fn rows() -> Vec<ComparisonRow> {
+        vec![ComparisonRow {
+            bench: "1",
+            size: 8,
+            sf: 1000,
+            entries: vec![(Method::Scds, 800, 20.0), (Method::Gomcds, 600, 40.0)],
+        }]
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = render("Table 1", &rows());
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("S.F."));
+        assert!(s.contains("SCDS"));
+        assert!(s.contains("GOMCDS"));
+        assert!(s.contains("8x8"));
+        assert!(s.contains("1000"));
+        assert!(s.contains("20.0%"));
+        assert!(s.contains("avg"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let s = render_csv(&rows());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "bench,size,sf,method,comm,improvement_pct");
+        assert!(lines[1].starts_with("1,8,1000,SCDS,800,20.00"));
+    }
+
+    #[test]
+    fn render_empty() {
+        let s = render("empty", &[]);
+        assert!(s.contains("empty"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Smoke tests for the reproduction entry points: the table/figure
+//! binaries must run, print the paper's layout, and satisfy the headline
+//! orderings — so a broken experiment harness fails CI, not the reader.
+
+use std::process::Command;
+
+fn run(bin_path: &str, args: &[&str]) -> String {
+    let out = Command::new(bin_path)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("{bin_path} failed to spawn: {e}"));
+    assert!(out.status.success(), "{bin_path} exited nonzero");
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn figure1_matches_paper_prose() {
+    let out = run(env!("CARGO_BIN_EXE_figure1"), &[]);
+    assert!(out.contains("SCDS"));
+    assert!(out.contains("(1,0) (1,3) (1,0) (1,1)"), "{out}");
+    assert!(out.contains("(1,0) (1,0) (1,0) (1,1)"), "{out}");
+    assert!(out.contains("GOMCDS < LOMCDS < SCDS: true"), "{out}");
+}
+
+#[test]
+fn table1_csv_is_well_formed_and_ordered() {
+    let out = run(env!("CARGO_BIN_EXE_table1"), &["--csv"]);
+    let mut lines = out.lines();
+    assert_eq!(
+        lines.next(),
+        Some("bench,size,sf,method,comm,improvement_pct")
+    );
+    let mut rows = 0;
+    for line in lines {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols.len(), 6, "bad row {line}");
+        let sf: u64 = cols[2].parse().unwrap();
+        let comm: u64 = cols[4].parse().unwrap();
+        assert!(comm <= sf, "scheduler worse than baseline in {line}");
+        rows += 1;
+    }
+    // 5 benchmarks × 3 sizes × 3 methods
+    assert_eq!(rows, 45);
+}
+
+#[test]
+fn table2_csv_shape() {
+    let out = run(env!("CARGO_BIN_EXE_table2"), &["--csv"]);
+    assert!(out.starts_with("bench,size,sf,method,comm,improvement_pct"));
+    assert_eq!(out.lines().count(), 46);
+    assert!(out.contains("Grouped-LOMCDS"));
+}

@@ -1,0 +1,264 @@
+//! Hand-rolled argument parsing (no external CLI crates, per the
+//! dependency policy).
+
+use pim_array::grid::Grid;
+use pim_sched::{MemoryPolicy, Method};
+use pim_workloads::Benchmark;
+
+/// The CLI subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Run one method and print its cost breakdown.
+    Run,
+    /// Run every method and the baseline, print a comparison table.
+    Compare,
+    /// Print trace statistics.
+    Stats,
+    /// Run the message simulator and print the network report.
+    Simulate,
+    /// Hill-climb refinement on top of a method's schedule.
+    Refine,
+    /// Two-copy replication on top of GOMCDS primaries.
+    Replicate,
+    /// Report Algorithm 3 grouping decisions per datum.
+    Windows,
+    /// Write the generated windowed trace to a binary file (`--out`).
+    Export,
+    /// Narrate the costliest data items' schedules window by window.
+    Explain,
+}
+
+/// Fully parsed CLI invocation.
+#[derive(Debug, Clone)]
+pub struct ParsedArgs {
+    /// Selected subcommand.
+    pub command: Command,
+    /// Workload.
+    pub bench: Benchmark,
+    /// Data matrix dimension (`n × n`).
+    pub size: u32,
+    /// Processor grid.
+    pub grid: Grid,
+    /// Steps per execution window.
+    pub window: usize,
+    /// Scheduling method (for `run`/`simulate`).
+    pub method: Method,
+    /// Memory policy.
+    pub memory: MemoryPolicy,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Output path for `export`.
+    pub out: Option<String>,
+    /// Load the trace from this file instead of generating it
+    /// (`run`/`stats`/`simulate`/`windows` only — the baseline comparison
+    /// needs the data-array shape, which the binary format does not carry).
+    pub trace_file: Option<String>,
+}
+
+impl Default for ParsedArgs {
+    fn default() -> Self {
+        ParsedArgs {
+            command: Command::Compare,
+            bench: Benchmark::Lu,
+            size: 8,
+            grid: Grid::new(4, 4),
+            window: 2,
+            method: Method::Gomcds,
+            memory: MemoryPolicy::ScaledMinimum { factor: 2 },
+            seed: 1998,
+            out: None,
+            trace_file: None,
+        }
+    }
+}
+
+/// Error message for a bad invocation.
+pub type ParseError = String;
+
+/// Parse `WxH` grid syntax.
+pub fn parse_grid(s: &str) -> Result<Grid, ParseError> {
+    let (w, h) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("bad grid '{s}', expected WxH"))?;
+    let w: u32 = w.parse().map_err(|_| format!("bad grid width '{w}'"))?;
+    let h: u32 = h.parse().map_err(|_| format!("bad grid height '{h}'"))?;
+    if w == 0 || h == 0 {
+        return Err(format!("grid dimensions must be positive, got {s}"));
+    }
+    Ok(Grid::new(w, h))
+}
+
+/// Parse a method name (case-insensitive).
+pub fn parse_method(s: &str) -> Result<Method, ParseError> {
+    match s.to_ascii_lowercase().as_str() {
+        "scds" => Ok(Method::Scds),
+        "lomcds" => Ok(Method::Lomcds),
+        "gomcds" => Ok(Method::Gomcds),
+        "gomcds-naive" | "gomcdsnaive" => Ok(Method::GomcdsNaive),
+        "grouped" | "grouped-local" | "grouped-lomcds" => Ok(Method::GroupedLocal),
+        "grouped-gomcds" => Ok(Method::GroupedGomcds),
+        _ => Err(format!(
+            "unknown method '{s}' (scds, lomcds, gomcds, gomcds-naive, grouped, grouped-gomcds)"
+        )),
+    }
+}
+
+/// Parse a memory policy: `unbounded`, `Nx` (scaled minimum) or a plain
+/// integer capacity.
+pub fn parse_memory(s: &str) -> Result<MemoryPolicy, ParseError> {
+    if s.eq_ignore_ascii_case("unbounded") {
+        return Ok(MemoryPolicy::Unbounded);
+    }
+    if let Some(f) = s.strip_suffix(['x', 'X']) {
+        let factor: u32 = f
+            .parse()
+            .map_err(|_| format!("bad memory factor '{s}'"))?;
+        if factor == 0 {
+            return Err("memory factor must be positive".to_string());
+        }
+        return Ok(MemoryPolicy::ScaledMinimum { factor });
+    }
+    let cap: u32 = s
+        .parse()
+        .map_err(|_| format!("bad memory capacity '{s}'"))?;
+    Ok(MemoryPolicy::Capacity(cap))
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
+    let mut out = ParsedArgs::default();
+    let mut it = argv.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    out.command = match cmd.as_str() {
+        "run" => Command::Run,
+        "compare" => Command::Compare,
+        "stats" => Command::Stats,
+        "simulate" => Command::Simulate,
+        "refine" => Command::Refine,
+        "replicate" => Command::Replicate,
+        "windows" => Command::Windows,
+        "export" => Command::Export,
+        "explain" => Command::Explain,
+        "-h" | "--help" | "help" => return Err(usage()),
+        other => return Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--bench" => {
+                let v = value()?;
+                out.bench = Benchmark::parse(&v)
+                    .ok_or_else(|| format!("unknown benchmark '{v}' (1-5, code, jacobi, transpose, sor)"))?;
+            }
+            "--size" => {
+                out.size = value()?
+                    .parse()
+                    .map_err(|_| "bad --size".to_string())?;
+            }
+            "--grid" => out.grid = parse_grid(&value()?)?,
+            "--window" => {
+                out.window = value()?
+                    .parse()
+                    .map_err(|_| "bad --window".to_string())?;
+                if out.window == 0 {
+                    return Err("--window must be positive".to_string());
+                }
+            }
+            "--method" => out.method = parse_method(&value()?)?,
+            "--memory" => out.memory = parse_memory(&value()?)?,
+            "--seed" => {
+                out.seed = value()?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?;
+            }
+            "--out" => out.out = Some(value()?),
+            "--trace" => out.trace_file = Some(value()?),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(out)
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "usage: pim-cli <run|compare|stats|simulate|refine|replicate|windows|export|explain> \
+     [--bench 1-5|code|jacobi|transpose|sor] [--size N] [--grid WxH] \
+     [--window STEPS] [--method scds|lomcds|gomcds|grouped] \
+     [--memory unbounded|Nx|CAP] [--seed S] [--out FILE] [--trace FILE]"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_full_invocation() {
+        let a = parse(&v(&[
+            "run", "--bench", "3", "--size", "16", "--grid", "8x4", "--window", "4", "--method",
+            "lomcds", "--memory", "unbounded", "--seed", "7",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, Command::Run);
+        assert_eq!(a.bench, Benchmark::LuCode);
+        assert_eq!(a.size, 16);
+        assert_eq!((a.grid.width(), a.grid.height()), (8, 4));
+        assert_eq!(a.window, 4);
+        assert_eq!(a.method, pim_sched::Method::Lomcds);
+        assert_eq!(a.memory, MemoryPolicy::Unbounded);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let a = parse(&v(&["compare"])).unwrap();
+        assert_eq!(a.command, Command::Compare);
+        assert_eq!(a.size, 8);
+        assert_eq!(a.memory, MemoryPolicy::ScaledMinimum { factor: 2 });
+    }
+
+    #[test]
+    fn grid_syntax() {
+        assert!(parse_grid("4x4").is_ok());
+        assert!(parse_grid("16X2").is_ok());
+        assert!(parse_grid("4").is_err());
+        assert!(parse_grid("0x4").is_err());
+        assert!(parse_grid("axb").is_err());
+    }
+
+    #[test]
+    fn memory_syntax() {
+        assert_eq!(parse_memory("unbounded"), Ok(MemoryPolicy::Unbounded));
+        assert_eq!(
+            parse_memory("2x"),
+            Ok(MemoryPolicy::ScaledMinimum { factor: 2 })
+        );
+        assert_eq!(parse_memory("8"), Ok(MemoryPolicy::Capacity(8)));
+        assert!(parse_memory("0x").is_err());
+        assert!(parse_memory("zz").is_err());
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(parse_method("GOMCDS"), Ok(Method::Gomcds));
+        assert_eq!(parse_method("grouped"), Ok(Method::GroupedLocal));
+        assert!(parse_method("magic").is_err());
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse(&v(&[])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["run", "--bench"])).is_err());
+        assert!(parse(&v(&["run", "--window", "0"])).is_err());
+        assert!(parse(&v(&["run", "--wat", "1"])).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! # pim-cli
+//!
+//! Library side of the command-line driver: argument parsing and text
+//! rendering, kept out of `main.rs` so it can be unit-tested.
+//!
+//! ```text
+//! pim-cli run      --bench 3 --size 16 --grid 4x4 --window 2 --method gomcds --memory 2x
+//! pim-cli compare  --bench 1 --size 8            # all methods side by side
+//! pim-cli stats    --bench 5 --size 16           # trace statistics
+//! pim-cli simulate --bench 1 --size 8 --method lomcds
+//! ```
+
+pub mod args;
+pub mod render;
+
+pub use args::{Command, ParsedArgs};

@@ -1,0 +1,231 @@
+//! `pim-cli` — run PIM data-scheduling experiments from the command line.
+
+use pim_cli::args::{self, Command};
+use pim_cli::render;
+use pim_par::Pool;
+use pim_sched::{compare_methods, schedule};
+use pim_trace::stats::trace_stats;
+use pim_workloads::windowed;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&argv) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (trace, space) = if let Some(path) = &parsed.trace_file {
+        if parsed.command == Command::Compare {
+            eprintln!("`compare` needs the data-array shape; it cannot run from --trace");
+            return ExitCode::FAILURE;
+        }
+        match std::fs::read(path) {
+            Ok(raw) => match pim_trace::encode::decode_trace(bytes::Bytes::from(raw)) {
+                Ok(t) => {
+                    println!("loaded trace from {path}");
+                    let n = (t.num_data() as f64).sqrt().ceil() as u32;
+                    (t, pim_workloads::DataSpace::single(n.max(1)).0)
+                }
+                Err(e) => {
+                    eprintln!("cannot decode {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        windowed(
+            parsed.bench,
+            parsed.grid,
+            parsed.size,
+            parsed.window,
+            parsed.seed,
+        )
+    };
+    if parsed.trace_file.is_none() {
+        println!(
+            "benchmark {} ({}), {}x{} data on {}, {} windows, memory {:?}",
+            parsed.bench.label(),
+            parsed.bench.name(),
+            parsed.size,
+            parsed.size,
+            parsed.grid,
+            trace.num_windows(),
+            parsed.memory,
+        );
+    } else {
+        println!(
+            "{} data, {} windows on {}, memory {:?}",
+            trace.num_data(),
+            trace.num_windows(),
+            trace.grid(),
+            parsed.memory,
+        );
+    }
+
+    match parsed.command {
+        Command::Run => {
+            let s = schedule(parsed.method, &trace, parsed.memory);
+            println!("{}", render::breakdown(parsed.method.name(), s.evaluate(&trace)));
+            println!("moves: {}, max occupancy: {}", s.num_moves(), s.max_occupancy());
+        }
+        Command::Compare => {
+            let sf = space
+                .straightforward(&trace, pim_array::layout::Layout::RowWise)
+                .evaluate(&trace)
+                .total();
+            let rows = compare_methods(&trace, parsed.memory)
+                .into_iter()
+                .map(|(m, cost)| {
+                    (
+                        m.name().to_string(),
+                        cost,
+                        pim_sched::schedule::improvement_pct(sf, cost),
+                    )
+                })
+                .collect::<Vec<_>>();
+            print!("{}", render::comparison_table(sf, &rows));
+        }
+        Command::Stats => {
+            let st = trace_stats(&trace);
+            println!("data items:            {}", st.num_data);
+            println!("windows:               {}", st.num_windows);
+            println!("total reference volume {}", st.total_volume);
+            println!("never referenced:      {}", st.never_referenced);
+            println!("procs per window:      {:.2}", st.mean_procs_per_window);
+            println!("spatial spread:        {:.2}", st.mean_spread);
+            println!("inter-window drift:    {:.2}", st.mean_drift);
+        }
+        Command::Simulate => {
+            let s = schedule(parsed.method, &trace, parsed.memory);
+            let report = pim_sim::simulate(&trace, &s, Pool::auto());
+            print!("{report}");
+            let analytic = s.evaluate(&trace).total();
+            assert_eq!(
+                report.total_hop_volume(),
+                analytic,
+                "simulator/cost-model divergence — this is a bug"
+            );
+            println!("(simulated hop-volume matches analytic cost: {analytic})");
+            let traffic = pim_sim::traffic::traffic_map(&trace, &s);
+            println!(
+                "forwarded volume {} ; busiest node {} ({} units)",
+                traffic.total_forwarded(),
+                traffic.busiest().0,
+                traffic.busiest().1.total()
+            );
+            println!("\nnode traffic and link utilization:");
+            print!(
+                "{}",
+                pim_sim::heatmap::render(&trace.grid(), &report, &traffic)
+            );
+        }
+        Command::Refine => {
+            let spec = parsed.memory.resolve(&trace);
+            let mut s = schedule(parsed.method, &trace, parsed.memory);
+            let before = s.evaluate(&trace).total();
+            let stats = pim_sched::refine::refine(&trace, &mut s, spec, 100);
+            println!(
+                "{}: {} -> {} ({} moves over {} sweeps)",
+                parsed.method.name(),
+                before,
+                s.evaluate(&trace).total(),
+                stats.moves_applied,
+                stats.sweeps
+            );
+        }
+        Command::Replicate => {
+            let spec = parsed.memory.resolve(&trace);
+            let single = schedule(pim_sched::Method::Gomcds, &trace, parsed.memory)
+                .evaluate(&trace)
+                .total();
+            let repl = pim_sched::replicate::replicated_schedule(&trace, spec);
+            let dual = repl.evaluate(&trace).total();
+            println!(
+                "1-copy GOMCDS: {single}; 2-copy: {dual} ({} secondary slots, {:.1}% gain)",
+                repl.secondary_slots(),
+                (single as f64 - dual as f64) / single as f64 * 100.0
+            );
+        }
+        Command::Export => {
+            let Some(path) = &parsed.out else {
+                eprintln!("export needs --out FILE");
+                return ExitCode::FAILURE;
+            };
+            let bytes = pim_trace::encode::encode_trace(&trace);
+            if let Err(e) = std::fs::write(path, &bytes) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} bytes ({} data x {} windows) to {path}",
+                bytes.len(),
+                trace.num_data(),
+                trace.num_windows()
+            );
+        }
+        Command::Explain => {
+            use pim_sched::explain::{render_data, summarize};
+            let s = schedule(parsed.method, &trace, parsed.memory);
+            let sum = summarize(&trace, &s);
+            println!(
+                "{}: total {} (movement {}, {} moves, total regret {})",
+                parsed.method.name(),
+                sum.total,
+                sum.movement,
+                sum.moves,
+                sum.total_regret
+            );
+            // narrate the five costliest data
+            let mut by_cost: Vec<(u64, u32)> = (0..trace.num_data() as u32)
+                .map(|d| {
+                    (
+                        s.evaluate_data(&trace, pim_trace::ids::DataId(d)).total(),
+                        d,
+                    )
+                })
+                .collect();
+            by_cost.sort_unstable_by(|a, b| b.cmp(a));
+            println!("\ncostliest data:");
+            for &(cost, d) in by_cost.iter().take(5) {
+                if cost == 0 {
+                    break;
+                }
+                print!("{}", render_data(&trace, &s, pim_trace::ids::DataId(d)));
+            }
+        }
+        Command::Windows => {
+            use pim_sched::grouping::{greedy_grouping, GroupMethod};
+            let grid = trace.grid();
+            let mut sizes = vec![0u64; trace.num_windows() + 1];
+            let mut grouped_data = 0usize;
+            for d in 0..trace.num_data() {
+                let rs = trace.refs(pim_trace::ids::DataId(d as u32));
+                let groups = greedy_grouping(&grid, rs, GroupMethod::LocalCenters);
+                if groups.len() < trace.num_windows() {
+                    grouped_data += 1;
+                }
+                for g in &groups {
+                    sizes[g.len()] += 1;
+                }
+            }
+            println!(
+                "Algorithm 3 grouped {} of {} data into fewer windows",
+                grouped_data,
+                trace.num_data()
+            );
+            println!("group-size histogram (windows per group -> count):");
+            for (len, count) in sizes.iter().enumerate().filter(|&(_, &c)| c > 0) {
+                println!("  {len:>3} -> {count}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,70 @@
+//! Plain-text rendering of experiment results.
+
+use pim_sched::schedule::CostBreakdown;
+
+/// Render a comparison table in the paper's row format.
+///
+/// `rows` is `(label, cost, pct_improvement)`; `sf` is the straight-forward
+/// baseline cost.
+pub fn comparison_table(sf: u64, rows: &[(String, u64, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<16} {:>12} {:>9}\n", "method", "comm", "%"));
+    out.push_str(&format!("{:<16} {:>12} {:>9}\n", "S.F.", sf, "-"));
+    for (label, cost, pct) in rows {
+        out.push_str(&format!("{label:<16} {cost:>12} {pct:>8.1}%\n"));
+    }
+    out
+}
+
+/// Render one method's cost breakdown.
+pub fn breakdown(label: &str, cost: CostBreakdown) -> String {
+    format!(
+        "{label}: total {} (reference {}, movement {})",
+        cost.total(),
+        cost.reference,
+        cost.movement
+    )
+}
+
+/// Right-pad/align helper used by the sweep binaries too.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats() {
+        let t = comparison_table(
+            100,
+            &[
+                ("SCDS".to_string(), 80, 20.0),
+                ("GOMCDS".to_string(), 60, 40.0),
+            ],
+        );
+        assert!(t.contains("S.F."));
+        assert!(t.contains("100"));
+        assert!(t.contains("20.0%"));
+        assert!(t.contains("GOMCDS"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn breakdown_format() {
+        let s = breakdown(
+            "GOMCDS",
+            CostBreakdown {
+                reference: 9,
+                movement: 1,
+            },
+        );
+        assert_eq!(s, "GOMCDS: total 10 (reference 9, movement 1)");
+    }
+
+    #[test]
+    fn rule_len() {
+        assert_eq!(rule(5), "-----");
+    }
+}

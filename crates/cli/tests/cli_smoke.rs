@@ -1,0 +1,95 @@
+//! End-to-end smoke tests of the `pim-cli` binary itself (spawned as a
+//! process via `CARGO_BIN_EXE_pim-cli`), covering every subcommand and the
+//! error paths.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pim-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn compare_prints_the_paper_table_shape() {
+    let (ok, stdout, _) = run(&["compare", "--bench", "1", "--size", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("S.F."));
+    assert!(stdout.contains("SCDS"));
+    assert!(stdout.contains("GOMCDS"));
+    assert!(stdout.contains('%'));
+}
+
+#[test]
+fn run_reports_cost_breakdown() {
+    let (ok, stdout, _) = run(&[
+        "run", "--bench", "2", "--size", "8", "--method", "gomcds", "--memory", "unbounded",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("GOMCDS: total"));
+    assert!(stdout.contains("moves:"));
+}
+
+#[test]
+fn stats_and_windows_and_explain() {
+    for cmd in ["stats", "windows", "explain"] {
+        let (ok, stdout, stderr) = run(&[cmd, "--bench", "5", "--size", "8"]);
+        assert!(ok, "{cmd} failed: {stderr}");
+        assert!(!stdout.is_empty(), "{cmd} printed nothing");
+    }
+}
+
+#[test]
+fn simulate_asserts_model_agreement_and_draws_heatmap() {
+    let (ok, stdout, _) = run(&["simulate", "--bench", "1", "--size", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("matches analytic cost"));
+    assert!(stdout.contains("link utilization"));
+}
+
+#[test]
+fn export_then_reload_roundtrip() {
+    let dir = std::env::temp_dir().join("pim_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.pimt");
+    let path = path.to_str().unwrap();
+
+    let (ok, stdout, stderr) = run(&["export", "--bench", "3", "--size", "8", "--out", path]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote"));
+
+    let (ok, stdout, stderr) = run(&["run", "--trace", path, "--method", "scds"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("loaded trace from"));
+    assert!(stdout.contains("SCDS: total"));
+}
+
+#[test]
+fn error_paths_fail_cleanly() {
+    // unknown command
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    // bad flag value
+    let (ok, _, stderr) = run(&["run", "--grid", "zero"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad grid"));
+    // export without --out
+    let (ok, _, stderr) = run(&["export"]);
+    assert!(!ok);
+    assert!(stderr.contains("--out"));
+    // compare from a trace file is rejected with an explanation
+    let (ok, _, stderr) = run(&["compare", "--trace", "/nonexistent.pimt"]);
+    assert!(!ok);
+    assert!(stderr.contains("compare"));
+    // unreadable trace file
+    let (ok, _, stderr) = run(&["stats", "--trace", "/nonexistent.pimt"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}

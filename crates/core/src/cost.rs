@@ -1,0 +1,227 @@
+//! The communication cost model.
+//!
+//! `cost(D, T, p)` — the paper's *total communication cost of datum `D` in
+//! execution window `T` when stored at processor `p`* — is the
+//! volume-weighted Manhattan distance of every reference in the window:
+//!
+//! ```text
+//! cost(D, T, p) = Σ_{(q, n) ∈ refs(D, T)}  n · dist(p, q)
+//! ```
+//!
+//! Every scheduler needs this quantity *for every candidate processor*
+//! (the paper's Algorithm 1 lines 2–4). Two implementations are provided:
+//!
+//! * [`cost_table_naive`] — the literal `O(m · r)` double loop (m
+//!   processors, r distinct referencing processors).
+//! * [`cost_table`] — `O(m + r + width + height)` via separability: under
+//!   L1 the cost splits into independent x and y terms, each computable
+//!   with prefix sums over the axis-projected reference weights.
+//!
+//! Both produce identical tables (property-tested), and the benches in
+//! `pim-bench` quantify the gap (ablation A is about GOMCDS's analogous
+//! trick; this one feeds SCDS/LOMCDS).
+
+use pim_array::grid::{Grid, ProcId};
+use pim_trace::window::WindowRefs;
+
+/// Sentinel "infinite" cost used to mask full processors in capacity-
+/// constrained DPs. Chosen far below `u64::MAX` so sums never overflow.
+pub const INF: u64 = u64::MAX / 8;
+
+/// Cost of serving `refs` from a datum stored at `center`.
+pub fn cost_at(grid: &Grid, refs: &WindowRefs, center: ProcId) -> u64 {
+    let c = grid.point_of(center);
+    refs.iter()
+        .map(|r| r.count as u64 * grid.point_of(r.proc).l1_dist(c))
+        .sum()
+}
+
+/// Literal per-candidate scan: `out[p] = cost_at(p)` for every processor.
+/// Kept as the reference implementation and for the solver ablation.
+pub fn cost_table_naive(grid: &Grid, refs: &WindowRefs, out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(grid.procs().map(|p| cost_at(grid, refs, p)));
+}
+
+/// Separable cost-table computation.
+///
+/// Writes `out[p] = cost_at(p)` for every processor in
+/// `O(m + r + width + height)` time using the L1 split
+/// `Σ n·(|x−xq| + |y−yq|) = costX(x) + costY(y)`.
+pub fn cost_table(grid: &Grid, refs: &WindowRefs, out: &mut Vec<u64>) {
+    let w = grid.width() as usize;
+    let h = grid.height() as usize;
+
+    // Axis-projected weights.
+    let mut wx = vec![0u64; w];
+    let mut wy = vec![0u64; h];
+    for r in refs.iter() {
+        let p = grid.point_of(r.proc);
+        wx[p.x as usize] += r.count as u64;
+        wy[p.y as usize] += r.count as u64;
+    }
+
+    let cx = axis_costs(&wx);
+    let cy = axis_costs(&wy);
+
+    out.clear();
+    out.reserve(grid.num_procs());
+    for y in 0..h {
+        for x in 0..w {
+            out.push(cx[x] + cy[y]);
+        }
+    }
+}
+
+/// For weights `w[i]` at integer positions `i`, compute
+/// `c[j] = Σ_i w[i] · |i − j|` for every `j` in `O(len)` using two sweeps.
+fn axis_costs(weights: &[u64]) -> Vec<u64> {
+    let n = weights.len();
+    let mut c = vec![0u64; n];
+    // left-to-right: contribution of weights at positions < j
+    let mut mass = 0u64;
+    let mut acc = 0u64;
+    for j in 0..n {
+        c[j] += acc;
+        mass += weights[j];
+        acc += mass;
+    }
+    // right-to-left: contribution of weights at positions > j
+    mass = 0;
+    acc = 0;
+    for j in (0..n).rev() {
+        c[j] += acc;
+        mass += weights[j];
+        acc += mass;
+    }
+    c
+}
+
+/// The minimum-cost processor for `refs` with deterministic tie-break
+/// (lowest processor id), together with its cost. This is the paper's
+/// *local optimal center* for the window.
+pub fn optimal_center(grid: &Grid, refs: &WindowRefs) -> (ProcId, u64) {
+    let mut table = Vec::new();
+    cost_table(grid, refs, &mut table);
+    let (idx, &cost) = table
+        .iter()
+        .enumerate()
+        .min_by_key(|&(i, &c)| (c, i))
+        .expect("grid has at least one processor");
+    (ProcId(idx as u32), cost)
+}
+
+/// Every processor achieving the minimum cost, ascending by id. Used by the
+/// theory module (Lemma 1 and Theorem 2 quantify over *sets* of local
+/// optimal centers).
+pub fn optimal_centers(grid: &Grid, refs: &WindowRefs) -> Vec<ProcId> {
+    let mut table = Vec::new();
+    cost_table(grid, refs, &mut table);
+    let best = *table.iter().min().expect("non-empty table");
+    table
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == best)
+        .map(|(i, _)| ProcId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_array::grid::Grid;
+
+    fn g() -> Grid {
+        Grid::new(4, 4)
+    }
+
+    #[test]
+    fn cost_at_examples() {
+        let grid = g();
+        let refs = WindowRefs::from_pairs([(grid.proc_xy(0, 0), 2), (grid.proc_xy(3, 3), 1)]);
+        // stored at (0,0): 0 + 6
+        assert_eq!(cost_at(&grid, &refs, grid.proc_xy(0, 0)), 6);
+        // stored at (3,3): 12 + 0
+        assert_eq!(cost_at(&grid, &refs, grid.proc_xy(3, 3)), 12);
+        // stored at (1,1): 2*2 + 4
+        assert_eq!(cost_at(&grid, &refs, grid.proc_xy(1, 1)), 8);
+    }
+
+    #[test]
+    fn empty_refs_cost_zero_everywhere() {
+        let grid = g();
+        let mut t = Vec::new();
+        cost_table(&grid, &WindowRefs::new(), &mut t);
+        assert!(t.iter().all(|&c| c == 0));
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn fast_table_matches_naive() {
+        let grid = Grid::new(5, 3);
+        let refs = WindowRefs::from_pairs([
+            (grid.proc_xy(0, 0), 3),
+            (grid.proc_xy(4, 2), 1),
+            (grid.proc_xy(2, 1), 7),
+            (grid.proc_xy(4, 0), 2),
+        ]);
+        let mut naive = Vec::new();
+        let mut fast = Vec::new();
+        cost_table_naive(&grid, &refs, &mut naive);
+        cost_table(&grid, &refs, &mut fast);
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn optimal_center_single_ref() {
+        let grid = g();
+        let refs = WindowRefs::from_pairs([(grid.proc_xy(2, 3), 5)]);
+        let (c, cost) = optimal_center(&grid, &refs);
+        assert_eq!(c, grid.proc_xy(2, 3));
+        assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn optimal_center_weighted_median() {
+        let grid = g();
+        // weight 3 at (0,0), weight 1 at (3,0) → median at x=0
+        let refs = WindowRefs::from_pairs([(grid.proc_xy(0, 0), 3), (grid.proc_xy(3, 0), 1)]);
+        let (c, cost) = optimal_center(&grid, &refs);
+        assert_eq!(c, grid.proc_xy(0, 0));
+        assert_eq!(cost, 3);
+    }
+
+    #[test]
+    fn optimal_centers_tie_set() {
+        let grid = g();
+        // equal weights at (0,0) and (3,0): every x in 0..=3, y=0 is optimal
+        let refs = WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1), (grid.proc_xy(3, 0), 1)]);
+        let centers = optimal_centers(&grid, &refs);
+        assert_eq!(
+            centers,
+            vec![
+                grid.proc_xy(0, 0),
+                grid.proc_xy(1, 0),
+                grid.proc_xy(2, 0),
+                grid.proc_xy(3, 0)
+            ]
+        );
+        // tie-break picks the lowest id
+        assert_eq!(optimal_center(&grid, &refs).0, grid.proc_xy(0, 0));
+    }
+
+    #[test]
+    fn axis_costs_small() {
+        // weights [1,0,2] → c[0] = 0 + 2*2 = 4, c[1] = 1 + 2 = 3, c[2] = 2
+        assert_eq!(axis_costs(&[1, 0, 2]), vec![4, 3, 2]);
+        assert_eq!(axis_costs(&[0]), vec![0]);
+        assert_eq!(axis_costs(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the INF headroom invariant
+    fn inf_is_safe_to_sum() {
+        assert!(INF.checked_add(INF).is_some());
+        assert!(INF + INF < u64::MAX / 2);
+    }
+}

@@ -1,0 +1,425 @@
+//! Global-Optimal Multiple-Center Data Scheduling (paper Algorithm 2).
+//!
+//! For each datum the paper builds an edge-weighted DAG — the *cost
+//! graph* — with one node per (window, processor) pair, a pseudo source and
+//! sink, and edge weights combining the reference cost of storing the datum
+//! at a processor during a window with the movement cost between
+//! consecutive windows' processors. The shortest s→d path is the globally
+//! optimal center sequence.
+//!
+//! The graph is layered, so the shortest path is a dynamic program:
+//!
+//! ```text
+//! dp[0][k]   = refcost(0, k)
+//! dp[w][k]   = refcost(w, k) + min_j ( dp[w−1][j] + dist(j, k) )
+//! answer     = min_k dp[n−1][k]
+//! ```
+//!
+//! Two solvers compute the inner minimum:
+//!
+//! * [`Solver::Naive`] — the literal `O(m²)` scan per window (the paper's
+//!   formulation; `m` = processors).
+//! * [`Solver::DistanceTransform`] — the `O(m)` two-pass L1 distance
+//!   transform from [`crate::dt`], giving `O(n·m)` per datum.
+//!
+//! Both produce bit-identical schedules (shared tie-breaking, verified by
+//! tests and the `ablation_solver` bench). Memory capacity is honoured by
+//! masking full (window, processor) slots with [`INF`] node cost and
+//! re-running nothing: data are processed in ascending id order, each
+//! allocating its path's slots before the next datum solves.
+
+use crate::cost::{cost_table, INF};
+use crate::schedule::Schedule;
+use pim_array::grid::{Grid, ProcId};
+use pim_array::memory::{MemoryMap, MemorySpec};
+use pim_trace::window::{DataRefString, WindowedTrace};
+use serde::{Deserialize, Serialize};
+
+/// Inner-minimum strategy for the layered shortest path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Solver {
+    /// `O(m²)` per window — the paper's literal cost-graph relaxation.
+    Naive,
+    /// `O(m)` per window via the L1 distance transform.
+    DistanceTransform,
+}
+
+/// Scratch buffers reused across data to avoid per-datum allocation.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// `dp[w]` rows, flattened `[w * m + k]`.
+    dp: Vec<u64>,
+    /// Node costs of the current window.
+    node: Vec<u64>,
+    /// Relaxed previous row.
+    relaxed: Vec<u64>,
+}
+
+/// The unconstrained optimal center sequence and its cost for one datum.
+///
+/// ```
+/// use pim_array::grid::Grid;
+/// use pim_trace::window::{DataRefString, WindowRefs};
+/// use pim_sched::gomcds::{gomcds_path, Solver};
+///
+/// let grid = Grid::new(4, 4);
+/// let rs = DataRefString::new(vec![
+///     WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1)]),
+///     WindowRefs::from_pairs([(grid.proc_xy(3, 3), 10)]),
+/// ]);
+/// let (path, cost) = gomcds_path(&grid, &rs, Solver::DistanceTransform);
+/// // moving once (6 hops) beats serving 10 remote references
+/// assert_eq!(path, vec![grid.proc_xy(0, 0), grid.proc_xy(3, 3)]);
+/// assert_eq!(cost, 6);
+/// ```
+pub fn gomcds_path(grid: &Grid, rs: &DataRefString, solver: Solver) -> (Vec<ProcId>, u64) {
+    gomcds_path_weighted(grid, rs, solver, 1)
+}
+
+/// Like [`gomcds_path`] but charging `move_weight` per hop of data
+/// movement — the datum's transfer volume. The paper's model is
+/// `move_weight = 1`; the `sweep_movement` ablation studies how the
+/// optimal policy collapses toward SCDS as data get heavier.
+pub fn gomcds_path_weighted(
+    grid: &Grid,
+    rs: &DataRefString,
+    solver: Solver,
+    move_weight: u64,
+) -> (Vec<ProcId>, u64) {
+    let mut scratch = Scratch::default();
+    solve_path_weighted(grid, rs, None, solver, &mut scratch, move_weight)
+        .expect("unconstrained path always feasible")
+}
+
+/// GOMCDS with per-datum movement volumes (unconstrained memory): datum
+/// `d`'s moves cost `volumes[d]` per hop. Each datum's path is exactly
+/// optimal for its own volume.
+///
+/// # Panics
+/// Panics when `volumes.len() != trace.num_data()`.
+pub fn gomcds_schedule_volumes(trace: &WindowedTrace, volumes: &[u64]) -> Schedule {
+    assert_eq!(volumes.len(), trace.num_data(), "volumes length mismatch");
+    let grid = trace.grid();
+    let mut scratch = Scratch::default();
+    let centers = trace
+        .iter_data()
+        .map(|(d, rs)| {
+            solve_path_weighted(
+                &grid,
+                rs,
+                None,
+                Solver::DistanceTransform,
+                &mut scratch,
+                volumes[d.index()].max(1),
+            )
+            .expect("unconstrained path always feasible")
+            .0
+        })
+        .collect();
+    Schedule::new(grid, centers)
+}
+
+/// Capacity-masked optimal center sequence (one [`MemoryMap`] per window);
+/// `None` when some window has no free processor. Used by the grouping
+/// pipeline.
+pub(crate) fn solve_masked_path(
+    grid: &Grid,
+    rs: &DataRefString,
+    masks: &[MemoryMap],
+) -> Option<Vec<ProcId>> {
+    let mut scratch = Scratch::default();
+    solve_path(grid, rs, Some(masks), Solver::DistanceTransform, &mut scratch)
+        .map(|(path, _)| path)
+}
+
+/// Solve one datum's layered shortest path with unit movement weight.
+fn solve_path(
+    grid: &Grid,
+    rs: &DataRefString,
+    masks: Option<&[MemoryMap]>,
+    solver: Solver,
+    scratch: &mut Scratch,
+) -> Option<(Vec<ProcId>, u64)> {
+    solve_path_weighted(grid, rs, masks, solver, scratch, 1)
+}
+
+/// Solve one datum's layered shortest path. `masks` (one map per window)
+/// marks full processors; `move_weight` is the per-hop movement charge;
+/// returns `None` when no feasible path exists.
+fn solve_path_weighted(
+    grid: &Grid,
+    rs: &DataRefString,
+    masks: Option<&[MemoryMap]>,
+    solver: Solver,
+    scratch: &mut Scratch,
+    move_weight: u64,
+) -> Option<(Vec<ProcId>, u64)> {
+    let m = grid.num_procs();
+    let nw = rs.num_windows();
+    scratch.dp.clear();
+    scratch.dp.reserve(nw * m);
+
+    for w in 0..nw {
+        node_costs(grid, rs, masks, w, &mut scratch.node);
+        if w == 0 {
+            scratch.dp.extend_from_slice(&scratch.node);
+        } else {
+            {
+                let prev = &scratch.dp[(w - 1) * m..w * m];
+                match solver {
+                    Solver::Naive => {
+                        crate::dt::l1_relax_naive_weighted(grid, prev, move_weight, &mut scratch.relaxed)
+                    }
+                    Solver::DistanceTransform => {
+                        crate::dt::l1_relax_weighted(grid, prev, move_weight, &mut scratch.relaxed)
+                    }
+                }
+            }
+            for k in 0..m {
+                let v = scratch.relaxed[k].saturating_add(scratch.node[k]);
+                scratch.dp.push(v);
+            }
+        }
+    }
+
+    // Select the sink predecessor: lowest-id argmin of the last row.
+    let last = &scratch.dp[(nw - 1) * m..nw * m];
+    let (mut k, &best) = last
+        .iter()
+        .enumerate()
+        .min_by_key(|&(i, &c)| (c, i))
+        .expect("non-empty grid");
+    if best >= INF {
+        return None;
+    }
+
+    // Backtrack: find the lowest-id predecessor achieving each dp value.
+    let mut path = vec![ProcId(0); nw];
+    path[nw - 1] = ProcId(k as u32);
+    for w in (1..nw).rev() {
+        node_costs(grid, rs, masks, w, &mut scratch.node);
+        let need = scratch.dp[w * m + k] - scratch.node[k];
+        let prev_row = &scratch.dp[(w - 1) * m..w * m];
+        let kp = grid.point_of(ProcId(k as u32));
+        let mut found = None;
+        for j in 0..m {
+            let hop = move_weight.saturating_mul(grid.point_of(ProcId(j as u32)).l1_dist(kp));
+            if prev_row[j].saturating_add(hop) == need {
+                found = Some(j);
+                break;
+            }
+        }
+        k = found.expect("dp backtrack must find a predecessor");
+        path[w - 1] = ProcId(k as u32);
+    }
+    Some((path, best))
+}
+
+/// Node costs of window `w`: the reference cost table with full processors
+/// masked to [`INF`].
+fn node_costs(
+    grid: &Grid,
+    rs: &DataRefString,
+    masks: Option<&[MemoryMap]>,
+    w: usize,
+    out: &mut Vec<u64>,
+) {
+    cost_table(grid, rs.window(w), out);
+    if let Some(maps) = masks {
+        for (k, slot) in out.iter_mut().enumerate() {
+            if !maps[w].has_room(ProcId(k as u32)) {
+                *slot = INF;
+            }
+        }
+    }
+}
+
+/// Compute the GOMCDS schedule with the distance-transform solver.
+pub fn gomcds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
+    gomcds_schedule_with(trace, spec, Solver::DistanceTransform)
+}
+
+/// Compute the GOMCDS schedule with an explicit solver.
+///
+/// # Panics
+/// Panics if the array's total memory cannot hold every datum.
+pub fn gomcds_schedule_with(trace: &WindowedTrace, spec: MemorySpec, solver: Solver) -> Schedule {
+    let grid = trace.grid();
+    let nd = trace.num_data();
+    let nw = trace.num_windows();
+    assert!(
+        spec.feasible(&grid, nd),
+        "memory spec cannot hold {nd} data items on {grid}"
+    );
+
+    let bounded = spec.capacity_per_proc != u32::MAX;
+    let mut masks: Vec<MemoryMap> = if bounded {
+        (0..nw).map(|_| MemoryMap::new(&grid, spec)).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut scratch = Scratch::default();
+    let mut centers = Vec::with_capacity(nd);
+    for (_, rs) in trace.iter_data() {
+        let mask_ref = bounded.then_some(masks.as_slice());
+        let (path, _) = solve_path(&grid, rs, mask_ref, solver, &mut scratch)
+            .expect("feasibility checked: every window has a free processor");
+        if bounded {
+            for (w, &p) in path.iter().enumerate() {
+                masks[w].allocate(p).expect("solver avoids full processors");
+            }
+        }
+        centers.push(path);
+    }
+    Schedule::new(grid, centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lomcds::lomcds_schedule;
+    use crate::scds::scds_schedule;
+    use pim_trace::ids::DataId;
+    use pim_trace::window::{WindowRefs, WindowedTrace};
+
+    fn g() -> Grid {
+        Grid::new(4, 4)
+    }
+
+    #[test]
+    fn stays_put_when_movement_too_expensive() {
+        let grid = g();
+        // A brief, light excursion of references: moving out and back would
+        // cost more than serving remotely.
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![
+                WindowRefs::from_pairs([(grid.proc_xy(0, 0), 5)]),
+                WindowRefs::from_pairs([(grid.proc_xy(3, 0), 1)]),
+                WindowRefs::from_pairs([(grid.proc_xy(0, 0), 5)]),
+            ]],
+        );
+        let s = gomcds_schedule(&trace, MemorySpec::unbounded());
+        let cs = s.centers_of(DataId(0));
+        assert_eq!(cs, &[grid.proc_xy(0, 0); 3]);
+        assert_eq!(s.evaluate(&trace).total(), 3);
+    }
+
+    #[test]
+    fn moves_when_references_shift_for_good() {
+        let grid = g();
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![
+                WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1)]),
+                WindowRefs::from_pairs([(grid.proc_xy(3, 3), 10)]),
+                WindowRefs::from_pairs([(grid.proc_xy(3, 3), 10)]),
+            ]],
+        );
+        let s = gomcds_schedule(&trace, MemorySpec::unbounded());
+        let cs = s.centers_of(DataId(0));
+        assert_eq!(cs[0], grid.proc_xy(0, 0));
+        assert_eq!(cs[1], grid.proc_xy(3, 3));
+        assert_eq!(cs[2], grid.proc_xy(3, 3));
+        // move cost 6, ref cost 0
+        assert_eq!(s.evaluate(&trace).total(), 6);
+    }
+
+    #[test]
+    fn naive_and_dt_agree_exactly() {
+        let grid = Grid::new(5, 4);
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![
+                vec![
+                    WindowRefs::from_pairs([(grid.proc_xy(0, 0), 2), (grid.proc_xy(4, 3), 1)]),
+                    WindowRefs::from_pairs([(grid.proc_xy(2, 2), 3)]),
+                    WindowRefs::new(),
+                    WindowRefs::from_pairs([(grid.proc_xy(4, 0), 1), (grid.proc_xy(0, 3), 1)]),
+                ],
+                vec![
+                    WindowRefs::from_pairs([(grid.proc_xy(1, 1), 1)]),
+                    WindowRefs::from_pairs([(grid.proc_xy(3, 2), 2)]),
+                    WindowRefs::from_pairs([(grid.proc_xy(1, 3), 4)]),
+                    WindowRefs::new(),
+                ],
+            ],
+        );
+        for spec in [MemorySpec::unbounded(), MemorySpec::uniform(1)] {
+            let a = gomcds_schedule_with(&trace, spec, Solver::Naive);
+            let b = gomcds_schedule_with(&trace, spec, Solver::DistanceTransform);
+            assert_eq!(a, b, "spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn never_beaten_by_scds_or_lomcds_unconstrained() {
+        let grid = g();
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![
+                WindowRefs::from_pairs([(grid.proc_xy(1, 0), 2), (grid.proc_xy(2, 1), 1)]),
+                WindowRefs::from_pairs([(grid.proc_xy(1, 3), 3)]),
+                WindowRefs::from_pairs([(grid.proc_xy(1, 0), 2)]),
+                WindowRefs::from_pairs([(grid.proc_xy(2, 1), 2)]),
+            ]],
+        );
+        let unb = MemorySpec::unbounded();
+        let go = gomcds_schedule(&trace, unb).evaluate(&trace).total();
+        let lo = lomcds_schedule(&trace, unb).evaluate(&trace).total();
+        let sc = scds_schedule(&trace, unb).evaluate(&trace).total();
+        assert!(go <= lo, "GOMCDS {go} must be ≤ LOMCDS {lo}");
+        assert!(go <= sc, "GOMCDS {go} must be ≤ SCDS {sc}");
+    }
+
+    #[test]
+    fn path_cost_matches_schedule_evaluation() {
+        let grid = g();
+        let rs_windows = vec![
+            WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1)]),
+            WindowRefs::from_pairs([(grid.proc_xy(3, 3), 2)]),
+        ];
+        let trace = WindowedTrace::from_parts(grid, vec![rs_windows]);
+        let (path, cost) =
+            gomcds_path(&grid, trace.refs(DataId(0)), Solver::DistanceTransform);
+        let s = Schedule::new(grid, vec![path]);
+        assert_eq!(s.evaluate(&trace).total(), cost);
+    }
+
+    #[test]
+    fn capacity_masking_respected() {
+        let grid = g();
+        let want = |p| {
+            vec![
+                WindowRefs::from_pairs([(p, 3)]),
+                WindowRefs::from_pairs([(p, 3)]),
+            ]
+        };
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![want(grid.proc_xy(2, 2)), want(grid.proc_xy(2, 2))],
+        );
+        let s = gomcds_schedule(&trace, MemorySpec::uniform(1));
+        assert_eq!(s.max_occupancy(), 1);
+        assert_eq!(s.center(DataId(0), 0), grid.proc_xy(2, 2));
+        assert_ne!(s.center(DataId(1), 0), grid.proc_xy(2, 2));
+    }
+
+    #[test]
+    fn single_window_gomcds_equals_scds_placement() {
+        let grid = g();
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![WindowRefs::from_pairs([
+                (grid.proc_xy(3, 1), 2),
+                (grid.proc_xy(0, 2), 1),
+            ])]],
+        );
+        let unb = MemorySpec::unbounded();
+        assert_eq!(
+            gomcds_schedule(&trace, unb),
+            scds_schedule(&trace, unb)
+        );
+    }
+}

@@ -1,0 +1,583 @@
+//! Execution-window grouping (paper Section 4, Algorithm 3).
+//!
+//! If a datum's references barely change across consecutive windows, moving
+//! it per window wastes traffic; merging those windows and re-centering
+//! once can reduce total cost. Algorithm 3 is a greedy scan: keep extending
+//! the current group with the next window as long as the total cost of the
+//! resulting window set (reference traffic at each group's center plus
+//! movement between group centers) does not increase; otherwise cut and
+//! start a new group.
+//!
+//! The paper's Theorem 3 bounds what grouping can do — merging *two*
+//! windows whose local optimal centers are the closest pair cannot reduce
+//! cost — so the wins come from longer runs and from interaction with
+//! movement cost; see [`crate::theory`].
+//!
+//! Besides the greedy (the paper's algorithm), [`optimal_grouping`] solves
+//! the same problem exactly by dynamic programming over group boundaries in
+//! `O(n³)` evaluated groups, used by ablation E to measure the greedy's
+//! optimality gap.
+
+use crate::cost::{cost_at, optimal_center};
+use crate::gomcds::{gomcds_path, Solver};
+use crate::schedule::Schedule;
+use core::ops::Range;
+use pim_array::grid::{Grid, ProcId};
+use pim_array::memory::{MemoryMap, MemorySpec};
+use pim_trace::ids::DataId;
+use pim_trace::window::{DataRefString, WindowRefs, WindowedTrace};
+use serde::{Deserialize, Serialize};
+
+/// How centers are computed for a grouped window set when costing a
+/// grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupMethod {
+    /// Each group's center is the local optimal center of its merged
+    /// references (what Table 2 of the paper uses: "Algorithm 3 assuming
+    /// using LOMCDS to compute centers").
+    LocalCenters,
+    /// Centers across groups chosen by the GOMCDS shortest path over the
+    /// grouped windows.
+    GomcdsCenters,
+}
+
+/// The local-center sequence for a grouping: each group's optimal center of
+/// merged refs; empty groups keep the previous group's center (leading
+/// empties take the first known center; all-empty defaults to `P0`).
+pub fn local_group_centers(
+    grid: &Grid,
+    rs: &DataRefString,
+    groups: &[Range<usize>],
+) -> Vec<ProcId> {
+    let mut centers: Vec<Option<ProcId>> = groups
+        .iter()
+        .map(|g| {
+            let merged = rs.merged_range(g.start, g.end);
+            (!merged.is_empty()).then(|| optimal_center(grid, &merged).0)
+        })
+        .collect();
+    crate::lomcds::resolve_gaps_pub(&mut centers);
+    centers.into_iter().map(|c| c.unwrap_or(ProcId(0))).collect()
+}
+
+/// Total cost (reference + movement) of a grouping under a method,
+/// unconstrained by memory. This is the paper's `COST(T)`.
+pub fn cost_of_grouping(
+    grid: &Grid,
+    rs: &DataRefString,
+    groups: &[Range<usize>],
+    method: GroupMethod,
+) -> u64 {
+    match method {
+        GroupMethod::LocalCenters => {
+            let centers = local_group_centers(grid, rs, groups);
+            let mut total = 0u64;
+            for (g, &c) in groups.iter().zip(&centers) {
+                let merged = rs.merged_range(g.start, g.end);
+                total += cost_at(grid, &merged, c);
+            }
+            for pair in centers.windows(2) {
+                total += grid.dist(pair[0], pair[1]);
+            }
+            total
+        }
+        GroupMethod::GomcdsCenters => {
+            let regrouped = rs.regrouped(groups);
+            gomcds_path(grid, &regrouped, Solver::DistanceTransform).1
+        }
+    }
+}
+
+/// Paper Algorithm 3: greedy grouping of one datum's windows.
+///
+/// Returns the grouping as consecutive half-open ranges partitioning
+/// `0..num_windows`.
+///
+/// ```
+/// use pim_array::grid::Grid;
+/// use pim_trace::window::{DataRefString, WindowRefs};
+/// use pim_sched::grouping::{greedy_grouping, GroupMethod};
+///
+/// let grid = Grid::new(4, 4);
+/// // two identical windows near (1,1), then a far hotspot
+/// let near = || WindowRefs::from_pairs([(grid.proc_xy(1, 1), 2)]);
+/// let rs = DataRefString::new(vec![
+///     near(), near(),
+///     WindowRefs::from_pairs([(grid.proc_xy(3, 3), 9)]),
+/// ]);
+/// let groups = greedy_grouping(&grid, &rs, GroupMethod::LocalCenters);
+/// assert_eq!(groups, vec![0..2, 2..3]); // merges the twins, keeps the hotspot apart
+/// ```
+pub fn greedy_grouping(
+    grid: &Grid,
+    rs: &DataRefString,
+    method: GroupMethod,
+) -> Vec<Range<usize>> {
+    let n = rs.num_windows();
+    let mut confirmed: Vec<Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    for j in 1..n {
+        // T: current group start..j plus remaining singletons.
+        // TNEW: current group extended to start..j+1 plus remaining
+        // singletons. Keep the extension when not worse.
+        let current = assemble(&confirmed, start..j, j, n);
+        let extended = assemble(&confirmed, start..j + 1, j + 1, n);
+        let keep = cost_of_grouping(grid, rs, &extended, method)
+            <= cost_of_grouping(grid, rs, &current, method);
+        if !keep {
+            confirmed.push(start..j);
+            start = j;
+        }
+    }
+    confirmed.push(start..n);
+    confirmed
+}
+
+/// `confirmed ++ [current] ++ singletons rest..n`.
+fn assemble(
+    confirmed: &[Range<usize>],
+    current: Range<usize>,
+    rest: usize,
+    n: usize,
+) -> Vec<Range<usize>> {
+    let mut v = Vec::with_capacity(confirmed.len() + 1 + (n - rest));
+    v.extend(confirmed.iter().cloned());
+    v.push(current);
+    v.extend((rest..n).map(|i| i..i + 1));
+    v
+}
+
+/// Exact minimum-cost grouping for the [`GroupMethod::LocalCenters`] model
+/// via DP over group boundaries.
+///
+/// Key observation: a window with no references contributes nothing to any
+/// group's merged reference string, and under the carry-forward center rule
+/// it never induces movement on its own. The cost of a grouping therefore
+/// depends only on how the *referenced* windows are partitioned into
+/// consecutive runs. The DP runs over referenced windows (`t` of them) in
+/// `O(t³)`; empty windows are attached to the preceding group afterwards.
+pub fn optimal_grouping(grid: &Grid, rs: &DataRefString) -> (Vec<Range<usize>>, u64) {
+    let n = rs.num_windows();
+    let refd: Vec<usize> = (0..n).filter(|&w| !rs.window(w).is_empty()).collect();
+    let t = refd.len();
+    if t == 0 {
+        #[allow(clippy::single_range_in_vec_init)] // one group covering 0..n is the intent
+        return (vec![0..n], 0);
+    }
+
+    // Merged cost and center for every run refd[a]..=refd[b].
+    let mut centers = vec![vec![ProcId(0); t]; t];
+    let mut costs = vec![vec![0u64; t]; t];
+    for a in 0..t {
+        let mut merged = WindowRefs::new();
+        for b in a..t {
+            merged.merge(rs.window(refd[b]));
+            let (c, cost) = optimal_center(grid, &merged);
+            centers[a][b] = c;
+            costs[a][b] = cost;
+        }
+    }
+
+    const UNSET: u64 = u64::MAX;
+    // dp[a][b]: best cost covering referenced windows 0..=b, last run a..=b.
+    let mut dp = vec![vec![UNSET; t]; t];
+    let mut parent: Vec<Vec<Option<usize>>> = vec![vec![None; t]; t];
+    for b in 0..t {
+        for a in 0..=b {
+            if a == 0 {
+                dp[a][b] = costs[a][b];
+                continue;
+            }
+            let mut best = UNSET;
+            let mut best_k = None;
+            for k in 0..a {
+                if dp[k][a - 1] == UNSET {
+                    continue;
+                }
+                let mv = grid.dist(centers[k][a - 1], centers[a][b]);
+                let cand = dp[k][a - 1] + costs[a][b] + mv;
+                if cand < best {
+                    best = cand;
+                    best_k = Some(k);
+                }
+            }
+            dp[a][b] = best;
+            parent[a][b] = best_k;
+        }
+    }
+
+    let (mut a, mut best) = (0usize, UNSET);
+    for cand in 0..t {
+        if dp[cand][t - 1] < best {
+            best = dp[cand][t - 1];
+            a = cand;
+        }
+    }
+
+    // Reconstruct runs in referenced-index space.
+    let mut runs: Vec<(usize, usize)> = Vec::new(); // inclusive (a, b)
+    let mut b = t - 1;
+    loop {
+        runs.push((a, b));
+        match parent[a][b] {
+            Some(k) => {
+                b = a - 1;
+                a = k;
+            }
+            None => break,
+        }
+    }
+    runs.reverse();
+
+    // Map back to full-window ranges: each group starts at the previous
+    // group's end; empty windows attach to the preceding group (leading
+    // empties to the first group), adding no cost.
+    let mut groups = Vec::with_capacity(runs.len());
+    let mut start = 0usize;
+    for (i, &(ra, rb)) in runs.iter().enumerate() {
+        let _ = ra;
+        let end = if i + 1 < runs.len() {
+            refd[runs[i + 1].0]
+        } else {
+            n
+        };
+        debug_assert!(refd[rb] < end);
+        groups.push(start..end);
+        start = end;
+    }
+    (groups, best)
+}
+
+/// Schedule the whole trace with greedy grouping, deciding and placing with
+/// the same [`GroupMethod`]. See [`grouped_schedule_with`].
+pub fn grouped_schedule(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    method: GroupMethod,
+) -> Schedule {
+    grouped_schedule_with(trace, spec, method, method)
+}
+
+/// Schedule the whole trace with greedy grouping (the paper's Table 2
+/// pipeline): per datum, group windows with Algorithm 3 costed by the
+/// `decide` method, then place each group's center with the `place` method
+/// under the memory constraint. The paper's Table 2 runs Algorithm 3
+/// "assuming using LOMCDS to compute centers" (`decide = LocalCenters`) and
+/// then reports each scheduler on the grouped windows.
+///
+/// With [`GroupMethod::LocalCenters`] placement, capacity is resolved
+/// window-major in ascending datum order like LOMCDS; a datum entering a
+/// group claims a slot in *every* window of the group (it stays put
+/// throughout). With [`GroupMethod::GomcdsCenters`] placement, data are
+/// processed in id order and each solves a masked shortest path over its
+/// grouped windows like GOMCDS.
+///
+/// # Panics
+/// Panics if the array's total memory cannot hold every datum.
+pub fn grouped_schedule_with(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    decide: GroupMethod,
+    place: GroupMethod,
+) -> Schedule {
+    let grid = trace.grid();
+    let nd = trace.num_data();
+    let nw = trace.num_windows();
+    assert!(
+        spec.feasible(&grid, nd),
+        "memory spec cannot hold {nd} data items on {grid}"
+    );
+
+    let groupings: Vec<Vec<Range<usize>>> = (0..nd)
+        .map(|d| greedy_grouping(&grid, trace.refs(DataId(d as u32)), decide))
+        .collect();
+    let method = place;
+
+    let mut mems: Vec<MemoryMap> = (0..nw).map(|_| MemoryMap::new(&grid, spec)).collect();
+    let mut centers = vec![vec![ProcId(0); nw]; nd];
+
+    match method {
+        GroupMethod::LocalCenters => {
+            // Per-datum unconstrained group centers, used as anchors.
+            let desired: Vec<Vec<ProcId>> = (0..nd)
+                .map(|d| {
+                    local_group_centers(&grid, trace.refs(DataId(d as u32)), &groupings[d])
+                })
+                .collect();
+            // Map window → group index per datum.
+            let group_of: Vec<Vec<usize>> = groupings
+                .iter()
+                .map(|gs| {
+                    let mut v = vec![0usize; nw];
+                    for (gi, g) in gs.iter().enumerate() {
+                        for w in g.clone() {
+                            v[w] = gi;
+                        }
+                    }
+                    v
+                })
+                .collect();
+            for w in 0..nw {
+                for d in 0..nd {
+                    let gi = group_of[d][w];
+                    let g = &groupings[d][gi];
+                    if g.start != w {
+                        continue; // group already placed at its first window
+                    }
+                    let rs = trace.refs(DataId(d as u32));
+                    let merged = rs.merged_range(g.start, g.end);
+                    let anchor = if w == 0 { desired[d][gi] } else { centers[d][w - 1] };
+                    let mut table = Vec::new();
+                    let list = if merged.is_empty() {
+                        // preference order: nearest to the anchor
+                        let anchor_refs =
+                            WindowRefs::from_pairs([(anchor, 1)]);
+                        crate::cost::cost_table(&grid, &anchor_refs, &mut table);
+                        crate::capacity::ProcessorList::from_cost_table(&table)
+                    } else {
+                        crate::cost::cost_table(&grid, &merged, &mut table);
+                        crate::capacity::ProcessorList::from_cost_table(&table)
+                    };
+                    let chosen = list
+                        .iter()
+                        .map(|(p, _)| p)
+                        .find(|&p| g.clone().all(|wi| mems[wi].has_room(p)));
+                    match chosen {
+                        Some(p) => {
+                            for wi in g.clone() {
+                                mems[wi].allocate(p).expect("room checked");
+                                centers[d][wi] = p;
+                            }
+                        }
+                        None => {
+                            // Memory too fragmented for the whole group to
+                            // share one processor (only possible with zero
+                            // slack): degrade to per-window placement along
+                            // the group's preference order. The group's
+                            // cost benefit is lost for this datum but the
+                            // schedule stays feasible.
+                            for wi in g.clone() {
+                                let p = list
+                                    .iter()
+                                    .map(|(p, _)| p)
+                                    .find(|&p| mems[wi].has_room(p))
+                                    .expect(
+                                        "every window has a free slot: one per datum is allocated",
+                                    );
+                                mems[wi].allocate(p).expect("room checked");
+                                centers[d][wi] = p;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        GroupMethod::GomcdsCenters => {
+            // Whole-path allocation is greedy across every window at once,
+            // so processing order matters more than for the window-major
+            // schedulers; heaviest data first keeps the big reference
+            // volumes at their optimal centers and lets light data adapt
+            // (deterministic: ties broken by ascending id).
+            let mut order: Vec<usize> = (0..nd).collect();
+            order.sort_by_key(|&d| {
+                (
+                    u64::MAX - trace.refs(DataId(d as u32)).total_volume(),
+                    d,
+                )
+            });
+            for d in order {
+                let rs = trace.refs(DataId(d as u32));
+                let groups = &groupings[d];
+                let regrouped = rs.regrouped(groups);
+                // Build group-level masks: a group slot is full when any of
+                // its windows lacks room.
+                let group_mems: Vec<MemoryMap> = groups
+                    .iter()
+                    .map(|g| {
+                        let mut m = MemoryMap::new(&grid, spec);
+                        for p in grid.procs() {
+                            if !g.clone().all(|wi| mems[wi].has_room(p)) {
+                                // mark full by exhausting its capacity
+                                while m.has_room(p) {
+                                    m.allocate(p).expect("has room");
+                                }
+                            }
+                        }
+                        m
+                    })
+                    .collect();
+                match crate::gomcds::solve_masked_path(&grid, &regrouped, &group_mems) {
+                    Some(path) => {
+                        for (gi, g) in groups.iter().enumerate() {
+                            for wi in g.clone() {
+                                mems[wi].allocate(path[gi]).expect("mask guaranteed room");
+                                centers[d][wi] = path[gi];
+                            }
+                        }
+                    }
+                    None => {
+                        // No processor is free across every window of some
+                        // group (zero-slack fragmentation): fall back to an
+                        // ungrouped masked path for this datum, which only
+                        // needs one free slot per individual window.
+                        let path = crate::gomcds::solve_masked_path(&grid, rs, &mems)
+                            .expect("every window has a free slot: one per datum is allocated");
+                        for (wi, &p) in path.iter().enumerate() {
+                            mems[wi].allocate(p).expect("mask guaranteed room");
+                            centers[d][wi] = p;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Schedule::new(grid, centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::window::WindowRefs;
+
+    fn g() -> Grid {
+        Grid::new(4, 4)
+    }
+
+    fn rs_of(windows: Vec<WindowRefs>) -> DataRefString {
+        DataRefString::new(windows)
+    }
+
+    #[test]
+    fn identical_windows_group_into_one() {
+        let grid = g();
+        let w = || WindowRefs::from_pairs([(grid.proc_xy(2, 2), 1), (grid.proc_xy(3, 2), 1)]);
+        let rs = rs_of(vec![w(), w(), w(), w()]);
+        let groups = greedy_grouping(&grid, &rs, GroupMethod::LocalCenters);
+        assert_eq!(groups, vec![0..4]);
+    }
+
+    #[test]
+    fn far_apart_hotspots_stay_separate() {
+        let grid = g();
+        let rs = rs_of(vec![
+            WindowRefs::from_pairs([(grid.proc_xy(0, 0), 10)]),
+            WindowRefs::from_pairs([(grid.proc_xy(3, 3), 10)]),
+        ]);
+        let groups = greedy_grouping(&grid, &rs, GroupMethod::LocalCenters);
+        // Grouping would cost 10·min-dist ≥ 30; separate costs movement 6.
+        assert_eq!(groups, vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn grouping_never_increases_cost() {
+        let grid = g();
+        let rs = rs_of(vec![
+            WindowRefs::from_pairs([(grid.proc_xy(1, 1), 2)]),
+            WindowRefs::from_pairs([(grid.proc_xy(2, 1), 1)]),
+            WindowRefs::from_pairs([(grid.proc_xy(1, 2), 1)]),
+            WindowRefs::from_pairs([(grid.proc_xy(3, 3), 5)]),
+        ]);
+        for method in [GroupMethod::LocalCenters, GroupMethod::GomcdsCenters] {
+            let singletons: Vec<Range<usize>> = (0..4).map(|i| i..i + 1).collect();
+            let before = cost_of_grouping(&grid, &rs, &singletons, method);
+            let groups = greedy_grouping(&grid, &rs, method);
+            let after = cost_of_grouping(&grid, &rs, &groups, method);
+            assert!(after <= before, "{method:?}: {after} > {before}");
+        }
+    }
+
+    #[test]
+    fn optimal_grouping_never_worse_than_greedy() {
+        let grid = g();
+        let rs = rs_of(vec![
+            WindowRefs::from_pairs([(grid.proc_xy(0, 0), 3)]),
+            WindowRefs::from_pairs([(grid.proc_xy(1, 0), 1)]),
+            WindowRefs::from_pairs([(grid.proc_xy(0, 1), 1)]),
+            WindowRefs::from_pairs([(grid.proc_xy(3, 3), 4)]),
+            WindowRefs::from_pairs([(grid.proc_xy(3, 2), 1)]),
+        ]);
+        let greedy = greedy_grouping(&grid, &rs, GroupMethod::LocalCenters);
+        let greedy_cost = cost_of_grouping(&grid, &rs, &greedy, GroupMethod::LocalCenters);
+        let (opt_groups, opt_cost) = optimal_grouping(&grid, &rs);
+        assert!(opt_cost <= greedy_cost);
+        assert_eq!(
+            cost_of_grouping(&grid, &rs, &opt_groups, GroupMethod::LocalCenters),
+            opt_cost,
+            "reported optimum must match its own grouping's cost"
+        );
+    }
+
+    #[test]
+    fn groups_partition_windows() {
+        let grid = g();
+        let rs = rs_of(
+            (0..7)
+                .map(|i| WindowRefs::from_pairs([(ProcId(i % 16), 1 + i % 3)]))
+                .collect(),
+        );
+        for method in [GroupMethod::LocalCenters, GroupMethod::GomcdsCenters] {
+            let groups = greedy_grouping(&grid, &rs, method);
+            let mut expect = 0;
+            for r in &groups {
+                assert_eq!(r.start, expect);
+                assert!(r.end > r.start);
+                expect = r.end;
+            }
+            assert_eq!(expect, 7);
+        }
+    }
+
+    #[test]
+    fn grouped_schedule_no_worse_than_lomcds_on_oscillation() {
+        let grid = g();
+        // references ping-pong between close processors: per-window moves
+        // are pure waste; grouping should collapse them.
+        let a = grid.proc_xy(1, 1);
+        let b = grid.proc_xy(2, 1);
+        let windows: Vec<WindowRefs> = (0..8)
+            .map(|i| WindowRefs::from_pairs([(if i % 2 == 0 { a } else { b }, 1)]))
+            .collect();
+        let trace = WindowedTrace::from_parts(grid, vec![windows]);
+        let unb = MemorySpec::unbounded();
+        let lom = crate::lomcds::lomcds_schedule(&trace, unb)
+            .evaluate(&trace)
+            .total();
+        let grouped = grouped_schedule(&trace, unb, GroupMethod::LocalCenters)
+            .evaluate(&trace)
+            .total();
+        assert!(grouped <= lom, "grouped {grouped} vs lomcds {lom}");
+        // LOMCDS moves every window (7 moves); grouping should cut that.
+        assert!(grouped < lom);
+    }
+
+    #[test]
+    fn grouped_schedule_respects_capacity() {
+        let grid = g();
+        let want = |p: ProcId| {
+            (0..4)
+                .map(|_| WindowRefs::from_pairs([(p, 2)]))
+                .collect::<Vec<_>>()
+        };
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![want(grid.proc_xy(1, 1)), want(grid.proc_xy(1, 1))],
+        );
+        for method in [GroupMethod::LocalCenters, GroupMethod::GomcdsCenters] {
+            let s = grouped_schedule(&trace, MemorySpec::uniform(1), method);
+            assert_eq!(s.max_occupancy(), 1, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn local_group_centers_carry_through_empty_groups() {
+        let grid = g();
+        let rs = rs_of(vec![
+            WindowRefs::from_pairs([(grid.proc_xy(2, 2), 1)]),
+            WindowRefs::new(),
+            WindowRefs::from_pairs([(grid.proc_xy(3, 3), 1)]),
+        ]);
+        let groups: Vec<Range<usize>> = vec![0..1, 1..2, 2..3];
+        let centers = local_group_centers(&grid, &rs, &groups);
+        assert_eq!(centers, vec![grid.proc_xy(2, 2), grid.proc_xy(2, 2), grid.proc_xy(3, 3)]);
+    }
+}

@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+//! # pim-sched
+//!
+//! Data-scheduling algorithms for Processor-In-Memory arrays — the primary
+//! contribution of *"Optimizing Data Scheduling on Processor-In-Memory
+//! Arrays"* (Tian, Sha, Chantrapornchai, Kogge — IPPS 1998).
+//!
+//! Given an application's *reference strings* (which processors touch which
+//! datum in each execution window, see `pim-trace`), the schedulers choose
+//! a storage processor (*center*) for every datum in every window so as to
+//! minimize total interprocessor communication: the volume-weighted
+//! Manhattan distance of every reference plus the cost of moving data
+//! between centers of consecutive windows.
+//!
+//! ## The three schedulers
+//!
+//! * [`scds`] — **Single-Center Data Scheduling** (paper Algorithm 1): one
+//!   center per datum for the whole execution; no run-time movement.
+//! * [`lomcds`] — **Local-Optimal Multiple-Center Data Scheduling**: the
+//!   per-window optimal center; data moves between windows but each window
+//!   is optimized in isolation.
+//! * [`gomcds`] — **Global-Optimal Multiple-Center Data Scheduling** (paper
+//!   Algorithm 2): a shortest path through a layered *cost graph* couples
+//!   reference cost and movement cost, yielding the global optimum per
+//!   datum (when memory is unconstrained).
+//!
+//! Plus:
+//!
+//! * [`grouping`] — **execution-window grouping** (paper Algorithm 3): a
+//!   greedy pass that merges consecutive windows per datum when re-centering
+//!   the merged window does not increase total cost; and a DP-optimal
+//!   variant used to measure the greedy's gap.
+//! * [`baseline`] — the straight-forward static distributions (row-wise,
+//!   column-wise, …) the paper compares against.
+//! * [`capacity`] — the *processor list* mechanism that resolves memory
+//!   capacity conflicts for all schedulers.
+//! * [`theory`] — executable forms of the paper's Lemma 1 / Theorems 1–3.
+//! * [`pipeline`] — one-call convenience running every scheduler on a trace
+//!   (optionally in parallel across data) and reporting the comparison.
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_array::grid::Grid;
+//! use pim_trace::builder::TraceBuilder;
+//! use pim_trace::ids::DataId;
+//! use pim_sched::{schedule, Method, MemoryPolicy};
+//!
+//! let grid = Grid::new(4, 4);
+//! let mut b = TraceBuilder::new(grid, 1);
+//! b.step().access(grid.proc_xy(0, 0), DataId(0));
+//! b.step().access(grid.proc_xy(3, 3), DataId(0));
+//! let trace = b.finish().window_fixed(1);
+//!
+//! let sched = schedule(Method::Gomcds, &trace, MemoryPolicy::Unbounded);
+//! let cost = sched.evaluate(&trace);
+//! assert_eq!(cost.total(), 6); // stay put and fetch across, or move once
+//! ```
+
+// The DP solvers index dp/cost tables by (window, processor) exactly as
+// the recurrences are written in the paper; rewriting those loops with
+// iterator adaptors obscures the math for no gain.
+#![allow(clippy::needless_range_loop)]
+
+pub mod baseline;
+pub mod bounds;
+pub mod capacity;
+pub mod cost;
+pub mod dt;
+pub mod exhaustive;
+pub mod explain;
+pub mod generic;
+pub mod gomcds;
+pub mod grouping;
+pub mod kcopy;
+pub mod lomcds;
+pub mod median;
+pub mod online;
+pub mod pipeline;
+pub mod refine;
+pub mod replicate;
+pub mod scds;
+pub mod schedule;
+pub mod theory;
+
+pub use pipeline::{compare_methods, schedule, schedule_parallel, MemoryPolicy, Method};
+pub use schedule::{CostBreakdown, Schedule};

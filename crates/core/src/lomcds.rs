@@ -1,0 +1,212 @@
+//! Local-Optimal Multiple-Center Data Scheduling.
+//!
+//! Each execution window is optimized in isolation: the datum sits at the
+//! window's local optimal center (Algorithm 1 applied per window), moving
+//! between windows at run time. Movement cost is *not* considered when
+//! choosing centers — that is exactly the weakness GOMCDS fixes.
+//!
+//! The paper does not specify where a datum lives during windows that never
+//! reference it; this implementation keeps it where it already is (zero
+//! movement, zero reference cost — no other choice does better), and for
+//! empty *leading* windows places it at the first referenced window's
+//! center so no pre-use move is needed.
+
+use crate::capacity::ProcessorList;
+use crate::cost::{cost_table, optimal_center};
+use crate::schedule::Schedule;
+use pim_array::grid::{Grid, ProcId};
+use pim_array::memory::{MemoryMap, MemorySpec};
+use pim_trace::ids::DataId;
+use pim_trace::window::{DataRefString, WindowedTrace};
+
+/// The unconstrained LOMCDS center sequence for one datum: the local
+/// optimal center of every window, with empty windows resolved by
+/// carry-forward (and backward fill for leading empties).
+pub fn lomcds_centers_unconstrained(grid: &Grid, rs: &DataRefString) -> Vec<ProcId> {
+    let nw = rs.num_windows();
+    let mut centers: Vec<Option<ProcId>> = vec![None; nw];
+    for (w, refs) in rs.windows().enumerate() {
+        if !refs.is_empty() {
+            centers[w] = Some(optimal_center(grid, refs).0);
+        }
+    }
+    resolve_gaps(&mut centers);
+    centers
+        .into_iter()
+        .map(|c| c.unwrap_or(ProcId(0)))
+        .collect()
+}
+
+/// Fill `None` slots: carry the previous center forward; leading `None`s
+/// take the first known center. All-`None` stays `None` (caller defaults).
+pub(crate) fn resolve_gaps_pub(centers: &mut [Option<ProcId>]) {
+    resolve_gaps(centers)
+}
+
+fn resolve_gaps(centers: &mut [Option<ProcId>]) {
+    let first_known = centers.iter().flatten().next().copied();
+    let mut prev = first_known;
+    for slot in centers.iter_mut() {
+        match slot {
+            Some(c) => prev = Some(*c),
+            None => *slot = prev,
+        }
+    }
+}
+
+/// Compute the LOMCDS schedule under a memory capacity.
+///
+/// Capacity conflicts are resolved per window in ascending datum order with
+/// the processor list: a referenced window falls back through ascending
+/// reference cost; an unreferenced window falls back through ascending
+/// distance from its anchor (previous actual center), keeping movement
+/// minimal.
+///
+/// # Panics
+/// Panics if the array's total memory cannot hold every datum.
+pub fn lomcds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
+    let grid = trace.grid();
+    let nd = trace.num_data();
+    let nw = trace.num_windows();
+    assert!(
+        spec.feasible(&grid, nd),
+        "memory spec cannot hold {nd} data items on {grid}"
+    );
+
+    // Unconstrained desired centers (used as the anchor for leading empty
+    // windows; later empty windows anchor on the actual previous center).
+    let desired: Vec<Vec<ProcId>> = (0..nd)
+        .map(|d| lomcds_centers_unconstrained(&grid, trace.refs(DataId(d as u32))))
+        .collect();
+
+    let mut centers = vec![vec![ProcId(0); nw]; nd];
+    let mut table = Vec::new();
+    for w in 0..nw {
+        let mut mem = MemoryMap::new(&grid, spec);
+        for d in 0..nd {
+            let refs = trace.refs(DataId(d as u32)).window(w);
+            let anchor = if w == 0 { desired[d][0] } else { centers[d][w - 1] };
+            let p = if refs.is_empty() {
+                nearest_free(&grid, anchor, &mut mem)
+            } else {
+                cost_table(&grid, refs, &mut table);
+                ProcessorList::from_cost_table(&table)
+                    .assign(&mut mem)
+                    .expect("feasibility checked")
+            };
+            centers[d][w] = p;
+        }
+    }
+    Schedule::new(grid, centers)
+}
+
+/// Claim the free processor nearest to `anchor` (ties by ascending id).
+fn nearest_free(grid: &Grid, anchor: ProcId, mem: &mut MemoryMap) -> ProcId {
+    let a = grid.point_of(anchor);
+    let p = grid
+        .procs()
+        .filter(|&p| mem.has_room(p))
+        .min_by_key(|&p| (grid.point_of(p).l1_dist(a), p.0))
+        .expect("feasibility checked: some processor has room");
+    mem.allocate(p).expect("has_room checked");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::window::WindowRefs;
+
+    fn g() -> Grid {
+        Grid::new(4, 4)
+    }
+
+    #[test]
+    fn centers_follow_each_window() {
+        let grid = g();
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![
+                WindowRefs::from_pairs([(grid.proc_xy(0, 0), 3)]),
+                WindowRefs::from_pairs([(grid.proc_xy(3, 3), 1)]),
+            ]],
+        );
+        let s = lomcds_schedule(&trace, MemorySpec::unbounded());
+        assert_eq!(s.center(DataId(0), 0), grid.proc_xy(0, 0));
+        assert_eq!(s.center(DataId(0), 1), grid.proc_xy(3, 3));
+        // ref cost 0, movement 6
+        let cost = s.evaluate(&trace);
+        assert_eq!(cost.reference, 0);
+        assert_eq!(cost.movement, 6);
+    }
+
+    #[test]
+    fn empty_windows_carry_forward() {
+        let grid = g();
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![
+                WindowRefs::new(),
+                WindowRefs::from_pairs([(grid.proc_xy(2, 2), 1)]),
+                WindowRefs::new(),
+                WindowRefs::from_pairs([(grid.proc_xy(3, 0), 1)]),
+            ]],
+        );
+        let s = lomcds_schedule(&trace, MemorySpec::unbounded());
+        let cs = s.centers_of(DataId(0));
+        // leading empty anchors on first referenced center → no pre-move
+        assert_eq!(cs[0], grid.proc_xy(2, 2));
+        assert_eq!(cs[1], grid.proc_xy(2, 2));
+        // trailing empty between refs stays put
+        assert_eq!(cs[2], grid.proc_xy(2, 2));
+        assert_eq!(cs[3], grid.proc_xy(3, 0));
+        assert_eq!(s.evaluate(&trace).movement, 3);
+    }
+
+    #[test]
+    fn capacity_conflict_in_window_spills() {
+        let grid = g();
+        let want = |p| vec![WindowRefs::from_pairs([(p, 1)])];
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![want(grid.proc_xy(2, 2)), want(grid.proc_xy(2, 2))],
+        );
+        let s = lomcds_schedule(&trace, MemorySpec::uniform(1));
+        assert_eq!(s.center(DataId(0), 0), grid.proc_xy(2, 2));
+        assert_ne!(s.center(DataId(1), 0), grid.proc_xy(2, 2));
+        // spill lands at distance 1
+        assert_eq!(grid.dist(s.center(DataId(1), 0), grid.proc_xy(2, 2)), 1);
+        assert_eq!(s.max_occupancy(), 1);
+    }
+
+    #[test]
+    fn resolve_gaps_behaviour() {
+        let mut v = vec![None, Some(ProcId(3)), None, Some(ProcId(5)), None];
+        resolve_gaps(&mut v);
+        assert_eq!(
+            v,
+            vec![
+                Some(ProcId(3)),
+                Some(ProcId(3)),
+                Some(ProcId(3)),
+                Some(ProcId(5)),
+                Some(ProcId(5))
+            ]
+        );
+        let mut all_none: Vec<Option<ProcId>> = vec![None, None];
+        resolve_gaps(&mut all_none);
+        assert_eq!(all_none, vec![None, None]);
+    }
+
+    #[test]
+    fn never_referenced_datum_costs_nothing() {
+        let grid = g();
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![WindowRefs::new(), WindowRefs::new()]],
+        );
+        let s = lomcds_schedule(&trace, MemorySpec::unbounded());
+        assert_eq!(s.evaluate(&trace).total(), 0);
+        assert!(!s.has_movement());
+    }
+}

@@ -1,0 +1,111 @@
+//! Weighted-median center computation.
+//!
+//! Under the L1 metric the optimal center's x and y coordinates decouple:
+//! each is a weighted median of the axis-projected reference positions.
+//! This solver runs in `O(r log r)` for `r` distinct referencing
+//! processors, *independent of grid size* — the right tool when the
+//! processor array is large and references are sparse (the PetaFlop design
+//! point contemplated thousands of PIM nodes).
+//!
+//! Note the subtlety: the weighted median is an *interval* when total
+//! weight splits evenly. [`optimal_center`](crate::cost::optimal_center)
+//! breaks ties by lowest processor id; to stay bit-identical this solver
+//! picks the lowest median coordinate on each axis, which corresponds to
+//! the same rule (property-tested in `tests/`).
+
+use pim_array::grid::{Grid, ProcId};
+use pim_trace::window::WindowRefs;
+
+/// Lowest position minimizing `Σ w_i · |pos − x_i|`, i.e. the smallest
+/// weighted median of `(position, weight)` pairs. Returns 0 for an empty
+/// (or zero-weight) input, matching the cost-table tie-break for empty
+/// reference strings.
+pub fn weighted_median(pairs: &mut [(u32, u64)]) -> u32 {
+    if pairs.is_empty() {
+        return 0;
+    }
+    pairs.sort_unstable_by_key(|&(pos, _)| pos);
+    let total: u64 = pairs.iter().map(|&(_, w)| w).sum();
+    if total == 0 {
+        return 0;
+    }
+    // The smallest position where cumulative weight reaches half the total
+    // weight is the left end of the median interval. With an even split
+    // (2·cum == total exactly) every position between this one and the next
+    // weighted point is optimal; the smallest is this one.
+    let mut cum = 0u64;
+    for &(pos, w) in pairs.iter() {
+        cum += w;
+        if 2 * cum >= total {
+            return pos;
+        }
+    }
+    pairs.last().expect("non-empty").0
+}
+
+/// Optimal center via per-axis weighted medians, with the same tie-break as
+/// [`crate::cost::optimal_center`] (lowest processor id).
+pub fn median_center(grid: &Grid, refs: &WindowRefs) -> ProcId {
+    let mut xs: Vec<(u32, u64)> = Vec::with_capacity(refs.num_procs());
+    let mut ys: Vec<(u32, u64)> = Vec::with_capacity(refs.num_procs());
+    for r in refs.iter() {
+        let p = grid.point_of(r.proc);
+        xs.push((p.x, r.count as u64));
+        ys.push((p.y, r.count as u64));
+    }
+    let x = weighted_median(&mut xs);
+    let y = weighted_median(&mut ys);
+    grid.proc_xy(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{cost_at, optimal_center};
+
+    #[test]
+    fn median_simple() {
+        assert_eq!(weighted_median(&mut [(5, 1)]), 5);
+        assert_eq!(weighted_median(&mut [(0, 1), (10, 1)]), 0); // interval [0,10], pick lowest
+        assert_eq!(weighted_median(&mut [(0, 1), (10, 3)]), 10);
+        assert_eq!(weighted_median(&mut [(0, 3), (10, 1)]), 0);
+        assert_eq!(weighted_median(&mut []), 0);
+        assert_eq!(weighted_median(&mut [(4, 0)]), 0);
+    }
+
+    #[test]
+    fn median_unsorted_input() {
+        assert_eq!(weighted_median(&mut [(9, 1), (2, 1), (5, 1)]), 5);
+    }
+
+    #[test]
+    fn median_center_matches_table_solver() {
+        let grid = Grid::new(6, 5);
+        let cases: Vec<WindowRefs> = vec![
+            WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1)]),
+            WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1), (grid.proc_xy(5, 4), 1)]),
+            WindowRefs::from_pairs([
+                (grid.proc_xy(1, 2), 3),
+                (grid.proc_xy(4, 0), 2),
+                (grid.proc_xy(2, 4), 5),
+            ]),
+            WindowRefs::new(),
+        ];
+        for refs in &cases {
+            let fast = median_center(&grid, refs);
+            let (table, best_cost) = optimal_center(&grid, refs);
+            assert_eq!(
+                cost_at(&grid, refs, fast),
+                best_cost,
+                "median center must achieve optimal cost"
+            );
+            assert_eq!(fast, table, "tie-break must agree");
+        }
+    }
+
+    #[test]
+    fn median_center_empty_refs_origin() {
+        let grid = Grid::new(4, 4);
+        assert_eq!(median_center(&grid, &WindowRefs::new()), grid.proc_xy(0, 0));
+    }
+}

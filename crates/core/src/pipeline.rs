@@ -1,0 +1,308 @@
+//! One-call scheduling front end.
+//!
+//! [`schedule`] dispatches to the individual algorithms; [`schedule_parallel`]
+//! computes unconstrained schedules with per-datum parallelism (each datum's
+//! center sequence is independent when memory is unbounded — capacity
+//! resolution is inherently order-dependent and stays sequential so results
+//! remain deterministic).
+
+use crate::baseline;
+use crate::gomcds::{gomcds_path, gomcds_schedule_with, Solver};
+use crate::grouping::{grouped_schedule, GroupMethod};
+use crate::lomcds::{lomcds_centers_unconstrained, lomcds_schedule};
+use crate::scds::scds_schedule;
+use crate::schedule::Schedule;
+use pim_array::grid::ProcId;
+use pim_array::layout::Layout;
+use pim_array::memory::MemorySpec;
+use pim_par::Pool;
+use pim_trace::ids::DataId;
+use pim_trace::window::WindowedTrace;
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Single-Center Data Scheduling (Algorithm 1).
+    Scds,
+    /// Local-Optimal Multiple-Center Data Scheduling.
+    Lomcds,
+    /// Global-Optimal Multiple-Center Data Scheduling (Algorithm 2), using
+    /// the distance-transform solver.
+    Gomcds,
+    /// GOMCDS with the literal `O(m²)` cost-graph relaxation (ablation).
+    GomcdsNaive,
+    /// Algorithm 3 grouping with per-group local centers (Table 2).
+    GroupedLocal,
+    /// Algorithm 3 grouping with GOMCDS centers across groups (extension).
+    GroupedGomcds,
+}
+
+impl Method {
+    /// All methods, in the order the paper's tables report them.
+    pub const ALL: [Method; 6] = [
+        Method::Scds,
+        Method::Lomcds,
+        Method::Gomcds,
+        Method::GomcdsNaive,
+        Method::GroupedLocal,
+        Method::GroupedGomcds,
+    ];
+
+    /// Short table label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Scds => "SCDS",
+            Method::Lomcds => "LOMCDS",
+            Method::Gomcds => "GOMCDS",
+            Method::GomcdsNaive => "GOMCDS(naive)",
+            Method::GroupedLocal => "Grouped-LOMCDS",
+            Method::GroupedGomcds => "Grouped-GOMCDS",
+        }
+    }
+}
+
+impl core::fmt::Display for Method {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Memory model under which to schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryPolicy {
+    /// No capacity constraint (the pure scheduling question).
+    Unbounded,
+    /// Explicit uniform per-processor capacity.
+    Capacity(u32),
+    /// The paper's experimental rule: `factor ×` the minimum capacity a
+    /// balanced distribution needs (the tables use `factor = 2`).
+    ScaledMinimum {
+        /// Multiplier over the balanced minimum.
+        factor: u32,
+    },
+}
+
+impl MemoryPolicy {
+    /// Resolve to a concrete [`MemorySpec`] for a trace.
+    pub fn resolve(&self, trace: &WindowedTrace) -> MemorySpec {
+        match *self {
+            MemoryPolicy::Unbounded => MemorySpec::unbounded(),
+            MemoryPolicy::Capacity(c) => MemorySpec::uniform(c),
+            MemoryPolicy::ScaledMinimum { factor } => {
+                MemorySpec::scaled_minimum(&trace.grid(), trace.num_data(), factor)
+            }
+        }
+    }
+}
+
+/// Run one scheduling method over a trace.
+pub fn schedule(method: Method, trace: &WindowedTrace, policy: MemoryPolicy) -> Schedule {
+    let spec = policy.resolve(trace);
+    match method {
+        Method::Scds => scds_schedule(trace, spec),
+        Method::Lomcds => lomcds_schedule(trace, spec),
+        Method::Gomcds => gomcds_schedule_with(trace, spec, Solver::DistanceTransform),
+        Method::GomcdsNaive => gomcds_schedule_with(trace, spec, Solver::Naive),
+        Method::GroupedLocal => grouped_schedule(trace, spec, GroupMethod::LocalCenters),
+        // Table 2 semantics: Algorithm 3 decides groups with LOMCDS costs;
+        // GOMCDS then routes centers across the grouped windows.
+        Method::GroupedGomcds => crate::grouping::grouped_schedule_with(
+            trace,
+            spec,
+            GroupMethod::LocalCenters,
+            GroupMethod::GomcdsCenters,
+        ),
+    }
+}
+
+/// Run one scheduling method with per-datum parallelism. Only meaningful
+/// without a capacity constraint; results are identical to
+/// `schedule(method, trace, MemoryPolicy::Unbounded)`.
+pub fn schedule_parallel(method: Method, trace: &WindowedTrace, pool: Pool) -> Schedule {
+    let grid = trace.grid();
+    let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
+    let centers: Vec<Vec<ProcId>> = match method {
+        Method::Scds => pim_par::parallel_map(pool, &ids, |_, &d| {
+            let merged = trace.refs(d).merged_all();
+            let c = crate::cost::optimal_center(&grid, &merged).0;
+            vec![c; trace.num_windows()]
+        }),
+        Method::Lomcds => pim_par::parallel_map(pool, &ids, |_, &d| {
+            lomcds_centers_unconstrained(&grid, trace.refs(d))
+        }),
+        Method::Gomcds | Method::GomcdsNaive => {
+            let solver = if method == Method::Gomcds {
+                Solver::DistanceTransform
+            } else {
+                Solver::Naive
+            };
+            pim_par::parallel_map(pool, &ids, |_, &d| {
+                gomcds_path(&grid, trace.refs(d), solver).0
+            })
+        }
+        Method::GroupedLocal | Method::GroupedGomcds => {
+            let gm = if method == Method::GroupedLocal {
+                GroupMethod::LocalCenters
+            } else {
+                GroupMethod::GomcdsCenters
+            };
+            pim_par::parallel_map(pool, &ids, |_, &d| {
+                let rs = trace.refs(d);
+                // decisions always use LOMCDS costs (Algorithm 3 as run in
+                // the paper); placement follows the method.
+                let groups =
+                    crate::grouping::greedy_grouping(&grid, rs, GroupMethod::LocalCenters);
+                let group_centers = match gm {
+                    GroupMethod::LocalCenters => {
+                        crate::grouping::local_group_centers(&grid, rs, &groups)
+                    }
+                    GroupMethod::GomcdsCenters => {
+                        gomcds_path(&grid, &rs.regrouped(&groups), Solver::DistanceTransform).0
+                    }
+                };
+                let mut per_window = vec![ProcId(0); rs.num_windows()];
+                for (g, &c) in groups.iter().zip(&group_centers) {
+                    for w in g.clone() {
+                        per_window[w] = c;
+                    }
+                }
+                per_window
+            })
+        }
+    };
+    Schedule::new(grid, centers)
+}
+
+/// Evaluate the standard method set (SCDS, LOMCDS, GOMCDS, grouped
+/// variants) on one trace, returning `(method, total cost)` per method.
+pub fn compare_methods(trace: &WindowedTrace, policy: MemoryPolicy) -> Vec<(Method, u64)> {
+    [
+        Method::Scds,
+        Method::Lomcds,
+        Method::Gomcds,
+        Method::GroupedLocal,
+        Method::GroupedGomcds,
+    ]
+    .into_iter()
+    .map(|m| (m, schedule(m, trace, policy).evaluate(trace).total()))
+    .collect()
+}
+
+/// Comparison of every method (and the straight-forward baseline) on one
+/// trace — the row format of the paper's tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Straight-forward (row-wise) baseline total cost.
+    pub straightforward: u64,
+    /// `(method, total cost, % improvement over straightforward)`.
+    pub rows: Vec<(Method, u64, f64)>,
+}
+
+/// Run the paper's comparison: straight-forward baseline vs a set of
+/// methods. `rows`/`cols` describe the data array shape for the baseline.
+pub fn compare(
+    trace: &WindowedTrace,
+    rows: u32,
+    cols: u32,
+    methods: &[Method],
+    policy: MemoryPolicy,
+) -> Comparison {
+    let sf = baseline::layout_schedule(trace, rows, cols, Layout::RowWise)
+        .evaluate(trace)
+        .total();
+    let out_rows = methods
+        .iter()
+        .map(|&m| {
+            let cost = schedule(m, trace, policy).evaluate(trace).total();
+            (m, cost, crate::schedule::improvement_pct(sf, cost))
+        })
+        .collect();
+    Comparison {
+        straightforward: sf,
+        rows: out_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_array::grid::Grid;
+    use pim_trace::window::{WindowRefs, WindowedTrace};
+
+    fn sample_trace() -> WindowedTrace {
+        let grid = Grid::new(4, 4);
+        WindowedTrace::from_parts(
+            grid,
+            vec![
+                vec![
+                    WindowRefs::from_pairs([(grid.proc_xy(0, 0), 2), (grid.proc_xy(1, 0), 1)]),
+                    WindowRefs::from_pairs([(grid.proc_xy(3, 3), 4)]),
+                    WindowRefs::from_pairs([(grid.proc_xy(3, 2), 2)]),
+                ],
+                vec![
+                    WindowRefs::from_pairs([(grid.proc_xy(2, 2), 1)]),
+                    WindowRefs::new(),
+                    WindowRefs::from_pairs([(grid.proc_xy(2, 2), 3)]),
+                ],
+            ],
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_unbounded() {
+        let trace = sample_trace();
+        for method in Method::ALL {
+            let seq = schedule(method, &trace, MemoryPolicy::Unbounded);
+            let par = schedule_parallel(method, &trace, Pool::with_threads(4));
+            assert_eq!(
+                seq.evaluate(&trace),
+                par.evaluate(&trace),
+                "{method} parallel/sequential cost mismatch"
+            );
+            assert_eq!(seq, par, "{method} parallel/sequential schedule mismatch");
+        }
+    }
+
+    #[test]
+    fn method_ordering_gomcds_best() {
+        let trace = sample_trace();
+        let c = compare(
+            &trace,
+            1,
+            2,
+            &[Method::Scds, Method::Lomcds, Method::Gomcds],
+            MemoryPolicy::Unbounded,
+        );
+        let costs: Vec<u64> = c.rows.iter().map(|r| r.1).collect();
+        assert!(costs[2] <= costs[1], "GOMCDS ≤ LOMCDS");
+        assert!(costs[2] <= costs[0], "GOMCDS ≤ SCDS");
+    }
+
+    #[test]
+    fn policy_resolution() {
+        let trace = sample_trace();
+        assert_eq!(
+            MemoryPolicy::Unbounded.resolve(&trace).capacity_per_proc,
+            u32::MAX
+        );
+        assert_eq!(
+            MemoryPolicy::Capacity(5).resolve(&trace).capacity_per_proc,
+            5
+        );
+        // 2 data / 16 procs → min 1 → factor 2 → 2
+        assert_eq!(
+            MemoryPolicy::ScaledMinimum { factor: 2 }
+                .resolve(&trace)
+                .capacity_per_proc,
+            2
+        );
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(Method::Scds.name(), "SCDS");
+        assert_eq!(Method::Gomcds.to_string(), "GOMCDS");
+        assert_eq!(Method::ALL.len(), 6);
+    }
+}

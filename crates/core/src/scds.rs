@@ -1,0 +1,109 @@
+//! Single-Center Data Scheduling (paper Algorithm 1).
+//!
+//! All execution windows are merged into one; each datum gets the single
+//! center minimizing its total reference cost, and never moves. Memory
+//! conflicts are resolved with the processor list (first available
+//! processor in ascending cost order), processing data in ascending id
+//! order — the paper's "foreach data i do".
+
+use crate::capacity::ProcessorList;
+use crate::cost::cost_table;
+use crate::schedule::Schedule;
+use pim_array::memory::{MemoryMap, MemorySpec};
+use pim_trace::window::WindowedTrace;
+
+/// Compute the SCDS schedule.
+///
+/// # Panics
+/// Panics if the total memory of the array cannot hold one copy of every
+/// datum (`spec.capacity_per_proc × num_procs < num_data`).
+pub fn scds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
+    let grid = trace.grid();
+    assert!(
+        spec.feasible(&grid, trace.num_data()),
+        "memory spec cannot hold {} data items on {grid}",
+        trace.num_data()
+    );
+    let mut mem = MemoryMap::new(&grid, spec);
+    let mut table = Vec::new();
+    let mut placement = Vec::with_capacity(trace.num_data());
+    for (_, rs) in trace.iter_data() {
+        let merged = rs.merged_all();
+        cost_table(&grid, &merged, &mut table);
+        let list = ProcessorList::from_cost_table(&table);
+        let p = list
+            .assign(&mut mem)
+            .expect("feasibility checked: some processor has room");
+        placement.push(p);
+    }
+    Schedule::static_placement(grid, placement, trace.num_windows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_array::grid::Grid;
+    use pim_trace::ids::DataId;
+    use pim_trace::window::{WindowRefs, WindowedTrace};
+
+    fn g() -> Grid {
+        Grid::new(4, 4)
+    }
+
+    #[test]
+    fn single_datum_goes_to_merged_median() {
+        let grid = g();
+        // window 0: heavy at (0,0); window 1: light at (3,3)
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![
+                WindowRefs::from_pairs([(grid.proc_xy(0, 0), 3)]),
+                WindowRefs::from_pairs([(grid.proc_xy(3, 3), 1)]),
+            ]],
+        );
+        let s = scds_schedule(&trace, MemorySpec::unbounded());
+        assert_eq!(s.center(DataId(0), 0), grid.proc_xy(0, 0));
+        assert_eq!(s.center(DataId(0), 1), grid.proc_xy(0, 0));
+        assert!(!s.has_movement());
+        assert_eq!(s.evaluate(&trace).total(), 6);
+    }
+
+    #[test]
+    fn capacity_spills_to_next_cheapest() {
+        let grid = g();
+        // two data both want (1,1)
+        let refs = || vec![WindowRefs::from_pairs([(grid.proc_xy(1, 1), 2)])];
+        let trace = WindowedTrace::from_parts(grid, vec![refs(), refs()]);
+        let s = scds_schedule(&trace, MemorySpec::uniform(1));
+        assert_eq!(s.center(DataId(0), 0), grid.proc_xy(1, 1));
+        // datum 1 spills to the distance-1 neighbour with lowest id: (1,0)
+        assert_eq!(s.center(DataId(1), 0), grid.proc_xy(1, 0));
+        assert_eq!(s.max_occupancy(), 1);
+    }
+
+    #[test]
+    fn unreferenced_data_parks_deterministically() {
+        let grid = g();
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![WindowRefs::new()], vec![WindowRefs::new()]],
+        );
+        let s = scds_schedule(&trace, MemorySpec::uniform(1));
+        // zero cost everywhere → list sorted by id → data scatter over
+        // lowest-id processors
+        assert_eq!(s.center(DataId(0), 0), grid.proc_xy(0, 0));
+        assert_eq!(s.center(DataId(1), 0), grid.proc_xy(1, 0));
+        assert_eq!(s.evaluate(&trace).total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn infeasible_capacity_panics() {
+        let grid = Grid::new(2, 1);
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![WindowRefs::new()]; 3],
+        );
+        scds_schedule(&trace, MemorySpec::uniform(1));
+    }
+}

@@ -1,0 +1,225 @@
+//! Executable statements of the paper's Lemma 1 and Theorems 1–3.
+//!
+//! The paper omits the proofs (they live in the Notre Dame TR 97-09); here
+//! each property is encoded as a checkable predicate and exercised by unit
+//! and property tests, which serves both as regression armor for the cost
+//! model and as machine-checked evidence for the claims the grouping
+//! algorithm relies on:
+//!
+//! * **Lemma 1 (1-D)** — between the closest pair of local optimal centers
+//!   of two windows, the first window's cost increases strictly
+//!   monotonically walking toward the second center.
+//! * **Theorem 2 (2-D)** — same statement along *any* shortest (monotone)
+//!   path on the grid.
+//! * **Theorem 3** — merging two consecutive windows whose local optimal
+//!   centers are the closest pair cannot reduce total communication cost
+//!   (group cost at the merged center vs. separate centers plus one move).
+
+use crate::cost::{cost_at, optimal_centers};
+use pim_array::geom::Point;
+use pim_array::grid::{Grid, ProcId};
+use pim_array::line::Line;
+use pim_trace::window::WindowRefs;
+
+/// The closest pair `(c0, c1)` between the local optimal center sets of two
+/// windows (ties broken by ascending ids). This is the pair Lemma 1 and
+/// Theorems 2–3 quantify over.
+pub fn closest_optimal_pair(
+    grid: &Grid,
+    refs0: &WindowRefs,
+    refs1: &WindowRefs,
+) -> (ProcId, ProcId) {
+    let set0 = optimal_centers(grid, refs0);
+    let set1 = optimal_centers(grid, refs1);
+    let mut best = (set0[0], set1[0]);
+    let mut best_d = u64::MAX;
+    for &a in &set0 {
+        for &b in &set1 {
+            let d = grid.dist(a, b);
+            if d < best_d || (d == best_d && (a.0, b.0) < (best.0 .0, best.1 .0)) {
+                best = (a, b);
+                best_d = d;
+            }
+        }
+    }
+    best
+}
+
+/// Lemma 1 predicate on the 1-D array: walking from `c0` toward `c1`, the
+/// cost of `refs0` strictly increases at every step.
+pub fn lemma1_holds(line: &Line, refs0: &[(u32, u32)], c0: u32, c1: u32) -> bool {
+    if c0 == c1 {
+        return true;
+    }
+    let step: i64 = if c1 > c0 { 1 } else { -1 };
+    let mut prev = line.cost_at(refs0, c0);
+    let mut pos = c0 as i64;
+    while pos != c1 as i64 {
+        pos += step;
+        let cur = line.cost_at(refs0, pos as u32);
+        if cur <= prev {
+            return false;
+        }
+        prev = cur;
+    }
+    true
+}
+
+/// Theorem 2 predicate: along **every** monotone (shortest) path from
+/// `from` to `to`, `cost(refs0, ·)` strictly increases at every step.
+///
+/// Checked exhaustively over the bounding rectangle: every unit step toward
+/// `to` from every lattice point in the box must strictly increase cost.
+pub fn theorem2_holds(grid: &Grid, refs0: &WindowRefs, from: ProcId, to: ProcId) -> bool {
+    let a = grid.point_of(from);
+    let b = grid.point_of(to);
+    let xlo = a.x.min(b.x);
+    let xhi = a.x.max(b.x);
+    let ylo = a.y.min(b.y);
+    let yhi = a.y.max(b.y);
+    let toward_x: i64 = if b.x >= a.x { 1 } else { -1 };
+    let toward_y: i64 = if b.y >= a.y { 1 } else { -1 };
+
+    for y in ylo..=yhi {
+        for x in xlo..=xhi {
+            let here = Point::new(x, y);
+            let c_here = cost_at(grid, refs0, grid.proc_at(here));
+            // step in x toward `to`, if not yet aligned
+            if x != b.x {
+                let nx = (x as i64 + toward_x) as u32;
+                let next = Point::new(nx, y);
+                if cost_at(grid, refs0, grid.proc_at(next)) <= c_here {
+                    return false;
+                }
+            }
+            if y != b.y {
+                let ny = (y as i64 + toward_y) as u32;
+                let next = Point::new(x, ny);
+                if cost_at(grid, refs0, grid.proc_at(next)) <= c_here {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Theorem 3 quantities: `(grouped, separate)` total costs for two
+/// consecutive windows whose centers are the closest optimal pair.
+/// `separate` charges each window at its own center plus the move between
+/// them; `grouped` charges the merged references at the merged window's
+/// optimal center with no move. Theorem 3 asserts `grouped ≥ separate`.
+pub fn pair_grouping_costs(
+    grid: &Grid,
+    refs0: &WindowRefs,
+    refs1: &WindowRefs,
+) -> (u64, u64) {
+    let (c0, c1) = closest_optimal_pair(grid, refs0, refs1);
+    let separate = cost_at(grid, refs0, c0) + cost_at(grid, refs1, c1) + grid.dist(c0, c1);
+    let merged = WindowRefs::merged([refs0, refs1]);
+    let grouped = crate::cost::optimal_center(grid, &merged).1;
+    (grouped, separate)
+}
+
+/// Theorem 3 predicate.
+pub fn theorem3_holds(grid: &Grid, refs0: &WindowRefs, refs1: &WindowRefs) -> bool {
+    let (grouped, separate) = pair_grouping_costs(grid, refs0, refs1);
+    grouped >= separate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Grid {
+        Grid::new(4, 4)
+    }
+
+    #[test]
+    fn closest_pair_basic() {
+        let grid = g();
+        let r0 = WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1)]);
+        let r1 = WindowRefs::from_pairs([(grid.proc_xy(3, 3), 1)]);
+        assert_eq!(
+            closest_optimal_pair(&grid, &r0, &r1),
+            (grid.proc_xy(0, 0), grid.proc_xy(3, 3))
+        );
+    }
+
+    #[test]
+    fn closest_pair_uses_nearest_of_tied_sets() {
+        let grid = g();
+        // r0 optimal along the whole segment (0,0)..(3,0)
+        let r0 = WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1), (grid.proc_xy(3, 0), 1)]);
+        let r1 = WindowRefs::from_pairs([(grid.proc_xy(3, 3), 1)]);
+        let (c0, c1) = closest_optimal_pair(&grid, &r0, &r1);
+        assert_eq!(c0, grid.proc_xy(3, 0));
+        assert_eq!(c1, grid.proc_xy(3, 3));
+    }
+
+    #[test]
+    fn lemma1_example() {
+        let line = Line::new(10);
+        let refs = [(2u32, 3u32), (3, 1)];
+        // centers of refs: weighted median at 2; walking toward 8 strictly up
+        assert!(lemma1_holds(&line, &refs, 2, 8));
+        // starting inside flat optimal region of a symmetric string fails
+        let sym = [(2u32, 1u32), (6, 1)];
+        assert!(!lemma1_holds(&line, &sym, 2, 6)); // flat between medians
+        // but from the closest optimal center (6 is optimal too) it holds
+        assert!(lemma1_holds(&line, &sym, 6, 8));
+    }
+
+    #[test]
+    fn theorem2_from_closest_center() {
+        let grid = g();
+        let r0 = WindowRefs::from_pairs([(grid.proc_xy(1, 1), 2), (grid.proc_xy(0, 1), 1)]);
+        let r1 = WindowRefs::from_pairs([(grid.proc_xy(3, 3), 1)]);
+        let (c0, c1) = closest_optimal_pair(&grid, &r0, &r1);
+        assert!(theorem2_holds(&grid, &r0, c0, c1));
+    }
+
+    #[test]
+    fn theorem2_fails_from_non_closest_center() {
+        let grid = g();
+        // optimal set of r0 spans (0,0)..(3,0); starting from the far end
+        // the path crosses the flat optimal region → not strictly monotone.
+        let r0 = WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1), (grid.proc_xy(3, 0), 1)]);
+        let far_start = grid.proc_xy(0, 0);
+        let target = grid.proc_xy(3, 3);
+        assert!(!theorem2_holds(&grid, &r0, far_start, target));
+    }
+
+    #[test]
+    fn theorem3_examples() {
+        let grid = g();
+        let cases = [
+            (
+                WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1)]),
+                WindowRefs::from_pairs([(grid.proc_xy(3, 3), 1)]),
+            ),
+            (
+                WindowRefs::from_pairs([(grid.proc_xy(0, 0), 2)]),
+                WindowRefs::from_pairs([(grid.proc_xy(3, 0), 3)]),
+            ),
+            (
+                WindowRefs::from_pairs([(grid.proc_xy(1, 1), 1), (grid.proc_xy(2, 2), 1)]),
+                WindowRefs::from_pairs([(grid.proc_xy(2, 1), 4)]),
+            ),
+        ];
+        for (r0, r1) in cases {
+            assert!(theorem3_holds(&grid, &r0, &r1), "{r0:?} vs {r1:?}");
+        }
+    }
+
+    #[test]
+    fn pair_grouping_equality_case() {
+        let grid = g();
+        // single unit refs: grouping exactly matches separate + move
+        let r0 = WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1)]);
+        let r1 = WindowRefs::from_pairs([(grid.proc_xy(2, 1), 1)]);
+        let (grouped, separate) = pair_grouping_costs(&grid, &r0, &r1);
+        assert_eq!(grouped, separate);
+        assert_eq!(grouped, 3);
+    }
+}

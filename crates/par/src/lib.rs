@@ -1,0 +1,247 @@
+#![warn(missing_docs)]
+//! # pim-par
+//!
+//! Minimal data-parallel utilities for the PIM scheduling pipeline.
+//!
+//! Scheduling is embarrassingly parallel across data items: each datum's
+//! center sequence depends only on its own reference string (capacity
+//! resolution is a separate sequential pass). Rather than pulling in a full
+//! task scheduler, this crate provides exactly what the pipeline needs,
+//! built from `std::thread::scope` plus an atomic work index — the pattern
+//! from *Rust Atomics and Locks*:
+//!
+//! * [`parallel_map`] — map a function over a slice, dynamic load balancing.
+//! * [`parallel_map_chunked`] — the same with caller-chosen chunk size for
+//!   very cheap per-item work.
+//! * [`parallel_reduce`] — map + associative reduction.
+//! * [`Pool`] — a tiny configurable thread-count handle; `Pool::serial()`
+//!   runs inline, which keeps tests deterministic and lets callers opt out.
+//!
+//! All functions preserve input order in their outputs and propagate
+//! panics from worker closures.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the work-claiming math
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod counter;
+
+/// Execution-width policy for the parallel helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: NonZeroUsize,
+}
+
+impl Pool {
+    /// Use `threads` worker threads (clamped to at least one).
+    pub fn with_threads(threads: usize) -> Self {
+        Pool {
+            threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"),
+        }
+    }
+
+    /// Run everything inline on the calling thread.
+    pub fn serial() -> Self {
+        Pool::with_threads(1)
+    }
+
+    /// One thread per available CPU (or serial when parallelism is
+    /// unavailable).
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Pool::with_threads(n)
+    }
+
+    /// Number of worker threads this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::auto()
+    }
+}
+
+/// Map `f` over `items`, returning outputs in input order.
+///
+/// Work is distributed dynamically: workers claim the next unprocessed
+/// index from a shared atomic counter, so uneven per-item cost (e.g. data
+/// with wildly different reference-string lengths) still balances.
+pub fn parallel_map<T, U, F>(pool: Pool, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    parallel_map_chunked(pool, items, 1, f)
+}
+
+/// Like [`parallel_map`] but workers claim `chunk` consecutive indices at a
+/// time, amortizing the atomic traffic when `f` is very cheap.
+pub fn parallel_map_chunked<T, U, F>(pool: Pool, items: &[T], chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let chunk = chunk.max(1);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = pool.threads().min(n.div_ceil(chunk));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let next = AtomicUsize::new(0);
+    let out_slots = SliceCells::new(&mut out);
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    let value = f(i, &items[i]);
+                    // SAFETY: each index is claimed by exactly one worker
+                    // via the fetch_add above, so no two threads write the
+                    // same slot.
+                    unsafe { out_slots.write(i, Some(value)) };
+                }
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|v| v.expect("all indices claimed and written"))
+        .collect()
+}
+
+/// Map then reduce with an associative `combine`. `identity` must be a
+/// neutral element for `combine`.
+pub fn parallel_reduce<T, U, F, C>(pool: Pool, items: &[T], identity: U, f: F, combine: C) -> U
+where
+    T: Sync,
+    U: Send + Clone,
+    F: Fn(usize, &T) -> U + Sync,
+    C: Fn(U, U) -> U,
+{
+    let mapped = parallel_map(pool, items, f);
+    mapped.into_iter().fold(identity, combine)
+}
+
+/// Shared mutable access to disjoint slots of a slice across scoped
+/// threads.
+///
+/// Soundness contract: callers must ensure no two threads `write` the same
+/// index, and that the slice outlives all uses (guaranteed here by
+/// `std::thread::scope`).
+struct SliceCells<T> {
+    ptr: *mut T,
+}
+
+unsafe impl<T: Send> Sync for SliceCells<T> {}
+unsafe impl<T: Send> Send for SliceCells<T> {}
+
+impl<T> SliceCells<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SliceCells {
+            ptr: slice.as_mut_ptr(),
+        }
+    }
+
+    /// Write `value` into slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and no other thread may access slot `i`
+    /// concurrently.
+    unsafe fn write(&self, i: usize, value: T) {
+        unsafe { self.ptr.add(i).write(value) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(Pool::with_threads(4), &items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_empty() {
+        let out: Vec<u32> = parallel_map(Pool::auto(), &[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_serial_matches_parallel() {
+        let items: Vec<u32> = (0..257).collect();
+        let serial = parallel_map(Pool::serial(), &items, |_, &x| x.wrapping_mul(2654435761));
+        let par = parallel_map(Pool::with_threads(8), &items, |_, &x| {
+            x.wrapping_mul(2654435761)
+        });
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn chunked_visits_every_index_once() {
+        for chunk in [1usize, 3, 7, 64, 1000] {
+            let items: Vec<usize> = (0..500).collect();
+            let visits: Vec<AtomicU64> = (0..items.len()).map(|_| AtomicU64::new(0)).collect();
+            let _ = parallel_map_chunked(Pool::with_threads(5), &items, chunk, |i, _| {
+                visits[i].fetch_add(1, Ordering::Relaxed)
+            });
+            for (i, v) in visits.iter().enumerate() {
+                assert_eq!(v.load(Ordering::Relaxed), 1, "index {i} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let items: Vec<u64> = (1..=100).collect();
+        let sum = parallel_reduce(Pool::with_threads(4), &items, 0u64, |_, &x| x, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn pool_thread_counts() {
+        assert_eq!(Pool::serial().threads(), 1);
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+        assert!(Pool::auto().threads() >= 1);
+        assert_eq!(Pool::default(), Pool::auto());
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let items = vec![0u32; 64];
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(Pool::with_threads(4), &items, |i, _| {
+                if i == 33 {
+                    panic!("worker bug");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Idealized completion-time estimates.
+//!
+//! The paper's metric is pure hop-volume; real PIM arrays also care *when*
+//! transfers finish. This module computes a standard lower-bound estimate
+//! of a window's completion time under unit-bandwidth links and wormhole
+//! x-y routing:
+//!
+//! ```text
+//! T(window) = max( max_link_occupancy , max_message (distance + volume − 1) )
+//! ```
+//!
+//! The first term is the bandwidth bound (the most loaded link must carry
+//! all its flits one per cycle); the second is the latency bound (a
+//! message's last flit arrives after pipeline fill plus serialization).
+//! A perfect scheduler could not beat this bound; a real network is ≥ it.
+//! Comparing the bound across schedulers shows whether hop-volume savings
+//! also relieve the *bottleneck* link — which they do on the paper's
+//! benchmarks (see `EXPERIMENTS.md`).
+
+use crate::message::Message;
+use pim_array::grid::Grid;
+use pim_array::routing::{visit_xy_links, LinkIndex};
+
+/// Lower-bound completion time of one window's message set.
+pub fn window_completion_time(grid: &Grid, messages: &[Message]) -> u64 {
+    let links = LinkIndex::new(*grid);
+    let mut occupancy = vec![0u64; links.num_slots()];
+    let mut latency_bound = 0u64;
+    for m in messages {
+        if m.is_local() {
+            continue;
+        }
+        let dist = grid.dist(m.src, m.dst);
+        latency_bound = latency_bound.max(dist + m.volume as u64 - 1);
+        visit_xy_links(grid, m.src, m.dst, |l| {
+            occupancy[links.index_of(l)] += m.volume as u64;
+        });
+    }
+    let bandwidth_bound = occupancy.iter().copied().max().unwrap_or(0);
+    bandwidth_bound.max(latency_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+    use pim_array::grid::Grid;
+    use pim_trace::ids::DataId;
+
+    fn msg(grid: &Grid, sx: u32, sy: u32, dx: u32, dy: u32, vol: u32) -> Message {
+        Message {
+            src: grid.proc_xy(sx, sy),
+            dst: grid.proc_xy(dx, dy),
+            volume: vol,
+            data: DataId(0),
+            window: 0,
+            kind: MessageKind::Fetch,
+        }
+    }
+
+    #[test]
+    fn empty_window_is_free() {
+        let g = Grid::new(4, 4);
+        assert_eq!(window_completion_time(&g, &[]), 0);
+        // local messages are free too
+        let local = msg(&g, 1, 1, 1, 1, 9);
+        assert_eq!(window_completion_time(&g, &[local]), 0);
+    }
+
+    #[test]
+    fn single_message_latency_bound() {
+        let g = Grid::new(4, 4);
+        // distance 3, volume 2 → 3 + 2 − 1 = 4
+        let m = msg(&g, 0, 0, 3, 0, 2);
+        assert_eq!(window_completion_time(&g, &[m]), 4);
+    }
+
+    #[test]
+    fn shared_link_bandwidth_bound() {
+        let g = Grid::new(4, 4);
+        // both messages cross link (0,0)→(1,0) with volume 5 each:
+        // bandwidth bound 10 > any latency bound
+        let a = msg(&g, 0, 0, 1, 0, 5);
+        let b = msg(&g, 0, 0, 2, 0, 5);
+        assert_eq!(window_completion_time(&g, &[a, b]), 10);
+    }
+
+    #[test]
+    fn disjoint_messages_overlap() {
+        let g = Grid::new(4, 4);
+        // opposite corners, disjoint x-y routes → time = individual bound
+        let a = msg(&g, 0, 0, 1, 0, 1);
+        let b = msg(&g, 3, 3, 2, 3, 1);
+        assert_eq!(window_completion_time(&g, &[a, b]), 1);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # pim-sim
+//!
+//! A message-level simulator for the PIM array. Where `pim-sched` *counts*
+//! communication analytically (volume × Manhattan distance), this crate
+//! actually *routes* every transfer hop by hop with x-y routing and
+//! observes what the network sees:
+//!
+//! * total hop-volume — which must equal the analytic cost exactly (the
+//!   integration tests assert this for every scheduler on every benchmark);
+//! * per-link utilization — where the traffic concentrates;
+//! * an idealized per-window completion-time estimate under unit-bandwidth
+//!   links ([`contention`]), separating bandwidth-bound from latency-bound
+//!   windows.
+//!
+//! ## Modules
+//!
+//! * [`message`] — the transfer unit (fetches and moves).
+//! * [`engine`] — trace + schedule → messages → routed statistics.
+//! * [`contention`] — completion-time estimates per window.
+//! * [`report`] — aggregated results with human-readable rendering.
+
+pub mod contention;
+pub mod cycle;
+pub mod engine;
+pub mod heatmap;
+pub mod message;
+pub mod report;
+pub mod traffic;
+
+pub use engine::simulate;
+pub use report::SimReport;

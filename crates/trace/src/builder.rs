@@ -1,0 +1,143 @@
+//! Ergonomic construction of [`StepTrace`]s.
+//!
+//! Workload kernels in `pim-workloads` drive this builder: open a step,
+//! record accesses, repeat, then `finish()`.
+
+use crate::ids::DataId;
+use crate::step::{Access, ExecStep, StepTrace};
+use pim_array::grid::{Grid, ProcId};
+
+/// Incremental builder for a [`StepTrace`].
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    grid: Grid,
+    num_data: u32,
+    steps: Vec<ExecStep>,
+}
+
+/// Handle to the step currently being recorded; accesses append to it.
+#[derive(Debug)]
+pub struct StepHandle<'a> {
+    grid: Grid,
+    num_data: u32,
+    step: &'a mut ExecStep,
+}
+
+impl TraceBuilder {
+    /// Start a trace over `num_data` data items on `grid`.
+    pub fn new(grid: Grid, num_data: u32) -> Self {
+        TraceBuilder {
+            grid,
+            num_data,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Open a new execution step.
+    pub fn step(&mut self) -> StepHandle<'_> {
+        self.steps.push(ExecStep::default());
+        StepHandle {
+            grid: self.grid,
+            num_data: self.num_data,
+            step: self.steps.last_mut().expect("just pushed"),
+        }
+    }
+
+    /// Number of steps recorded so far.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Finish, dropping any trailing empty steps.
+    pub fn finish(mut self) -> StepTrace {
+        while self.steps.last().is_some_and(|s| s.accesses.is_empty()) {
+            self.steps.pop();
+        }
+        StepTrace {
+            grid: self.grid,
+            num_data: self.num_data,
+            steps: self.steps,
+        }
+    }
+}
+
+impl StepHandle<'_> {
+    /// Record one reference of `data` by `proc`.
+    ///
+    /// # Panics
+    /// Panics if the processor or datum is out of range.
+    pub fn access(&mut self, proc: ProcId, data: DataId) -> &mut Self {
+        self.access_n(proc, data, 1)
+    }
+
+    /// Record `count` references of `data` by `proc` (no-op if zero).
+    ///
+    /// # Panics
+    /// Panics if the processor or datum is out of range.
+    pub fn access_n(&mut self, proc: ProcId, data: DataId, count: u32) -> &mut Self {
+        assert!(
+            proc.index() < self.grid.num_procs(),
+            "{proc} out of range for {}",
+            self.grid
+        );
+        assert!(data.0 < self.num_data, "{data} out of range (num_data={})", self.num_data);
+        if count > 0 {
+            self.step.accesses.push(Access { proc, data, count });
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_steps_in_order() {
+        let g = Grid::new(4, 4);
+        let mut b = TraceBuilder::new(g, 3);
+        b.step().access(ProcId(0), DataId(0)).access(ProcId(1), DataId(1));
+        b.step().access_n(ProcId(2), DataId(2), 5);
+        let t = b.finish();
+        assert_eq!(t.num_steps(), 2);
+        assert_eq!(t.steps[0].accesses.len(), 2);
+        assert_eq!(t.steps[1].accesses[0].count, 5);
+        assert_eq!(t.total_refs(), 7);
+    }
+
+    #[test]
+    fn trailing_empty_steps_dropped() {
+        let g = Grid::new(2, 2);
+        let mut b = TraceBuilder::new(g, 1);
+        b.step().access(ProcId(0), DataId(0));
+        b.step();
+        b.step();
+        assert_eq!(b.num_steps(), 3);
+        let t = b.finish();
+        assert_eq!(t.num_steps(), 1);
+    }
+
+    #[test]
+    fn zero_count_ignored() {
+        let g = Grid::new(2, 2);
+        let mut b = TraceBuilder::new(g, 1);
+        b.step().access_n(ProcId(0), DataId(0), 0);
+        assert_eq!(b.finish().num_steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_proc() {
+        let g = Grid::new(2, 2);
+        let mut b = TraceBuilder::new(g, 1);
+        b.step().access(ProcId(4), DataId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_data() {
+        let g = Grid::new(2, 2);
+        let mut b = TraceBuilder::new(g, 1);
+        b.step().access(ProcId(0), DataId(1));
+    }
+}

@@ -1,0 +1,224 @@
+//! Compact binary encoding of windowed traces.
+//!
+//! Traces for the larger experiments (32×32 data arrays over hundreds of
+//! windows) are regenerated cheaply, but the CLI supports caching them on
+//! disk; this module defines the format: a `PIMT` magic, a format version,
+//! then little-endian u32/u64 fields. Decoding validates structure and
+//! bounds, so a corrupt file produces an error instead of a bogus trace.
+
+use crate::ids::DataId;
+use crate::window::{WindowRefs, WindowedTrace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pim_array::grid::{Grid, ProcId};
+
+const MAGIC: &[u8; 4] = b"PIMT";
+const VERSION: u32 = 1;
+
+/// Errors produced when decoding a trace buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not begin with the `PIMT` magic.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u32),
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A field was structurally invalid (out-of-range id, zero dimension…).
+    Invalid(&'static str),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a PIM trace (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::Truncated => write!(f, "trace buffer truncated"),
+            DecodeError::Invalid(what) => write!(f, "invalid trace field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode a windowed trace into a fresh buffer.
+pub fn encode_trace(trace: &WindowedTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + trace.num_data() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(trace.grid().width());
+    buf.put_u32_le(trace.grid().height());
+    buf.put_u32_le(trace.num_data() as u32);
+    buf.put_u32_le(trace.num_windows() as u32);
+    for (_, rs) in trace.iter_data() {
+        for w in rs.windows() {
+            buf.put_u32_le(w.num_procs() as u32);
+            for r in w.iter() {
+                buf.put_u32_le(r.proc.0);
+                buf.put_u32_le(r.count);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Decode a trace previously produced by [`encode_trace`].
+pub fn decode_trace(mut buf: impl Buf) -> Result<WindowedTrace, DecodeError> {
+    need(&buf, 4)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    need(&buf, 20)?;
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let width = buf.get_u32_le();
+    let height = buf.get_u32_le();
+    if width == 0 || height == 0 {
+        return Err(DecodeError::Invalid("zero grid dimension"));
+    }
+    if width.checked_mul(height).is_none() {
+        return Err(DecodeError::Invalid("grid dimensions overflow"));
+    }
+    let grid = Grid::new(width, height);
+    let num_data = buf.get_u32_le() as usize;
+    let num_windows = buf.get_u32_le() as usize;
+    if num_windows == 0 {
+        return Err(DecodeError::Invalid("zero windows"));
+    }
+    // Guard against decode bombs: every (datum, window) cell needs at
+    // least a 4-byte length, so a header promising more cells than the
+    // buffer could possibly hold is corrupt. This must run *before* any
+    // size-derived allocation.
+    let min_bytes = (num_data as u128) * (num_windows as u128) * 4;
+    if min_bytes > buf.remaining() as u128 {
+        return Err(DecodeError::Truncated);
+    }
+
+    let mut per_data = Vec::with_capacity(num_data);
+    for _ in 0..num_data {
+        let mut windows = Vec::with_capacity(num_windows);
+        for _ in 0..num_windows {
+            need(&buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut w = WindowRefs::new();
+            for _ in 0..n {
+                need(&buf, 8)?;
+                let proc = ProcId(buf.get_u32_le());
+                let count = buf.get_u32_le();
+                if proc.index() >= grid.num_procs() {
+                    return Err(DecodeError::Invalid("processor id out of range"));
+                }
+                if count == 0 {
+                    return Err(DecodeError::Invalid("zero reference count"));
+                }
+                w.add(proc, count);
+            }
+            windows.push(w);
+        }
+        per_data.push(windows);
+    }
+    Ok(WindowedTrace::from_parts(grid, per_data))
+}
+
+/// Convenience: size in bytes of the encoding of `trace`.
+pub fn encoded_size(trace: &WindowedTrace) -> usize {
+    let mut refs = 0usize;
+    let mut windows = 0usize;
+    for d in 0..trace.num_data() {
+        let rs = trace.refs(DataId(d as u32));
+        windows += rs.num_windows();
+        refs += rs.windows().map(WindowRefs::num_procs).sum::<usize>();
+    }
+    4 + 4 + 16 + windows * 4 + refs * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WindowedTrace {
+        let g = Grid::new(4, 4);
+        WindowedTrace::from_parts(
+            g,
+            vec![
+                vec![
+                    WindowRefs::from_pairs([(ProcId(0), 2), (ProcId(7), 1)]),
+                    WindowRefs::new(),
+                ],
+                vec![
+                    WindowRefs::new(),
+                    WindowRefs::from_pairs([(ProcId(15), 9)]),
+                ],
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let bytes = encode_trace(&t);
+        assert_eq!(bytes.len(), encoded_size(&t));
+        let back = decode_trace(bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = BytesMut::from(&encode_trace(&sample())[..]);
+        bytes[0] = b'X';
+        assert_eq!(decode_trace(bytes.freeze()), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = BytesMut::from(&encode_trace(&sample())[..]);
+        bytes[4] = 99;
+        assert_eq!(
+            decode_trace(bytes.freeze()),
+            Err(DecodeError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode_trace(&sample());
+        for cut in [0, 3, 7, 12, bytes.len() - 1] {
+            let sliced = bytes.slice(0..cut);
+            assert_eq!(decode_trace(sliced), Err(DecodeError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_proc() {
+        let g = Grid::new(2, 2);
+        let t = WindowedTrace::from_parts(
+            g,
+            vec![vec![WindowRefs::from_pairs([(ProcId(3), 1)])]],
+        );
+        let mut raw = BytesMut::from(&encode_trace(&t)[..]);
+        // patch the proc id (last 8 bytes are proc,count)
+        let n = raw.len();
+        raw[n - 8..n - 4].copy_from_slice(&20u32.to_le_bytes());
+        assert_eq!(
+            decode_trace(raw.freeze()),
+            Err(DecodeError::Invalid("processor id out of range"))
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(DecodeError::BadMagic.to_string(), "not a PIM trace (bad magic)");
+        assert_eq!(DecodeError::Truncated.to_string(), "trace buffer truncated");
+    }
+}

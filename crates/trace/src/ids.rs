@@ -1,0 +1,54 @@
+//! Datum identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of one datum (one array element in the paper's model).
+///
+/// Data ids are dense (`0..num_data`) so schedulers can keep per-datum state
+/// in flat vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataId(pub u32);
+
+impl DataId {
+    /// The raw index, usable directly into per-datum `Vec`s.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for DataId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Map a 2-D data array element `(row, col)` of a `rows × cols` matrix to
+/// its dense [`DataId`] (row-major). The workload kernels all address
+/// matrix elements this way.
+#[inline]
+pub fn matrix_elem(rows: u32, cols: u32, row: u32, col: u32) -> DataId {
+    debug_assert!(row < rows && col < cols);
+    let _ = rows;
+    DataId(row * cols + col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(DataId(7).to_string(), "D7");
+        assert_eq!(DataId(7).index(), 7);
+    }
+
+    #[test]
+    fn matrix_layout_row_major() {
+        assert_eq!(matrix_elem(4, 4, 0, 0), DataId(0));
+        assert_eq!(matrix_elem(4, 4, 0, 3), DataId(3));
+        assert_eq!(matrix_elem(4, 4, 1, 0), DataId(4));
+        assert_eq!(matrix_elem(4, 4, 3, 3), DataId(15));
+        assert_eq!(matrix_elem(2, 5, 1, 2), DataId(7));
+    }
+}

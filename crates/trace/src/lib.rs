@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! # pim-trace
+//!
+//! Execution traces for PIM data scheduling.
+//!
+//! The paper drives its algorithms from *reference strings* rather than
+//! loop-dependence analysis: for every datum, the sequence of processors
+//! that touch it, bucketed into *execution windows* (groups of consecutive
+//! parallel execution steps). This crate owns that data model:
+//!
+//! * [`ids`] — dense datum identifiers.
+//! * [`step`] — raw per-step access traces as emitted by workload kernels.
+//! * [`window`] — windowed (bucketed) reference strings: the canonical
+//!   scheduler input, plus re-windowing utilities for window-size studies.
+//! * [`builder`] — ergonomic trace construction.
+//! * [`stats`] — descriptive statistics (reference locality, spread).
+//! * [`encode`] — compact binary encoding (magic + version framing) for
+//!   storing traces on disk.
+//! * [`validate`] — structural invariants checked at crate boundaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_array::grid::Grid;
+//! use pim_trace::builder::TraceBuilder;
+//! use pim_trace::ids::DataId;
+//!
+//! let grid = Grid::new(4, 4);
+//! let mut b = TraceBuilder::new(grid, 2);
+//! b.step().access(grid.proc_xy(0, 0), DataId(0));
+//! b.step().access(grid.proc_xy(3, 3), DataId(0)).access_n(grid.proc_xy(1, 2), DataId(1), 4);
+//! let trace = b.finish();
+//! let windowed = trace.window_fixed(1); // one step per window
+//! assert_eq!(windowed.num_windows(), 2);
+//! ```
+
+pub mod adaptive;
+pub mod builder;
+pub mod encode;
+pub mod ids;
+pub mod perproc;
+pub mod stats;
+pub mod step;
+pub mod transform;
+pub mod validate;
+pub mod window;
+
+pub use builder::TraceBuilder;
+pub use ids::DataId;
+pub use step::{Access, ExecStep, StepTrace};
+pub use window::{DataRefString, Ref, WindowRefs, WindowedTrace};

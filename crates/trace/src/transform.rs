@@ -1,0 +1,163 @@
+//! Trace transformations.
+//!
+//! Utilities that derive new traces from existing ones without touching the
+//! generators: scaling reference volumes (used by the movement-cost
+//! ablation), restricting to a data subset (drill-down debugging),
+//! remapping processors (evaluating a trace "as if" the iteration partition
+//! had been different), and reversing window order.
+
+use crate::ids::DataId;
+use crate::window::{WindowRefs, WindowedTrace};
+use pim_array::grid::ProcId;
+
+/// Multiply every reference count by `k` (`k ≥ 1`). Scheduling costs scale
+/// by exactly `k` on the reference side while movement stays constant —
+/// the inverse knob to `move_weight`.
+///
+/// ```
+/// use pim_array::grid::{Grid, ProcId};
+/// use pim_trace::window::{WindowRefs, WindowedTrace};
+/// use pim_trace::transform::scale_volumes;
+///
+/// let grid = Grid::new(2, 2);
+/// let t = WindowedTrace::from_parts(
+///     grid,
+///     vec![vec![WindowRefs::from_pairs([(ProcId(1), 3)])]],
+/// );
+/// assert_eq!(scale_volumes(&t, 4).total_volume(), 12);
+/// ```
+///
+/// # Panics
+/// Panics when `k == 0` (would erase the trace).
+pub fn scale_volumes(trace: &WindowedTrace, k: u32) -> WindowedTrace {
+    assert!(k > 0, "scale factor must be positive");
+    map_refs(trace, |proc, count| Some((proc, count * k)))
+}
+
+/// Keep only the data in `keep` (others become never-referenced so ids and
+/// shapes stay stable).
+pub fn restrict_data(trace: &WindowedTrace, keep: impl Fn(DataId) -> bool) -> WindowedTrace {
+    let per_data = trace
+        .iter_data()
+        .map(|(d, rs)| {
+            rs.windows()
+                .map(|w| {
+                    if keep(d) {
+                        w.clone()
+                    } else {
+                        WindowRefs::new()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    WindowedTrace::from_parts(trace.grid(), per_data)
+}
+
+/// Remap every referencing processor through `f` (must stay in range).
+pub fn remap_procs(trace: &WindowedTrace, f: impl Fn(ProcId) -> ProcId) -> WindowedTrace {
+    map_refs(trace, |proc, count| Some((f(proc), count)))
+}
+
+/// Reverse the window order of the whole trace (the paper's benchmark 5
+/// applies this at the step level; this is the windowed analogue).
+pub fn reverse_windows(trace: &WindowedTrace) -> WindowedTrace {
+    let per_data = trace
+        .iter_data()
+        .map(|(_, rs)| {
+            let mut ws: Vec<WindowRefs> = rs.windows().cloned().collect();
+            ws.reverse();
+            ws
+        })
+        .collect();
+    WindowedTrace::from_parts(trace.grid(), per_data)
+}
+
+/// Core plumbing: rebuild the trace mapping each `(proc, count)` pair.
+fn map_refs(
+    trace: &WindowedTrace,
+    f: impl Fn(ProcId, u32) -> Option<(ProcId, u32)>,
+) -> WindowedTrace {
+    let per_data = trace
+        .iter_data()
+        .map(|(_, rs)| {
+            rs.windows()
+                .map(|w| {
+                    WindowRefs::from_pairs(
+                        w.iter().filter_map(|r| f(r.proc, r.count)),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    WindowedTrace::from_parts(trace.grid(), per_data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_array::grid::Grid;
+
+    fn sample() -> WindowedTrace {
+        let g = Grid::new(2, 2);
+        WindowedTrace::from_parts(
+            g,
+            vec![
+                vec![
+                    WindowRefs::from_pairs([(ProcId(0), 2)]),
+                    WindowRefs::from_pairs([(ProcId(3), 1)]),
+                ],
+                vec![
+                    WindowRefs::from_pairs([(ProcId(1), 5)]),
+                    WindowRefs::new(),
+                ],
+            ],
+        )
+    }
+
+    #[test]
+    fn scaling_multiplies_volume() {
+        let t = sample();
+        let s = scale_volumes(&t, 3);
+        assert_eq!(s.total_volume(), t.total_volume() * 3);
+        assert_eq!(s.refs(DataId(0)).window(0).volume_at(ProcId(0)), 6);
+        assert_eq!(s.num_windows(), t.num_windows());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        scale_volumes(&sample(), 0);
+    }
+
+    #[test]
+    fn restriction_keeps_shape() {
+        let t = sample();
+        let r = restrict_data(&t, |d| d == DataId(1));
+        assert_eq!(r.num_data(), 2);
+        assert!(r.refs(DataId(0)).is_never_referenced());
+        assert_eq!(r.refs(DataId(1)).total_volume(), 5);
+    }
+
+    #[test]
+    fn remap_transposes_grid() {
+        let g = Grid::new(2, 2);
+        let t = sample();
+        // mirror across the main diagonal: (x,y) -> (y,x)
+        let m = remap_procs(&t, |p| {
+            let pt = g.point_of(p);
+            g.proc_xy(pt.y, pt.x)
+        });
+        // ProcId(1) = (1,0) maps to (0,1) = ProcId(2)
+        assert_eq!(m.refs(DataId(1)).window(0).volume_at(ProcId(2)), 5);
+        assert_eq!(m.total_volume(), t.total_volume());
+    }
+
+    #[test]
+    fn reverse_round_trips() {
+        let t = sample();
+        let r = reverse_windows(&t);
+        assert_eq!(r.refs(DataId(0)).window(0).volume_at(ProcId(3)), 1);
+        assert_eq!(reverse_windows(&r), t);
+    }
+}

@@ -1,0 +1,181 @@
+//! Structural validation of traces at crate boundaries.
+//!
+//! Schedulers index flat vectors by processor and datum ids; a malformed
+//! trace would turn into a panic deep inside a DP loop. Validating once at
+//! the boundary gives a precise error instead.
+
+use crate::step::StepTrace;
+use crate::window::WindowedTrace;
+
+/// A structural problem found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A processor id `≥ grid.num_procs()` appeared.
+    ProcOutOfRange {
+        /// Step index where it appeared (`None` for windowed traces).
+        step: Option<usize>,
+        /// The offending processor id.
+        proc: u32,
+    },
+    /// A datum id `≥ num_data` appeared.
+    DataOutOfRange {
+        /// Step index where it appeared (`None` for windowed traces).
+        step: Option<usize>,
+        /// The offending datum id.
+        data: u32,
+    },
+    /// The trace has no windows.
+    NoWindows,
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceError::ProcOutOfRange { step, proc } => match step {
+                Some(s) => write!(f, "step {s}: processor P{proc} out of range"),
+                None => write!(f, "processor P{proc} out of range"),
+            },
+            TraceError::DataOutOfRange { step, data } => match step {
+                Some(s) => write!(f, "step {s}: datum D{data} out of range"),
+                None => write!(f, "datum D{data} out of range"),
+            },
+            TraceError::NoWindows => write!(f, "trace has no execution windows"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Validate a raw step trace.
+pub fn validate_steps(trace: &StepTrace) -> Result<(), TraceError> {
+    let nprocs = trace.grid.num_procs();
+    for (i, step) in trace.steps.iter().enumerate() {
+        for a in &step.accesses {
+            if a.proc.index() >= nprocs {
+                return Err(TraceError::ProcOutOfRange {
+                    step: Some(i),
+                    proc: a.proc.0,
+                });
+            }
+            if a.data.0 >= trace.num_data {
+                return Err(TraceError::DataOutOfRange {
+                    step: Some(i),
+                    data: a.data.0,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a windowed trace.
+pub fn validate_windowed(trace: &WindowedTrace) -> Result<(), TraceError> {
+    if trace.num_windows() == 0 {
+        return Err(TraceError::NoWindows);
+    }
+    let nprocs = trace.grid().num_procs();
+    for (_, rs) in trace.iter_data() {
+        for w in rs.windows() {
+            for r in w.iter() {
+                if r.proc.index() >= nprocs {
+                    return Err(TraceError::ProcOutOfRange {
+                        step: None,
+                        proc: r.proc.0,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::DataId;
+    use crate::step::{Access, ExecStep};
+    use crate::window::WindowRefs;
+    use pim_array::grid::{Grid, ProcId};
+
+    #[test]
+    fn accepts_valid_step_trace() {
+        let g = Grid::new(2, 2);
+        let t = StepTrace {
+            grid: g,
+            num_data: 2,
+            steps: vec![ExecStep {
+                accesses: vec![Access {
+                    proc: ProcId(3),
+                    data: DataId(1),
+                    count: 1,
+                }],
+            }],
+        };
+        assert_eq!(validate_steps(&t), Ok(()));
+    }
+
+    #[test]
+    fn rejects_bad_proc_in_steps() {
+        let g = Grid::new(2, 2);
+        let t = StepTrace {
+            grid: g,
+            num_data: 2,
+            steps: vec![ExecStep {
+                accesses: vec![Access {
+                    proc: ProcId(4),
+                    data: DataId(0),
+                    count: 1,
+                }],
+            }],
+        };
+        assert_eq!(
+            validate_steps(&t),
+            Err(TraceError::ProcOutOfRange { step: Some(0), proc: 4 })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_data_in_steps() {
+        let g = Grid::new(2, 2);
+        let t = StepTrace {
+            grid: g,
+            num_data: 1,
+            steps: vec![ExecStep {
+                accesses: vec![Access {
+                    proc: ProcId(0),
+                    data: DataId(3),
+                    count: 1,
+                }],
+            }],
+        };
+        assert!(matches!(
+            validate_steps(&t),
+            Err(TraceError::DataOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn windowed_validation() {
+        let g = Grid::new(2, 2);
+        let ok = WindowedTrace::from_parts(
+            g,
+            vec![vec![WindowRefs::from_pairs([(ProcId(3), 1)])]],
+        );
+        assert_eq!(validate_windowed(&ok), Ok(()));
+        let bad = WindowedTrace::from_parts(
+            g,
+            vec![vec![WindowRefs::from_pairs([(ProcId(9), 1)])]],
+        );
+        assert!(matches!(
+            validate_windowed(&bad),
+            Err(TraceError::ProcOutOfRange { step: None, proc: 9 })
+        ));
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = TraceError::ProcOutOfRange { step: Some(3), proc: 7 };
+        assert_eq!(e.to_string(), "step 3: processor P7 out of range");
+        assert_eq!(TraceError::NoWindows.to_string(), "trace has no execution windows");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the binary trace encoding: arbitrary traces
+//! round-trip, arbitrary corruption never panics, and re-encoding is
+//! canonical.
+
+use pim_array::grid::{Grid, ProcId};
+use pim_trace::encode::{decode_trace, encode_trace, encoded_size};
+use pim_trace::window::{WindowRefs, WindowedTrace};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = WindowedTrace> {
+    (1u32..=6, 1u32..=6).prop_flat_map(|(w, h)| {
+        let grid = Grid::new(w, h);
+        let m = grid.num_procs() as u32;
+        (1usize..=4, 1usize..=5).prop_flat_map(move |(nd, nw)| {
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec((0..m, 1u32..100), 0..5),
+                    nw..=nw,
+                ),
+                nd..=nd,
+            )
+            .prop_map(move |data| {
+                let per_data = data
+                    .into_iter()
+                    .map(|windows| {
+                        windows
+                            .into_iter()
+                            .map(|pairs| {
+                                WindowRefs::from_pairs(
+                                    pairs.into_iter().map(|(p, n)| (ProcId(p), n)),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect();
+                WindowedTrace::from_parts(grid, per_data)
+            })
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(trace in arb_trace()) {
+        let buf = encode_trace(&trace);
+        prop_assert_eq!(buf.len(), encoded_size(&trace));
+        let back = decode_trace(buf).expect("well-formed encoding decodes");
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn reencoding_is_canonical(trace in arb_trace()) {
+        let a = encode_trace(&trace);
+        let b = encode_trace(&decode_trace(a.clone()).unwrap());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corruption_never_panics(trace in arb_trace(), byte in 0usize..4096, flip in 1u8..=255) {
+        let buf = encode_trace(&trace);
+        let mut raw = buf.to_vec();
+        let idx = byte % raw.len();
+        raw[idx] ^= flip;
+        // decoding may succeed (if the flip hits a count) or fail — it must
+        // never panic, and a success must still be structurally valid.
+        if let Ok(t) = decode_trace(bytes::Bytes::from(raw)) {
+            prop_assert!(pim_trace::validate::validate_windowed(&t).is_ok());
+        }
+    }
+
+    #[test]
+    fn truncation_always_detected(trace in arb_trace(), frac in 0u32..100) {
+        let buf = encode_trace(&trace);
+        if buf.len() <= 1 {
+            return Ok(());
+        }
+        let cut = (buf.len() as u64 * frac as u64 / 100) as usize;
+        let cut = cut.min(buf.len() - 1);
+        prop_assert!(decode_trace(buf.slice(0..cut)).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Cholesky factorization (extra workload, not in the paper).
+//!
+//! Right-looking Cholesky `A = L·Lᵀ` on a symmetric positive-definite
+//! `n × n` matrix, touching only the lower triangle. Its reference pattern
+//! is LU's asymmetric cousin: the active region shrinks like LU's but the
+//! column panel is reused against a *triangular* trailing update, so the
+//! hot set is lopsided — a good stress for center placement off the grid
+//! diagonal.
+
+use crate::space::DataSpace;
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_trace::builder::TraceBuilder;
+use pim_trace::step::StepTrace;
+
+/// Parameters for the Cholesky generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CholeskyParams {
+    /// Matrix dimension.
+    pub n: u32,
+    /// Iteration partition.
+    pub iter_layout: Layout,
+}
+
+impl CholeskyParams {
+    /// `n × n` with the default block iteration partition.
+    pub fn new(n: u32) -> Self {
+        CholeskyParams {
+            n,
+            iter_layout: Layout::Block2D,
+        }
+    }
+}
+
+/// Generate the Cholesky trace: two steps per pivot (panel scale, trailing
+/// triangular update).
+pub fn cholesky_trace(grid: Grid, params: CholeskyParams) -> (StepTrace, DataSpace) {
+    let n = params.n;
+    assert!(n >= 2, "cholesky needs n ≥ 2");
+    let (space, a) = DataSpace::single(n);
+    let mut b = TraceBuilder::new(grid, space.total_data());
+
+    for k in 0..n - 1 {
+        // panel: L[i][k] = A[i][k] / sqrt(A[k][k]) for i > k
+        {
+            let mut step = b.step();
+            for i in k + 1..n {
+                let p = params.iter_layout.owner(&grid, n, n, i, k);
+                step.access(p, space.elem(a, i, k));
+                step.access(p, space.elem(a, k, k));
+            }
+        }
+        // trailing triangular update: A[i][j] -= L[i][k]·L[j][k], j ≤ i
+        {
+            let mut step = b.step();
+            for i in k + 1..n {
+                for j in k + 1..=i {
+                    let p = params.iter_layout.owner(&grid, n, n, i, j);
+                    step.access(p, space.elem(a, i, j));
+                    step.access(p, space.elem(a, i, k));
+                    step.access(p, space.elem(a, j, k));
+                }
+            }
+        }
+    }
+    (b.finish(), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::validate::validate_steps;
+
+    #[test]
+    fn shape_and_volume() {
+        let grid = Grid::new(4, 4);
+        let (t, _) = cholesky_trace(grid, CholeskyParams::new(8));
+        assert_eq!(t.num_steps(), 14);
+        // triangular update touches (n-1-k)(n-k)/2 pairs × 3 refs
+        let expect: u64 = (0..7u64)
+            .map(|k| {
+                let r = 7 - k;
+                2 * r + 3 * r * (r + 1) / 2
+            })
+            .sum();
+        assert_eq!(t.total_refs(), expect);
+        assert_eq!(validate_steps(&t), Ok(()));
+    }
+
+    #[test]
+    fn upper_triangle_untouched() {
+        let grid = Grid::new(4, 4);
+        let n = 8u32;
+        let (t, space) = cholesky_trace(grid, CholeskyParams::new(n));
+        let mut sp = DataSpace::new();
+        let a = sp.add_array("A", n, n);
+        assert_eq!(sp, space);
+        for step in &t.steps {
+            for acc in &step.accesses {
+                let (_, r, c) = sp.locate(acc.data).unwrap();
+                assert!(r >= c, "upper-triangle element ({r},{c}) referenced");
+                let _ = a;
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The `CODE` kernel — synthetic substitute (see DESIGN.md §3).
+//!
+//! The paper's benchmarks 3–5 combine LU / matrix-squaring with a kernel
+//! called CODE from Notre Dame TR 97-09, which is not publicly available.
+//! What the paper tells us about it is *why* it is there: the proposed
+//! schedulers "assume neither the linearity nor the uniformity of the data
+//! reference pattern", and movement-aware scheduling pays off "especially
+//! for the benchmarks with complicated data reference patterns".
+//!
+//! This substitute therefore produces a deterministic (seeded), non-uniform,
+//! non-linear reference string over a single `n × n` array:
+//!
+//! * execution proceeds in *phases*; each phase has a **hot rectangle** of
+//!   the data array and a **processor cluster** whose center performs a
+//!   non-linear pseudo-random walk over the grid between phases;
+//! * within a phase, every step references each hot datum 1–3 times from
+//!   processors drawn around the cluster center, plus a sprinkle of cold
+//!   background references from uniformly random processors to uniformly
+//!   random data.
+//!
+//! No loop-index linearity relates iteration to processor, and reference
+//! density varies by orders of magnitude across data — the two properties
+//! the paper's motivation requires.
+
+use crate::space::DataSpace;
+use pim_array::geom::Point;
+use pim_array::grid::Grid;
+use pim_trace::builder::TraceBuilder;
+use pim_trace::step::StepTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic CODE kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeParams {
+    /// Data array dimension (`n × n`).
+    pub n: u32,
+    /// Number of phases (hot-spot epochs).
+    pub phases: u32,
+    /// Execution steps per phase.
+    pub steps_per_phase: u32,
+    /// Background (cold) references per step.
+    pub background_refs: u32,
+    /// RNG seed; equal seeds give identical traces.
+    pub seed: u64,
+}
+
+impl CodeParams {
+    /// Defaults scaled to the data size: `max(4, n/4)` phases of 2 steps.
+    pub fn new(n: u32, seed: u64) -> Self {
+        CodeParams {
+            n,
+            phases: (n / 4).max(4),
+            steps_per_phase: 2,
+            background_refs: n,
+            seed,
+        }
+    }
+}
+
+/// Generate the synthetic CODE trace over a single `n × n` array.
+pub fn code_trace(grid: Grid, params: CodeParams) -> (StepTrace, DataSpace) {
+    let n = params.n;
+    assert!(n >= 2, "CODE needs n ≥ 2");
+    let (space, a) = DataSpace::single(n);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = TraceBuilder::new(grid, space.total_data());
+
+    // Cluster walk state, in continuous grid coordinates.
+    let mut cx = rng.gen_range(0.0..grid.width() as f64);
+    let mut cy = rng.gen_range(0.0..grid.height() as f64);
+
+    for phase in 0..params.phases {
+        // Non-linear walk: a quadratic-chirp drift plus random jitter, so
+        // displacement is neither constant nor a linear function of phase.
+        let t = phase as f64;
+        cx += (0.07 * t * t).sin() * (grid.width() as f64 / 2.0)
+            + rng.gen_range(-1.5..1.5);
+        cy += (0.05 * t * t + 1.0).cos() * (grid.height() as f64 / 2.0)
+            + rng.gen_range(-1.5..1.5);
+        cx = cx.rem_euclid(grid.width() as f64);
+        cy = cy.rem_euclid(grid.height() as f64);
+
+        // Hot rectangle of the data array for this phase.
+        let hw = rng.gen_range(1..=(n / 2).max(1));
+        let hh = rng.gen_range(1..=(n / 2).max(1));
+        let hr = rng.gen_range(0..n - hh + 1);
+        let hc = rng.gen_range(0..n - hw + 1);
+
+        for _ in 0..params.steps_per_phase {
+            let mut step = b.step();
+            // Hot references from the cluster.
+            for r in hr..hr + hh {
+                for c in hc..hc + hw {
+                    let count = rng.gen_range(1..=3u32);
+                    let p = cluster_proc(&grid, cx, cy, &mut rng);
+                    step.access_n(p, space.elem(a, r, c), count);
+                }
+            }
+            // Cold background.
+            for _ in 0..params.background_refs {
+                let p = grid.proc_xy(
+                    rng.gen_range(0..grid.width()),
+                    rng.gen_range(0..grid.height()),
+                );
+                let r = rng.gen_range(0..n);
+                let c = rng.gen_range(0..n);
+                step.access(p, space.elem(a, r, c));
+            }
+        }
+    }
+    (b.finish(), space)
+}
+
+/// A processor near the continuous cluster center `(cx, cy)`, clamped to
+/// the grid.
+fn cluster_proc(grid: &Grid, cx: f64, cy: f64, rng: &mut StdRng) -> pim_array::grid::ProcId {
+    let jitter = 1.5;
+    let x = (cx + rng.gen_range(-jitter..jitter))
+        .round()
+        .clamp(0.0, grid.width() as f64 - 1.0) as u32;
+    let y = (cy + rng.gen_range(-jitter..jitter))
+        .round()
+        .clamp(0.0, grid.height() as f64 - 1.0) as u32;
+    grid.proc_at(Point::new(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::stats::trace_stats;
+    use pim_trace::validate::validate_steps;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let grid = Grid::new(4, 4);
+        let (a, _) = code_trace(grid, CodeParams::new(8, 7));
+        let (b, _) = code_trace(grid, CodeParams::new(8, 7));
+        let (c, _) = code_trace(grid, CodeParams::new(8, 8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn structure_valid() {
+        let grid = Grid::new(4, 4);
+        let p = CodeParams::new(16, 42);
+        let (t, space) = code_trace(grid, p);
+        assert_eq!(space.total_data(), 256);
+        assert_eq!(t.num_steps() as u32, p.phases * p.steps_per_phase);
+        assert_eq!(validate_steps(&t), Ok(()));
+        assert!(t.total_refs() > 0);
+    }
+
+    #[test]
+    fn pattern_is_nonuniform_and_drifting() {
+        let grid = Grid::new(4, 4);
+        let (t, _) = code_trace(grid, CodeParams::new(16, 3));
+        let windowed = t.window_fixed(2); // one window per phase
+        let stats = trace_stats(&windowed);
+        // hot data get far more references than cold ones
+        let vols = pim_trace::stats::volume_per_data(&windowed);
+        let max = *vols.iter().max().unwrap();
+        let mean = vols.iter().sum::<u64>() as f64 / vols.len() as f64;
+        assert!(
+            max as f64 > 4.0 * mean,
+            "expected skewed reference volumes (max {max}, mean {mean:.1})"
+        );
+        // hot set drifts between windows
+        assert!(
+            stats.mean_drift > 0.5,
+            "expected inter-window drift, got {}",
+            stats.mean_drift
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Combined benchmarks 3–5.
+//!
+//! The paper's remaining benchmarks concatenate kernels over a shared data
+//! space:
+//!
+//! * **benchmark 3** — LU factorization followed by CODE;
+//! * **benchmark 4** — matrix squaring followed by CODE;
+//! * **benchmark 5** — CODE followed by CODE in reverse execution order.
+//!
+//! Concatenation shares datum ids: the CODE phase operates on array `A`
+//! of the preceding kernel (the first `n²` ids), modelling a program that
+//! post-processes the factored/squared matrix irregularly.
+
+use crate::code::{code_trace, CodeParams};
+use crate::lu::{lu_trace, LuParams};
+use crate::matmul::{matmul_trace, MatMulParams};
+use crate::space::DataSpace;
+use pim_array::grid::Grid;
+use pim_trace::step::StepTrace;
+
+/// Benchmark 3: LU then CODE on the same array.
+pub fn lu_then_code(grid: Grid, n: u32, seed: u64) -> (StepTrace, DataSpace) {
+    let (lu, lu_space) = lu_trace(grid, LuParams::new(n));
+    let (code, code_space) = code_trace(grid, CodeParams::new(n, seed));
+    (lu.concat(&code), lu_space.union(code_space))
+}
+
+/// Benchmark 4: matrix squaring then CODE on array `A`.
+pub fn matmul_then_code(grid: Grid, n: u32, seed: u64) -> (StepTrace, DataSpace) {
+    let (mm, mm_space) = matmul_trace(grid, MatMulParams::new(n));
+    let (code, code_space) = code_trace(grid, CodeParams::new(n, seed));
+    (mm.concat(&code), mm_space.union(code_space))
+}
+
+/// Benchmark 5: CODE followed by its own reverse execution order.
+pub fn code_then_reverse(grid: Grid, n: u32, seed: u64) -> (StepTrace, DataSpace) {
+    let (code, space) = code_trace(grid, CodeParams::new(n, seed));
+    let rev = code.reversed();
+    (code.concat(&rev), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::validate::validate_steps;
+
+    #[test]
+    fn b3_shares_array_a() {
+        let grid = Grid::new(4, 4);
+        let (t, space) = lu_then_code(grid, 8, 1);
+        assert_eq!(space.total_data(), 64);
+        assert_eq!(t.num_data, 64);
+        assert_eq!(validate_steps(&t), Ok(()));
+        // steps = LU steps + CODE steps
+        let (lu, _) = lu_trace(grid, LuParams::new(8));
+        let (code, _) = code_trace(grid, CodeParams::new(8, 1));
+        assert_eq!(t.num_steps(), lu.num_steps() + code.num_steps());
+    }
+
+    #[test]
+    fn b4_keeps_both_arrays() {
+        let grid = Grid::new(4, 4);
+        let (t, space) = matmul_then_code(grid, 8, 1);
+        // A and C from matmul; CODE touches only A
+        assert_eq!(space.total_data(), 128);
+        assert_eq!(t.num_data, 128);
+        assert_eq!(validate_steps(&t), Ok(()));
+    }
+
+    #[test]
+    fn b5_is_palindromic() {
+        let grid = Grid::new(4, 4);
+        let (t, _) = code_then_reverse(grid, 8, 9);
+        let k = t.num_steps();
+        assert_eq!(k % 2, 0);
+        for i in 0..k / 2 {
+            assert_eq!(t.steps[i], t.steps[k - 1 - i], "mirror at {i}");
+        }
+    }
+}

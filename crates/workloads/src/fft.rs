@@ -1,0 +1,105 @@
+//! Radix-2 FFT butterfly pattern (extra workload).
+//!
+//! `log₂ N` stages over a vector of `N` complex points (modelled as a
+//! `1 × N` data array); stage `s` pairs element `i` with `i XOR 2^s`. The
+//! partner distance doubles every stage, so the reference pattern is
+//! *structurally* non-local in a way no single static distribution can
+//! serve — the canonical argument for stage-wise redistribution in the
+//! paper's related work on block-cyclic redistribution.
+
+use crate::space::DataSpace;
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_trace::builder::TraceBuilder;
+use pim_trace::step::StepTrace;
+
+/// Parameters for the FFT generator.
+#[derive(Debug, Clone, Copy)]
+pub struct FftParams {
+    /// Number of points; must be a power of two ≥ 2.
+    pub points: u32,
+    /// Iteration partition for the butterfly index space (treated as a
+    /// `1 × points` array).
+    pub iter_layout: Layout,
+}
+
+impl FftParams {
+    /// `points`-element FFT with the default block iteration partition.
+    pub fn new(points: u32) -> Self {
+        FftParams {
+            points,
+            iter_layout: Layout::Block2D,
+        }
+    }
+}
+
+/// Generate the FFT trace: one step per butterfly stage.
+///
+/// # Panics
+/// Panics unless `points` is a power of two ≥ 2.
+pub fn fft_trace(grid: Grid, params: FftParams) -> (StepTrace, DataSpace) {
+    let n = params.points;
+    assert!(n >= 2 && n.is_power_of_two(), "FFT needs a power-of-two size ≥ 2");
+    let mut space = DataSpace::new();
+    let a = space.add_array("A", 1, n);
+    let mut b = TraceBuilder::new(grid, space.total_data());
+
+    let stages = n.trailing_zeros();
+    for s in 0..stages {
+        let span = 1u32 << s;
+        let mut step = b.step();
+        for i in 0..n {
+            if i & span != 0 {
+                continue; // the lower element of each pair runs the butterfly
+            }
+            let j = i | span;
+            let p = params.iter_layout.owner(&grid, 1, n, 0, i);
+            step.access(p, space.elem(a, 0, i));
+            step.access(p, space.elem(a, 0, j));
+        }
+    }
+    (b.finish(), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::validate::validate_steps;
+
+    #[test]
+    fn stage_structure() {
+        let grid = Grid::new(4, 4);
+        let (t, space) = fft_trace(grid, FftParams::new(64));
+        assert_eq!(space.total_data(), 64);
+        assert_eq!(t.num_steps(), 6);
+        // every stage touches every point exactly once
+        for step in &t.steps {
+            assert_eq!(step.total_refs(), 64);
+        }
+        assert_eq!(validate_steps(&t), Ok(()));
+    }
+
+    #[test]
+    fn partner_distance_doubles() {
+        let grid = Grid::new(4, 4);
+        let (t, space) = fft_trace(grid, FftParams::new(16));
+        let mut sp = DataSpace::new();
+        let a = sp.add_array("A", 1, 16);
+        assert_eq!(sp, space);
+        for (s, step) in t.steps.iter().enumerate() {
+            // accesses come in (i, i|span) pairs
+            let span = 1u32 << s;
+            for pair in step.accesses.chunks(2) {
+                let lo = pair[0].data.0 - sp.elem(a, 0, 0).0;
+                let hi = pair[1].data.0 - sp.elem(a, 0, 0).0;
+                assert_eq!(hi - lo, span, "stage {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        fft_trace(Grid::new(2, 2), FftParams::new(12));
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # pim-workloads
+//!
+//! Benchmark kernels that generate the reference traces driving the
+//! scheduling experiments — the paper's five benchmarks plus extras:
+//!
+//! | # | Paper description | Module |
+//! |---|---|---|
+//! | 1 | LU factorization | [`lu`] |
+//! | 2 | square of a matrix | [`matmul`] |
+//! | 3 | benchmark 1 and CODE | [`combos`] |
+//! | 4 | benchmark 2 and CODE | [`combos`] |
+//! | 5 | CODE and reverse-order CODE | [`combos`] |
+//!
+//! The `CODE` kernel of the paper lives in Notre Dame TR 97-09, which is
+//! not available; [`code`] provides a synthetic substitute with the
+//! property the paper relies on — a *non-uniform, non-linear* reference
+//! pattern with phase-shifting hot spots (see DESIGN.md §3).
+//!
+//! Extra kernels for examples and ablations: [`stencil`] (Jacobi),
+//! [`transpose`], [`sor`] (red-black successive over-relaxation).
+//!
+//! [`space`] tracks multi-array data spaces (e.g. matrix multiply reads `A`
+//! and writes `C`) and builds the straight-forward baseline placement;
+//! [`registry`] gives a uniform handle over every benchmark;
+//! [`paper_example`] reconstructs Figure 1 of the paper.
+
+pub mod cholesky;
+pub mod code;
+pub mod combos;
+pub mod coopt;
+pub mod fft;
+pub mod granularity;
+pub mod lu;
+pub mod matmul;
+pub mod paper_example;
+pub mod registry;
+pub mod sor;
+pub mod space;
+pub mod stencil;
+pub mod transpose;
+pub mod trisolve;
+
+pub use registry::{windowed, Benchmark};
+pub use space::{ArrayHandle, DataSpace};

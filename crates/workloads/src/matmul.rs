@@ -1,0 +1,117 @@
+//! Matrix squaring `C = A·A` (paper benchmark 2).
+//!
+//! The kernel runs the classic triple loop with `k` outermost, emitting one
+//! execution step per `k`: every iteration `(i, j)` (mapped to its
+//! processor by the iteration partition) references `A[i][k]`, `A[k][j]`
+//! and its accumulator `C[i][j]`.
+//!
+//! With `k` outermost the hot set sweeps through `A` one column and one row
+//! at a time — a regular but *moving* pattern, the kind a single static
+//! placement serves poorly and per-window re-centering serves well.
+
+use crate::space::DataSpace;
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_trace::builder::TraceBuilder;
+use pim_trace::step::StepTrace;
+
+/// Parameters for the matrix-squaring generator.
+#[derive(Debug, Clone, Copy)]
+pub struct MatMulParams {
+    /// Matrix dimension.
+    pub n: u32,
+    /// Iteration partition for the `(i, j)` iteration space.
+    pub iter_layout: Layout,
+}
+
+impl MatMulParams {
+    /// `n × n` squaring with the default block iteration partition.
+    pub fn new(n: u32) -> Self {
+        MatMulParams {
+            n,
+            iter_layout: Layout::Block2D,
+        }
+    }
+}
+
+/// Generate the `C = A·A` trace: one step per `k`, arrays `A` then `C`.
+pub fn matmul_trace(grid: Grid, params: MatMulParams) -> (StepTrace, DataSpace) {
+    let n = params.n;
+    assert!(n >= 1, "matmul needs n ≥ 1");
+    let mut space = DataSpace::new();
+    let a = space.add_array("A", n, n);
+    let c = space.add_array("C", n, n);
+    let mut b = TraceBuilder::new(grid, space.total_data());
+
+    for k in 0..n {
+        let mut step = b.step();
+        for i in 0..n {
+            for j in 0..n {
+                let p = params.iter_layout.owner(&grid, n, n, i, j);
+                step.access(p, space.elem(a, i, k));
+                step.access(p, space.elem(a, k, j));
+                step.access(p, space.elem(c, i, j));
+            }
+        }
+    }
+    (b.finish(), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::validate::validate_steps;
+
+    #[test]
+    fn shape_and_volume() {
+        let grid = Grid::new(4, 4);
+        let (t, space) = matmul_trace(grid, MatMulParams::new(8));
+        assert_eq!(space.total_data(), 128); // A and C
+        assert_eq!(t.num_steps(), 8);
+        assert_eq!(t.total_refs(), 8 * 8 * 8 * 3);
+        assert_eq!(validate_steps(&t), Ok(()));
+    }
+
+    #[test]
+    fn column_k_of_a_is_hot_in_step_k() {
+        let grid = Grid::new(4, 4);
+        let n = 8u32;
+        let (t, space) = matmul_trace(grid, MatMulParams::new(n));
+        let mut sp = DataSpace::new();
+        let a = sp.add_array("A", n, n);
+        let _ = sp.add_array("C", n, n);
+        assert_eq!(sp, space);
+        // In step k=3, A[i][3] is referenced by the whole row i of
+        // iterations: n references each.
+        let k = 3u32;
+        let target = sp.elem(a, 2, k);
+        let count: u32 = t.steps[k as usize]
+            .accesses
+            .iter()
+            .filter(|acc| acc.data == target)
+            .map(|acc| acc.count)
+            .sum();
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn c_referenced_every_step() {
+        let grid = Grid::new(4, 4);
+        let n = 4u32;
+        let (t, space) = matmul_trace(grid, MatMulParams::new(n));
+        let mut sp = DataSpace::new();
+        let _ = sp.add_array("A", n, n);
+        let c = sp.add_array("C", n, n);
+        assert_eq!(sp, space);
+        let target = sp.elem(c, 1, 2);
+        for (i, step) in t.steps.iter().enumerate() {
+            let count: u32 = step
+                .accesses
+                .iter()
+                .filter(|acc| acc.data == target)
+                .map(|acc| acc.count)
+                .sum();
+            assert_eq!(count, 1, "step {i}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Red-black successive over-relaxation (extra workload, not in the paper).
+//!
+//! Each sweep is two execution steps: the red half-sweep updates points
+//! with `(i + j) % 2 == 0` reading their four (black) neighbours, then the
+//! black half-sweep does the converse. Like Jacobi it is distribution-
+//! friendly, but the alternating half-sweeps double the window count per
+//! sweep, exercising the window-grouping path (Algorithm 3 should merge
+//! red/black pairs).
+
+use crate::space::DataSpace;
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_trace::builder::TraceBuilder;
+use pim_trace::step::StepTrace;
+
+/// Parameters for the SOR generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SorParams {
+    /// Data array dimension.
+    pub n: u32,
+    /// Number of full sweeps (red + black).
+    pub sweeps: u32,
+    /// Iteration partition.
+    pub iter_layout: Layout,
+}
+
+impl SorParams {
+    /// `n × n` SOR with block iteration partition.
+    pub fn new(n: u32, sweeps: u32) -> Self {
+        SorParams {
+            n,
+            sweeps,
+            iter_layout: Layout::Block2D,
+        }
+    }
+}
+
+/// Generate the red-black SOR trace: two steps per sweep.
+pub fn sor_trace(grid: Grid, params: SorParams) -> (StepTrace, DataSpace) {
+    let n = params.n;
+    assert!(n >= 3, "SOR needs n ≥ 3");
+    let (space, a) = DataSpace::single(n);
+    let mut b = TraceBuilder::new(grid, space.total_data());
+    for _ in 0..params.sweeps {
+        for color in 0..2u32 {
+            let mut step = b.step();
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    if (i + j) % 2 != color {
+                        continue;
+                    }
+                    let p = params.iter_layout.owner(&grid, n, n, i, j);
+                    step.access(p, space.elem(a, i, j));
+                    step.access(p, space.elem(a, i - 1, j));
+                    step.access(p, space.elem(a, i + 1, j));
+                    step.access(p, space.elem(a, i, j - 1));
+                    step.access(p, space.elem(a, i, j + 1));
+                }
+            }
+        }
+    }
+    (b.finish(), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::validate::validate_steps;
+
+    #[test]
+    fn two_steps_per_sweep() {
+        let grid = Grid::new(4, 4);
+        let (t, _) = sor_trace(grid, SorParams::new(8, 3));
+        assert_eq!(t.num_steps(), 6);
+        assert_eq!(validate_steps(&t), Ok(()));
+        // red + black half-sweeps together cover every interior point once
+        let total: u64 = t.steps[0].total_refs() + t.steps[1].total_refs();
+        assert_eq!(total, 6 * 6 * 5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Five-point Jacobi stencil (extra workload, not in the paper).
+//!
+//! Each sweep references, for every interior point, the point itself and
+//! its four neighbours. With an iteration partition matching the data
+//! layout this is the best case for static distribution — a useful
+//! *negative control*: the schedulers should win little here, confirming
+//! that their gains on the paper's benchmarks come from reference-pattern
+//! drift rather than from an unfairly weak baseline.
+
+use crate::space::DataSpace;
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_trace::builder::TraceBuilder;
+use pim_trace::step::StepTrace;
+
+/// Parameters for the Jacobi stencil generator.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilParams {
+    /// Data array dimension.
+    pub n: u32,
+    /// Number of sweeps (one execution step each).
+    pub sweeps: u32,
+    /// Iteration partition.
+    pub iter_layout: Layout,
+}
+
+impl StencilParams {
+    /// `n × n` Jacobi with `sweeps` sweeps, block iteration partition.
+    pub fn new(n: u32, sweeps: u32) -> Self {
+        StencilParams {
+            n,
+            sweeps,
+            iter_layout: Layout::Block2D,
+        }
+    }
+}
+
+/// Generate the Jacobi trace: one step per sweep.
+pub fn stencil_trace(grid: Grid, params: StencilParams) -> (StepTrace, DataSpace) {
+    let n = params.n;
+    assert!(n >= 3, "stencil needs n ≥ 3");
+    let (space, a) = DataSpace::single(n);
+    let mut b = TraceBuilder::new(grid, space.total_data());
+    for _ in 0..params.sweeps {
+        let mut step = b.step();
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let p = params.iter_layout.owner(&grid, n, n, i, j);
+                step.access(p, space.elem(a, i, j));
+                step.access(p, space.elem(a, i - 1, j));
+                step.access(p, space.elem(a, i + 1, j));
+                step.access(p, space.elem(a, i, j - 1));
+                step.access(p, space.elem(a, i, j + 1));
+            }
+        }
+    }
+    (b.finish(), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::validate::validate_steps;
+
+    #[test]
+    fn volume_and_validity() {
+        let grid = Grid::new(4, 4);
+        let (t, _) = stencil_trace(grid, StencilParams::new(8, 3));
+        assert_eq!(t.num_steps(), 3);
+        assert_eq!(t.total_refs(), 3 * 6 * 6 * 5);
+        assert_eq!(validate_steps(&t), Ok(()));
+    }
+
+    #[test]
+    fn steps_are_identical() {
+        let grid = Grid::new(4, 4);
+        let (t, _) = stencil_trace(grid, StencilParams::new(8, 4));
+        assert!(t.steps.windows(2).all(|w| w[0] == w[1]));
+    }
+}

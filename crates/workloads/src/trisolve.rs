@@ -1,0 +1,89 @@
+//! Triangular solve with many right-hand sides (extra workload).
+//!
+//! Forward substitution `L·X = B` for a lower-triangular `n × n` matrix
+//! `L` against an `n × n` block of right-hand sides. Row `i` of `X`
+//! depends on all earlier rows, so the computation is a wavefront: step
+//! `i` references row `i` of `L` (growing prefix) and every earlier row of
+//! `X` — a *monotonically expanding* hot set, complementary to LU's
+//! shrinking one.
+
+use crate::space::DataSpace;
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_trace::builder::TraceBuilder;
+use pim_trace::step::StepTrace;
+
+/// Parameters for the triangular-solve generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TrisolveParams {
+    /// Matrix dimension (and number of right-hand sides).
+    pub n: u32,
+    /// Iteration partition for the `(row, rhs)` iteration space.
+    pub iter_layout: Layout,
+}
+
+impl TrisolveParams {
+    /// `n × n` with the default block iteration partition.
+    pub fn new(n: u32) -> Self {
+        TrisolveParams {
+            n,
+            iter_layout: Layout::Block2D,
+        }
+    }
+}
+
+/// Generate the forward-substitution trace: one step per solved row.
+/// Arrays: `L` (ids first) then `X` (solution overwrites the right-hand
+/// sides in place).
+pub fn trisolve_trace(grid: Grid, params: TrisolveParams) -> (StepTrace, DataSpace) {
+    let n = params.n;
+    assert!(n >= 2, "trisolve needs n ≥ 2");
+    let mut space = DataSpace::new();
+    let l = space.add_array("L", n, n);
+    let x = space.add_array("X", n, n);
+    let mut b = TraceBuilder::new(grid, space.total_data());
+
+    for i in 0..n {
+        let mut step = b.step();
+        for r in 0..n {
+            // rhs column r
+            let p = params.iter_layout.owner(&grid, n, n, i, r);
+            // x[i][r] = (b[i][r] − Σ_{j<i} L[i][j]·x[j][r]) / L[i][i]
+            step.access(p, space.elem(x, i, r));
+            step.access(p, space.elem(l, i, i));
+            for j in 0..i {
+                step.access(p, space.elem(l, i, j));
+                step.access(p, space.elem(x, j, r));
+            }
+        }
+    }
+    (b.finish(), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::validate::validate_steps;
+
+    #[test]
+    fn wavefront_grows() {
+        let grid = Grid::new(4, 4);
+        let (t, _) = trisolve_trace(grid, TrisolveParams::new(8));
+        assert_eq!(t.num_steps(), 8);
+        let volumes: Vec<u64> = t.steps.iter().map(|s| s.total_refs()).collect();
+        for w in volumes.windows(2) {
+            assert!(w[1] > w[0], "step volume must grow: {volumes:?}");
+        }
+        assert_eq!(validate_steps(&t), Ok(()));
+    }
+
+    #[test]
+    fn total_volume_formula() {
+        let grid = Grid::new(4, 4);
+        let n = 8u64;
+        let (t, _) = trisolve_trace(grid, TrisolveParams::new(n as u32));
+        // per row i: n·(2 + 2i) references
+        let expect: u64 = (0..n).map(|i| n * (2 + 2 * i)).sum();
+        assert_eq!(t.total_refs(), expect);
+    }
+}

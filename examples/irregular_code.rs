@@ -1,0 +1,75 @@
+//! The irregular CODE kernel — where movement-aware scheduling shines.
+//!
+//! The paper observes that "considering the data movement can be more
+//! effective especially for the benchmarks with complicate data reference
+//! patterns". This example generates the synthetic CODE kernel (drifting
+//! hot spots, no loop-index structure), prints its locality statistics,
+//! and contrasts the schedulers on it and on its combination benchmarks
+//! (3, 4 and 5).
+//!
+//! ```text
+//! cargo run --release -p pim-cli --example irregular_code
+//! ```
+
+use pim_array::grid::Grid;
+use pim_array::layout::Layout;
+use pim_sched::schedule::improvement_pct;
+use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_trace::stats::{hottest_data, trace_stats};
+use pim_workloads::{windowed, Benchmark};
+
+fn main() {
+    let grid = Grid::new(4, 4);
+    let n = 16;
+    let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
+
+    let (code, _) = windowed(Benchmark::Code, grid, n, 2, 1998);
+    let st = trace_stats(&code);
+    println!("synthetic CODE kernel, {n}x{n} data on {grid}:");
+    println!(
+        "  {} windows, volume {}, spread {:.2}, drift {:.2} hops/window",
+        st.num_windows, st.total_volume, st.mean_spread, st.mean_drift
+    );
+    if let Some((d, v)) = hottest_data(&code) {
+        println!("  hottest datum {d}: {v} references (mean {:.1})", {
+            st.total_volume as f64 / st.num_data as f64
+        });
+    }
+    println!();
+
+    println!(
+        "{:<22} {:>10} {:>9} {:>9} {:>9}",
+        "benchmark", "S.F.", "SCDS", "LOMCDS", "GOMCDS"
+    );
+    for bench in [
+        Benchmark::Code,
+        Benchmark::LuCode,
+        Benchmark::MatMulCode,
+        Benchmark::CodeReverse,
+    ] {
+        let (trace, space) = windowed(bench, grid, n, 2, 1998);
+        let sf = space
+            .straightforward(&trace, Layout::RowWise)
+            .evaluate(&trace)
+            .total();
+        let pct = |m| {
+            improvement_pct(
+                sf,
+                schedule(m, &trace, memory).evaluate(&trace).total(),
+            )
+        };
+        println!(
+            "{:<22} {:>10} {:>8.1}% {:>8.1}% {:>8.1}%",
+            bench.name(),
+            sf,
+            pct(Method::Scds),
+            pct(Method::Lomcds),
+            pct(Method::Gomcds)
+        );
+    }
+
+    println!(
+        "\nThe drifting hot set defeats any static placement: GOMCDS's edge\n\
+         over SCDS is widest on exactly these irregular traces."
+    );
+}

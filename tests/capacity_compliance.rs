@@ -1,0 +1,76 @@
+//! Memory-capacity compliance: every scheduler must respect the per-
+//! processor, per-window slot limit in every window, for every policy.
+
+use pim_array::grid::Grid;
+use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_workloads::{windowed, Benchmark};
+
+#[test]
+fn occupancy_never_exceeds_capacity() {
+    let grid = Grid::new(4, 4);
+    for bench in [Benchmark::Lu, Benchmark::MatMulCode, Benchmark::CodeReverse] {
+        let (trace, _) = windowed(bench, grid, 8, 2, 1998);
+        for factor in [1u32, 2, 3] {
+            let policy = MemoryPolicy::ScaledMinimum { factor };
+            let cap = policy.resolve(&trace).capacity_per_proc;
+            for method in Method::ALL {
+                let s = schedule(method, &trace, policy);
+                assert!(
+                    s.max_occupancy() <= cap,
+                    "{bench}/{method} factor {factor}: occupancy {} > cap {cap}",
+                    s.max_occupancy()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tightest_memory_forces_perfect_balance() {
+    // factor 1 and data divisible by processors: every processor must hold
+    // exactly data/procs items in every window.
+    let grid = Grid::new(4, 4);
+    let (trace, _) = windowed(Benchmark::Lu, grid, 8, 2, 0); // 64 data, 16 procs
+    let policy = MemoryPolicy::ScaledMinimum { factor: 1 };
+    assert_eq!(policy.resolve(&trace).capacity_per_proc, 4);
+    for method in [Method::Scds, Method::Lomcds, Method::Gomcds] {
+        let s = schedule(method, &trace, policy);
+        for (w, occ) in s.occupancy().iter().enumerate() {
+            assert!(
+                occ.iter().all(|&n| n == 4),
+                "{method} window {w}: occupancy {occ:?} not perfectly balanced"
+            );
+        }
+    }
+}
+
+#[test]
+fn looser_memory_never_hurts() {
+    let grid = Grid::new(4, 4);
+    let (trace, _) = windowed(Benchmark::MatMulCode, grid, 8, 2, 1998);
+    for method in [Method::Scds, Method::Lomcds, Method::Gomcds] {
+        let mut prev = u64::MAX;
+        for factor in [1u32, 2, 4] {
+            let cost = schedule(method, &trace, MemoryPolicy::ScaledMinimum { factor })
+                .evaluate(&trace)
+                .total();
+            assert!(
+                cost <= prev,
+                "{method}: cost rose from {prev} to {cost} when memory loosened to {factor}x"
+            );
+            prev = cost;
+        }
+        let unbounded = schedule(method, &trace, MemoryPolicy::Unbounded)
+            .evaluate(&trace)
+            .total();
+        assert!(unbounded <= prev, "{method}: unbounded {unbounded} > 4x {prev}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "cannot hold")]
+fn infeasible_policy_panics_with_clear_message() {
+    let grid = Grid::new(2, 2);
+    let (trace, _) = windowed(Benchmark::Lu, grid, 8, 2, 0); // 64 data, 4 procs
+    let _ = schedule(Method::Gomcds, &trace, MemoryPolicy::Capacity(2)); // 8 slots < 64
+}
