@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pim_array::grid::Grid;
-use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_sched::{compare_methods, schedule, schedule_uncached, MemoryPolicy, Method};
 use pim_workloads::{windowed, Benchmark};
 use std::hint::black_box;
 
@@ -58,5 +58,69 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_parallel_speedup);
+/// The tentpole measurement: every method through the shared cost-table
+/// cache (`schedule`) against the pre-cache reference (`schedule_uncached`),
+/// plus the whole `compare_methods` sweep where one cache serves all five
+/// methods.
+fn bench_cached_vs_uncached(c: &mut Criterion) {
+    let grid = Grid::new(4, 4);
+    let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
+    let (trace, _) = windowed(Benchmark::LuCode, grid, 16, 2, 1998);
+    let mut group = c.benchmark_group("cached_vs_uncached");
+    group.sample_size(10);
+    for method in [
+        Method::Scds,
+        Method::Lomcds,
+        Method::Gomcds,
+        Method::GroupedLocal,
+        Method::GroupedGomcds,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("cached", method.name()),
+            &trace,
+            |b, trace| b.iter(|| black_box(schedule(method, black_box(trace), memory))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("uncached", method.name()),
+            &trace,
+            |b, trace| b.iter(|| black_box(schedule_uncached(method, black_box(trace), memory))),
+        );
+    }
+    group.bench_with_input(
+        BenchmarkId::new("compare_methods", "cached"),
+        &trace,
+        |b, trace| b.iter(|| black_box(compare_methods(black_box(trace), memory))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("compare_methods", "uncached"),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                let costs: Vec<u64> = [
+                    Method::Scds,
+                    Method::Lomcds,
+                    Method::Gomcds,
+                    Method::GroupedLocal,
+                    Method::GroupedGomcds,
+                ]
+                .into_iter()
+                .map(|m| {
+                    schedule_uncached(m, black_box(trace), memory)
+                        .evaluate(trace)
+                        .total()
+                })
+                .collect();
+                black_box(costs)
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_parallel_speedup,
+    bench_cached_vs_uncached
+);
 criterion_main!(benches);

@@ -2,14 +2,22 @@
 //! at reduced sizes and prints a combined summary — the quick way to sanity
 //! check a checkout (`cargo run --release -p pim-bench --bin report_all`).
 //! For the full paper-sized tables use the individual binaries.
+//!
+//! Also emits `BENCH_sched.json` (in the working directory): machine-readable
+//! wall times and total costs of the cached scheduling path against the
+//! pre-cache reference, per method × benchmark × size, plus the
+//! `compare_methods` headline on the paper's benchmark 3 at 32×32 data.
 
 use pim_array::grid::Grid;
 use pim_array::layout::Layout;
 use pim_bench::experiments::{paper_config, run_table, PaperConfig};
 use pim_bench::table;
 use pim_sched::schedule::improvement_pct;
-use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_sched::{compare_methods, schedule, schedule_uncached, MemoryPolicy, Method};
 use pim_workloads::{windowed, Benchmark};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
 
 fn main() {
     let cfg = PaperConfig {
@@ -80,5 +88,111 @@ fn main() {
         (go as f64 - lb as f64) / lb as f64 * 100.0
     });
 
+    // Machine-readable scheduling benchmark: cached vs pre-cache wall
+    // times. Written last so a crash above leaves no stale file behind.
+    let json = bench_sched_json();
+    std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
+    println!("\nwrote BENCH_sched.json");
+
     println!("\nall consistency assertions passed");
+}
+
+/// Mean wall time of `f` in nanoseconds over `reps` timed runs (after one
+/// warmup run), together with the last result.
+fn bench_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> (u128, R) {
+    let mut out = black_box(f());
+    let start = Instant::now();
+    for _ in 0..reps {
+        out = black_box(f());
+    }
+    (start.elapsed().as_nanos() / reps as u128, out)
+}
+
+/// Time every method cached and uncached over benchmark × size, plus the
+/// `compare_methods` headline (benchmark 3, 32×32 data, 4×4 array), and
+/// render the results as JSON (hand-rolled; the vendored serde shim has no
+/// serializer and the schema is flat).
+fn bench_sched_json() -> String {
+    const COMPARE_SET: [Method; 5] = [
+        Method::Scds,
+        Method::Lomcds,
+        Method::Gomcds,
+        Method::GroupedLocal,
+        Method::GroupedGomcds,
+    ];
+    let grid = Grid::new(4, 4);
+    let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"config\": {\"grid\": \"4x4\", \"memory\": \"scaled_minimum_x2\", \"steps_per_window\": 2, \"seed\": 1998},\n");
+    json.push_str("  \"rows\": [\n");
+    let mut first = true;
+    for bench in [Benchmark::Lu, Benchmark::LuCode] {
+        for size in [8u32, 16] {
+            let (trace, _) = windowed(bench, grid, size, 2, 1998);
+            for method in COMPARE_SET {
+                let (cached_ns, sched) =
+                    bench_ns(3, || schedule(method, &trace, memory));
+                let (uncached_ns, _) =
+                    bench_ns(3, || schedule_uncached(method, &trace, memory));
+                let cost = sched.evaluate(&trace).total();
+                if !first {
+                    json.push_str(",\n");
+                }
+                first = false;
+                write!(
+                    json,
+                    "    {{\"benchmark\": \"{}\", \"size\": {size}, \"method\": \"{}\", \
+                     \"total_cost\": {cost}, \"cached_ns\": {cached_ns}, \
+                     \"uncached_ns\": {uncached_ns}, \"speedup\": {:.3}}}",
+                    bench.label(),
+                    method.name(),
+                    uncached_ns as f64 / cached_ns.max(1) as f64,
+                )
+                .expect("write to String cannot fail");
+            }
+        }
+    }
+    json.push_str("\n  ],\n");
+
+    // Headline: the full compare_methods sweep, where one shared cost cache
+    // serves all five methods, on the paper's benchmark 3 at 32×32 data.
+    let (trace, _) = windowed(Benchmark::LuCode, grid, 32, 2, 1998);
+    let (cached_ns, costs) = bench_ns(3, || compare_methods(&trace, memory));
+    let (uncached_ns, uncached_costs) = bench_ns(3, || {
+        COMPARE_SET
+            .into_iter()
+            .map(|m| {
+                (
+                    m,
+                    schedule_uncached(m, &trace, memory).evaluate(&trace).total(),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(costs, uncached_costs, "cached diverged from reference");
+    let speedup = uncached_ns as f64 / cached_ns.max(1) as f64;
+    write!(
+        json,
+        "  \"compare_methods\": {{\"benchmark\": \"3\", \"size\": 32, \"grid\": \"4x4\", \
+         \"cached_ns\": {cached_ns}, \"uncached_ns\": {uncached_ns}, \
+         \"speedup\": {speedup:.3}, \"costs\": {{"
+    )
+    .expect("write to String cannot fail");
+    for (i, (m, c)) in costs.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        write!(json, "\"{}\": {c}", m.name()).expect("write to String cannot fail");
+    }
+    json.push_str("}}\n}\n");
+
+    println!(
+        "\ncached-vs-uncached headline (benchmark 3, 32x32 data, 4x4 array): \
+         compare_methods {:.2}x faster ({:.1} ms vs {:.1} ms)",
+        speedup,
+        cached_ns as f64 / 1e6,
+        uncached_ns as f64 / 1e6,
+    );
+    json
 }

@@ -1,0 +1,238 @@
+//! Shared per-trace cost-table cache.
+//!
+//! Every scheduler keeps re-deriving the same quantity from the raw
+//! reference strings: the axis-projected reference weights of a window
+//! *range*. SCDS needs them for the merged whole execution, LOMCDS per
+//! window, GOMCDS per window twice (DP forward pass and backtrack), and
+//! grouping for `O(n)` different candidate ranges per greedy step. Each
+//! derivation walks the `(proc, count)` lists again.
+//!
+//! Because the L1 cost table is separable (see [`crate::cost`]) and the
+//! axis projection is *linear* in the reference counts, the projections of
+//! a window range are just differences of per-window prefix sums. A
+//! [`DatumCostCache`] stores, per datum:
+//!
+//! ```text
+//! px[w][x] = Σ_{w' < w} Σ_{refs in window w' at column x} count
+//! py[w][y] = …same for rows…
+//! vol[w]   = Σ_{w' < w} total volume of window w'
+//! ```
+//!
+//! built in one `O(nw·(width+height) + total refs)` pass. Afterwards the
+//! cost table of *any* window range `lo..hi` costs
+//! `O(width + height + m)` — independent of how many references the range
+//! holds — via two subtractions per axis slot and the standard two-sweep
+//! [`crate::cost::axis_costs`]. The arithmetic is identical to running
+//! [`crate::cost::cost_table`] on the merged range, so cached and uncached
+//! schedulers produce bit-identical results (property-tested in
+//! `tests/cache_equivalence.rs`).
+
+use crate::cost::{argmin_table, AxisScratch};
+use pim_array::grid::{Grid, ProcId};
+use pim_trace::ids::DataId;
+use pim_trace::window::{DataRefString, WindowedTrace};
+
+/// Prefix-summed axis projections of one datum's reference string.
+#[derive(Debug, Clone)]
+pub struct DatumCostCache {
+    grid: Grid,
+    num_windows: usize,
+    /// `(nw+1) × width` row-major prefix sums of x-projected weights.
+    px: Vec<u64>,
+    /// `(nw+1) × height` row-major prefix sums of y-projected weights.
+    py: Vec<u64>,
+    /// `nw+1` prefix sums of window volumes.
+    vol: Vec<u64>,
+}
+
+impl DatumCostCache {
+    /// Build the cache for one datum in one pass over its references.
+    pub fn build(grid: &Grid, rs: &DataRefString) -> Self {
+        let w = grid.width() as usize;
+        let h = grid.height() as usize;
+        let nw = rs.num_windows();
+        let mut px = vec![0u64; (nw + 1) * w];
+        let mut py = vec![0u64; (nw + 1) * h];
+        let mut vol = vec![0u64; nw + 1];
+        for (wi, refs) in rs.windows().enumerate() {
+            let (prev_x, row_x) = px[wi * w..(wi + 2) * w].split_at_mut(w);
+            row_x.copy_from_slice(prev_x);
+            let (prev_y, row_y) = py[wi * h..(wi + 2) * h].split_at_mut(h);
+            row_y.copy_from_slice(prev_y);
+            vol[wi + 1] = vol[wi];
+            for r in refs.iter() {
+                let p = grid.point_of(r.proc);
+                row_x[p.x as usize] += r.count as u64;
+                row_y[p.y as usize] += r.count as u64;
+                vol[wi + 1] += r.count as u64;
+            }
+        }
+        DatumCostCache {
+            grid: *grid,
+            num_windows: nw,
+            px,
+            py,
+            vol,
+        }
+    }
+
+    /// Number of execution windows the cache covers.
+    pub fn num_windows(&self) -> usize {
+        self.num_windows
+    }
+
+    /// Total reference volume of windows `lo..hi`.
+    pub fn range_volume(&self, lo: usize, hi: usize) -> u64 {
+        debug_assert!(lo <= hi && hi <= self.num_windows);
+        self.vol[hi] - self.vol[lo]
+    }
+
+    /// True when no processor references the datum in windows `lo..hi`.
+    pub fn range_is_empty(&self, lo: usize, hi: usize) -> bool {
+        self.range_volume(lo, hi) == 0
+    }
+
+    /// Cost table of the merged window range `lo..hi`: writes
+    /// `out[p] = cost_at(grid, merged(lo..hi), p)` for every processor in
+    /// `O(width + height + m)`.
+    pub fn range_table(&self, lo: usize, hi: usize, axes: &mut AxisScratch, out: &mut Vec<u64>) {
+        assert!(lo <= hi && hi <= self.num_windows, "bad range {lo}..{hi}");
+        let w = self.grid.width() as usize;
+        let h = self.grid.height() as usize;
+        axes.reset_weights(&self.grid);
+        for x in 0..w {
+            axes.wx[x] = self.px[hi * w + x] - self.px[lo * w + x];
+        }
+        for y in 0..h {
+            axes.wy[y] = self.py[hi * h + y] - self.py[lo * h + y];
+        }
+        axes.sweep_into(&self.grid, out);
+    }
+
+    /// Cost table of a single window (`range_table(w, w+1)`).
+    pub fn window_table(&self, w: usize, axes: &mut AxisScratch, out: &mut Vec<u64>) {
+        self.range_table(w, w + 1, axes, out);
+    }
+
+    /// Cost table of the whole execution merged — what SCDS schedules on.
+    pub fn full_table(&self, axes: &mut AxisScratch, out: &mut Vec<u64>) {
+        self.range_table(0, self.num_windows, axes, out);
+    }
+
+    /// Local optimal center (lowest-id argmin) and its cost for the merged
+    /// range `lo..hi`.
+    pub fn optimal_center_range(
+        &self,
+        lo: usize,
+        hi: usize,
+        axes: &mut AxisScratch,
+        table: &mut Vec<u64>,
+    ) -> (ProcId, u64) {
+        self.range_table(lo, hi, axes, table);
+        argmin_table(table)
+    }
+}
+
+/// Per-trace cache: one [`DatumCostCache`] per datum. Build once, share
+/// across every scheduling method run on the trace (`compare_methods` does
+/// exactly this).
+#[derive(Debug, Clone)]
+pub struct CostCache {
+    data: Vec<DatumCostCache>,
+}
+
+impl CostCache {
+    /// Build caches for every datum of the trace.
+    pub fn build(trace: &WindowedTrace) -> Self {
+        let grid = trace.grid();
+        CostCache {
+            data: trace
+                .iter_data()
+                .map(|(_, rs)| DatumCostCache::build(&grid, rs))
+                .collect(),
+        }
+    }
+
+    /// The cache of one datum.
+    pub fn datum(&self, d: DataId) -> &DatumCostCache {
+        &self.data[d.index()]
+    }
+
+    /// Number of cached data items.
+    pub fn num_data(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{cost_table, optimal_center};
+    use pim_trace::window::WindowRefs;
+
+    fn sample_rs(grid: &Grid) -> DataRefString {
+        DataRefString::new(vec![
+            WindowRefs::from_pairs([(grid.proc_xy(0, 0), 3), (grid.proc_xy(3, 2), 1)]),
+            WindowRefs::new(),
+            WindowRefs::from_pairs([(grid.proc_xy(2, 1), 5)]),
+            WindowRefs::from_pairs([(grid.proc_xy(1, 2), 2), (grid.proc_xy(2, 1), 1)]),
+        ])
+    }
+
+    #[test]
+    fn range_tables_match_merged_cost_tables() {
+        let grid = Grid::new(4, 3);
+        let rs = sample_rs(&grid);
+        let cache = DatumCostCache::build(&grid, &rs);
+        let mut axes = AxisScratch::default();
+        let (mut cached, mut direct) = (Vec::new(), Vec::new());
+        for lo in 0..rs.num_windows() {
+            for hi in lo + 1..=rs.num_windows() {
+                cache.range_table(lo, hi, &mut axes, &mut cached);
+                cost_table(&grid, &rs.merged_range(lo, hi), &mut direct);
+                assert_eq!(cached, direct, "range {lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_volume_queries() {
+        let grid = Grid::new(4, 3);
+        let rs = sample_rs(&grid);
+        let cache = DatumCostCache::build(&grid, &rs);
+        assert!(cache.range_is_empty(1, 2));
+        assert!(!cache.range_is_empty(0, 2));
+        assert_eq!(cache.range_volume(0, 4), rs.total_volume());
+        assert_eq!(cache.range_volume(2, 3), 5);
+        assert_eq!(cache.num_windows(), 4);
+    }
+
+    #[test]
+    fn optimal_center_range_matches_uncached() {
+        let grid = Grid::new(4, 3);
+        let rs = sample_rs(&grid);
+        let cache = DatumCostCache::build(&grid, &rs);
+        let mut axes = AxisScratch::default();
+        let mut table = Vec::new();
+        for (lo, hi) in [(0, 1), (0, 4), (2, 4), (3, 4)] {
+            let cached = cache.optimal_center_range(lo, hi, &mut axes, &mut table);
+            let direct = optimal_center(&grid, &rs.merged_range(lo, hi));
+            assert_eq!(cached, direct, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn trace_cache_indexes_by_datum() {
+        let grid = Grid::new(4, 3);
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![
+                vec![WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1)])],
+                vec![WindowRefs::from_pairs([(grid.proc_xy(3, 2), 7)])],
+            ],
+        );
+        let cache = CostCache::build(&trace);
+        assert_eq!(cache.num_data(), 2);
+        assert_eq!(cache.datum(DataId(1)).range_volume(0, 1), 7);
+    }
+}

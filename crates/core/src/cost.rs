@@ -43,46 +43,79 @@ pub fn cost_table_naive(grid: &Grid, refs: &WindowRefs, out: &mut Vec<u64>) {
     out.extend(grid.procs().map(|p| cost_at(grid, refs, p)));
 }
 
+/// Reusable buffers for the separable cost-table computation: the axis
+/// weight projections and the per-axis cost rows. Holding one of these
+/// across calls removes all per-call allocation from the hot path (the
+/// [`crate::workspace::Workspace`] bundles one for the schedulers).
+#[derive(Debug, Default, Clone)]
+pub struct AxisScratch {
+    /// x-projected weights, one slot per grid column.
+    pub(crate) wx: Vec<u64>,
+    /// y-projected weights, one slot per grid row.
+    pub(crate) wy: Vec<u64>,
+    cx: Vec<u64>,
+    cy: Vec<u64>,
+}
+
+impl AxisScratch {
+    /// Resize the weight rows for `grid` and zero them.
+    pub(crate) fn reset_weights(&mut self, grid: &Grid) {
+        self.wx.clear();
+        self.wx.resize(grid.width() as usize, 0);
+        self.wy.clear();
+        self.wy.resize(grid.height() as usize, 0);
+    }
+
+    /// Combine the already-filled weight rows into the full `m`-entry cost
+    /// table (the shared tail of [`cost_table_with`] and the cache's range
+    /// queries).
+    pub(crate) fn sweep_into(&mut self, grid: &Grid, out: &mut Vec<u64>) {
+        axis_costs(&self.wx, &mut self.cx);
+        axis_costs(&self.wy, &mut self.cy);
+        out.clear();
+        out.reserve(grid.num_procs());
+        for &cy in &self.cy {
+            for &cx in &self.cx {
+                out.push(cx + cy);
+            }
+        }
+    }
+}
+
 /// Separable cost-table computation.
 ///
 /// Writes `out[p] = cost_at(p)` for every processor in
 /// `O(m + r + width + height)` time using the L1 split
 /// `Σ n·(|x−xq| + |y−yq|) = costX(x) + costY(y)`.
 pub fn cost_table(grid: &Grid, refs: &WindowRefs, out: &mut Vec<u64>) {
-    let w = grid.width() as usize;
-    let h = grid.height() as usize;
+    let mut scratch = AxisScratch::default();
+    cost_table_with(grid, refs, &mut scratch, out);
+}
 
-    // Axis-projected weights.
-    let mut wx = vec![0u64; w];
-    let mut wy = vec![0u64; h];
+/// [`cost_table`] with caller-owned scratch — no allocation when `scratch`
+/// and `out` have warmed up to the grid's size.
+pub fn cost_table_with(grid: &Grid, refs: &WindowRefs, scratch: &mut AxisScratch, out: &mut Vec<u64>) {
+    scratch.reset_weights(grid);
     for r in refs.iter() {
         let p = grid.point_of(r.proc);
-        wx[p.x as usize] += r.count as u64;
-        wy[p.y as usize] += r.count as u64;
+        scratch.wx[p.x as usize] += r.count as u64;
+        scratch.wy[p.y as usize] += r.count as u64;
     }
-
-    let cx = axis_costs(&wx);
-    let cy = axis_costs(&wy);
-
-    out.clear();
-    out.reserve(grid.num_procs());
-    for y in 0..h {
-        for x in 0..w {
-            out.push(cx[x] + cy[y]);
-        }
-    }
+    scratch.sweep_into(grid, out);
 }
 
 /// For weights `w[i]` at integer positions `i`, compute
-/// `c[j] = Σ_i w[i] · |i − j|` for every `j` in `O(len)` using two sweeps.
-fn axis_costs(weights: &[u64]) -> Vec<u64> {
+/// `c[j] = Σ_i w[i] · |i − j|` for every `j` in `O(len)` using two sweeps,
+/// written into `out` (resized, no allocation once warm).
+pub(crate) fn axis_costs(weights: &[u64], out: &mut Vec<u64>) {
     let n = weights.len();
-    let mut c = vec![0u64; n];
+    out.clear();
+    out.resize(n, 0);
     // left-to-right: contribution of weights at positions < j
     let mut mass = 0u64;
     let mut acc = 0u64;
     for j in 0..n {
-        c[j] += acc;
+        out[j] += acc;
         mass += weights[j];
         acc += mass;
     }
@@ -90,11 +123,21 @@ fn axis_costs(weights: &[u64]) -> Vec<u64> {
     mass = 0;
     acc = 0;
     for j in (0..n).rev() {
-        c[j] += acc;
+        out[j] += acc;
         mass += weights[j];
         acc += mass;
     }
-    c
+}
+
+/// Lowest-id argmin of a cost table with its cost — the shared tie-break
+/// rule every scheduler uses.
+pub(crate) fn argmin_table(table: &[u64]) -> (ProcId, u64) {
+    let (idx, &cost) = table
+        .iter()
+        .enumerate()
+        .min_by_key(|&(i, &c)| (c, i))
+        .expect("grid has at least one processor");
+    (ProcId(idx as u32), cost)
 }
 
 /// The minimum-cost processor for `refs` with deterministic tie-break
@@ -103,12 +146,7 @@ fn axis_costs(weights: &[u64]) -> Vec<u64> {
 pub fn optimal_center(grid: &Grid, refs: &WindowRefs) -> (ProcId, u64) {
     let mut table = Vec::new();
     cost_table(grid, refs, &mut table);
-    let (idx, &cost) = table
-        .iter()
-        .enumerate()
-        .min_by_key(|&(i, &c)| (c, i))
-        .expect("grid has at least one processor");
-    (ProcId(idx as u32), cost)
+    argmin_table(&table)
 }
 
 /// Every processor achieving the minimum cost, ascending by id. Used by the
@@ -212,10 +250,33 @@ mod tests {
 
     #[test]
     fn axis_costs_small() {
+        let run = |w: &[u64]| {
+            let mut out = vec![99; 7]; // stale contents must not leak through
+            axis_costs(w, &mut out);
+            out
+        };
         // weights [1,0,2] → c[0] = 0 + 2*2 = 4, c[1] = 1 + 2 = 3, c[2] = 2
-        assert_eq!(axis_costs(&[1, 0, 2]), vec![4, 3, 2]);
-        assert_eq!(axis_costs(&[0]), vec![0]);
-        assert_eq!(axis_costs(&[]), Vec::<u64>::new());
+        assert_eq!(run(&[1, 0, 2]), vec![4, 3, 2]);
+        assert_eq!(run(&[0]), vec![0]);
+        assert_eq!(run(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn scratch_table_matches_allocating_table() {
+        let grid = Grid::new(5, 3);
+        let refs = WindowRefs::from_pairs([
+            (grid.proc_xy(1, 0), 4),
+            (grid.proc_xy(4, 2), 2),
+            (grid.proc_xy(2, 1), 1),
+        ]);
+        let mut plain = Vec::new();
+        cost_table(&grid, &refs, &mut plain);
+        let mut scratch = AxisScratch::default();
+        let mut reused = Vec::new();
+        for _ in 0..3 {
+            cost_table_with(&grid, &refs, &mut scratch, &mut reused);
+            assert_eq!(plain, reused);
+        }
     }
 
     #[test]

@@ -22,14 +22,24 @@
 //! * [`Solver::DistanceTransform`] — the `O(m)` two-pass L1 distance
 //!   transform from [`crate::dt`], giving `O(n·m)` per datum.
 //!
-//! Both produce bit-identical schedules (shared tie-breaking, verified by
-//! tests and the `ablation_solver` bench). Memory capacity is honoured by
-//! masking full (window, processor) slots with [`INF`] node cost and
-//! re-running nothing: data are processed in ascending id order, each
-//! allocating its path's slots before the next datum solves.
+//! Node costs (the per-window reference cost tables) are needed twice per
+//! window — once in the forward pass, once during backtracking — so the
+//! entry points route them through a [`DatumCostCache`], which serves any
+//! window (or grouped window range) in `O(width + height + m)` from prefix
+//! sums. The pre-cache implementations survive as `*_uncached` references,
+//! property-tested bit-identical to the cached paths.
+//!
+//! Both solvers produce bit-identical schedules (shared tie-breaking,
+//! verified by tests and the `ablation_solver` bench). Memory capacity is
+//! honoured by masking full (window, processor) slots with [`INF`] node
+//! cost and re-running nothing: data are processed in ascending id order,
+//! each allocating its path's slots before the next datum solves.
 
-use crate::cost::{cost_table, INF};
+use crate::cache::{CostCache, DatumCostCache};
+use crate::cost::{cost_table_with, AxisScratch, INF};
 use crate::schedule::Schedule;
+use crate::workspace::Workspace;
+use core::ops::Range;
 use pim_array::grid::{Grid, ProcId};
 use pim_array::memory::{MemoryMap, MemorySpec};
 use pim_trace::window::{DataRefString, WindowedTrace};
@@ -44,15 +54,52 @@ pub enum Solver {
     DistanceTransform,
 }
 
-/// Scratch buffers reused across data to avoid per-datum allocation.
-#[derive(Debug, Default)]
-struct Scratch {
-    /// `dp[w]` rows, flattened `[w * m + k]`.
-    dp: Vec<u64>,
-    /// Node costs of the current window.
-    node: Vec<u64>,
-    /// Relaxed previous row.
-    relaxed: Vec<u64>,
+/// Where the DP gets its per-window node costs from.
+enum NodeSource<'a> {
+    /// Walk the raw reference string each time (pre-cache reference path).
+    Raw(&'a DataRefString),
+    /// Serve each window from the datum's prefix-sum cache.
+    Cached(&'a DatumCostCache),
+    /// Serve grouped window ranges from the cache — layer `g` of the DP is
+    /// the merged range `ranges[g]` (grouping's regrouped string, without
+    /// materializing it).
+    CachedRanges(&'a DatumCostCache, &'a [Range<usize>]),
+}
+
+impl NodeSource<'_> {
+    fn num_layers(&self) -> usize {
+        match self {
+            NodeSource::Raw(rs) => rs.num_windows(),
+            NodeSource::Cached(c) => c.num_windows(),
+            NodeSource::CachedRanges(_, ranges) => ranges.len(),
+        }
+    }
+
+    /// Node costs of layer `w`: the reference cost table with full
+    /// processors masked to [`INF`].
+    fn node_costs(
+        &self,
+        grid: &Grid,
+        masks: Option<&[MemoryMap]>,
+        w: usize,
+        axes: &mut AxisScratch,
+        out: &mut Vec<u64>,
+    ) {
+        match self {
+            NodeSource::Raw(rs) => cost_table_with(grid, rs.window(w), axes, out),
+            NodeSource::Cached(c) => c.window_table(w, axes, out),
+            NodeSource::CachedRanges(c, ranges) => {
+                c.range_table(ranges[w].start, ranges[w].end, axes, out)
+            }
+        }
+        if let Some(maps) = masks {
+            for (k, slot) in out.iter_mut().enumerate() {
+                if !maps[w].has_room(ProcId(k as u32)) {
+                    *slot = INF;
+                }
+            }
+        }
+    }
 }
 
 /// The unconstrained optimal center sequence and its cost for one datum.
@@ -76,6 +123,39 @@ pub fn gomcds_path(grid: &Grid, rs: &DataRefString, solver: Solver) -> (Vec<Proc
     gomcds_path_weighted(grid, rs, solver, 1)
 }
 
+/// [`gomcds_path`] served from a prebuilt per-datum cache and a reusable
+/// workspace — the hot-path form used by the pipeline.
+pub fn gomcds_path_cached(
+    grid: &Grid,
+    cache: &DatumCostCache,
+    solver: Solver,
+    ws: &mut Workspace,
+) -> (Vec<ProcId>, u64) {
+    solve_layered(grid, &NodeSource::Cached(cache), None, solver, ws, 1)
+        .expect("unconstrained path always feasible")
+}
+
+/// Optimal center sequence over *grouped* windows: layer `g` of the DP is
+/// the merged range `groups[g]`. Equivalent to
+/// `gomcds_path(grid, &rs.regrouped(groups), solver)` without building the
+/// regrouped string.
+pub fn gomcds_path_ranges(
+    grid: &Grid,
+    cache: &DatumCostCache,
+    groups: &[Range<usize>],
+    ws: &mut Workspace,
+) -> (Vec<ProcId>, u64) {
+    solve_layered(
+        grid,
+        &NodeSource::CachedRanges(cache, groups),
+        None,
+        Solver::DistanceTransform,
+        ws,
+        1,
+    )
+    .expect("unconstrained path always feasible")
+}
+
 /// Like [`gomcds_path`] but charging `move_weight` per hop of data
 /// movement — the datum's transfer volume. The paper's model is
 /// `move_weight = 1`; the `sweep_movement` ablation studies how the
@@ -86,8 +166,8 @@ pub fn gomcds_path_weighted(
     solver: Solver,
     move_weight: u64,
 ) -> (Vec<ProcId>, u64) {
-    let mut scratch = Scratch::default();
-    solve_path_weighted(grid, rs, None, solver, &mut scratch, move_weight)
+    let mut ws = Workspace::new();
+    solve_layered(grid, &NodeSource::Raw(rs), None, solver, &mut ws, move_weight)
         .expect("unconstrained path always feasible")
 }
 
@@ -100,16 +180,16 @@ pub fn gomcds_path_weighted(
 pub fn gomcds_schedule_volumes(trace: &WindowedTrace, volumes: &[u64]) -> Schedule {
     assert_eq!(volumes.len(), trace.num_data(), "volumes length mismatch");
     let grid = trace.grid();
-    let mut scratch = Scratch::default();
+    let mut ws = Workspace::new();
     let centers = trace
         .iter_data()
         .map(|(d, rs)| {
-            solve_path_weighted(
+            solve_layered(
                 &grid,
-                rs,
+                &NodeSource::Raw(rs),
                 None,
                 Solver::DistanceTransform,
-                &mut scratch,
+                &mut ws,
                 volumes[d.index()].max(1),
             )
             .expect("unconstrained path always feasible")
@@ -121,69 +201,110 @@ pub fn gomcds_schedule_volumes(trace: &WindowedTrace, volumes: &[u64]) -> Schedu
 
 /// Capacity-masked optimal center sequence (one [`MemoryMap`] per window);
 /// `None` when some window has no free processor. Used by the grouping
-/// pipeline.
+/// pipeline's fragmentation fallback.
 pub(crate) fn solve_masked_path(
     grid: &Grid,
     rs: &DataRefString,
     masks: &[MemoryMap],
 ) -> Option<Vec<ProcId>> {
-    let mut scratch = Scratch::default();
-    solve_path(grid, rs, Some(masks), Solver::DistanceTransform, &mut scratch)
-        .map(|(path, _)| path)
+    let mut ws = Workspace::new();
+    solve_layered(
+        grid,
+        &NodeSource::Raw(rs),
+        Some(masks),
+        Solver::DistanceTransform,
+        &mut ws,
+        1,
+    )
+    .map(|(path, _)| path)
 }
 
-/// Solve one datum's layered shortest path with unit movement weight.
-fn solve_path(
+/// Cache-served masked path over single windows.
+pub(crate) fn solve_masked_path_cached(
     grid: &Grid,
-    rs: &DataRefString,
-    masks: Option<&[MemoryMap]>,
-    solver: Solver,
-    scratch: &mut Scratch,
-) -> Option<(Vec<ProcId>, u64)> {
-    solve_path_weighted(grid, rs, masks, solver, scratch, 1)
+    cache: &DatumCostCache,
+    masks: &[MemoryMap],
+    ws: &mut Workspace,
+) -> Option<Vec<ProcId>> {
+    solve_layered(
+        grid,
+        &NodeSource::Cached(cache),
+        Some(masks),
+        Solver::DistanceTransform,
+        ws,
+        1,
+    )
+    .map(|(path, _)| path)
 }
 
-/// Solve one datum's layered shortest path. `masks` (one map per window)
+/// Cache-served masked path over grouped window ranges (`masks[g]` masks
+/// group `g`).
+pub(crate) fn solve_masked_ranges(
+    grid: &Grid,
+    cache: &DatumCostCache,
+    groups: &[Range<usize>],
+    masks: &[MemoryMap],
+    ws: &mut Workspace,
+) -> Option<Vec<ProcId>> {
+    solve_layered(
+        grid,
+        &NodeSource::CachedRanges(cache, groups),
+        Some(masks),
+        Solver::DistanceTransform,
+        ws,
+        1,
+    )
+    .map(|(path, _)| path)
+}
+
+/// Solve one datum's layered shortest path. `masks` (one map per layer)
 /// marks full processors; `move_weight` is the per-hop movement charge;
 /// returns `None` when no feasible path exists.
-fn solve_path_weighted(
+fn solve_layered(
     grid: &Grid,
-    rs: &DataRefString,
+    src: &NodeSource<'_>,
     masks: Option<&[MemoryMap]>,
     solver: Solver,
-    scratch: &mut Scratch,
+    ws: &mut Workspace,
     move_weight: u64,
 ) -> Option<(Vec<ProcId>, u64)> {
     let m = grid.num_procs();
-    let nw = rs.num_windows();
-    scratch.dp.clear();
-    scratch.dp.reserve(nw * m);
+    let nw = src.num_layers();
+    let Workspace {
+        axes,
+        dp,
+        node,
+        relaxed,
+        ..
+    } = ws;
+    dp.clear();
+    dp.reserve(nw * m);
 
     for w in 0..nw {
-        node_costs(grid, rs, masks, w, &mut scratch.node);
+        src.node_costs(grid, masks, w, axes, node);
         if w == 0 {
-            scratch.dp.extend_from_slice(&scratch.node);
+            dp.extend_from_slice(node);
         } else {
             {
-                let prev = &scratch.dp[(w - 1) * m..w * m];
+                let prev = &dp[(w - 1) * m..w * m];
                 match solver {
                     Solver::Naive => {
-                        crate::dt::l1_relax_naive_weighted(grid, prev, move_weight, &mut scratch.relaxed)
+                        crate::dt::l1_relax_naive_weighted(grid, prev, move_weight, relaxed)
                     }
                     Solver::DistanceTransform => {
-                        crate::dt::l1_relax_weighted(grid, prev, move_weight, &mut scratch.relaxed)
+                        crate::dt::l1_relax_weighted(grid, prev, move_weight, relaxed)
                     }
                 }
             }
             for k in 0..m {
-                let v = scratch.relaxed[k].saturating_add(scratch.node[k]);
-                scratch.dp.push(v);
+                let v = relaxed[k].saturating_add(node[k]);
+                dp.push(v);
             }
         }
     }
 
     // Select the sink predecessor: lowest-id argmin of the last row.
-    let last = &scratch.dp[(nw - 1) * m..nw * m];
+    let last = &dp[(nw - 1) * m..nw * m];
     let (mut k, &best) = last
         .iter()
         .enumerate()
@@ -197,9 +318,9 @@ fn solve_path_weighted(
     let mut path = vec![ProcId(0); nw];
     path[nw - 1] = ProcId(k as u32);
     for w in (1..nw).rev() {
-        node_costs(grid, rs, masks, w, &mut scratch.node);
-        let need = scratch.dp[w * m + k] - scratch.node[k];
-        let prev_row = &scratch.dp[(w - 1) * m..w * m];
+        src.node_costs(grid, masks, w, axes, node);
+        let need = dp[w * m + k] - node[k];
+        let prev_row = &dp[(w - 1) * m..w * m];
         let kp = grid.point_of(ProcId(k as u32));
         let mut found = None;
         for j in 0..m {
@@ -215,35 +336,55 @@ fn solve_path_weighted(
     Some((path, best))
 }
 
-/// Node costs of window `w`: the reference cost table with full processors
-/// masked to [`INF`].
-fn node_costs(
-    grid: &Grid,
-    rs: &DataRefString,
-    masks: Option<&[MemoryMap]>,
-    w: usize,
-    out: &mut Vec<u64>,
-) {
-    cost_table(grid, rs.window(w), out);
-    if let Some(maps) = masks {
-        for (k, slot) in out.iter_mut().enumerate() {
-            if !maps[w].has_room(ProcId(k as u32)) {
-                *slot = INF;
-            }
-        }
-    }
-}
-
 /// Compute the GOMCDS schedule with the distance-transform solver.
 pub fn gomcds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
     gomcds_schedule_with(trace, spec, Solver::DistanceTransform)
 }
 
-/// Compute the GOMCDS schedule with an explicit solver.
+/// Compute the GOMCDS schedule with an explicit solver. Builds a per-datum
+/// [`DatumCostCache`] so each window's cost table is derived from prefix
+/// sums (and reused by the backtrack) instead of walking the reference
+/// string twice.
 ///
 /// # Panics
 /// Panics if the array's total memory cannot hold every datum.
 pub fn gomcds_schedule_with(trace: &WindowedTrace, spec: MemorySpec, solver: Solver) -> Schedule {
+    let cache = CostCache::build(trace);
+    let mut ws = Workspace::new();
+    gomcds_schedule_cached(trace, spec, solver, &cache, &mut ws)
+}
+
+/// Pre-cache reference implementation: identical output, node costs walked
+/// from the raw reference strings each time. Kept for the equivalence
+/// property tests and the cached-vs-uncached bench.
+pub fn gomcds_schedule_with_uncached(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    solver: Solver,
+) -> Schedule {
+    let mut ws = Workspace::new();
+    gomcds_schedule_driver(trace, spec, solver, &mut ws, None)
+}
+
+/// [`gomcds_schedule_with`] served from a shared per-trace cost cache and
+/// caller-owned workspace (no per-call allocation once warm).
+pub fn gomcds_schedule_cached(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    solver: Solver,
+    cache: &CostCache,
+    ws: &mut Workspace,
+) -> Schedule {
+    gomcds_schedule_driver(trace, spec, solver, ws, Some(cache))
+}
+
+fn gomcds_schedule_driver(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    solver: Solver,
+    ws: &mut Workspace,
+    cache: Option<&CostCache>,
+) -> Schedule {
     let grid = trace.grid();
     let nd = trace.num_data();
     let nw = trace.num_windows();
@@ -259,12 +400,16 @@ pub fn gomcds_schedule_with(trace: &WindowedTrace, spec: MemorySpec, solver: Sol
         Vec::new()
     };
 
-    let mut scratch = Scratch::default();
     let mut centers = Vec::with_capacity(nd);
-    for (_, rs) in trace.iter_data() {
+    for (d, rs) in trace.iter_data() {
         let mask_ref = bounded.then_some(masks.as_slice());
-        let (path, _) = solve_path(&grid, rs, mask_ref, solver, &mut scratch)
-            .expect("feasibility checked: every window has a free processor");
+        let (path, _) = match cache {
+            Some(c) => {
+                solve_layered(&grid, &NodeSource::Cached(c.datum(d)), mask_ref, solver, ws, 1)
+            }
+            None => solve_layered(&grid, &NodeSource::Raw(rs), mask_ref, solver, ws, 1),
+        }
+        .expect("feasibility checked: every window has a free processor");
         if bounded {
             for (w, &p) in path.iter().enumerate() {
                 masks[w].allocate(p).expect("solver avoids full processors");
@@ -351,6 +496,53 @@ mod tests {
             let b = gomcds_schedule_with(&trace, spec, Solver::DistanceTransform);
             assert_eq!(a, b, "spec {spec:?}");
         }
+    }
+
+    #[test]
+    fn cached_matches_uncached() {
+        let grid = Grid::new(5, 4);
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![
+                vec![
+                    WindowRefs::from_pairs([(grid.proc_xy(0, 0), 2), (grid.proc_xy(4, 3), 1)]),
+                    WindowRefs::new(),
+                    WindowRefs::from_pairs([(grid.proc_xy(2, 2), 3)]),
+                ],
+                vec![
+                    WindowRefs::from_pairs([(grid.proc_xy(1, 1), 1)]),
+                    WindowRefs::from_pairs([(grid.proc_xy(3, 2), 2)]),
+                    WindowRefs::from_pairs([(grid.proc_xy(1, 3), 4)]),
+                ],
+            ],
+        );
+        for spec in [MemorySpec::unbounded(), MemorySpec::uniform(1)] {
+            for solver in [Solver::Naive, Solver::DistanceTransform] {
+                assert_eq!(
+                    gomcds_schedule_with(&trace, spec, solver),
+                    gomcds_schedule_with_uncached(&trace, spec, solver),
+                    "spec {spec:?} solver {solver:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_ranges_matches_regrouped_path() {
+        let grid = g();
+        let rs = DataRefString::new(vec![
+            WindowRefs::from_pairs([(grid.proc_xy(0, 0), 2)]),
+            WindowRefs::from_pairs([(grid.proc_xy(1, 0), 1)]),
+            WindowRefs::from_pairs([(grid.proc_xy(3, 3), 6)]),
+            WindowRefs::new(),
+        ]);
+        let groups = vec![0..2, 2..4];
+        let cache = DatumCostCache::build(&grid, &rs);
+        let mut ws = Workspace::new();
+        let via_ranges = gomcds_path_ranges(&grid, &cache, &groups, &mut ws);
+        let via_regroup =
+            gomcds_path(&grid, &rs.regrouped(&groups), Solver::DistanceTransform);
+        assert_eq!(via_ranges, via_regroup);
     }
 
     #[test]

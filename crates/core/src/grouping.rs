@@ -18,9 +18,11 @@
 //! `O(n³)` evaluated groups, used by ablation E to measure the greedy's
 //! optimality gap.
 
+use crate::cache::{CostCache, DatumCostCache};
 use crate::cost::{cost_at, optimal_center};
-use crate::gomcds::{gomcds_path, Solver};
+use crate::gomcds::{gomcds_path, gomcds_path_ranges, Solver};
 use crate::schedule::Schedule;
+use crate::workspace::Workspace;
 use core::ops::Range;
 use pim_array::grid::{Grid, ProcId};
 use pim_array::memory::{MemoryMap, MemorySpec};
@@ -60,6 +62,28 @@ pub fn local_group_centers(
     centers.into_iter().map(|c| c.unwrap_or(ProcId(0))).collect()
 }
 
+/// [`local_group_centers`] served from the datum's cost cache: each group's
+/// merged table comes from prefix-sum range queries instead of re-merging
+/// reference lists.
+pub fn local_group_centers_cached(
+    cache: &DatumCostCache,
+    groups: &[Range<usize>],
+    ws: &mut Workspace,
+) -> Vec<ProcId> {
+    let mut centers: Vec<Option<ProcId>> = groups
+        .iter()
+        .map(|g| {
+            (!cache.range_is_empty(g.start, g.end)).then(|| {
+                cache
+                    .optimal_center_range(g.start, g.end, &mut ws.axes, &mut ws.table)
+                    .0
+            })
+        })
+        .collect();
+    crate::lomcds::resolve_gaps_pub(&mut centers);
+    centers.into_iter().map(|c| c.unwrap_or(ProcId(0))).collect()
+}
+
 /// Total cost (reference + movement) of a grouping under a method,
 /// unconstrained by memory. This is the paper's `COST(T)`.
 pub fn cost_of_grouping(
@@ -85,6 +109,52 @@ pub fn cost_of_grouping(
             let regrouped = rs.regrouped(groups);
             gomcds_path(grid, &regrouped, Solver::DistanceTransform).1
         }
+    }
+}
+
+/// [`cost_of_grouping`] served from the datum's cost cache: each candidate
+/// group range costs `O(width + height + m)` regardless of how many
+/// references it merges — this is what turns Algorithm 3's inner loop from
+/// `O(r·m)` per evaluation into grid-sized work.
+pub fn cost_of_grouping_cached(
+    grid: &Grid,
+    cache: &DatumCostCache,
+    groups: &[Range<usize>],
+    method: GroupMethod,
+    ws: &mut Workspace,
+) -> u64 {
+    match method {
+        GroupMethod::LocalCenters => {
+            // A non-empty group's resolved center is its own optimal
+            // center, so its reference cost is exactly the optimum the
+            // argmin reports; empty groups carry a center forward and
+            // contribute zero reference cost.
+            let mut refcost = 0u64;
+            let mut centers: Vec<Option<ProcId>> = groups
+                .iter()
+                .map(|g| {
+                    (!cache.range_is_empty(g.start, g.end)).then(|| {
+                        let (c, cost) = cache.optimal_center_range(
+                            g.start,
+                            g.end,
+                            &mut ws.axes,
+                            &mut ws.table,
+                        );
+                        refcost += cost;
+                        c
+                    })
+                })
+                .collect();
+            crate::lomcds::resolve_gaps_pub(&mut centers);
+            let mut total = refcost;
+            for pair in centers.windows(2) {
+                let a = pair[0].unwrap_or(ProcId(0));
+                let b = pair[1].unwrap_or(ProcId(0));
+                total += grid.dist(a, b);
+            }
+            total
+        }
+        GroupMethod::GomcdsCenters => gomcds_path_ranges(grid, cache, groups, ws).1,
     }
 }
 
@@ -127,6 +197,44 @@ pub fn greedy_grouping(
         if !keep {
             confirmed.push(start..j);
             start = j;
+        }
+    }
+    confirmed.push(start..n);
+    confirmed
+}
+
+/// [`greedy_grouping`] with every candidate grouping costed through the
+/// datum's cost cache. Identical output; the `O(n)` cost evaluations per
+/// extension step stop depending on reference counts.
+///
+/// One further exact saving: whichever grouping wins step `j` *is* (as a
+/// partition of windows) the "current" grouping of step `j + 1` — keeping
+/// the extension turns it into the new current group, cutting appends the
+/// group and the next singleton takes over — so its cost is carried
+/// forward and only the extension is evaluated per step.
+pub fn greedy_grouping_cached(
+    grid: &Grid,
+    cache: &DatumCostCache,
+    method: GroupMethod,
+    ws: &mut Workspace,
+) -> Vec<Range<usize>> {
+    let n = cache.num_windows();
+    let mut confirmed: Vec<Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    let mut current_cost: Option<u64> = None;
+    for j in 1..n {
+        let cur_cost = current_cost.unwrap_or_else(|| {
+            let current = assemble(&confirmed, start..j, j, n);
+            cost_of_grouping_cached(grid, cache, &current, method, ws)
+        });
+        let extended = assemble(&confirmed, start..j + 1, j + 1, n);
+        let ext_cost = cost_of_grouping_cached(grid, cache, &extended, method, ws);
+        if ext_cost <= cur_cost {
+            current_cost = Some(ext_cost);
+        } else {
+            confirmed.push(start..j);
+            start = j;
+            current_cost = Some(cur_cost);
         }
     }
     confirmed.push(start..n);
@@ -275,6 +383,185 @@ pub fn grouped_schedule(
 /// # Panics
 /// Panics if the array's total memory cannot hold every datum.
 pub fn grouped_schedule_with(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    decide: GroupMethod,
+    place: GroupMethod,
+) -> Schedule {
+    let cache = CostCache::build(trace);
+    let mut ws = Workspace::new();
+    grouped_schedule_with_cached(trace, spec, decide, place, &cache, &mut ws)
+}
+
+/// [`grouped_schedule_with`] served from a shared per-trace cost cache:
+/// grouping decisions, group tables, and masked GOMCDS placement all use
+/// prefix-sum range queries. Bit-identical to the uncached reference.
+pub fn grouped_schedule_with_cached(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    decide: GroupMethod,
+    place: GroupMethod,
+    cache: &CostCache,
+    ws: &mut Workspace,
+) -> Schedule {
+    let grid = trace.grid();
+    let nd = trace.num_data();
+    let nw = trace.num_windows();
+    assert!(
+        spec.feasible(&grid, nd),
+        "memory spec cannot hold {nd} data items on {grid}"
+    );
+
+    let groupings: Vec<Vec<Range<usize>>> = (0..nd)
+        .map(|d| greedy_grouping_cached(&grid, cache.datum(DataId(d as u32)), decide, ws))
+        .collect();
+    let method = place;
+
+    let mut mems: Vec<MemoryMap> = (0..nw).map(|_| MemoryMap::new(&grid, spec)).collect();
+    let mut centers = vec![vec![ProcId(0); nw]; nd];
+
+    match method {
+        GroupMethod::LocalCenters => {
+            // Per-datum unconstrained group centers, used as anchors.
+            let desired: Vec<Vec<ProcId>> = (0..nd)
+                .map(|d| {
+                    local_group_centers_cached(cache.datum(DataId(d as u32)), &groupings[d], ws)
+                })
+                .collect();
+            // Map window → group index per datum.
+            let group_of: Vec<Vec<usize>> = groupings
+                .iter()
+                .map(|gs| {
+                    let mut v = vec![0usize; nw];
+                    for (gi, g) in gs.iter().enumerate() {
+                        for w in g.clone() {
+                            v[w] = gi;
+                        }
+                    }
+                    v
+                })
+                .collect();
+            for w in 0..nw {
+                for d in 0..nd {
+                    let gi = group_of[d][w];
+                    let g = &groupings[d][gi];
+                    if g.start != w {
+                        continue; // group already placed at its first window
+                    }
+                    let dc = cache.datum(DataId(d as u32));
+                    let anchor = if w == 0 { desired[d][gi] } else { centers[d][w - 1] };
+                    if dc.range_is_empty(g.start, g.end) {
+                        // preference order: nearest to the anchor
+                        let anchor_refs = WindowRefs::from_pairs([(anchor, 1)]);
+                        crate::cost::cost_table_with(
+                            &grid,
+                            &anchor_refs,
+                            &mut ws.axes,
+                            &mut ws.table,
+                        );
+                    } else {
+                        dc.range_table(g.start, g.end, &mut ws.axes, &mut ws.table);
+                    }
+                    let list = crate::capacity::ProcessorList::from_cost_table(&ws.table);
+                    let chosen = list
+                        .iter()
+                        .map(|(p, _)| p)
+                        .find(|&p| g.clone().all(|wi| mems[wi].has_room(p)));
+                    match chosen {
+                        Some(p) => {
+                            for wi in g.clone() {
+                                mems[wi].allocate(p).expect("room checked");
+                                centers[d][wi] = p;
+                            }
+                        }
+                        None => {
+                            // Memory too fragmented for the whole group to
+                            // share one processor (only possible with zero
+                            // slack): degrade to per-window placement along
+                            // the group's preference order. The group's
+                            // cost benefit is lost for this datum but the
+                            // schedule stays feasible.
+                            for wi in g.clone() {
+                                let p = list
+                                    .iter()
+                                    .map(|(p, _)| p)
+                                    .find(|&p| mems[wi].has_room(p))
+                                    .expect(
+                                        "every window has a free slot: one per datum is allocated",
+                                    );
+                                mems[wi].allocate(p).expect("room checked");
+                                centers[d][wi] = p;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        GroupMethod::GomcdsCenters => {
+            // Whole-path allocation is greedy across every window at once,
+            // so processing order matters more than for the window-major
+            // schedulers; heaviest data first keeps the big reference
+            // volumes at their optimal centers and lets light data adapt
+            // (deterministic: ties broken by ascending id).
+            let mut order: Vec<usize> = (0..nd).collect();
+            order.sort_by_key(|&d| {
+                (
+                    u64::MAX - trace.refs(DataId(d as u32)).total_volume(),
+                    d,
+                )
+            });
+            for d in order {
+                let dc = cache.datum(DataId(d as u32));
+                let groups = &groupings[d];
+                // Build group-level masks: a group slot is full when any of
+                // its windows lacks room.
+                let group_mems: Vec<MemoryMap> = groups
+                    .iter()
+                    .map(|g| {
+                        let mut m = MemoryMap::new(&grid, spec);
+                        for p in grid.procs() {
+                            if !g.clone().all(|wi| mems[wi].has_room(p)) {
+                                // mark full by exhausting its capacity
+                                while m.has_room(p) {
+                                    m.allocate(p).expect("has room");
+                                }
+                            }
+                        }
+                        m
+                    })
+                    .collect();
+                match crate::gomcds::solve_masked_ranges(&grid, dc, groups, &group_mems, ws) {
+                    Some(path) => {
+                        for (gi, g) in groups.iter().enumerate() {
+                            for wi in g.clone() {
+                                mems[wi].allocate(path[gi]).expect("mask guaranteed room");
+                                centers[d][wi] = path[gi];
+                            }
+                        }
+                    }
+                    None => {
+                        // No processor is free across every window of some
+                        // group (zero-slack fragmentation): fall back to an
+                        // ungrouped masked path for this datum, which only
+                        // needs one free slot per individual window.
+                        let path = crate::gomcds::solve_masked_path_cached(&grid, dc, &mems, ws)
+                            .expect("every window has a free slot: one per datum is allocated");
+                        for (wi, &p) in path.iter().enumerate() {
+                            mems[wi].allocate(p).expect("mask guaranteed room");
+                            centers[d][wi] = p;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Schedule::new(grid, centers)
+}
+
+/// Pre-cache reference implementation of [`grouped_schedule_with`] — every
+/// merged range re-walks the reference lists. Bit-identical; kept for the
+/// equivalence property tests and benches.
+pub fn grouped_schedule_with_uncached(
     trace: &WindowedTrace,
     spec: MemorySpec,
     decide: GroupMethod,

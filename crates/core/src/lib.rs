@@ -34,6 +34,11 @@
 //!   column-wise, …) the paper compares against.
 //! * [`capacity`] — the *processor list* mechanism that resolves memory
 //!   capacity conflicts for all schedulers.
+//! * [`cache`] — the shared per-trace cost-table cache: per-datum
+//!   axis-weight prefix sums serving any window range's cost table in
+//!   `O(width + height + m)`; every scheduler's hot path reads from it.
+//! * [`workspace`] — the bundled scratch buffers ([`Workspace`]) reused
+//!   across data (and across methods) so the hot path stops allocating.
 //! * [`theory`] — executable forms of the paper's Lemma 1 / Theorems 1–3.
 //! * [`pipeline`] — one-call convenience running every scheduler on a trace
 //!   (optionally in parallel across data) and reporting the comparison.
@@ -64,6 +69,7 @@
 
 pub mod baseline;
 pub mod bounds;
+pub mod cache;
 pub mod capacity;
 pub mod cost;
 pub mod dt;
@@ -82,6 +88,12 @@ pub mod replicate;
 pub mod scds;
 pub mod schedule;
 pub mod theory;
+pub mod workspace;
 
-pub use pipeline::{compare_methods, schedule, schedule_parallel, MemoryPolicy, Method};
+pub use cache::{CostCache, DatumCostCache};
+pub use pipeline::{
+    compare_methods, schedule, schedule_cached, schedule_parallel, schedule_uncached,
+    MemoryPolicy, Method,
+};
 pub use schedule::{CostBreakdown, Schedule};
+pub use workspace::Workspace;

@@ -11,9 +11,11 @@
 //! empty *leading* windows places it at the first referenced window's
 //! center so no pre-use move is needed.
 
+use crate::cache::{CostCache, DatumCostCache};
 use crate::capacity::ProcessorList;
 use crate::cost::{cost_table, optimal_center};
 use crate::schedule::Schedule;
+use crate::workspace::Workspace;
 use pim_array::grid::{Grid, ProcId};
 use pim_array::memory::{MemoryMap, MemorySpec};
 use pim_trace::ids::DataId;
@@ -28,6 +30,31 @@ pub fn lomcds_centers_unconstrained(grid: &Grid, rs: &DataRefString) -> Vec<Proc
     for (w, refs) in rs.windows().enumerate() {
         if !refs.is_empty() {
             centers[w] = Some(optimal_center(grid, refs).0);
+        }
+    }
+    resolve_gaps(&mut centers);
+    centers
+        .into_iter()
+        .map(|c| c.unwrap_or(ProcId(0)))
+        .collect()
+}
+
+/// [`lomcds_centers_unconstrained`] served from a per-datum cost cache and
+/// reusable workspace — no reference-string walks, no allocation once warm
+/// (beyond the returned vector).
+pub fn lomcds_centers_unconstrained_cached(
+    cache: &DatumCostCache,
+    ws: &mut Workspace,
+) -> Vec<ProcId> {
+    let nw = cache.num_windows();
+    let mut centers: Vec<Option<ProcId>> = vec![None; nw];
+    for (w, slot) in centers.iter_mut().enumerate() {
+        if !cache.range_is_empty(w, w + 1) {
+            *slot = Some(
+                cache
+                    .optimal_center_range(w, w + 1, &mut ws.axes, &mut ws.table)
+                    .0,
+            );
         }
     }
     resolve_gaps(&mut centers);
@@ -65,6 +92,20 @@ fn resolve_gaps(centers: &mut [Option<ProcId>]) {
 /// # Panics
 /// Panics if the array's total memory cannot hold every datum.
 pub fn lomcds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
+    let cache = CostCache::build(trace);
+    let mut ws = Workspace::new();
+    lomcds_schedule_cached(trace, spec, &cache, &mut ws)
+}
+
+/// [`lomcds_schedule`] served from a shared per-trace cost cache: every
+/// per-window cost table (center choice and capacity fallback alike) comes
+/// from prefix sums instead of re-walking the window's reference list.
+pub fn lomcds_schedule_cached(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    cache: &CostCache,
+    ws: &mut Workspace,
+) -> Schedule {
     let grid = trace.grid();
     let nd = trace.num_data();
     let nw = trace.num_windows();
@@ -75,6 +116,42 @@ pub fn lomcds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
 
     // Unconstrained desired centers (used as the anchor for leading empty
     // windows; later empty windows anchor on the actual previous center).
+    let desired: Vec<Vec<ProcId>> = (0..nd)
+        .map(|d| lomcds_centers_unconstrained_cached(cache.datum(DataId(d as u32)), ws))
+        .collect();
+
+    let mut centers = vec![vec![ProcId(0); nw]; nd];
+    for w in 0..nw {
+        let mut mem = MemoryMap::new(&grid, spec);
+        for d in 0..nd {
+            let dc = cache.datum(DataId(d as u32));
+            let anchor = if w == 0 { desired[d][0] } else { centers[d][w - 1] };
+            let p = if dc.range_is_empty(w, w + 1) {
+                nearest_free(&grid, anchor, &mut mem)
+            } else {
+                dc.window_table(w, &mut ws.axes, &mut ws.table);
+                ProcessorList::from_cost_table(&ws.table)
+                    .assign(&mut mem)
+                    .expect("feasibility checked")
+            };
+            centers[d][w] = p;
+        }
+    }
+    Schedule::new(grid, centers)
+}
+
+/// Pre-cache reference implementation of [`lomcds_schedule`] — walks every
+/// window's reference list directly. Bit-identical; kept for the
+/// equivalence property tests and benches.
+pub fn lomcds_schedule_uncached(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
+    let grid = trace.grid();
+    let nd = trace.num_data();
+    let nw = trace.num_windows();
+    assert!(
+        spec.feasible(&grid, nd),
+        "memory spec cannot hold {nd} data items on {grid}"
+    );
+
     let desired: Vec<Vec<ProcId>> = (0..nd)
         .map(|d| lomcds_centers_unconstrained(&grid, trace.refs(DataId(d as u32))))
         .collect();

@@ -7,11 +7,13 @@
 //! remain deterministic).
 
 use crate::baseline;
-use crate::gomcds::{gomcds_path, gomcds_schedule_with, Solver};
-use crate::grouping::{grouped_schedule, GroupMethod};
-use crate::lomcds::{lomcds_centers_unconstrained, lomcds_schedule};
-use crate::scds::scds_schedule;
+use crate::cache::CostCache;
+use crate::gomcds::{gomcds_schedule_cached, gomcds_schedule_with_uncached, Solver};
+use crate::grouping::{grouped_schedule_with_cached, grouped_schedule_with_uncached, GroupMethod};
+use crate::lomcds::{lomcds_schedule_cached, lomcds_schedule_uncached};
+use crate::scds::{scds_schedule_cached, scds_schedule_uncached};
 use crate::schedule::Schedule;
+use crate::workspace::Workspace;
 use pim_array::grid::ProcId;
 use pim_array::layout::Layout;
 use pim_array::memory::MemorySpec;
@@ -98,16 +100,68 @@ impl MemoryPolicy {
 
 /// Run one scheduling method over a trace.
 pub fn schedule(method: Method, trace: &WindowedTrace, policy: MemoryPolicy) -> Schedule {
+    let cache = CostCache::build(trace);
+    let mut ws = Workspace::new();
+    schedule_cached(method, trace, policy, &cache, &mut ws)
+}
+
+/// Run one scheduling method from a prebuilt per-trace cost cache and a
+/// reusable workspace. Building the cache once and calling this for several
+/// methods (or memory policies) amortizes the reference-string scans; output
+/// is bit-identical to [`schedule`].
+pub fn schedule_cached(
+    method: Method,
+    trace: &WindowedTrace,
+    policy: MemoryPolicy,
+    cache: &CostCache,
+    ws: &mut Workspace,
+) -> Schedule {
     let spec = policy.resolve(trace);
     match method {
-        Method::Scds => scds_schedule(trace, spec),
-        Method::Lomcds => lomcds_schedule(trace, spec),
-        Method::Gomcds => gomcds_schedule_with(trace, spec, Solver::DistanceTransform),
-        Method::GomcdsNaive => gomcds_schedule_with(trace, spec, Solver::Naive),
-        Method::GroupedLocal => grouped_schedule(trace, spec, GroupMethod::LocalCenters),
+        Method::Scds => scds_schedule_cached(trace, spec, cache, ws),
+        Method::Lomcds => lomcds_schedule_cached(trace, spec, cache, ws),
+        Method::Gomcds => {
+            gomcds_schedule_cached(trace, spec, Solver::DistanceTransform, cache, ws)
+        }
+        Method::GomcdsNaive => gomcds_schedule_cached(trace, spec, Solver::Naive, cache, ws),
+        Method::GroupedLocal => grouped_schedule_with_cached(
+            trace,
+            spec,
+            GroupMethod::LocalCenters,
+            GroupMethod::LocalCenters,
+            cache,
+            ws,
+        ),
         // Table 2 semantics: Algorithm 3 decides groups with LOMCDS costs;
         // GOMCDS then routes centers across the grouped windows.
-        Method::GroupedGomcds => crate::grouping::grouped_schedule_with(
+        Method::GroupedGomcds => grouped_schedule_with_cached(
+            trace,
+            spec,
+            GroupMethod::LocalCenters,
+            GroupMethod::GomcdsCenters,
+            cache,
+            ws,
+        ),
+    }
+}
+
+/// Pre-cache reference dispatch: every method re-walks reference strings as
+/// the seed implementation did. Bit-identical to [`schedule`]; kept for the
+/// equivalence property tests and the `cached_vs_uncached` bench.
+pub fn schedule_uncached(method: Method, trace: &WindowedTrace, policy: MemoryPolicy) -> Schedule {
+    let spec = policy.resolve(trace);
+    match method {
+        Method::Scds => scds_schedule_uncached(trace, spec),
+        Method::Lomcds => lomcds_schedule_uncached(trace, spec),
+        Method::Gomcds => gomcds_schedule_with_uncached(trace, spec, Solver::DistanceTransform),
+        Method::GomcdsNaive => gomcds_schedule_with_uncached(trace, spec, Solver::Naive),
+        Method::GroupedLocal => grouped_schedule_with_uncached(
+            trace,
+            spec,
+            GroupMethod::LocalCenters,
+            GroupMethod::LocalCenters,
+        ),
+        Method::GroupedGomcds => grouped_schedule_with_uncached(
             trace,
             spec,
             GroupMethod::LocalCenters,
@@ -119,17 +173,25 @@ pub fn schedule(method: Method, trace: &WindowedTrace, policy: MemoryPolicy) -> 
 /// Run one scheduling method with per-datum parallelism. Only meaningful
 /// without a capacity constraint; results are identical to
 /// `schedule(method, trace, MemoryPolicy::Unbounded)`.
+///
+/// The trace-level [`CostCache`] is built once up front (its per-datum
+/// prefix sums are read-only and shared by every worker); each persistent
+/// pool worker reuses one [`Workspace`] across all the data it claims, so
+/// the parallel region allocates nothing but the output rows.
 pub fn schedule_parallel(method: Method, trace: &WindowedTrace, pool: Pool) -> Schedule {
     let grid = trace.grid();
+    let cache = CostCache::build(trace);
     let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
     let centers: Vec<Vec<ProcId>> = match method {
-        Method::Scds => pim_par::parallel_map(pool, &ids, |_, &d| {
-            let merged = trace.refs(d).merged_all();
-            let c = crate::cost::optimal_center(&grid, &merged).0;
+        Method::Scds => pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+            let c = cache
+                .datum(d)
+                .optimal_center_range(0, trace.num_windows(), &mut ws.axes, &mut ws.table)
+                .0;
             vec![c; trace.num_windows()]
         }),
-        Method::Lomcds => pim_par::parallel_map(pool, &ids, |_, &d| {
-            lomcds_centers_unconstrained(&grid, trace.refs(d))
+        Method::Lomcds => pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+            crate::lomcds::lomcds_centers_unconstrained_cached(cache.datum(d), ws)
         }),
         Method::Gomcds | Method::GomcdsNaive => {
             let solver = if method == Method::Gomcds {
@@ -137,8 +199,8 @@ pub fn schedule_parallel(method: Method, trace: &WindowedTrace, pool: Pool) -> S
             } else {
                 Solver::Naive
             };
-            pim_par::parallel_map(pool, &ids, |_, &d| {
-                gomcds_path(&grid, trace.refs(d), solver).0
+            pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                crate::gomcds::gomcds_path_cached(&grid, cache.datum(d), solver, ws).0
             })
         }
         Method::GroupedLocal | Method::GroupedGomcds => {
@@ -147,21 +209,25 @@ pub fn schedule_parallel(method: Method, trace: &WindowedTrace, pool: Pool) -> S
             } else {
                 GroupMethod::GomcdsCenters
             };
-            pim_par::parallel_map(pool, &ids, |_, &d| {
-                let rs = trace.refs(d);
+            pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                let dc = cache.datum(d);
                 // decisions always use LOMCDS costs (Algorithm 3 as run in
                 // the paper); placement follows the method.
-                let groups =
-                    crate::grouping::greedy_grouping(&grid, rs, GroupMethod::LocalCenters);
+                let groups = crate::grouping::greedy_grouping_cached(
+                    &grid,
+                    dc,
+                    GroupMethod::LocalCenters,
+                    ws,
+                );
                 let group_centers = match gm {
                     GroupMethod::LocalCenters => {
-                        crate::grouping::local_group_centers(&grid, rs, &groups)
+                        crate::grouping::local_group_centers_cached(dc, &groups, ws)
                     }
                     GroupMethod::GomcdsCenters => {
-                        gomcds_path(&grid, &rs.regrouped(&groups), Solver::DistanceTransform).0
+                        crate::gomcds::gomcds_path_ranges(&grid, dc, &groups, ws).0
                     }
                 };
-                let mut per_window = vec![ProcId(0); rs.num_windows()];
+                let mut per_window = vec![ProcId(0); dc.num_windows()];
                 for (g, &c) in groups.iter().zip(&group_centers) {
                     for w in g.clone() {
                         per_window[w] = c;
@@ -177,6 +243,8 @@ pub fn schedule_parallel(method: Method, trace: &WindowedTrace, pool: Pool) -> S
 /// Evaluate the standard method set (SCDS, LOMCDS, GOMCDS, grouped
 /// variants) on one trace, returning `(method, total cost)` per method.
 pub fn compare_methods(trace: &WindowedTrace, policy: MemoryPolicy) -> Vec<(Method, u64)> {
+    let cache = CostCache::build(trace);
+    let mut ws = Workspace::new();
     [
         Method::Scds,
         Method::Lomcds,
@@ -185,7 +253,14 @@ pub fn compare_methods(trace: &WindowedTrace, policy: MemoryPolicy) -> Vec<(Meth
         Method::GroupedGomcds,
     ]
     .into_iter()
-    .map(|m| (m, schedule(m, trace, policy).evaluate(trace).total()))
+    .map(|m| {
+        (
+            m,
+            schedule_cached(m, trace, policy, &cache, &mut ws)
+                .evaluate(trace)
+                .total(),
+        )
+    })
     .collect()
 }
 
@@ -211,10 +286,14 @@ pub fn compare(
     let sf = baseline::layout_schedule(trace, rows, cols, Layout::RowWise)
         .evaluate(trace)
         .total();
+    let cache = CostCache::build(trace);
+    let mut ws = Workspace::new();
     let out_rows = methods
         .iter()
         .map(|&m| {
-            let cost = schedule(m, trace, policy).evaluate(trace).total();
+            let cost = schedule_cached(m, trace, policy, &cache, &mut ws)
+                .evaluate(trace)
+                .total();
             (m, cost, crate::schedule::improvement_pct(sf, cost))
         })
         .collect();

@@ -6,10 +6,13 @@
 //! processor in ascending cost order), processing data in ascending id
 //! order — the paper's "foreach data i do".
 
+use crate::cache::CostCache;
 use crate::capacity::ProcessorList;
 use crate::cost::cost_table;
 use crate::schedule::Schedule;
+use crate::workspace::Workspace;
 use pim_array::memory::{MemoryMap, MemorySpec};
+use pim_trace::ids::DataId;
 use pim_trace::window::WindowedTrace;
 
 /// Compute the SCDS schedule.
@@ -18,6 +21,45 @@ use pim_trace::window::WindowedTrace;
 /// Panics if the total memory of the array cannot hold one copy of every
 /// datum (`spec.capacity_per_proc × num_procs < num_data`).
 pub fn scds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
+    let cache = CostCache::build(trace);
+    let mut ws = Workspace::new();
+    scds_schedule_cached(trace, spec, &cache, &mut ws)
+}
+
+/// [`scds_schedule`] served from a shared per-trace cost cache: each
+/// datum's merged-window cost table comes from the cache's prefix sums in
+/// `O(width + height + m)` instead of re-merging its reference string.
+pub fn scds_schedule_cached(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    cache: &CostCache,
+    ws: &mut Workspace,
+) -> Schedule {
+    let grid = trace.grid();
+    assert!(
+        spec.feasible(&grid, trace.num_data()),
+        "memory spec cannot hold {} data items on {grid}",
+        trace.num_data()
+    );
+    let mut mem = MemoryMap::new(&grid, spec);
+    let mut placement = Vec::with_capacity(trace.num_data());
+    for d in 0..trace.num_data() {
+        cache
+            .datum(DataId(d as u32))
+            .full_table(&mut ws.axes, &mut ws.table);
+        let list = ProcessorList::from_cost_table(&ws.table);
+        let p = list
+            .assign(&mut mem)
+            .expect("feasibility checked: some processor has room");
+        placement.push(p);
+    }
+    Schedule::static_placement(grid, placement, trace.num_windows())
+}
+
+/// Pre-cache reference implementation (merges each reference string and
+/// runs [`cost_table`] directly). Bit-identical to [`scds_schedule`];
+/// kept for the equivalence property tests and benches.
+pub fn scds_schedule_uncached(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
     let grid = trace.grid();
     assert!(
         spec.feasible(&grid, trace.num_data()),

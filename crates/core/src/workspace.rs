@@ -1,0 +1,51 @@
+//! Reusable scheduling workspace.
+//!
+//! Every scheduler in this crate needs the same small set of scratch
+//! buffers: axis projections and sweep rows for cost tables
+//! ([`crate::cost::AxisScratch`]), a cost-table output row, and the GOMCDS
+//! layered-DP rows (`dp`, the current window's node costs, and the
+//! distance-transform relaxation row). A [`Workspace`] bundles all of them
+//! so a caller — or a long-lived worker thread in `pim-par`'s pool — can
+//! allocate once and schedule many data with zero per-datum allocation.
+//!
+//! All buffers are plain `Vec`s that grow to the grid/trace size on first
+//! use and are cleared (never shrunk) between uses, so contents never leak
+//! between data: every fill path writes the full live region first.
+
+use crate::cost::AxisScratch;
+
+/// Bundled scratch buffers for the hot scheduling path. Construct once per
+/// thread and pass to the `*_cached` scheduler entry points.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Axis-projection and sweep buffers for separable cost tables.
+    pub(crate) axes: AxisScratch,
+    /// General cost-table output row (`m` entries).
+    pub(crate) table: Vec<u64>,
+    /// GOMCDS layered-DP rows, flattened `[w * m + k]`.
+    pub(crate) dp: Vec<u64>,
+    /// Node costs of the window currently being expanded.
+    pub(crate) node: Vec<u64>,
+    /// Distance-transform relaxation of the previous DP row.
+    pub(crate) relaxed: Vec<u64>,
+}
+
+impl Workspace {
+    /// A fresh workspace. Buffers grow lazily to the sizes the first
+    /// scheduled trace needs.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_starts_empty() {
+        let ws = Workspace::new();
+        assert!(ws.table.is_empty());
+        assert!(ws.dp.is_empty());
+    }
+}

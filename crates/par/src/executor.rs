@@ -1,0 +1,252 @@
+//! The process-wide persistent worker pool.
+//!
+//! The original helpers spawned fresh OS threads with `std::thread::scope`
+//! on every call — fine for one-shot experiments, but the scheduling
+//! pipeline calls into `pim-par` once per method per trace, and thread
+//! creation dominated small traces. This module keeps a single set of
+//! long-lived workers parked on a condvar; each [`run_job`] wakes as many
+//! as the caller's [`Pool`](crate::Pool) width asks for.
+//!
+//! A job is a type-erased `Fn() + Sync` *participant body*: every
+//! participant (the submitting thread plus each woken worker) calls it once,
+//! and the body loops claiming work indices from an atomic counter until
+//! the work is gone. The body borrows the caller's stack (items, output
+//! slots, closure); soundness comes from the completion protocol — the
+//! submitting thread does not return (or unwind) past [`run_job`] until
+//! every worker has finished with the job, enforced by a drop guard, so
+//! the lifetime-erased reference never dangles.
+//!
+//! Panics in any participant are caught, the first payload is kept, and
+//! the panic resumes on the submitting thread after all participants have
+//! stopped touching the job — same observable behaviour as the scoped
+//! implementation.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+
+/// One submitted unit of work, shared between the submitter and the
+/// workers that picked it up.
+struct Job {
+    /// Lifetime-erased participant body. Valid until `pending` reaches
+    /// zero — the submitter blocks until then, keeping the borrow alive.
+    body: &'static (dyn Fn() + Sync),
+    /// Workers that may still touch `body` (the submitter is not counted;
+    /// it synchronizes by waiting for zero).
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+    /// First panic payload from any participant.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl Job {
+    /// Run the body once as one participant, recording a panic instead of
+    /// unwinding into the worker loop.
+    fn run_participant(&self) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.body)())) {
+            let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until every worker has finished with this job.
+    fn wait(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        while *pending > 0 {
+            pending = self
+                .done
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The global executor: a queue of jobs and the lazily-spawned workers
+/// draining it.
+struct Executor {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    /// Workers spawned so far (grow-only; idle workers just park).
+    spawned: AtomicUsize,
+}
+
+static EXECUTOR: OnceLock<Executor> = OnceLock::new();
+
+fn executor() -> &'static Executor {
+    EXECUTOR.get_or_init(|| Executor {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+impl Executor {
+    /// Grow the worker set to at least `want` threads. Workers never exit;
+    /// a later wider pool only tops up the difference.
+    fn ensure_workers(&'static self, want: usize) {
+        loop {
+            let have = self.spawned.load(Ordering::Acquire);
+            if have >= want {
+                return;
+            }
+            if self
+                .spawned
+                .compare_exchange(have, have + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue; // someone else spawned; re-check
+            }
+            let spawned = std::thread::Builder::new()
+                .name(format!("pim-par-{have}"))
+                .spawn(move || self.worker_loop());
+            if spawned.is_err() {
+                // Could not create the thread (resource limit). Undo the
+                // reservation; jobs still complete because the submitter
+                // participates and drains the counter itself.
+                self.spawned.fetch_sub(1, Ordering::AcqRel);
+                return;
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    q = self
+                        .available
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            job.run_participant();
+        }
+    }
+}
+
+/// Run `body` on the calling thread plus up to `extra_workers` pool
+/// workers; returns once every participant is done. Panics from any
+/// participant resume here.
+pub(crate) fn run_job(extra_workers: usize, body: &(dyn Fn() + Sync)) {
+    if extra_workers == 0 {
+        (body)();
+        return;
+    }
+
+    // SAFETY: the job (and thus this reference) is only touched by workers
+    // that decrement `pending` when finished; `guard` below blocks this
+    // frame — on return *and* on unwind — until `pending` is zero, so the
+    // erased borrow cannot outlive the referent.
+    let body_static: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(body) };
+    let job = Arc::new(Job {
+        body: body_static,
+        pending: Mutex::new(extra_workers),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    let ex = executor();
+    ex.ensure_workers(extra_workers);
+    {
+        let mut q = ex.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        for _ in 0..extra_workers {
+            q.push_back(Arc::clone(&job));
+        }
+    }
+    ex.available.notify_all();
+
+    struct WaitGuard<'a>(&'a Job);
+    impl Drop for WaitGuard<'_> {
+        fn drop(&mut self) {
+            self.0.wait();
+        }
+    }
+    let guard = WaitGuard(&job);
+
+    // The submitting thread is a full participant: with a busy pool the
+    // work still completes at least serially.
+    let own = catch_unwind(AssertUnwindSafe(body));
+    drop(guard); // all workers finished; borrows in `body` are dead
+
+    if let Err(payload) = own {
+        resume_unwind(payload);
+    }
+    let worker_panic = job
+        .panic
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_extra_workers_runs_inline() {
+        let counter = AtomicUsize::new(0);
+        run_job(0, &|| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn every_participant_runs_body_once() {
+        let calls = AtomicUsize::new(0);
+        run_job(3, &|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        // submitter + 3 workers
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn workers_persist_across_jobs() {
+        run_job(2, &|| {});
+        assert!(executor().spawned.load(Ordering::Acquire) >= 2);
+        for _ in 0..16 {
+            run_job(2, &|| {});
+        }
+        // Grow-only to the widest width ever requested in this process
+        // (other tests run concurrently and may widen the pool) — but
+        // never per-job: 16 width-2 jobs must not have spawned 32 threads.
+        let after = executor().spawned.load(Ordering::Acquire);
+        assert!(after < 16 * 2, "workers must be reused, not respawned");
+    }
+
+    #[test]
+    fn worker_panic_resumes_on_submitter() {
+        let result = catch_unwind(|| {
+            let turn = AtomicUsize::new(0);
+            run_job(2, &|| {
+                if turn.fetch_add(1, Ordering::Relaxed) == 1 {
+                    panic!("participant bug");
+                }
+            });
+        });
+        assert!(result.is_err());
+        // the pool survives a panicking job
+        let ran = AtomicUsize::new(0);
+        run_job(2, &|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+}

@@ -6,19 +6,27 @@
 //! Scheduling is embarrassingly parallel across data items: each datum's
 //! center sequence depends only on its own reference string (capacity
 //! resolution is a separate sequential pass). Rather than pulling in a full
-//! task scheduler, this crate provides exactly what the pipeline needs,
-//! built from `std::thread::scope` plus an atomic work index — the pattern
-//! from *Rust Atomics and Locks*:
+//! task scheduler, this crate provides exactly what the pipeline needs:
 //!
 //! * [`parallel_map`] — map a function over a slice, dynamic load balancing.
 //! * [`parallel_map_chunked`] — the same with caller-chosen chunk size for
 //!   very cheap per-item work.
+//! * [`parallel_map_with`] — map with once-per-worker state (e.g. a
+//!   `pim_sched::Workspace`), so scratch buffers are allocated per thread,
+//!   not per item.
 //! * [`parallel_reduce`] — map + associative reduction.
 //! * [`Pool`] — a tiny configurable thread-count handle; `Pool::serial()`
 //!   runs inline, which keeps tests deterministic and lets callers opt out.
 //!
-//! All functions preserve input order in their outputs and propagate
-//! panics from worker closures.
+//! All helpers run on one process-wide **persistent worker pool**
+//! (the private `executor` module): worker threads are spawned on first
+//! use, parked on a
+//! condvar between calls, and reused for every subsequent job — no
+//! per-call thread creation. The submitting thread always participates,
+//! work is claimed from a shared atomic index (the pattern from *Rust
+//! Atomics and Locks*), outputs land at their input index, and panics
+//! from any participant propagate to the caller. Results are therefore
+//! bit-identical to a serial run regardless of pool width or timing.
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the work-claiming math
 
@@ -26,6 +34,7 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod counter;
+mod executor;
 
 /// Execution-width policy for the parallel helpers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +98,40 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    parallel_map_with_chunked(pool, items, chunk, || (), |(), i, t| f(i, t))
+}
+
+/// Map with once-per-worker state: every participating thread calls
+/// `init()` exactly once, then processes its share of items through
+/// `f(&mut state, index, item)`. Outputs stay in input order.
+///
+/// This is the allocation-free hot path for scheduling: `init` builds a
+/// scratch workspace, `f` reuses it across every datum the worker claims,
+/// so the per-item cost is pure compute no matter how many items there are.
+pub fn parallel_map_with<T, U, S, I, F>(pool: Pool, items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    parallel_map_with_chunked(pool, items, 1, init, f)
+}
+
+/// [`parallel_map_with`] with caller-chosen chunk size.
+pub fn parallel_map_with_chunked<T, U, S, I, F>(
+    pool: Pool,
+    items: &[T],
+    chunk: usize,
+    init: I,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
     let chunk = chunk.max(1);
     let n = items.len();
     if n == 0 {
@@ -96,7 +139,12 @@ where
     }
     let threads = pool.threads().min(n.div_ceil(chunk));
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
 
     let mut out: Vec<Option<U>> = Vec::with_capacity(n);
@@ -104,22 +152,23 @@ where
     let next = AtomicUsize::new(0);
     let out_slots = SliceCells::new(&mut out);
 
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for i in start..end {
-                    let value = f(i, &items[i]);
-                    // SAFETY: each index is claimed by exactly one worker
-                    // via the fetch_add above, so no two threads write the
-                    // same slot.
-                    unsafe { out_slots.write(i, Some(value)) };
-                }
-            });
+    // Each participant — the calling thread plus up to `threads - 1` pool
+    // workers — runs this body once: build state, then drain the counter.
+    executor::run_job(threads - 1, &|| {
+        let mut state = init();
+        loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            for i in start..end {
+                let value = f(&mut state, i, &items[i]);
+                // SAFETY: each index is claimed by exactly one participant
+                // via the fetch_add above, so no two threads write the
+                // same slot.
+                unsafe { out_slots.write(i, Some(value)) };
+            }
         }
     });
 
@@ -229,6 +278,59 @@ mod tests {
         assert_eq!(Pool::with_threads(0).threads(), 1);
         assert!(Pool::auto().threads() >= 1);
         assert_eq!(Pool::default(), Pool::auto());
+    }
+
+    #[test]
+    fn map_with_state_initialized_once_per_worker() {
+        let inits = AtomicU64::new(0);
+        let items: Vec<u64> = (0..300).collect();
+        let out = parallel_map_with(
+            Pool::with_threads(4),
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::new()
+            },
+            |scratch, _, &x| {
+                scratch.clear();
+                scratch.push(x);
+                scratch[0] * 3
+            },
+        );
+        assert_eq!(out, (0..300).map(|x| x * 3).collect::<Vec<_>>());
+        let n = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&n),
+            "state built once per participant, not per item (got {n})"
+        );
+    }
+
+    #[test]
+    fn map_with_serial_matches_parallel() {
+        let items: Vec<u32> = (0..513).collect();
+        let run = |pool| {
+            parallel_map_with(
+                pool,
+                &items,
+                || 0u32,
+                |acc, i, &x| {
+                    *acc = acc.wrapping_add(x);
+                    x.wrapping_mul(2654435761).wrapping_add(i as u32)
+                },
+            )
+        };
+        assert_eq!(run(Pool::serial()), run(Pool::with_threads(8)));
+    }
+
+    #[test]
+    fn repeated_maps_reuse_pool_workers() {
+        // Regression guard for the persistent pool: many small maps should
+        // work fine back-to-back (previously each spawned fresh threads).
+        for round in 0..64 {
+            let items: Vec<u64> = (0..50).collect();
+            let out = parallel_map(Pool::with_threads(4), &items, move |_, &x| x + round);
+            assert_eq!(out, (0..50).map(|x| x + round).collect::<Vec<_>>());
+        }
     }
 
     #[test]

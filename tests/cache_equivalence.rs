@@ -1,0 +1,140 @@
+//! Bit-identity of the cached scheduling path.
+//!
+//! The shared cost-table cache ([`pim_sched::CostCache`]), the reusable
+//! [`pim_sched::Workspace`], and the persistent `pim-par` worker pool are
+//! pure performance work: every schedule they produce must be *bit
+//! identical* to the pre-cache reference implementations (`*_uncached`)
+//! across random traces, degenerate and non-square grids, and every memory
+//! policy. These properties are what licenses deleting nothing: the old
+//! code survives as the oracle.
+
+use pim_array::grid::{Grid, ProcId};
+use pim_par::Pool;
+use pim_sched::pipeline::{schedule_cached, schedule_uncached};
+use pim_sched::{
+    schedule, schedule_parallel, CostCache, MemoryPolicy, Method, Workspace,
+};
+use pim_trace::window::{WindowRefs, WindowedTrace};
+use proptest::prelude::*;
+
+/// Grids the cache must handle: degenerate 1×n row, the paper's square
+/// array, a non-square 7×3, and random small shapes.
+fn arb_grid() -> impl Strategy<Value = Grid> {
+    prop_oneof![
+        Just(Grid::new(1, 7)),
+        Just(Grid::new(7, 1)),
+        Just(Grid::new(4, 4)),
+        Just(Grid::new(7, 3)),
+        (1u32..=6, 1u32..=6).prop_map(|(w, h)| Grid::new(w, h)),
+    ]
+}
+
+/// Random reference string over a grid (possibly empty).
+fn arb_refs(grid: Grid) -> impl Strategy<Value = WindowRefs> {
+    let m = grid.num_procs() as u32;
+    proptest::collection::vec((0..m, 1u32..6), 0..6).prop_map(move |pairs| {
+        WindowRefs::from_pairs(pairs.into_iter().map(|(p, n)| (ProcId(p), n)))
+    })
+}
+
+/// Random windowed trace: up to 4 data × up to 6 windows.
+fn arb_trace() -> impl Strategy<Value = WindowedTrace> {
+    arb_grid().prop_flat_map(|grid| {
+        (1usize..=4, 1usize..=6).prop_flat_map(move |(nd, nw)| {
+            proptest::collection::vec(
+                proptest::collection::vec(arb_refs(grid), nw..=nw),
+                nd..=nd,
+            )
+            .prop_map(move |per_data| WindowedTrace::from_parts(grid, per_data))
+        })
+    })
+}
+
+/// Memory policies to cross with every method: unconstrained, the paper's
+/// doubled balanced minimum, and the tightest uniform capacity that still
+/// fits every datum.
+fn policies(trace: &WindowedTrace) -> [MemoryPolicy; 3] {
+    let tight = (trace.num_data() as u32).div_ceil(trace.grid().num_procs() as u32);
+    [
+        MemoryPolicy::Unbounded,
+        MemoryPolicy::ScaledMinimum { factor: 2 },
+        MemoryPolicy::Capacity(tight.max(1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole invariant: for every method and policy, the cached
+    /// dispatch produces exactly the schedule the uncached reference does —
+    /// same centers, not just same cost.
+    #[test]
+    fn cached_schedules_bit_identical_to_uncached(trace in arb_trace()) {
+        for method in Method::ALL {
+            for policy in policies(&trace) {
+                let cached = schedule(method, &trace, policy);
+                let reference = schedule_uncached(method, &trace, policy);
+                prop_assert_eq!(
+                    &cached, &reference,
+                    "{} under {:?} diverged from reference", method, policy
+                );
+            }
+        }
+    }
+
+    /// A dirty workspace must not leak state between runs: scheduling a
+    /// second unrelated trace through the same cache+workspace pair gives
+    /// the same result as a fresh workspace.
+    #[test]
+    fn workspace_reuse_does_not_leak_state(a in arb_trace(), b in arb_trace()) {
+        let mut ws = Workspace::new();
+        let cache_a = CostCache::build(&a);
+        let cache_b = CostCache::build(&b);
+        for method in Method::ALL {
+            // warm (and dirty) the workspace on trace `a`...
+            let _ = schedule_cached(method, &a, MemoryPolicy::Unbounded, &cache_a, &mut ws);
+            // ...then `b` through the dirty workspace must match a cold run
+            let warm = schedule_cached(method, &b, MemoryPolicy::Unbounded, &cache_b, &mut ws);
+            let cold = schedule(method, &b, MemoryPolicy::Unbounded);
+            prop_assert_eq!(&warm, &cold, "{} leaked workspace state", method);
+        }
+    }
+
+    /// Persistent-pool determinism: any pool width produces the serial
+    /// schedule, for every method (index-ordered output contract).
+    #[test]
+    fn persistent_pool_matches_serial(trace in arb_trace(), threads in 2usize..=8) {
+        for method in Method::ALL {
+            let serial = schedule_parallel(method, &trace, Pool::serial());
+            let parallel = schedule_parallel(method, &trace, Pool::with_threads(threads));
+            prop_assert_eq!(
+                &serial, &parallel,
+                "{} with {} threads diverged from serial", method, threads
+            );
+            // and the parallel (unconstrained) path agrees with `schedule`
+            let seq = schedule(method, &trace, MemoryPolicy::Unbounded);
+            prop_assert_eq!(&seq, &parallel, "{} parallel != sequential", method);
+        }
+    }
+
+    /// The pool helpers themselves: per-worker state plus repeated reuse of
+    /// the long-lived workers never change the output.
+    #[test]
+    fn parallel_map_with_deterministic(items in proptest::collection::vec(0u64..1000, 0..200)) {
+        let expect: Vec<u64> = items.iter().enumerate()
+            .map(|(i, &x)| x.wrapping_mul(31).wrapping_add(i as u64))
+            .collect();
+        for pool in [Pool::serial(), Pool::with_threads(4), Pool::with_threads(8)] {
+            let got = pim_par::parallel_map_with(
+                pool,
+                &items,
+                Vec::<u64>::new,
+                |scratch, i, &x| {
+                    scratch.push(x); // per-worker state, grows across items
+                    x.wrapping_mul(31).wrapping_add(i as u64)
+                },
+            );
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+}

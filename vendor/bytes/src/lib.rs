@@ -1,0 +1,278 @@
+//! Offline shim for `bytes`: reference-counted immutable [`Bytes`], a
+//! growable [`BytesMut`], and the [`Buf`]/[`BufMut`] cursor traits — just
+//! the little-endian subset the `pim-trace` binary codec uses. See
+//! `vendor/README.md`.
+
+use std::ops::{Deref, DerefMut, Range};
+use std::sync::Arc;
+
+/// Shared `Debug` body: print as a byte list like upstream `bytes`.
+macro_rules! fmt_as_byte_list {
+    () => {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "b\"")?;
+            for &b in self.iter() {
+                if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\x{b:02x}")?;
+                }
+            }
+            write!(f, "\"")
+        }
+    };
+}
+
+/// Read cursor over a byte source. Reading advances the view.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consume `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Fill `dst` from the front of the buffer.
+    ///
+    /// # Panics
+    /// Panics when fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+    fn advance(&mut self, n: usize) {
+        (**self).advance(n)
+    }
+}
+
+/// Append-only write access.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Cheaply cloneable immutable byte buffer (a shared `Arc<[u8]>` view).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Length of the view.
+    #[allow(clippy::len_without_is_empty)] // mirrors the upstream surface we use
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// A sub-view sharing the same allocation.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the view.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl core::fmt::Debug for Bytes {
+    fmt_as_byte_list!();
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+/// Growable byte buffer with a read cursor, convertible into [`Bytes`].
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    read: usize,
+}
+
+impl BytesMut {
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            read: 0,
+        }
+    }
+
+    /// Unread length.
+    #[allow(clippy::len_without_is_empty)] // mirrors the upstream surface we use
+    pub fn len(&self) -> usize {
+        self.data.len() - self.read
+    }
+
+    /// Freeze the unread contents into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        if self.read > 0 {
+            self.data.drain(..self.read);
+        }
+        Bytes::from(self.data)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            data: src.to_vec(),
+            read: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.read..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.read..]
+    }
+}
+
+impl core::fmt::Debug for BytesMut {
+    fmt_as_byte_list!();
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.read += n;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32s() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_slice(b"PIMT");
+        b.put_u32_le(0xDEADBEEF);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 8);
+        let mut magic = [0u8; 4];
+        frozen.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"PIMT");
+        assert_eq!(frozen.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_eq() {
+        let a = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = a.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        assert_eq!(a.clone(), a);
+    }
+
+    #[test]
+    fn bytes_mut_indexing() {
+        let mut m = BytesMut::from(&b"hello"[..]);
+        m[0] = b'j';
+        assert_eq!(&m.freeze()[..], b"jello");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        b.get_u32_le();
+    }
+}

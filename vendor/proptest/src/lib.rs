@@ -1,0 +1,336 @@
+//! Offline shim for `proptest`: seeded random property testing with the
+//! combinator subset this workspace uses (`proptest!`, `prop_assert*`,
+//! `Strategy::{prop_map, prop_flat_map}`, `Just`, range and tuple
+//! strategies, `collection::vec`, `ProptestConfig::with_cases`).
+//!
+//! Differences from crates.io proptest: no shrinking (a failing case
+//! reports its values via the assertion message and the deterministic
+//! per-test seed reproduces it), and strategies are sampled with a simple
+//! seeded SplitMix64 stream. See `vendor/README.md`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod test_runner;
+
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Number of cases run per property when no `proptest_config` is given.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// A generator of random values. Unlike upstream there is no value tree or
+/// shrinking: `generate` draws one concrete value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always yields a clone of one value (`proptest::strategy::Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies — the engine behind
+/// [`prop_oneof!`]. (Crates.io proptest supports per-arm weights; this shim
+/// samples arms uniformly, which the workspace's generators don't rely on.)
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the macro's collected arms.
+    ///
+    /// # Panics
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Pick one of several strategies per generated value
+/// (`proptest::prop_oneof!`, uniform weights only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Deterministic RNG wrapper passed to [`Strategy::generate`].
+impl TestRng {
+    /// Seed from a test name: equal names replay identical case streams.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// The `proptest!` macro: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running `cases` random cases. The body may use
+/// `prop_assert*` (soft failures reported with the case's values) and
+/// `return Ok(())` for early exits.
+#[macro_export]
+macro_rules! proptest {
+    (@cases $cases:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let cases: u32 = $cases;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "property '{}' failed at case {}/{}: {}",
+                        stringify!($name), case + 1, cases, e
+                    );
+                }
+            }
+        }
+    )*};
+    // With a leading #![proptest_config(...)]
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cases ($cfg).cases; $($rest)*);
+    };
+    // Without config: default case count
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cases $crate::DEFAULT_CASES; $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional trailing format args.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("{} != {}: {:?} vs {:?}", stringify!($a), stringify!($b), a, b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} != {}: {:?} vs {:?} ({})",
+                stringify!($a), stringify!($b), a, b, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional trailing format args.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("{} == {}: both {:?}", stringify!($a), stringify!($b), a),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in 1usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(v in (1u32..5).prop_flat_map(|n| {
+            crate::collection::vec(0u32..10, (n as usize)..=(n as usize))
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_cases_respected(x in 0u32..100) {
+            // 7 cases of a trivially-true property
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_replays() {
+        let mut a = crate::TestRng::deterministic("some::test");
+        let mut b = crate::TestRng::deterministic("some::test");
+        let s = 0u32..1000;
+        for _ in 0..50 {
+            assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes anything (there is no `serde_json`/`bincode` in the
+//! tree — the binary trace codec in `pim-trace` is hand-rolled). The
+//! traits are therefore pure markers, and the derive macros emit empty
+//! impls. See `vendor/README.md`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
