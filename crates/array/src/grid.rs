@@ -78,7 +78,12 @@ impl Grid {
     /// Panics if the point lies outside the grid.
     #[inline]
     pub fn proc_at(&self, p: Point) -> ProcId {
-        assert!(self.contains(p), "point {p} outside {}x{} grid", self.width, self.height);
+        assert!(
+            self.contains(p),
+            "point {p} outside {}x{} grid",
+            self.width,
+            self.height
+        );
         ProcId(p.y * self.width + p.x)
     }
 

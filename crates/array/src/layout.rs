@@ -49,7 +49,10 @@ impl Layout {
     /// Panics if the element is out of range or (for `BlockCyclic`) the
     /// block size is zero.
     pub fn owner(&self, grid: &Grid, rows: u32, cols: u32, row: u32, col: u32) -> ProcId {
-        assert!(row < rows && col < cols, "element ({row},{col}) out of {rows}x{cols}");
+        assert!(
+            row < rows && col < cols,
+            "element ({row},{col}) out of {rows}x{cols}"
+        );
         let m = grid.num_procs() as u64;
         match *self {
             Layout::RowWise => {
@@ -77,14 +80,16 @@ impl Layout {
                 ProcId(((e / block as u64) % m) as u32)
             }
             Layout::Snake => {
-                let c = if row.is_multiple_of(2) { col } else { cols - 1 - col };
+                let c = if row.is_multiple_of(2) {
+                    col
+                } else {
+                    cols - 1 - col
+                };
                 let e = (row as u64) * cols as u64 + c as u64;
                 let n = rows as u64 * cols as u64;
                 ProcId((e * m / n) as u32)
             }
-            Layout::Diagonal => {
-                ProcId(((row as u64 + col as u64) % m) as u32)
-            }
+            Layout::Diagonal => ProcId(((row as u64 + col as u64) % m) as u32),
         }
     }
 
@@ -162,7 +167,7 @@ mod tests {
                 let lo = *c.iter().min().unwrap();
                 let hi = *c.iter().max().unwrap();
                 assert!(
-                    hi - lo <= (rows * cols).div_ceil(16) , // generous balance bound
+                    hi - lo <= (rows * cols).div_ceil(16), // generous balance bound
                     "{} unbalanced: {lo}..{hi}",
                     layout.name()
                 );

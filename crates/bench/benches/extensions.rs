@@ -51,7 +51,12 @@ fn bench_extensions(c: &mut Criterion) {
         b.iter(|| black_box(replicated_schedule(black_box(&trace), spec)))
     });
     group.bench_function("online_eager", |b| {
-        b.iter(|| black_box(online_schedule(black_box(&trace), OnlinePolicy::eager(spec))))
+        b.iter(|| {
+            black_box(online_schedule(
+                black_box(&trace),
+                OnlinePolicy::eager(spec),
+            ))
+        })
     });
     group.bench_with_input(
         BenchmarkId::new("refine_from", "rowwise-baseline"),

@@ -11,7 +11,9 @@ fn busy_work(x: u64) -> u64 {
     // ~100ns of integer mixing
     let mut v = x;
     for _ in 0..32 {
-        v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        v = v
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         v ^= v >> 33;
     }
     v
@@ -29,9 +31,12 @@ fn bench_parallel_map(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &items, |b, items| {
             b.iter(|| {
-                black_box(parallel_map_chunked(pool, black_box(items), chunk, |_, &x| {
-                    busy_work(x)
-                }))
+                black_box(parallel_map_chunked(
+                    pool,
+                    black_box(items),
+                    chunk,
+                    |_, &x| busy_work(x),
+                ))
             })
         });
     }

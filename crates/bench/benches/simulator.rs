@@ -24,7 +24,11 @@ fn bench_simulator(c: &mut Criterion) {
             |b, &threads| {
                 let pool = Pool::with_threads(threads);
                 b.iter(|| {
-                    black_box(pim_sim::simulate(black_box(&trace), black_box(&sched), pool))
+                    black_box(pim_sim::simulate(
+                        black_box(&trace),
+                        black_box(&sched),
+                        pool,
+                    ))
                 })
             },
         );

@@ -12,9 +12,7 @@ fn bench_generation(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(bench.label()),
             &bench,
-            |b, &bench| {
-                b.iter(|| black_box(windowed(bench, grid, 16, 2, black_box(1998))))
-            },
+            |b, &bench| b.iter(|| black_box(windowed(bench, grid, 16, 2, black_box(1998)))),
         );
     }
     group.finish();

@@ -7,9 +7,7 @@
 //! windows in a group".
 
 use pim_array::grid::Grid;
-use pim_sched::grouping::{
-    cost_of_grouping, greedy_grouping, optimal_grouping, GroupMethod,
-};
+use pim_sched::grouping::{cost_of_grouping, greedy_grouping, optimal_grouping, GroupMethod};
 use pim_trace::ids::DataId;
 use pim_workloads::{windowed, Benchmark};
 

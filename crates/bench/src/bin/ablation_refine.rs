@@ -44,7 +44,10 @@ fn main() {
             if name == "GOMCDS" {
                 assert_eq!(stats.moves_applied, 0, "GOMCDS must be locally optimal");
             }
-            assert!(after >= gomcds, "local search cannot beat the global optimum");
+            assert!(
+                after >= gomcds,
+                "local search cannot beat the global optimum"
+            );
             println!(
                 "{:<6} {:>12} {:>12} {:>12} {:>8} {:>9.1}%",
                 bench.label(),

@@ -30,7 +30,10 @@ fn main() {
     }
 
     // 2. scaling with array size
-    println!("\n{:>7} {:>12} {:>12} {:>8}", "grid", "naive", "dt", "speedup");
+    println!(
+        "\n{:>7} {:>12} {:>12} {:>8}",
+        "grid", "naive", "dt", "speedup"
+    );
     for dim in [4u32, 8, 16, 24] {
         let grid = Grid::new(dim, dim);
         let (trace, _) = windowed(Benchmark::MatMul, grid, 16, 2, 1998);

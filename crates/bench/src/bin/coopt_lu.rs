@@ -28,7 +28,10 @@ fn main() {
     let mut trace = steps.window_fixed(spw);
     let mut sched = schedule(Method::Gomcds, &trace, memory);
     let round0 = sched.evaluate(&trace).total();
-    println!("{:<28} {:>10} {:>9.1}%", "0 (static partition)", round0, 0.0);
+    println!(
+        "{:<28} {:>10} {:>9.1}%",
+        "0 (static partition)", round0, 0.0
+    );
     let sf = space
         .straightforward(&trace, Layout::RowWise)
         .evaluate(&trace)

@@ -12,8 +12,9 @@ use pim_array::grid::Grid;
 use pim_array::layout::Layout;
 use pim_bench::experiments::{paper_config, run_table, PaperConfig};
 use pim_bench::table;
+use pim_sched::registry::schedulers;
 use pim_sched::schedule::improvement_pct;
-use pim_sched::{compare_methods, schedule, schedule_uncached, MemoryPolicy, Method};
+use pim_sched::{compare_methods, registry, schedule, MemoryPolicy, Method, Run};
 use pim_workloads::{windowed, Benchmark};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -27,13 +28,13 @@ fn main() {
 
     println!("=== pim-sched experiment summary (reduced sizes; see individual bins) ===\n");
 
-    let rows = run_table(&cfg, &[Method::Scds, Method::Lomcds, Method::Gomcds]);
+    let rows = run_table(&cfg, &schedulers(&["scds", "lomcds", "gomcds"]));
     print!("{}", table::render("Table 1 (reduced)", &rows));
     println!();
 
     let rows = run_table(
         &cfg,
-        &[Method::Scds, Method::GroupedLocal, Method::GroupedGomcds],
+        &schedulers(&["scds", "grouped-lomcds", "grouped-gomcds"]),
     );
     print!("{}", table::render("Table 2 (reduced)", &rows));
     println!();
@@ -69,7 +70,9 @@ fn main() {
         .evaluate(&trace)
         .total();
     let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
-    let go = schedule(Method::Gomcds, &trace, memory).evaluate(&trace).total();
+    let go = schedule(Method::Gomcds, &trace, memory)
+        .evaluate(&trace)
+        .total();
     println!(
         "benchmark 3 spotlight: S.F. {sf}, GOMCDS {go} ({:.1}% better)",
         improvement_pct(sf, go)
@@ -108,18 +111,13 @@ fn bench_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> (u128, R) {
     (start.elapsed().as_nanos() / reps as u128, out)
 }
 
-/// Time every method cached and uncached over benchmark × size, plus the
-/// `compare_methods` headline (benchmark 3, 32×32 data, 4×4 array), and
-/// render the results as JSON (hand-rolled; the vendored serde shim has no
-/// serializer and the schema is flat).
+/// Time the registry's comparison set cached and uncached over benchmark ×
+/// size, plus the `compare_methods` headline (benchmark 3, 32×32 data, 4×4
+/// array), and render the results as JSON (hand-rolled; the vendored serde
+/// shim has no serializer and the schema is flat). Any newly registered
+/// scheduler with `in_comparison()` shows up here automatically.
 fn bench_sched_json() -> String {
-    const COMPARE_SET: [Method; 5] = [
-        Method::Scds,
-        Method::Lomcds,
-        Method::Gomcds,
-        Method::GroupedLocal,
-        Method::GroupedGomcds,
-    ];
+    let compare_set: Vec<&dyn pim_sched::Scheduler> = registry().comparison_set().collect();
     let grid = Grid::new(4, 4);
     let memory = MemoryPolicy::ScaledMinimum { factor: 2 };
 
@@ -130,11 +128,12 @@ fn bench_sched_json() -> String {
     for bench in [Benchmark::Lu, Benchmark::LuCode] {
         for size in [8u32, 16] {
             let (trace, _) = windowed(bench, grid, size, 2, 1998);
-            for method in COMPARE_SET {
+            for &scheduler in &compare_set {
                 let (cached_ns, sched) =
-                    bench_ns(3, || schedule(method, &trace, memory));
-                let (uncached_ns, _) =
-                    bench_ns(3, || schedule_uncached(method, &trace, memory));
+                    bench_ns(3, || Run::new(&trace).policy(memory).run(scheduler));
+                let (uncached_ns, _) = bench_ns(3, || {
+                    Run::new(&trace).policy(memory).cached(false).run(scheduler)
+                });
                 let cost = sched.evaluate(&trace).total();
                 if !first {
                     json.push_str(",\n");
@@ -146,7 +145,7 @@ fn bench_sched_json() -> String {
                      \"total_cost\": {cost}, \"cached_ns\": {cached_ns}, \
                      \"uncached_ns\": {uncached_ns}, \"speedup\": {:.3}}}",
                     bench.label(),
-                    method.name(),
+                    scheduler.name(),
                     uncached_ns as f64 / cached_ns.max(1) as f64,
                 )
                 .expect("write to String cannot fail");
@@ -160,14 +159,10 @@ fn bench_sched_json() -> String {
     let (trace, _) = windowed(Benchmark::LuCode, grid, 32, 2, 1998);
     let (cached_ns, costs) = bench_ns(3, || compare_methods(&trace, memory));
     let (uncached_ns, uncached_costs) = bench_ns(3, || {
-        COMPARE_SET
-            .into_iter()
-            .map(|m| {
-                (
-                    m,
-                    schedule_uncached(m, &trace, memory).evaluate(&trace).total(),
-                )
-            })
+        let mut run = Run::new(&trace).policy(memory).cached(false);
+        compare_set
+            .iter()
+            .map(|&s| (s.name(), run.run(s).evaluate(&trace).total()))
             .collect::<Vec<_>>()
     });
     assert_eq!(costs, uncached_costs, "cached diverged from reference");
@@ -179,11 +174,11 @@ fn bench_sched_json() -> String {
          \"speedup\": {speedup:.3}, \"costs\": {{"
     )
     .expect("write to String cannot fail");
-    for (i, (m, c)) in costs.iter().enumerate() {
+    for (i, (name, c)) in costs.iter().enumerate() {
         if i > 0 {
             json.push_str(", ");
         }
-        write!(json, "\"{}\": {c}", m.name()).expect("write to String cannot fail");
+        write!(json, "\"{name}\": {c}").expect("write to String cannot fail");
     }
     json.push_str("}}\n}\n");
 

@@ -7,8 +7,8 @@
 //! and reports which windowing lets GOMCDS do better.
 
 use pim_array::grid::Grid;
-use pim_trace::adaptive::{window_adaptive, AdaptiveParams};
 use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_trace::adaptive::{window_adaptive, AdaptiveParams};
 use pim_workloads::Benchmark;
 
 fn main() {
@@ -48,13 +48,23 @@ fn main() {
             let cost = schedule(Method::Gomcds, &trace, memory)
                 .evaluate(&trace)
                 .total();
-            rows.push((format!("adaptive(d={threshold})"), trace.num_windows(), cost));
+            rows.push((
+                format!("adaptive(d={threshold})"),
+                trace.num_windows(),
+                cost,
+            ));
         }
         for (name, windows, cost) in rows {
             if csv {
                 println!("{},{name},{windows},{cost}", bench.label());
             } else {
-                println!("{:<6} {:<22} {:>8} {:>10}", bench.label(), name, windows, cost);
+                println!(
+                    "{:<6} {:<22} {:>8} {:>10}",
+                    bench.label(),
+                    name,
+                    windows,
+                    cost
+                );
             }
         }
         if !csv {

@@ -45,7 +45,16 @@ fn main() {
                 .total();
             let go_s = schedule(Method::Gomcds, &trace, MemoryPolicy::Unbounded);
             let go = go_s.evaluate(&trace).total();
-            emit(csv, bench.label(), "element", sf, sc, go, improvement_pct(sf, go), go_s.num_moves());
+            emit(
+                csv,
+                bench.label(),
+                "element",
+                sf,
+                sc,
+                go,
+                improvement_pct(sf, go),
+                go_s.num_moves(),
+            );
         }
 
         // row granularity: per-datum volumes = row length
@@ -58,7 +67,16 @@ fn main() {
             let sc = sc_sched.evaluate_volumes(&trace, &rt.volumes).total();
             let go_sched: Schedule = gomcds_schedule_volumes(&trace, &rt.volumes);
             let go = go_sched.evaluate_volumes(&trace, &rt.volumes).total();
-            emit(csv, bench.label(), "row", sf, sc, go, improvement_pct(sf, go), go_sched.num_moves());
+            emit(
+                csv,
+                bench.label(),
+                "row",
+                sf,
+                sc,
+                go,
+                improvement_pct(sf, go),
+                go_sched.num_moves(),
+            );
         }
         if !csv {
             println!();

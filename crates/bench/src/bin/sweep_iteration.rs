@@ -44,11 +44,19 @@ fn main() {
                 .straightforward(&trace, Layout::RowWise)
                 .evaluate(&trace)
                 .total();
-            let scds = schedule(Method::Scds, &trace, memory).evaluate(&trace).total();
-            let go = schedule(Method::Gomcds, &trace, memory).evaluate(&trace).total();
+            let scds = schedule(Method::Scds, &trace, memory)
+                .evaluate(&trace)
+                .total();
+            let go = schedule(Method::Gomcds, &trace, memory)
+                .evaluate(&trace)
+                .total();
             let gain = improvement_pct(sf, go);
             if csv {
-                println!("{},{},{sf},{scds},{go},{gain:.2}", bench.label(), layout.name());
+                println!(
+                    "{},{},{sf},{scds},{go},{gain:.2}",
+                    bench.label(),
+                    layout.name()
+                );
             } else {
                 println!(
                     "{:<6} {:<12} {:>10} {:>10} {:>10} {:>7.1}%",

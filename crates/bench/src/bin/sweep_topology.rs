@@ -8,9 +8,7 @@
 
 use pim_array::grid::Grid;
 use pim_array::torus::Torus;
-use pim_sched::generic::{
-    evaluate_generic, gomcds_generic, scds_generic, striped_generic,
-};
+use pim_sched::generic::{evaluate_generic, gomcds_generic, scds_generic, striped_generic};
 use pim_workloads::{windowed, Benchmark};
 
 fn main() {

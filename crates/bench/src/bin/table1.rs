@@ -4,11 +4,11 @@
 
 use pim_bench::experiments::{paper_config, run_table};
 use pim_bench::table;
-use pim_sched::Method;
+use pim_sched::registry::schedulers;
 
 fn main() {
     let cfg = paper_config();
-    let rows = run_table(&cfg, &[Method::Scds, Method::Lomcds, Method::Gomcds]);
+    let rows = run_table(&cfg, &schedulers(&["scds", "lomcds", "gomcds"]));
     if table::want_csv() {
         print!("{}", table::render_csv(&rows));
     } else {

@@ -8,13 +8,13 @@
 
 use pim_bench::experiments::{paper_config, run_table};
 use pim_bench::table;
-use pim_sched::Method;
+use pim_sched::registry::schedulers;
 
 fn main() {
     let cfg = paper_config();
     let rows = run_table(
         &cfg,
-        &[Method::Scds, Method::GroupedLocal, Method::GroupedGomcds],
+        &schedulers(&["scds", "grouped-lomcds", "grouped-gomcds"]),
     );
     if table::want_csv() {
         print!("{}", table::render_csv(&rows));

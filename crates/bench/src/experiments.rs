@@ -2,9 +2,9 @@
 
 use pim_array::grid::Grid;
 use pim_array::layout::Layout;
-use pim_sched::{schedule, MemoryPolicy, Method};
-use pim_workloads::{windowed, Benchmark, DataSpace};
+use pim_sched::{MemoryPolicy, Run, Scheduler};
 use pim_trace::window::WindowedTrace;
+use pim_workloads::{windowed, Benchmark, DataSpace};
 
 /// The paper's experimental setup.
 #[derive(Debug, Clone, Copy)]
@@ -42,36 +42,38 @@ pub struct ComparisonRow {
     pub size: u32,
     /// Straight-forward baseline cost.
     pub sf: u64,
-    /// `(method, cost, % improvement)` per reported column.
-    pub entries: Vec<(Method, u64, f64)>,
+    /// `(scheduler name, cost, % improvement)` per reported column.
+    pub entries: Vec<(&'static str, u64, f64)>,
 }
 
 /// Generate the trace for one (benchmark, size) cell of the tables.
-pub fn paper_trace(
-    cfg: &PaperConfig,
-    bench: Benchmark,
-    size: u32,
-) -> (WindowedTrace, DataSpace) {
+pub fn paper_trace(cfg: &PaperConfig, bench: Benchmark, size: u32) -> (WindowedTrace, DataSpace) {
     windowed(bench, cfg.grid, size, cfg.steps_per_window, cfg.seed)
 }
 
-/// Run one table row: the baseline plus each method.
+/// Run one table row: the baseline plus each registered scheduler. One
+/// [`Run`] (and therefore one cost cache) serves the whole row.
 pub fn run_comparison(
     cfg: &PaperConfig,
     bench: Benchmark,
     size: u32,
-    methods: &[Method],
+    schedulers: &[&dyn Scheduler],
 ) -> ComparisonRow {
     let (trace, space) = paper_trace(cfg, bench, size);
     let sf = space
         .straightforward(&trace, Layout::RowWise)
         .evaluate(&trace)
         .total();
-    let entries = methods
+    let mut run = Run::new(&trace).policy(cfg.memory);
+    let entries = schedulers
         .iter()
-        .map(|&m| {
-            let cost = schedule(m, &trace, cfg.memory).evaluate(&trace).total();
-            (m, cost, pim_sched::schedule::improvement_pct(sf, cost))
+        .map(|&s| {
+            let cost = run.run(s).evaluate(&trace).total();
+            (
+                s.name(),
+                cost,
+                pim_sched::schedule::improvement_pct(sf, cost),
+            )
         })
         .collect();
     ComparisonRow {
@@ -83,11 +85,11 @@ pub fn run_comparison(
 }
 
 /// Run a full table (every paper benchmark × every size).
-pub fn run_table(cfg: &PaperConfig, methods: &[Method]) -> Vec<ComparisonRow> {
+pub fn run_table(cfg: &PaperConfig, schedulers: &[&dyn Scheduler]) -> Vec<ComparisonRow> {
     let mut rows = Vec::new();
     for bench in Benchmark::paper_set() {
         for &size in &cfg.sizes {
-            rows.push(run_comparison(cfg, bench, size, methods));
+            rows.push(run_comparison(cfg, bench, size, schedulers));
         }
     }
     rows
@@ -115,7 +117,7 @@ mod tests {
             &cfg,
             Benchmark::Lu,
             8,
-            &[Method::Scds, Method::Gomcds],
+            &pim_sched::registry::schedulers(&["scds", "gomcds"]),
         );
         assert_eq!(row.bench, "1");
         assert!(row.sf > 0);
@@ -132,13 +134,13 @@ mod tests {
                 bench: "1",
                 size: 8,
                 sf: 100,
-                entries: vec![(Method::Scds, 80, 20.0)],
+                entries: vec![("SCDS", 80, 20.0)],
             },
             ComparisonRow {
                 bench: "2",
                 size: 8,
                 sf: 100,
-                entries: vec![(Method::Scds, 60, 40.0)],
+                entries: vec![("SCDS", 60, 40.0)],
             },
         ];
         assert_eq!(mean_improvement(&rows, 0), 30.0);

@@ -13,7 +13,7 @@ pub fn render(title: &str, rows: &[ComparisonRow]) -> String {
     out.push('\n');
     let methods: Vec<String> = rows
         .first()
-        .map(|r| r.entries.iter().map(|e| e.0.name().to_string()).collect())
+        .map(|r| r.entries.iter().map(|e| e.0.to_string()).collect())
         .unwrap_or_default();
 
     out.push_str(&format!("{:<3} {:>7} {:>10}", "B.", "Size", "S.F."));
@@ -57,12 +57,7 @@ pub fn render_csv(rows: &[ComparisonRow]) -> String {
         for &(m, cost, pct) in &r.entries {
             out.push_str(&format!(
                 "{},{},{},{},{},{:.2}\n",
-                r.bench,
-                r.size,
-                r.sf,
-                m.name(),
-                cost,
-                pct
+                r.bench, r.size, r.sf, m, cost, pct
             ));
         }
     }
@@ -77,14 +72,13 @@ pub fn want_csv() -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pim_sched::Method;
 
     fn rows() -> Vec<ComparisonRow> {
         vec![ComparisonRow {
             bench: "1",
             size: 8,
             sf: 1000,
-            entries: vec![(Method::Scds, 800, 20.0), (Method::Gomcds, 600, 40.0)],
+            entries: vec![("SCDS", 800, 20.0), ("GOMCDS", 600, 40.0)],
         }]
     }
 

@@ -2,7 +2,7 @@
 //! dependency policy).
 
 use pim_array::grid::Grid;
-use pim_sched::{MemoryPolicy, Method};
+use pim_sched::MemoryPolicy;
 use pim_workloads::Benchmark;
 
 /// The CLI subcommands.
@@ -26,6 +26,8 @@ pub enum Command {
     Export,
     /// Narrate the costliest data items' schedules window by window.
     Explain,
+    /// List every registered scheduling method with its description.
+    ListMethods,
 }
 
 /// Fully parsed CLI invocation.
@@ -41,8 +43,9 @@ pub struct ParsedArgs {
     pub grid: Grid,
     /// Steps per execution window.
     pub window: usize,
-    /// Scheduling method (for `run`/`simulate`).
-    pub method: Method,
+    /// Scheduling method (for `run`/`simulate`): the canonical name of any
+    /// scheduler registered in `pim_sched::registry()`.
+    pub method: String,
     /// Memory policy.
     pub memory: MemoryPolicy,
     /// Workload RNG seed.
@@ -63,7 +66,7 @@ impl Default for ParsedArgs {
             size: 8,
             grid: Grid::new(4, 4),
             window: 2,
-            method: Method::Gomcds,
+            method: "GOMCDS".to_string(),
             memory: MemoryPolicy::ScaledMinimum { factor: 2 },
             seed: 1998,
             out: None,
@@ -88,17 +91,14 @@ pub fn parse_grid(s: &str) -> Result<Grid, ParseError> {
     Ok(Grid::new(w, h))
 }
 
-/// Parse a method name (case-insensitive).
-pub fn parse_method(s: &str) -> Result<Method, ParseError> {
-    match s.to_ascii_lowercase().as_str() {
-        "scds" => Ok(Method::Scds),
-        "lomcds" => Ok(Method::Lomcds),
-        "gomcds" => Ok(Method::Gomcds),
-        "gomcds-naive" | "gomcdsnaive" => Ok(Method::GomcdsNaive),
-        "grouped" | "grouped-local" | "grouped-lomcds" => Ok(Method::GroupedLocal),
-        "grouped-gomcds" => Ok(Method::GroupedGomcds),
-        _ => Err(format!(
-            "unknown method '{s}' (scds, lomcds, gomcds, gomcds-naive, grouped, grouped-gomcds)"
+/// Resolve a method name against the scheduler registry
+/// (case-insensitive, aliases accepted), returning the canonical name.
+pub fn parse_method(s: &str) -> Result<String, ParseError> {
+    match pim_sched::registry().get(s) {
+        Some(m) => Ok(m.name().to_string()),
+        None => Err(format!(
+            "unknown method '{s}' for --method (known: {}; see `pim-cli list-methods`)",
+            pim_sched::registry().names().join(", ")
         )),
     }
 }
@@ -110,9 +110,7 @@ pub fn parse_memory(s: &str) -> Result<MemoryPolicy, ParseError> {
         return Ok(MemoryPolicy::Unbounded);
     }
     if let Some(f) = s.strip_suffix(['x', 'X']) {
-        let factor: u32 = f
-            .parse()
-            .map_err(|_| format!("bad memory factor '{s}'"))?;
+        let factor: u32 = f.parse().map_err(|_| format!("bad memory factor '{s}'"))?;
         if factor == 0 {
             return Err("memory factor must be positive".to_string());
         }
@@ -139,6 +137,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
         "windows" => Command::Windows,
         "export" => Command::Export,
         "explain" => Command::Explain,
+        "list-methods" => Command::ListMethods,
         "-h" | "--help" | "help" => return Err(usage()),
         other => return Err(format!("unknown command '{other}'\n{}", usage())),
     };
@@ -151,19 +150,25 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
         match flag.as_str() {
             "--bench" => {
                 let v = value()?;
-                out.bench = Benchmark::parse(&v)
-                    .ok_or_else(|| format!("unknown benchmark '{v}' (1-5, code, jacobi, transpose, sor)"))?;
+                out.bench = Benchmark::parse(&v).ok_or_else(|| {
+                    format!("unknown benchmark '{v}' (1-5, code, jacobi, transpose, sor)")
+                })?;
             }
             "--size" => {
-                out.size = value()?
+                let v = value()?;
+                out.size = v
                     .parse()
-                    .map_err(|_| "bad --size".to_string())?;
+                    .map_err(|_| format!("bad value '{v}' for --size, expected an integer"))?;
+                if out.size == 0 {
+                    return Err("--size must be positive".to_string());
+                }
             }
             "--grid" => out.grid = parse_grid(&value()?)?,
             "--window" => {
-                out.window = value()?
+                let v = value()?;
+                out.window = v
                     .parse()
-                    .map_err(|_| "bad --window".to_string())?;
+                    .map_err(|_| format!("bad value '{v}' for --window, expected an integer"))?;
                 if out.window == 0 {
                     return Err("--window must be positive".to_string());
                 }
@@ -171,9 +176,10 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
             "--method" => out.method = parse_method(&value()?)?,
             "--memory" => out.memory = parse_memory(&value()?)?,
             "--seed" => {
-                out.seed = value()?
+                let v = value()?;
+                out.seed = v
                     .parse()
-                    .map_err(|_| "bad --seed".to_string())?;
+                    .map_err(|_| format!("bad value '{v}' for --seed, expected an integer"))?;
             }
             "--out" => out.out = Some(value()?),
             "--trace" => out.trace_file = Some(value()?),
@@ -185,9 +191,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
 
 /// The usage text.
 pub fn usage() -> String {
-    "usage: pim-cli <run|compare|stats|simulate|refine|replicate|windows|export|explain> \
+    "usage: pim-cli <run|compare|stats|simulate|refine|replicate|windows|export|explain|list-methods> \
      [--bench 1-5|code|jacobi|transpose|sor] [--size N] [--grid WxH] \
-     [--window STEPS] [--method scds|lomcds|gomcds|grouped] \
+     [--window STEPS] [--method NAME (see `pim-cli list-methods`)] \
      [--memory unbounded|Nx|CAP] [--seed S] [--out FILE] [--trace FILE]"
         .to_string()
 }
@@ -203,8 +209,21 @@ mod tests {
     #[test]
     fn parse_full_invocation() {
         let a = parse(&v(&[
-            "run", "--bench", "3", "--size", "16", "--grid", "8x4", "--window", "4", "--method",
-            "lomcds", "--memory", "unbounded", "--seed", "7",
+            "run",
+            "--bench",
+            "3",
+            "--size",
+            "16",
+            "--grid",
+            "8x4",
+            "--window",
+            "4",
+            "--method",
+            "lomcds",
+            "--memory",
+            "unbounded",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         assert_eq!(a.command, Command::Run);
@@ -212,7 +231,7 @@ mod tests {
         assert_eq!(a.size, 16);
         assert_eq!((a.grid.width(), a.grid.height()), (8, 4));
         assert_eq!(a.window, 4);
-        assert_eq!(a.method, pim_sched::Method::Lomcds);
+        assert_eq!(a.method, "LOMCDS");
         assert_eq!(a.memory, MemoryPolicy::Unbounded);
         assert_eq!(a.seed, 7);
     }
@@ -247,10 +266,21 @@ mod tests {
     }
 
     #[test]
-    fn method_names() {
-        assert_eq!(parse_method("GOMCDS"), Ok(Method::Gomcds));
-        assert_eq!(parse_method("grouped"), Ok(Method::GroupedLocal));
-        assert!(parse_method("magic").is_err());
+    fn method_names_resolve_via_registry() {
+        assert_eq!(parse_method("gomcds").as_deref(), Ok("GOMCDS"));
+        assert_eq!(parse_method("grouped").as_deref(), Ok("Grouped-LOMCDS"));
+        // extensions outside the Method enum are first-class here
+        assert_eq!(parse_method("online").as_deref(), Ok("online"));
+        assert_eq!(parse_method("BASELINE").as_deref(), Ok("baseline"));
+        let err = parse_method("magic").unwrap_err();
+        assert!(err.contains("unknown method 'magic'"), "{err}");
+        assert!(err.contains("GOMCDS"), "lists the known names: {err}");
+    }
+
+    #[test]
+    fn list_methods_command() {
+        let a = parse(&v(&["list-methods"])).unwrap();
+        assert_eq!(a.command, Command::ListMethods);
     }
 
     #[test]
@@ -260,5 +290,22 @@ mod tests {
         assert!(parse(&v(&["run", "--bench"])).is_err());
         assert!(parse(&v(&["run", "--window", "0"])).is_err());
         assert!(parse(&v(&["run", "--wat", "1"])).is_err());
+    }
+
+    #[test]
+    fn errors_name_the_flag_and_value() {
+        let err = parse(&v(&["run", "--size", "huge"])).unwrap_err();
+        assert!(err.contains("'huge'") && err.contains("--size"), "{err}");
+        let err = parse(&v(&["run", "--size", "0"])).unwrap_err();
+        assert!(err.contains("--size must be positive"), "{err}");
+        let err = parse(&v(&["run", "--window", "x"])).unwrap_err();
+        assert!(err.contains("'x'") && err.contains("--window"), "{err}");
+        let err = parse(&v(&["run", "--seed", "soon"])).unwrap_err();
+        assert!(err.contains("'soon'") && err.contains("--seed"), "{err}");
+        let err = parse(&v(&["run", "--method"])).unwrap_err();
+        assert!(
+            err.contains("--method") && err.contains("needs a value"),
+            "{err}"
+        );
     }
 }

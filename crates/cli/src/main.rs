@@ -3,7 +3,7 @@
 use pim_cli::args::{self, Command};
 use pim_cli::render;
 use pim_par::Pool;
-use pim_sched::{compare_methods, schedule};
+use pim_sched::{compare_methods, Run};
 use pim_trace::stats::trace_stats;
 use pim_workloads::windowed;
 use std::process::ExitCode;
@@ -17,6 +17,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if parsed.command == Command::ListMethods {
+        println!("registered scheduling methods:");
+        for s in pim_sched::registry().iter() {
+            let tag = if s.in_comparison() {
+                ""
+            } else {
+                "  [not in compare]"
+            };
+            println!("  {:<16} {}{tag}", s.name(), s.description());
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let (trace, space) = if let Some(path) = &parsed.trace_file {
         if parsed.command == Command::Compare {
@@ -70,11 +83,17 @@ fn main() -> ExitCode {
         );
     }
 
+    let mut run = Run::new(&trace).policy(parsed.memory);
+
     match parsed.command {
         Command::Run => {
-            let s = schedule(parsed.method, &trace, parsed.memory);
-            println!("{}", render::breakdown(parsed.method.name(), s.evaluate(&trace)));
-            println!("moves: {}, max occupancy: {}", s.num_moves(), s.max_occupancy());
+            let s = run.run_named(&parsed.method).expect("validated at parse");
+            println!("{}", render::breakdown(&parsed.method, s.evaluate(&trace)));
+            println!(
+                "moves: {}, max occupancy: {}",
+                s.num_moves(),
+                s.max_occupancy()
+            );
         }
         Command::Compare => {
             let sf = space
@@ -83,9 +102,9 @@ fn main() -> ExitCode {
                 .total();
             let rows = compare_methods(&trace, parsed.memory)
                 .into_iter()
-                .map(|(m, cost)| {
+                .map(|(name, cost)| {
                     (
-                        m.name().to_string(),
+                        name.to_string(),
                         cost,
                         pim_sched::schedule::improvement_pct(sf, cost),
                     )
@@ -104,8 +123,9 @@ fn main() -> ExitCode {
             println!("inter-window drift:    {:.2}", st.mean_drift);
         }
         Command::Simulate => {
-            let s = schedule(parsed.method, &trace, parsed.memory);
-            let report = pim_sim::simulate(&trace, &s, Pool::auto());
+            let (s, report) =
+                pim_sim::simulate_named(&parsed.method, &trace, parsed.memory, Pool::auto())
+                    .expect("validated at parse");
             print!("{report}");
             let analytic = s.evaluate(&trace).total();
             assert_eq!(
@@ -129,12 +149,12 @@ fn main() -> ExitCode {
         }
         Command::Refine => {
             let spec = parsed.memory.resolve(&trace);
-            let mut s = schedule(parsed.method, &trace, parsed.memory);
+            let mut s = run.run_named(&parsed.method).expect("validated at parse");
             let before = s.evaluate(&trace).total();
             let stats = pim_sched::refine::refine(&trace, &mut s, spec, 100);
             println!(
                 "{}: {} -> {} ({} moves over {} sweeps)",
-                parsed.method.name(),
+                parsed.method,
                 before,
                 s.evaluate(&trace).total(),
                 stats.moves_applied,
@@ -143,7 +163,9 @@ fn main() -> ExitCode {
         }
         Command::Replicate => {
             let spec = parsed.memory.resolve(&trace);
-            let single = schedule(pim_sched::Method::Gomcds, &trace, parsed.memory)
+            let single = run
+                .run_named("gomcds")
+                .expect("gomcds is registered")
                 .evaluate(&trace)
                 .total();
             let repl = pim_sched::replicate::replicated_schedule(&trace, spec);
@@ -173,15 +195,11 @@ fn main() -> ExitCode {
         }
         Command::Explain => {
             use pim_sched::explain::{render_data, summarize};
-            let s = schedule(parsed.method, &trace, parsed.memory);
+            let s = run.run_named(&parsed.method).expect("validated at parse");
             let sum = summarize(&trace, &s);
             println!(
                 "{}: total {} (movement {}, {} moves, total regret {})",
-                parsed.method.name(),
-                sum.total,
-                sum.movement,
-                sum.moves,
-                sum.total_regret
+                parsed.method, sum.total, sum.movement, sum.moves, sum.total_regret
             );
             // narrate the five costliest data
             let mut by_cost: Vec<(u64, u32)> = (0..trace.num_data() as u32)
@@ -226,6 +244,7 @@ fn main() -> ExitCode {
                 println!("  {len:>3} -> {count}");
             }
         }
+        Command::ListMethods => unreachable!("handled before trace construction"),
     }
     ExitCode::SUCCESS
 }

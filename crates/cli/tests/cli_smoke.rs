@@ -29,7 +29,15 @@ fn compare_prints_the_paper_table_shape() {
 #[test]
 fn run_reports_cost_breakdown() {
     let (ok, stdout, _) = run(&[
-        "run", "--bench", "2", "--size", "8", "--method", "gomcds", "--memory", "unbounded",
+        "run",
+        "--bench",
+        "2",
+        "--size",
+        "8",
+        "--method",
+        "gomcds",
+        "--memory",
+        "unbounded",
     ]);
     assert!(ok);
     assert!(stdout.contains("GOMCDS: total"));
@@ -92,4 +100,40 @@ fn error_paths_fail_cleanly() {
     let (ok, _, stderr) = run(&["stats", "--trace", "/nonexistent.pimt"]);
     assert!(!ok);
     assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn list_methods_shows_the_registry() {
+    let (ok, stdout, _) = run(&["list-methods"]);
+    assert!(ok);
+    for name in pim_sched::registry().names() {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn run_accepts_any_registered_method() {
+    for method in ["baseline", "online", "kcopy", "replicate", "gomcds-naive"] {
+        let (ok, stdout, stderr) = run(&[
+            "run",
+            "--bench",
+            "1",
+            "--size",
+            "8",
+            "--method",
+            method,
+            "--memory",
+            "unbounded",
+        ]);
+        assert!(ok, "{method} failed: {stderr}");
+        assert!(stdout.contains("total"), "{method}: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_method_error_names_the_value_and_options() {
+    let (ok, _, stderr) = run(&["run", "--method", "magic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown method 'magic'"), "{stderr}");
+    assert!(stderr.contains("list-methods"), "{stderr}");
 }

@@ -18,12 +18,7 @@ use pim_trace::window::WindowedTrace;
 ///
 /// # Panics
 /// Panics if the trace has fewer data items than the array has elements.
-pub fn layout_schedule(
-    trace: &WindowedTrace,
-    rows: u32,
-    cols: u32,
-    layout: Layout,
-) -> Schedule {
+pub fn layout_schedule(trace: &WindowedTrace, rows: u32, cols: u32, layout: Layout) -> Schedule {
     let grid = trace.grid();
     let n = (rows * cols) as usize;
     assert!(

@@ -22,7 +22,7 @@
 //! cost table of *any* window range `lo..hi` costs
 //! `O(width + height + m)` — independent of how many references the range
 //! holds — via two subtractions per axis slot and the standard two-sweep
-//! [`crate::cost::axis_costs`]. The arithmetic is identical to running
+//! `axis_costs` recurrence in [`crate::cost`]. The arithmetic is identical to running
 //! [`crate::cost::cost_table`] on the merged range, so cached and uncached
 //! schedulers produce bit-identical results (property-tested in
 //! `tests/cache_equivalence.rs`).

@@ -1,0 +1,175 @@
+//! Shared execution context for pluggable schedulers.
+//!
+//! A [`SchedContext`] bundles everything a [`crate::registry::Scheduler`]
+//! needs beyond the trace itself: the grid view, the memory policy and its
+//! resolved [`MemorySpec`], the shared per-trace [`CostCache`], a reusable
+//! [`Workspace`], and an optional [`Pool`] for per-datum parallelism. The
+//! context — not the scheduler — decides the *execution mode*:
+//!
+//! * **cached** (the default): the context owns a [`CostCache`] and every
+//!   scheduler serves its cost tables from prefix sums;
+//! * **uncached**: no cache is built and schedulers fall back to the
+//!   pre-cache reference implementations (the bit-identity oracles);
+//! * **parallel**: a [`Pool`] is attached; schedulers that support
+//!   per-datum parallelism use it when the policy is
+//!   [`MemoryPolicy::Unbounded`] (capacity resolution is order-dependent
+//!   and stays sequential so results remain deterministic).
+//!
+//! All three modes are property-tested bit-identical for every registered
+//! scheduler in `tests/cache_equivalence.rs`.
+
+use crate::cache::CostCache;
+use crate::pipeline::MemoryPolicy;
+use crate::workspace::Workspace;
+use pim_array::grid::Grid;
+use pim_array::memory::MemorySpec;
+use pim_par::Pool;
+use pim_trace::window::WindowedTrace;
+
+/// Execution context owned by one scheduling run and shared across any
+/// number of schedulers (the cache and workspace amortize across calls).
+#[derive(Debug)]
+pub struct SchedContext {
+    grid: Grid,
+    policy: MemoryPolicy,
+    spec: MemorySpec,
+    cache: Option<CostCache>,
+    ws: Workspace,
+    pool: Option<Pool>,
+}
+
+impl SchedContext {
+    /// Cached context: builds the per-trace [`CostCache`] up front.
+    pub fn new(trace: &WindowedTrace, policy: MemoryPolicy) -> Self {
+        SchedContext::with_cache(trace, policy, CostCache::build(trace))
+    }
+
+    /// Cached context around a prebuilt cost cache (shares the build cost
+    /// with other users of the same trace).
+    pub fn with_cache(trace: &WindowedTrace, policy: MemoryPolicy, cache: CostCache) -> Self {
+        SchedContext {
+            grid: trace.grid(),
+            policy,
+            spec: policy.resolve(trace),
+            cache: Some(cache),
+            ws: Workspace::new(),
+            pool: None,
+        }
+    }
+
+    /// Uncached reference context: schedulers re-walk raw reference strings
+    /// exactly as the seed implementation did.
+    pub fn uncached(trace: &WindowedTrace, policy: MemoryPolicy) -> Self {
+        SchedContext {
+            grid: trace.grid(),
+            policy,
+            spec: policy.resolve(trace),
+            cache: None,
+            ws: Workspace::new(),
+            pool: None,
+        }
+    }
+
+    /// Attach a worker pool for per-datum parallelism.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The processor grid of the trace this context was built for.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// The memory policy this run schedules under.
+    pub fn policy(&self) -> MemoryPolicy {
+        self.policy
+    }
+
+    /// The policy resolved against the trace.
+    pub fn spec(&self) -> MemorySpec {
+        self.spec
+    }
+
+    /// The shared cost cache, when this is a cached context.
+    pub fn cache(&self) -> Option<&CostCache> {
+        self.cache.as_ref()
+    }
+
+    /// The attached pool, regardless of whether parallelism applies.
+    pub fn pool(&self) -> Option<Pool> {
+        self.pool
+    }
+
+    /// The pool to use for per-datum parallel scheduling, or `None` when
+    /// the run must stay sequential: parallelism applies only when a pool
+    /// is attached, the policy is unconstrained (capacity resolution is
+    /// order-dependent), and the cache is present (the parallel paths read
+    /// from it).
+    pub fn parallel_pool(&self) -> Option<Pool> {
+        match (self.pool, self.policy, &self.cache) {
+            (Some(pool), MemoryPolicy::Unbounded, Some(_)) => Some(pool),
+            _ => None,
+        }
+    }
+
+    /// Split-borrow the cache (if cached) and the workspace — the shape
+    /// every `*_cached` scheduler entry point wants.
+    pub fn cache_and_ws(&mut self) -> (Option<&CostCache>, &mut Workspace) {
+        (self.cache.as_ref(), &mut self.ws)
+    }
+
+    /// The reusable scratch workspace.
+    pub fn workspace(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
+
+    /// Swap the context's workspace with a caller-owned one (used by the
+    /// deprecated `schedule_cached` shim to honour its warm-buffer
+    /// contract).
+    pub(crate) fn swap_workspace(&mut self, ws: &mut Workspace) {
+        core::mem::swap(&mut self.ws, ws);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_trace::window::{WindowRefs, WindowedTrace};
+
+    fn trace() -> WindowedTrace {
+        let grid = Grid::new(3, 3);
+        WindowedTrace::from_parts(grid, vec![vec![WindowRefs::new(); 2]; 2])
+    }
+
+    #[test]
+    fn cached_context_owns_cache() {
+        let t = trace();
+        let ctx = SchedContext::new(&t, MemoryPolicy::Unbounded);
+        assert!(ctx.cache().is_some());
+        assert_eq!(ctx.grid(), t.grid());
+        assert_eq!(ctx.spec().capacity_per_proc, u32::MAX);
+    }
+
+    #[test]
+    fn uncached_context_has_no_cache() {
+        let t = trace();
+        let ctx = SchedContext::uncached(&t, MemoryPolicy::Capacity(4));
+        assert!(ctx.cache().is_none());
+        assert_eq!(ctx.spec().capacity_per_proc, 4);
+    }
+
+    #[test]
+    fn parallel_pool_requires_unbounded_policy_and_cache() {
+        let t = trace();
+        let pool = Pool::serial();
+        let unbounded = SchedContext::new(&t, MemoryPolicy::Unbounded).with_pool(pool);
+        assert!(unbounded.parallel_pool().is_some());
+        let bounded = SchedContext::new(&t, MemoryPolicy::Capacity(2)).with_pool(pool);
+        assert!(bounded.parallel_pool().is_none());
+        let uncached = SchedContext::uncached(&t, MemoryPolicy::Unbounded).with_pool(pool);
+        assert!(uncached.parallel_pool().is_none());
+        let no_pool = SchedContext::new(&t, MemoryPolicy::Unbounded);
+        assert!(no_pool.parallel_pool().is_none());
+    }
+}

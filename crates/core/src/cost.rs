@@ -94,7 +94,12 @@ pub fn cost_table(grid: &Grid, refs: &WindowRefs, out: &mut Vec<u64>) {
 
 /// [`cost_table`] with caller-owned scratch — no allocation when `scratch`
 /// and `out` have warmed up to the grid's size.
-pub fn cost_table_with(grid: &Grid, refs: &WindowRefs, scratch: &mut AxisScratch, out: &mut Vec<u64>) {
+pub fn cost_table_with(
+    grid: &Grid,
+    refs: &WindowRefs,
+    scratch: &mut AxisScratch,
+    out: &mut Vec<u64>,
+) {
     scratch.reset_weights(grid);
     for r in refs.iter() {
         let p = grid.point_of(r.proc);

@@ -140,12 +140,9 @@ mod tests {
             ],
         );
         let ex = exhaustive_schedule(&trace).evaluate(&trace).total();
-        let go = crate::gomcds::gomcds_schedule(
-            &trace,
-            pim_array::memory::MemorySpec::unbounded(),
-        )
-        .evaluate(&trace)
-        .total();
+        let go = crate::gomcds::gomcds_schedule(&trace, pim_array::memory::MemorySpec::unbounded())
+            .evaluate(&trace)
+            .total();
         assert_eq!(ex, go);
     }
 

@@ -24,11 +24,7 @@ use pim_trace::ids::DataId;
 use pim_trace::window::{DataRefString, WindowRefs, WindowedTrace};
 
 /// `out[p] = Σ volume · dist(p, referencing proc)` for every processor.
-pub fn cost_table_generic<T: Topology + ?Sized>(
-    topo: &T,
-    refs: &WindowRefs,
-    out: &mut Vec<u64>,
-) {
+pub fn cost_table_generic<T: Topology + ?Sized>(topo: &T, refs: &WindowRefs, out: &mut Vec<u64>) {
     out.clear();
     out.extend((0..topo.num_procs() as u32).map(|k| {
         refs.iter()
@@ -38,10 +34,7 @@ pub fn cost_table_generic<T: Topology + ?Sized>(
 }
 
 /// The minimum-cost processor (ties to the lowest id) and its cost.
-pub fn optimal_center_generic<T: Topology + ?Sized>(
-    topo: &T,
-    refs: &WindowRefs,
-) -> (ProcId, u64) {
+pub fn optimal_center_generic<T: Topology + ?Sized>(topo: &T, refs: &WindowRefs) -> (ProcId, u64) {
     let mut table = Vec::new();
     cost_table_generic(topo, refs, &mut table);
     let (idx, &cost) = table

@@ -167,8 +167,15 @@ pub fn gomcds_path_weighted(
     move_weight: u64,
 ) -> (Vec<ProcId>, u64) {
     let mut ws = Workspace::new();
-    solve_layered(grid, &NodeSource::Raw(rs), None, solver, &mut ws, move_weight)
-        .expect("unconstrained path always feasible")
+    solve_layered(
+        grid,
+        &NodeSource::Raw(rs),
+        None,
+        solver,
+        &mut ws,
+        move_weight,
+    )
+    .expect("unconstrained path always feasible")
 }
 
 /// GOMCDS with per-datum movement volumes (unconstrained memory): datum
@@ -404,9 +411,14 @@ fn gomcds_schedule_driver(
     for (d, rs) in trace.iter_data() {
         let mask_ref = bounded.then_some(masks.as_slice());
         let (path, _) = match cache {
-            Some(c) => {
-                solve_layered(&grid, &NodeSource::Cached(c.datum(d)), mask_ref, solver, ws, 1)
-            }
+            Some(c) => solve_layered(
+                &grid,
+                &NodeSource::Cached(c.datum(d)),
+                mask_ref,
+                solver,
+                ws,
+                1,
+            ),
             None => solve_layered(&grid, &NodeSource::Raw(rs), mask_ref, solver, ws, 1),
         }
         .expect("feasibility checked: every window has a free processor");
@@ -540,8 +552,7 @@ mod tests {
         let cache = DatumCostCache::build(&grid, &rs);
         let mut ws = Workspace::new();
         let via_ranges = gomcds_path_ranges(&grid, &cache, &groups, &mut ws);
-        let via_regroup =
-            gomcds_path(&grid, &rs.regrouped(&groups), Solver::DistanceTransform);
+        let via_regroup = gomcds_path(&grid, &rs.regrouped(&groups), Solver::DistanceTransform);
         assert_eq!(via_ranges, via_regroup);
     }
 
@@ -573,8 +584,7 @@ mod tests {
             WindowRefs::from_pairs([(grid.proc_xy(3, 3), 2)]),
         ];
         let trace = WindowedTrace::from_parts(grid, vec![rs_windows]);
-        let (path, cost) =
-            gomcds_path(&grid, trace.refs(DataId(0)), Solver::DistanceTransform);
+        let (path, cost) = gomcds_path(&grid, trace.refs(DataId(0)), Solver::DistanceTransform);
         let s = Schedule::new(grid, vec![path]);
         assert_eq!(s.evaluate(&trace).total(), cost);
     }
@@ -609,9 +619,6 @@ mod tests {
             ])]],
         );
         let unb = MemorySpec::unbounded();
-        assert_eq!(
-            gomcds_schedule(&trace, unb),
-            scds_schedule(&trace, unb)
-        );
+        assert_eq!(gomcds_schedule(&trace, unb), scds_schedule(&trace, unb));
     }
 }

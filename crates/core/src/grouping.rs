@@ -59,7 +59,10 @@ pub fn local_group_centers(
         })
         .collect();
     crate::lomcds::resolve_gaps_pub(&mut centers);
-    centers.into_iter().map(|c| c.unwrap_or(ProcId(0))).collect()
+    centers
+        .into_iter()
+        .map(|c| c.unwrap_or(ProcId(0)))
+        .collect()
 }
 
 /// [`local_group_centers`] served from the datum's cost cache: each group's
@@ -81,7 +84,10 @@ pub fn local_group_centers_cached(
         })
         .collect();
     crate::lomcds::resolve_gaps_pub(&mut centers);
-    centers.into_iter().map(|c| c.unwrap_or(ProcId(0))).collect()
+    centers
+        .into_iter()
+        .map(|c| c.unwrap_or(ProcId(0)))
+        .collect()
 }
 
 /// Total cost (reference + movement) of a grouping under a method,
@@ -90,9 +96,9 @@ pub fn cost_of_grouping(
     grid: &Grid,
     rs: &DataRefString,
     groups: &[Range<usize>],
-    method: GroupMethod,
+    group_method: GroupMethod,
 ) -> u64 {
-    match method {
+    match group_method {
         GroupMethod::LocalCenters => {
             let centers = local_group_centers(grid, rs, groups);
             let mut total = 0u64;
@@ -120,10 +126,10 @@ pub fn cost_of_grouping_cached(
     grid: &Grid,
     cache: &DatumCostCache,
     groups: &[Range<usize>],
-    method: GroupMethod,
+    group_method: GroupMethod,
     ws: &mut Workspace,
 ) -> u64 {
-    match method {
+    match group_method {
         GroupMethod::LocalCenters => {
             // A non-empty group's resolved center is its own optimal
             // center, so its reference cost is exactly the optimum the
@@ -134,12 +140,8 @@ pub fn cost_of_grouping_cached(
                 .iter()
                 .map(|g| {
                     (!cache.range_is_empty(g.start, g.end)).then(|| {
-                        let (c, cost) = cache.optimal_center_range(
-                            g.start,
-                            g.end,
-                            &mut ws.axes,
-                            &mut ws.table,
-                        );
+                        let (c, cost) =
+                            cache.optimal_center_range(g.start, g.end, &mut ws.axes, &mut ws.table);
                         refcost += cost;
                         c
                     })
@@ -178,11 +180,7 @@ pub fn cost_of_grouping_cached(
 /// let groups = greedy_grouping(&grid, &rs, GroupMethod::LocalCenters);
 /// assert_eq!(groups, vec![0..2, 2..3]); // merges the twins, keeps the hotspot apart
 /// ```
-pub fn greedy_grouping(
-    grid: &Grid,
-    rs: &DataRefString,
-    method: GroupMethod,
-) -> Vec<Range<usize>> {
+pub fn greedy_grouping(grid: &Grid, rs: &DataRefString, method: GroupMethod) -> Vec<Range<usize>> {
     let n = rs.num_windows();
     let mut confirmed: Vec<Range<usize>> = Vec::new();
     let mut start = 0usize;
@@ -358,11 +356,7 @@ pub fn optimal_grouping(grid: &Grid, rs: &DataRefString) -> (Vec<Range<usize>>, 
 
 /// Schedule the whole trace with greedy grouping, deciding and placing with
 /// the same [`GroupMethod`]. See [`grouped_schedule_with`].
-pub fn grouped_schedule(
-    trace: &WindowedTrace,
-    spec: MemorySpec,
-    method: GroupMethod,
-) -> Schedule {
+pub fn grouped_schedule(trace: &WindowedTrace, spec: MemorySpec, method: GroupMethod) -> Schedule {
     grouped_schedule_with(trace, spec, method, method)
 }
 
@@ -415,12 +409,10 @@ pub fn grouped_schedule_with_cached(
     let groupings: Vec<Vec<Range<usize>>> = (0..nd)
         .map(|d| greedy_grouping_cached(&grid, cache.datum(DataId(d as u32)), decide, ws))
         .collect();
-    let method = place;
-
     let mut mems: Vec<MemoryMap> = (0..nw).map(|_| MemoryMap::new(&grid, spec)).collect();
     let mut centers = vec![vec![ProcId(0); nw]; nd];
 
-    match method {
+    match place {
         GroupMethod::LocalCenters => {
             // Per-datum unconstrained group centers, used as anchors.
             let desired: Vec<Vec<ProcId>> = (0..nd)
@@ -449,7 +441,11 @@ pub fn grouped_schedule_with_cached(
                         continue; // group already placed at its first window
                     }
                     let dc = cache.datum(DataId(d as u32));
-                    let anchor = if w == 0 { desired[d][gi] } else { centers[d][w - 1] };
+                    let anchor = if w == 0 {
+                        desired[d][gi]
+                    } else {
+                        centers[d][w - 1]
+                    };
                     if dc.range_is_empty(g.start, g.end) {
                         // preference order: nearest to the anchor
                         let anchor_refs = WindowRefs::from_pairs([(anchor, 1)]);
@@ -504,12 +500,7 @@ pub fn grouped_schedule_with_cached(
             // volumes at their optimal centers and lets light data adapt
             // (deterministic: ties broken by ascending id).
             let mut order: Vec<usize> = (0..nd).collect();
-            order.sort_by_key(|&d| {
-                (
-                    u64::MAX - trace.refs(DataId(d as u32)).total_volume(),
-                    d,
-                )
-            });
+            order.sort_by_key(|&d| (u64::MAX - trace.refs(DataId(d as u32)).total_volume(), d));
             for d in order {
                 let dc = cache.datum(DataId(d as u32));
                 let groups = &groupings[d];
@@ -578,18 +569,14 @@ pub fn grouped_schedule_with_uncached(
     let groupings: Vec<Vec<Range<usize>>> = (0..nd)
         .map(|d| greedy_grouping(&grid, trace.refs(DataId(d as u32)), decide))
         .collect();
-    let method = place;
-
     let mut mems: Vec<MemoryMap> = (0..nw).map(|_| MemoryMap::new(&grid, spec)).collect();
     let mut centers = vec![vec![ProcId(0); nw]; nd];
 
-    match method {
+    match place {
         GroupMethod::LocalCenters => {
             // Per-datum unconstrained group centers, used as anchors.
             let desired: Vec<Vec<ProcId>> = (0..nd)
-                .map(|d| {
-                    local_group_centers(&grid, trace.refs(DataId(d as u32)), &groupings[d])
-                })
+                .map(|d| local_group_centers(&grid, trace.refs(DataId(d as u32)), &groupings[d]))
                 .collect();
             // Map window → group index per datum.
             let group_of: Vec<Vec<usize>> = groupings
@@ -613,12 +600,15 @@ pub fn grouped_schedule_with_uncached(
                     }
                     let rs = trace.refs(DataId(d as u32));
                     let merged = rs.merged_range(g.start, g.end);
-                    let anchor = if w == 0 { desired[d][gi] } else { centers[d][w - 1] };
+                    let anchor = if w == 0 {
+                        desired[d][gi]
+                    } else {
+                        centers[d][w - 1]
+                    };
                     let mut table = Vec::new();
                     let list = if merged.is_empty() {
                         // preference order: nearest to the anchor
-                        let anchor_refs =
-                            WindowRefs::from_pairs([(anchor, 1)]);
+                        let anchor_refs = WindowRefs::from_pairs([(anchor, 1)]);
                         crate::cost::cost_table(&grid, &anchor_refs, &mut table);
                         crate::capacity::ProcessorList::from_cost_table(&table)
                     } else {
@@ -666,12 +656,7 @@ pub fn grouped_schedule_with_uncached(
             // volumes at their optimal centers and lets light data adapt
             // (deterministic: ties broken by ascending id).
             let mut order: Vec<usize> = (0..nd).collect();
-            order.sort_by_key(|&d| {
-                (
-                    u64::MAX - trace.refs(DataId(d as u32)).total_volume(),
-                    d,
-                )
-            });
+            order.sort_by_key(|&d| (u64::MAX - trace.refs(DataId(d as u32)).total_volume(), d));
             for d in order {
                 let rs = trace.refs(DataId(d as u32));
                 let groups = &groupings[d];
@@ -865,6 +850,9 @@ mod tests {
         ]);
         let groups: Vec<Range<usize>> = vec![0..1, 1..2, 2..3];
         let centers = local_group_centers(&grid, &rs, &groups);
-        assert_eq!(centers, vec![grid.proc_xy(2, 2), grid.proc_xy(2, 2), grid.proc_xy(3, 3)]);
+        assert_eq!(
+            centers,
+            vec![grid.proc_xy(2, 2), grid.proc_xy(2, 2), grid.proc_xy(3, 3)]
+        );
     }
 }

@@ -40,8 +40,13 @@
 //! * [`workspace`] — the bundled scratch buffers ([`Workspace`]) reused
 //!   across data (and across methods) so the hot path stops allocating.
 //! * [`theory`] — executable forms of the paper's Lemma 1 / Theorems 1–3.
-//! * [`pipeline`] — one-call convenience running every scheduler on a trace
-//!   (optionally in parallel across data) and reporting the comparison.
+//! * [`mod@registry`] — the [`Scheduler`] trait and the [`SchedulerRegistry`]:
+//!   every strategy (the three schedulers, grouping, the baseline, and the
+//!   `online`/`kcopy`/`replicate` extensions) as a pluggable named value.
+//! * [`context`] — the [`SchedContext`] a scheduler runs against: grid,
+//!   policy, shared cost cache, workspace, optional pool.
+//! * [`pipeline`] — the [`Run`] builder (one canonical entry point driving
+//!   any registered scheduler) plus the paper-table comparison helpers.
 //!
 //! ## Example
 //!
@@ -49,7 +54,7 @@
 //! use pim_array::grid::Grid;
 //! use pim_trace::builder::TraceBuilder;
 //! use pim_trace::ids::DataId;
-//! use pim_sched::{schedule, Method, MemoryPolicy};
+//! use pim_sched::{MemoryPolicy, Run};
 //!
 //! let grid = Grid::new(4, 4);
 //! let mut b = TraceBuilder::new(grid, 1);
@@ -57,7 +62,8 @@
 //! b.step().access(grid.proc_xy(3, 3), DataId(0));
 //! let trace = b.finish().window_fixed(1);
 //!
-//! let sched = schedule(Method::Gomcds, &trace, MemoryPolicy::Unbounded);
+//! let mut run = Run::new(&trace).policy(MemoryPolicy::Unbounded);
+//! let sched = run.run_named("gomcds").unwrap();
 //! let cost = sched.evaluate(&trace);
 //! assert_eq!(cost.total(), 6); // stay put and fetch across, or move once
 //! ```
@@ -71,6 +77,7 @@ pub mod baseline;
 pub mod bounds;
 pub mod cache;
 pub mod capacity;
+pub mod context;
 pub mod cost;
 pub mod dt;
 pub mod exhaustive;
@@ -84,6 +91,7 @@ pub mod median;
 pub mod online;
 pub mod pipeline;
 pub mod refine;
+pub mod registry;
 pub mod replicate;
 pub mod scds;
 pub mod schedule;
@@ -91,9 +99,11 @@ pub mod theory;
 pub mod workspace;
 
 pub use cache::{CostCache, DatumCostCache};
+pub use context::SchedContext;
 pub use pipeline::{
-    compare_methods, schedule, schedule_cached, schedule_parallel, schedule_uncached,
-    MemoryPolicy, Method,
+    compare_methods, schedule, schedule_cached, schedule_parallel, schedule_uncached, MemoryPolicy,
+    Method, Run,
 };
+pub use registry::{registry, Scheduler, SchedulerRegistry};
 pub use schedule::{CostBreakdown, Schedule};
 pub use workspace::Workspace;

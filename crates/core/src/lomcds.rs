@@ -125,7 +125,11 @@ pub fn lomcds_schedule_cached(
         let mut mem = MemoryMap::new(&grid, spec);
         for d in 0..nd {
             let dc = cache.datum(DataId(d as u32));
-            let anchor = if w == 0 { desired[d][0] } else { centers[d][w - 1] };
+            let anchor = if w == 0 {
+                desired[d][0]
+            } else {
+                centers[d][w - 1]
+            };
             let p = if dc.range_is_empty(w, w + 1) {
                 nearest_free(&grid, anchor, &mut mem)
             } else {
@@ -162,7 +166,11 @@ pub fn lomcds_schedule_uncached(trace: &WindowedTrace, spec: MemorySpec) -> Sche
         let mut mem = MemoryMap::new(&grid, spec);
         for d in 0..nd {
             let refs = trace.refs(DataId(d as u32)).window(w);
-            let anchor = if w == 0 { desired[d][0] } else { centers[d][w - 1] };
+            let anchor = if w == 0 {
+                desired[d][0]
+            } else {
+                centers[d][w - 1]
+            };
             let p = if refs.is_empty() {
                 nearest_free(&grid, anchor, &mut mem)
             } else {
@@ -278,10 +286,8 @@ mod tests {
     #[test]
     fn never_referenced_datum_costs_nothing() {
         let grid = g();
-        let trace = WindowedTrace::from_parts(
-            grid,
-            vec![vec![WindowRefs::new(), WindowRefs::new()]],
-        );
+        let trace =
+            WindowedTrace::from_parts(grid, vec![vec![WindowRefs::new(), WindowRefs::new()]]);
         let s = lomcds_schedule(&trace, MemorySpec::unbounded());
         assert_eq!(s.evaluate(&trace).total(), 0);
         assert!(!s.has_movement());

@@ -181,10 +181,7 @@ mod tests {
                 WindowRefs::from_pairs([(p, 2)]),
             ]
         };
-        let t = WindowedTrace::from_parts(
-            g,
-            vec![want(g.proc_xy(2, 2)), want(g.proc_xy(2, 2))],
-        );
+        let t = WindowedTrace::from_parts(g, vec![want(g.proc_xy(2, 2)), want(g.proc_xy(2, 2))]);
         let s = online_schedule(&t, OnlinePolicy::eager(MemorySpec::uniform(1)));
         assert_eq!(s.max_occupancy(), 1);
     }

@@ -1,28 +1,51 @@
-//! One-call scheduling front end.
+//! One-call scheduling front end: the [`Run`] builder and compatibility
+//! shims over the [`mod@crate::registry`] engine.
 //!
-//! [`schedule`] dispatches to the individual algorithms; [`schedule_parallel`]
-//! computes unconstrained schedules with per-datum parallelism (each datum's
-//! center sequence is independent when memory is unbounded — capacity
-//! resolution is inherently order-dependent and stays sequential so results
-//! remain deterministic).
+//! Historically this module held four parallel entry points (`schedule`,
+//! `schedule_cached`, `schedule_uncached`, `schedule_parallel`) that each
+//! re-dispatched on [`Method`]. All dispatch now lives in the
+//! [`SchedulerRegistry`](crate::registry::SchedulerRegistry); the four
+//! functions survive as thin shims and the one canonical path is:
+//!
+//! ```
+//! use pim_array::grid::Grid;
+//! use pim_trace::builder::TraceBuilder;
+//! use pim_trace::ids::DataId;
+//! use pim_sched::{MemoryPolicy, Run};
+//!
+//! let grid = Grid::new(4, 4);
+//! let mut b = TraceBuilder::new(grid, 1);
+//! b.step().access(grid.proc_xy(0, 0), DataId(0));
+//! b.step().access(grid.proc_xy(3, 3), DataId(0));
+//! let trace = b.finish().window_fixed(1);
+//!
+//! let mut run = Run::new(&trace).policy(MemoryPolicy::Unbounded);
+//! let sched = run.run_named("gomcds").unwrap();
+//! assert_eq!(sched.evaluate(&trace).total(), 6);
+//! ```
+//!
+//! One [`Run`] amortizes its [`CostCache`] and workspace across every
+//! scheduler it drives — `compare_methods` is just a `Run` looped over the
+//! registry's comparison set.
 
 use crate::baseline;
 use crate::cache::CostCache;
-use crate::gomcds::{gomcds_schedule_cached, gomcds_schedule_with_uncached, Solver};
-use crate::grouping::{grouped_schedule_with_cached, grouped_schedule_with_uncached, GroupMethod};
-use crate::lomcds::{lomcds_schedule_cached, lomcds_schedule_uncached};
-use crate::scds::{scds_schedule_cached, scds_schedule_uncached};
+use crate::context::SchedContext;
+use crate::registry::{registry, Scheduler};
 use crate::schedule::Schedule;
 use crate::workspace::Workspace;
-use pim_array::grid::ProcId;
 use pim_array::layout::Layout;
 use pim_array::memory::MemorySpec;
 use pim_par::Pool;
-use pim_trace::ids::DataId;
 use pim_trace::window::WindowedTrace;
 use serde::{Deserialize, Serialize};
 
-/// Which scheduling algorithm to run.
+/// Which scheduling algorithm to run — the closed enum form of the paper's
+/// method set, kept for exhaustive sweeps ([`Method::ALL`]) and pattern
+/// matching in downstream code. Every variant maps 1:1 onto a registered
+/// [`Scheduler`] ([`Method::scheduler`]); the registry also carries
+/// strategies that have no `Method` variant (`baseline`, `online`,
+/// `kcopy`, `replicate`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Method {
     /// Single-Center Data Scheduling (Algorithm 1).
@@ -51,16 +74,32 @@ impl Method {
         Method::GroupedGomcds,
     ];
 
-    /// Short table label.
+    /// The canonical label — defined here exactly once, used verbatim as
+    /// the registry name, the `Display` form, and the table label.
     pub fn name(&self) -> &'static str {
         match self {
             Method::Scds => "SCDS",
             Method::Lomcds => "LOMCDS",
             Method::Gomcds => "GOMCDS",
-            Method::GomcdsNaive => "GOMCDS(naive)",
+            Method::GomcdsNaive => "GOMCDS-naive",
             Method::GroupedLocal => "Grouped-LOMCDS",
             Method::GroupedGomcds => "Grouped-GOMCDS",
         }
+    }
+
+    /// Parse a method label via the registry (case-insensitive, aliases
+    /// accepted). Returns `None` for names that are registered but have no
+    /// `Method` variant (e.g. `"online"`), or are unknown entirely.
+    pub fn parse(name: &str) -> Option<Method> {
+        let canonical = registry().get(name)?.name();
+        Method::ALL.into_iter().find(|m| m.name() == canonical)
+    }
+
+    /// The registered scheduler implementing this method.
+    pub fn scheduler(&self) -> &'static dyn Scheduler {
+        registry()
+            .get(self.name())
+            .expect("every Method variant is registered")
     }
 }
 
@@ -98,17 +137,109 @@ impl MemoryPolicy {
     }
 }
 
+/// Builder for scheduling runs: one trace, one execution configuration,
+/// any number of schedulers sharing the cache and workspace.
+///
+/// Configuration happens by value (`policy` / `cached` / `parallel`); the
+/// [`SchedContext`] is built lazily on the first [`Run::run`] and reused —
+/// reconfiguring after that point rebuilds it on the next run.
+pub struct Run<'t> {
+    trace: &'t WindowedTrace,
+    policy: MemoryPolicy,
+    cached: bool,
+    pool: Option<Pool>,
+    ctx: Option<SchedContext>,
+}
+
+impl<'t> Run<'t> {
+    /// A cached, sequential, unbounded run over `trace`.
+    pub fn new(trace: &'t WindowedTrace) -> Self {
+        Run {
+            trace,
+            policy: MemoryPolicy::Unbounded,
+            cached: true,
+            pool: None,
+            ctx: None,
+        }
+    }
+
+    /// Schedule under `policy` (default [`MemoryPolicy::Unbounded`]).
+    pub fn policy(mut self, policy: MemoryPolicy) -> Self {
+        self.policy = policy;
+        self.ctx = None;
+        self
+    }
+
+    /// Serve cost tables from a prebuilt [`CostCache`] (default `true`).
+    /// `cached(false)` drives the pre-cache reference implementations —
+    /// the bit-identity oracles the conformance suite compares against.
+    pub fn cached(mut self, cached: bool) -> Self {
+        self.cached = cached;
+        self.ctx = None;
+        self
+    }
+
+    /// Attach a worker pool for per-datum parallelism. Takes effect when
+    /// the policy is unconstrained and the run is cached (see
+    /// [`SchedContext::parallel_pool`]); otherwise the run falls back to
+    /// sequential execution with identical output.
+    pub fn parallel(mut self, pool: Pool) -> Self {
+        self.pool = Some(pool);
+        self.ctx = None;
+        self
+    }
+
+    /// The context this run drives schedulers with (built on first use).
+    pub fn context(&mut self) -> &mut SchedContext {
+        if self.ctx.is_none() {
+            let base = if self.cached {
+                SchedContext::new(self.trace, self.policy)
+            } else {
+                SchedContext::uncached(self.trace, self.policy)
+            };
+            self.ctx = Some(match self.pool {
+                Some(pool) => base.with_pool(pool),
+                None => base,
+            });
+        }
+        self.ctx.as_mut().expect("context just built")
+    }
+
+    /// Run one scheduler.
+    pub fn run(&mut self, scheduler: &dyn Scheduler) -> Schedule {
+        let trace = self.trace;
+        scheduler.schedule(self.context(), trace)
+    }
+
+    /// Run the scheduler registered under `name` (case-insensitive,
+    /// aliases accepted); `None` if no such registration exists.
+    pub fn run_named(&mut self, name: &str) -> Option<Schedule> {
+        let scheduler = registry().get(name)?;
+        Some(self.run(scheduler))
+    }
+
+    /// Run a [`Method`]'s registered scheduler.
+    pub fn run_method(&mut self, method: Method) -> Schedule {
+        self.run(method.scheduler())
+    }
+}
+
 /// Run one scheduling method over a trace.
+///
+/// Compatibility shim over [`Run`] — prefer
+/// `Run::new(trace).policy(policy).run_method(method)`.
 pub fn schedule(method: Method, trace: &WindowedTrace, policy: MemoryPolicy) -> Schedule {
-    let cache = CostCache::build(trace);
-    let mut ws = Workspace::new();
-    schedule_cached(method, trace, policy, &cache, &mut ws)
+    Run::new(trace).policy(policy).run_method(method)
 }
 
 /// Run one scheduling method from a prebuilt per-trace cost cache and a
 /// reusable workspace. Building the cache once and calling this for several
 /// methods (or memory policies) amortizes the reference-string scans; output
 /// is bit-identical to [`schedule`].
+///
+/// Compatibility shim — a [`Run`] owns and amortizes the cache/workspace
+/// itself, so new code passes neither. This wrapper clones the caller's
+/// cache view (cheap relative to a build) and borrows their warm buffers.
 pub fn schedule_cached(
     method: Method,
     trace: &WindowedTrace,
@@ -116,58 +247,23 @@ pub fn schedule_cached(
     cache: &CostCache,
     ws: &mut Workspace,
 ) -> Schedule {
-    let spec = policy.resolve(trace);
-    match method {
-        Method::Scds => scds_schedule_cached(trace, spec, cache, ws),
-        Method::Lomcds => lomcds_schedule_cached(trace, spec, cache, ws),
-        Method::Gomcds => {
-            gomcds_schedule_cached(trace, spec, Solver::DistanceTransform, cache, ws)
-        }
-        Method::GomcdsNaive => gomcds_schedule_cached(trace, spec, Solver::Naive, cache, ws),
-        Method::GroupedLocal => grouped_schedule_with_cached(
-            trace,
-            spec,
-            GroupMethod::LocalCenters,
-            GroupMethod::LocalCenters,
-            cache,
-            ws,
-        ),
-        // Table 2 semantics: Algorithm 3 decides groups with LOMCDS costs;
-        // GOMCDS then routes centers across the grouped windows.
-        Method::GroupedGomcds => grouped_schedule_with_cached(
-            trace,
-            spec,
-            GroupMethod::LocalCenters,
-            GroupMethod::GomcdsCenters,
-            cache,
-            ws,
-        ),
-    }
+    let mut ctx = SchedContext::with_cache(trace, policy, cache.clone());
+    ctx.swap_workspace(ws);
+    let sched = method.scheduler().schedule(&mut ctx, trace);
+    ctx.swap_workspace(ws);
+    sched
 }
 
 /// Pre-cache reference dispatch: every method re-walks reference strings as
 /// the seed implementation did. Bit-identical to [`schedule`]; kept for the
 /// equivalence property tests and the `cached_vs_uncached` bench.
+///
+/// Compatibility shim — prefer `Run::new(trace).cached(false)`.
 pub fn schedule_uncached(method: Method, trace: &WindowedTrace, policy: MemoryPolicy) -> Schedule {
-    let spec = policy.resolve(trace);
-    match method {
-        Method::Scds => scds_schedule_uncached(trace, spec),
-        Method::Lomcds => lomcds_schedule_uncached(trace, spec),
-        Method::Gomcds => gomcds_schedule_with_uncached(trace, spec, Solver::DistanceTransform),
-        Method::GomcdsNaive => gomcds_schedule_with_uncached(trace, spec, Solver::Naive),
-        Method::GroupedLocal => grouped_schedule_with_uncached(
-            trace,
-            spec,
-            GroupMethod::LocalCenters,
-            GroupMethod::LocalCenters,
-        ),
-        Method::GroupedGomcds => grouped_schedule_with_uncached(
-            trace,
-            spec,
-            GroupMethod::LocalCenters,
-            GroupMethod::GomcdsCenters,
-        ),
-    }
+    Run::new(trace)
+        .policy(policy)
+        .cached(false)
+        .run_method(method)
 }
 
 /// Run one scheduling method with per-datum parallelism. Only meaningful
@@ -178,123 +274,54 @@ pub fn schedule_uncached(method: Method, trace: &WindowedTrace, policy: MemoryPo
 /// prefix sums are read-only and shared by every worker); each persistent
 /// pool worker reuses one [`Workspace`] across all the data it claims, so
 /// the parallel region allocates nothing but the output rows.
+///
+/// Compatibility shim — prefer `Run::new(trace).parallel(pool)`.
 pub fn schedule_parallel(method: Method, trace: &WindowedTrace, pool: Pool) -> Schedule {
-    let grid = trace.grid();
-    let cache = CostCache::build(trace);
-    let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
-    let centers: Vec<Vec<ProcId>> = match method {
-        Method::Scds => pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
-            let c = cache
-                .datum(d)
-                .optimal_center_range(0, trace.num_windows(), &mut ws.axes, &mut ws.table)
-                .0;
-            vec![c; trace.num_windows()]
-        }),
-        Method::Lomcds => pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
-            crate::lomcds::lomcds_centers_unconstrained_cached(cache.datum(d), ws)
-        }),
-        Method::Gomcds | Method::GomcdsNaive => {
-            let solver = if method == Method::Gomcds {
-                Solver::DistanceTransform
-            } else {
-                Solver::Naive
-            };
-            pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
-                crate::gomcds::gomcds_path_cached(&grid, cache.datum(d), solver, ws).0
-            })
-        }
-        Method::GroupedLocal | Method::GroupedGomcds => {
-            let gm = if method == Method::GroupedLocal {
-                GroupMethod::LocalCenters
-            } else {
-                GroupMethod::GomcdsCenters
-            };
-            pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
-                let dc = cache.datum(d);
-                // decisions always use LOMCDS costs (Algorithm 3 as run in
-                // the paper); placement follows the method.
-                let groups = crate::grouping::greedy_grouping_cached(
-                    &grid,
-                    dc,
-                    GroupMethod::LocalCenters,
-                    ws,
-                );
-                let group_centers = match gm {
-                    GroupMethod::LocalCenters => {
-                        crate::grouping::local_group_centers_cached(dc, &groups, ws)
-                    }
-                    GroupMethod::GomcdsCenters => {
-                        crate::gomcds::gomcds_path_ranges(&grid, dc, &groups, ws).0
-                    }
-                };
-                let mut per_window = vec![ProcId(0); dc.num_windows()];
-                for (g, &c) in groups.iter().zip(&group_centers) {
-                    for w in g.clone() {
-                        per_window[w] = c;
-                    }
-                }
-                per_window
-            })
-        }
-    };
-    Schedule::new(grid, centers)
+    Run::new(trace).parallel(pool).run_method(method)
 }
 
-/// Evaluate the standard method set (SCDS, LOMCDS, GOMCDS, grouped
-/// variants) on one trace, returning `(method, total cost)` per method.
-pub fn compare_methods(trace: &WindowedTrace, policy: MemoryPolicy) -> Vec<(Method, u64)> {
-    let cache = CostCache::build(trace);
-    let mut ws = Workspace::new();
-    [
-        Method::Scds,
-        Method::Lomcds,
-        Method::Gomcds,
-        Method::GroupedLocal,
-        Method::GroupedGomcds,
-    ]
-    .into_iter()
-    .map(|m| {
-        (
-            m,
-            schedule_cached(m, trace, policy, &cache, &mut ws)
-                .evaluate(trace)
-                .total(),
-        )
-    })
-    .collect()
+/// Evaluate the registry's comparison set (SCDS, LOMCDS, GOMCDS, grouped
+/// variants — any registered [`Scheduler`] with
+/// [`in_comparison`](Scheduler::in_comparison)) on one trace, returning
+/// `(name, total cost)` per strategy. One shared cache serves the sweep.
+pub fn compare_methods(trace: &WindowedTrace, policy: MemoryPolicy) -> Vec<(&'static str, u64)> {
+    let mut run = Run::new(trace).policy(policy);
+    registry()
+        .comparison_set()
+        .map(|s| (s.name(), run.run(s).evaluate(trace).total()))
+        .collect()
 }
 
-/// Comparison of every method (and the straight-forward baseline) on one
-/// trace — the row format of the paper's tables.
+/// Comparison of a scheduler set (and the straight-forward baseline) on
+/// one trace — the row format of the paper's tables.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Comparison {
     /// Straight-forward (row-wise) baseline total cost.
     pub straightforward: u64,
-    /// `(method, total cost, % improvement over straightforward)`.
-    pub rows: Vec<(Method, u64, f64)>,
+    /// `(scheduler name, total cost, % improvement over straightforward)`.
+    pub rows: Vec<(&'static str, u64, f64)>,
 }
 
 /// Run the paper's comparison: straight-forward baseline vs a set of
-/// methods. `rows`/`cols` describe the data array shape for the baseline.
+/// registered schedulers (resolve names with
+/// [`crate::registry::schedulers`]). `rows`/`cols` describe the data array
+/// shape for the baseline.
 pub fn compare(
     trace: &WindowedTrace,
     rows: u32,
     cols: u32,
-    methods: &[Method],
+    schedulers: &[&dyn Scheduler],
     policy: MemoryPolicy,
 ) -> Comparison {
     let sf = baseline::layout_schedule(trace, rows, cols, Layout::RowWise)
         .evaluate(trace)
         .total();
-    let cache = CostCache::build(trace);
-    let mut ws = Workspace::new();
-    let out_rows = methods
+    let mut run = Run::new(trace).policy(policy);
+    let out_rows = schedulers
         .iter()
-        .map(|&m| {
-            let cost = schedule_cached(m, trace, policy, &cache, &mut ws)
-                .evaluate(trace)
-                .total();
-            (m, cost, crate::schedule::improvement_pct(sf, cost))
+        .map(|&s| {
+            let cost = run.run(s).evaluate(trace).total();
+            (s.name(), cost, crate::schedule::improvement_pct(sf, cost))
         })
         .collect();
     Comparison {
@@ -306,6 +333,7 @@ pub fn compare(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::schedulers;
     use pim_array::grid::Grid;
     use pim_trace::window::{WindowRefs, WindowedTrace};
 
@@ -350,7 +378,7 @@ mod tests {
             &trace,
             1,
             2,
-            &[Method::Scds, Method::Lomcds, Method::Gomcds],
+            &schedulers(&["SCDS", "LOMCDS", "GOMCDS"]),
             MemoryPolicy::Unbounded,
         );
         let costs: Vec<u64> = c.rows.iter().map(|r| r.1).collect();
@@ -379,9 +407,54 @@ mod tests {
     }
 
     #[test]
-    fn method_names() {
+    fn method_names_round_trip() {
         assert_eq!(Method::Scds.name(), "SCDS");
         assert_eq!(Method::Gomcds.to_string(), "GOMCDS");
+        assert_eq!(Method::GomcdsNaive.name(), "GOMCDS-naive");
         assert_eq!(Method::ALL.len(), 6);
+        for m in Method::ALL {
+            assert_eq!(Method::parse(m.name()), Some(m));
+            assert_eq!(m.scheduler().name(), m.name());
+        }
+        assert_eq!(Method::parse("gomcds(naive)"), Some(Method::GomcdsNaive));
+        assert_eq!(Method::parse("online"), None, "registered but not a Method");
+        assert_eq!(Method::parse("nope"), None);
+    }
+
+    #[test]
+    fn run_builder_amortizes_one_context() {
+        let trace = sample_trace();
+        let mut run = Run::new(&trace).policy(MemoryPolicy::ScaledMinimum { factor: 2 });
+        let a = run.run_named("gomcds").expect("registered");
+        let b = run.run_method(Method::Gomcds);
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            schedule(
+                Method::Gomcds,
+                &trace,
+                MemoryPolicy::ScaledMinimum { factor: 2 }
+            )
+        );
+        assert!(run.run_named("no-such-method").is_none());
+    }
+
+    #[test]
+    fn compare_methods_reports_comparison_set() {
+        let trace = sample_trace();
+        let rows = compare_methods(&trace, MemoryPolicy::Unbounded);
+        let names: Vec<_> = rows.iter().map(|r| r.0).collect();
+        assert_eq!(
+            names,
+            vec![
+                "SCDS",
+                "LOMCDS",
+                "GOMCDS",
+                "Grouped-LOMCDS",
+                "Grouped-GOMCDS"
+            ]
+        );
+        let gomcds = rows[2].1;
+        assert!(rows.iter().all(|r| r.1 >= gomcds), "GOMCDS is optimal");
     }
 }

@@ -1,0 +1,648 @@
+//! The `Scheduler` trait and the scheduler registry — the single dispatch
+//! point for every scheduling strategy in the crate.
+//!
+//! A scheduling strategy is a value implementing [`Scheduler`]: it has a
+//! stable name and turns a ([`SchedContext`], trace) pair into a
+//! [`Schedule`]. The [`SchedulerRegistry`] maps names (case-insensitive,
+//! with a small alias table) to registered strategies; [`registry`] exposes
+//! one process-wide registry holding every built-in strategy:
+//!
+//! | name | strategy |
+//! |---|---|
+//! | `SCDS` | Algorithm 1 single-center scheduling |
+//! | `LOMCDS` | per-window local-optimal centers |
+//! | `GOMCDS` | Algorithm 2 global optimum (distance-transform solver) |
+//! | `GOMCDS-naive` | Algorithm 2 with the literal `O(m²)` relaxation |
+//! | `Grouped-LOMCDS` | Algorithm 3 grouping, per-group local centers |
+//! | `Grouped-GOMCDS` | Algorithm 3 grouping, GOMCDS across groups |
+//! | `baseline` | static row-wise distribution (the paper's S.F.) |
+//! | `online` | streaming policy with movement hysteresis |
+//! | `kcopy` | K-copy primaries (single-copy projection) |
+//! | `replicate` | two-copy primaries (single-copy projection) |
+//!
+//! Adding a strategy takes one impl plus one registration line (see the
+//! worked example in `DESIGN.md`); the CLI (`--method`, `list-methods`),
+//! the simulator (`pim_sim::simulate_named`) and the bench sweeps all pick
+//! it up through the registry — there is no other dispatch path.
+//!
+//! This module is the **only** place allowed to match on
+//! [`Method`](crate::pipeline::Method): the enum survives for backwards
+//! compatibility and maps 1:1 onto registered names.
+
+use crate::context::SchedContext;
+use crate::gomcds::Solver;
+use crate::grouping::GroupMethod;
+use crate::schedule::Schedule;
+use crate::workspace::Workspace;
+use pim_array::grid::ProcId;
+use pim_array::layout::Layout;
+use pim_trace::ids::DataId;
+use pim_trace::window::WindowedTrace;
+use std::sync::OnceLock;
+
+/// A pluggable scheduling strategy.
+///
+/// Implementations read the execution mode off the context: serve cost
+/// tables from [`SchedContext::cache_and_ws`] when a cache is present,
+/// fall back to the raw reference strings when it is not, and use
+/// [`SchedContext::parallel_pool`] for per-datum parallelism when it
+/// returns a pool. All modes must be bit-identical (property-tested for
+/// every registered strategy in `tests/cache_equivalence.rs`).
+pub trait Scheduler: Send + Sync {
+    /// Stable registry name (also the table/display label). Lookup is
+    /// case-insensitive.
+    fn name(&self) -> &'static str;
+
+    /// Compute the schedule for `trace` under the context's memory policy.
+    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule;
+
+    /// One-line human description (shown by `pim-cli list-methods`).
+    fn description(&self) -> &'static str {
+        ""
+    }
+
+    /// Whether cost-comparison sweeps (`compare_methods`, the bench
+    /// tables) include this strategy by default. Ablations, baselines and
+    /// projections opt out; new strategies are included unless they say
+    /// otherwise.
+    fn in_comparison(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in strategies
+// ---------------------------------------------------------------------------
+
+/// Algorithm 1: one center per datum for the whole execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScdsScheduler;
+
+impl Scheduler for ScdsScheduler {
+    fn name(&self) -> &'static str {
+        "SCDS"
+    }
+
+    fn description(&self) -> &'static str {
+        "Algorithm 1: single center per datum, no run-time movement"
+    }
+
+    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+        if let Some(pool) = ctx.parallel_pool() {
+            let cache = ctx.cache().expect("parallel_pool implies cache");
+            let nw = trace.num_windows();
+            let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
+            let centers = pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                let c = cache
+                    .datum(d)
+                    .optimal_center_range(0, nw, &mut ws.axes, &mut ws.table)
+                    .0;
+                vec![c; nw]
+            });
+            return Schedule::new(ctx.grid(), centers);
+        }
+        let spec = ctx.spec();
+        match ctx.cache_and_ws() {
+            (Some(cache), ws) => crate::scds::scds_schedule_cached(trace, spec, cache, ws),
+            (None, _) => crate::scds::scds_schedule_uncached(trace, spec),
+        }
+    }
+}
+
+/// Local-optimal multiple-center scheduling: per-window optimal centers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LomcdsScheduler;
+
+impl Scheduler for LomcdsScheduler {
+    fn name(&self) -> &'static str {
+        "LOMCDS"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-window local-optimal centers; movement between windows"
+    }
+
+    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+        if let Some(pool) = ctx.parallel_pool() {
+            let cache = ctx.cache().expect("parallel_pool implies cache");
+            let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
+            let centers = pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                crate::lomcds::lomcds_centers_unconstrained_cached(cache.datum(d), ws)
+            });
+            return Schedule::new(ctx.grid(), centers);
+        }
+        let spec = ctx.spec();
+        match ctx.cache_and_ws() {
+            (Some(cache), ws) => crate::lomcds::lomcds_schedule_cached(trace, spec, cache, ws),
+            (None, _) => crate::lomcds::lomcds_schedule_uncached(trace, spec),
+        }
+    }
+}
+
+/// Algorithm 2: global-optimal multiple-center scheduling.
+#[derive(Debug, Clone, Copy)]
+pub struct GomcdsScheduler {
+    /// Which cost-graph solver runs the layered shortest path.
+    pub solver: Solver,
+}
+
+impl GomcdsScheduler {
+    /// The production distance-transform solver.
+    pub fn fast() -> Self {
+        GomcdsScheduler {
+            solver: Solver::DistanceTransform,
+        }
+    }
+
+    /// The literal `O(m²)` relaxation (ablation).
+    pub fn naive() -> Self {
+        GomcdsScheduler {
+            solver: Solver::Naive,
+        }
+    }
+}
+
+impl Scheduler for GomcdsScheduler {
+    fn name(&self) -> &'static str {
+        match self.solver {
+            Solver::DistanceTransform => "GOMCDS",
+            Solver::Naive => "GOMCDS-naive",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        match self.solver {
+            Solver::DistanceTransform => {
+                "Algorithm 2: global optimum per datum (distance-transform solver)"
+            }
+            Solver::Naive => "Algorithm 2 with the literal O(m^2) relaxation (ablation)",
+        }
+    }
+
+    fn in_comparison(&self) -> bool {
+        // The naive solver is an ablation: same answer, slower.
+        self.solver == Solver::DistanceTransform
+    }
+
+    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+        if let Some(pool) = ctx.parallel_pool() {
+            let cache = ctx.cache().expect("parallel_pool implies cache");
+            let grid = ctx.grid();
+            let solver = self.solver;
+            let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
+            let centers = pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                crate::gomcds::gomcds_path_cached(&grid, cache.datum(d), solver, ws).0
+            });
+            return Schedule::new(grid, centers);
+        }
+        let spec = ctx.spec();
+        match ctx.cache_and_ws() {
+            (Some(cache), ws) => {
+                crate::gomcds::gomcds_schedule_cached(trace, spec, self.solver, cache, ws)
+            }
+            (None, _) => crate::gomcds::gomcds_schedule_with_uncached(trace, spec, self.solver),
+        }
+    }
+}
+
+/// Algorithm 3: execution-window grouping. Group decisions always use
+/// LOMCDS costs (as run in the paper); `place` chooses how the grouped
+/// windows are centered.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupedScheduler {
+    /// Center placement across the decided groups.
+    pub place: GroupMethod,
+}
+
+impl Scheduler for GroupedScheduler {
+    fn name(&self) -> &'static str {
+        match self.place {
+            GroupMethod::LocalCenters => "Grouped-LOMCDS",
+            GroupMethod::GomcdsCenters => "Grouped-GOMCDS",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        match self.place {
+            GroupMethod::LocalCenters => "Algorithm 3 grouping with per-group local centers",
+            GroupMethod::GomcdsCenters => "Algorithm 3 grouping with GOMCDS centers across groups",
+        }
+    }
+
+    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+        if let Some(pool) = ctx.parallel_pool() {
+            let cache = ctx.cache().expect("parallel_pool implies cache");
+            let grid = ctx.grid();
+            let place = self.place;
+            let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
+            let centers = pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                let dc = cache.datum(d);
+                let groups = crate::grouping::greedy_grouping_cached(
+                    &grid,
+                    dc,
+                    GroupMethod::LocalCenters,
+                    ws,
+                );
+                let group_centers = match place {
+                    GroupMethod::LocalCenters => {
+                        crate::grouping::local_group_centers_cached(dc, &groups, ws)
+                    }
+                    GroupMethod::GomcdsCenters => {
+                        crate::gomcds::gomcds_path_ranges(&grid, dc, &groups, ws).0
+                    }
+                };
+                let mut per_window = vec![ProcId(0); dc.num_windows()];
+                for (g, &c) in groups.iter().zip(&group_centers) {
+                    for w in g.clone() {
+                        per_window[w] = c;
+                    }
+                }
+                per_window
+            });
+            return Schedule::new(grid, centers);
+        }
+        let spec = ctx.spec();
+        match ctx.cache_and_ws() {
+            (Some(cache), ws) => crate::grouping::grouped_schedule_with_cached(
+                trace,
+                spec,
+                GroupMethod::LocalCenters,
+                self.place,
+                cache,
+                ws,
+            ),
+            (None, _) => crate::grouping::grouped_schedule_with_uncached(
+                trace,
+                spec,
+                GroupMethod::LocalCenters,
+                self.place,
+            ),
+        }
+    }
+}
+
+/// The paper's straight-forward baseline: a static `layout` distribution
+/// of a near-square data array inferred from the datum count (`rows =
+/// ⌊√n⌋`, `cols = ⌊n/rows⌋`, remainder striped cyclically). Ignores the
+/// memory policy — a static distribution is what the schedulers are
+/// measured against, not a capacity-aware competitor.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineScheduler {
+    /// Static data layout (the paper's S.F. is [`Layout::RowWise`]).
+    pub layout: Layout,
+}
+
+impl Default for BaselineScheduler {
+    fn default() -> Self {
+        BaselineScheduler {
+            layout: Layout::RowWise,
+        }
+    }
+}
+
+impl Scheduler for BaselineScheduler {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn description(&self) -> &'static str {
+        "static row-wise distribution (the paper's straight-forward baseline)"
+    }
+
+    fn in_comparison(&self) -> bool {
+        // The comparison tables already report it as the S.F. column.
+        false
+    }
+
+    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+        let nd = trace.num_data() as u32;
+        let rows = (nd as f64).sqrt().floor().max(1.0) as u32;
+        let cols = (nd / rows).max(1);
+        let _ = ctx;
+        crate::baseline::layout_schedule(trace, rows, cols, self.layout)
+    }
+}
+
+/// Streaming scheduler: windows are revealed one at a time; a datum moves
+/// to its local optimum only when the estimated saving exceeds
+/// `threshold ×` the movement cost.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineScheduler {
+    /// Movement hysteresis; `0.0` moves on any strict improvement.
+    pub threshold: f64,
+}
+
+impl Default for OnlineScheduler {
+    fn default() -> Self {
+        OnlineScheduler { threshold: 0.0 }
+    }
+}
+
+impl Scheduler for OnlineScheduler {
+    fn name(&self) -> &'static str {
+        "online"
+    }
+
+    fn description(&self) -> &'static str {
+        "streaming policy: per-window local optima with movement hysteresis"
+    }
+
+    fn in_comparison(&self) -> bool {
+        // Extension, not a paper table column; sweep_online reports it.
+        false
+    }
+
+    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+        crate::online::online_schedule(
+            trace,
+            crate::online::OnlinePolicy {
+                threshold: self.threshold,
+                spec: ctx.spec(),
+            },
+        )
+    }
+}
+
+/// Single-copy projection of the K-copy replication extension: the
+/// primary trajectories, which are exactly the (capacity-aware) GOMCDS
+/// paths — the replica sets live in [`crate::kcopy::kcopy_schedule`],
+/// which this registration points users at.
+#[derive(Debug, Clone, Copy)]
+pub struct KCopyScheduler {
+    /// Copies per datum in the full K-copy plan (`k ≥ 1`).
+    pub k: usize,
+}
+
+impl Default for KCopyScheduler {
+    fn default() -> Self {
+        KCopyScheduler { k: 3 }
+    }
+}
+
+impl Scheduler for KCopyScheduler {
+    fn name(&self) -> &'static str {
+        "kcopy"
+    }
+
+    fn description(&self) -> &'static str {
+        "K-copy replication primaries (full replica plans: pim_sched::kcopy)"
+    }
+
+    fn in_comparison(&self) -> bool {
+        // Projection duplicates GOMCDS; its real evaluation is replica-aware.
+        false
+    }
+
+    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+        GomcdsScheduler::fast().schedule(ctx, trace)
+    }
+}
+
+/// Single-copy projection of the two-copy replication extension (see
+/// [`KCopyScheduler`]; full plans live in
+/// [`crate::replicate::replicated_schedule`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplicateScheduler;
+
+impl Scheduler for ReplicateScheduler {
+    fn name(&self) -> &'static str {
+        "replicate"
+    }
+
+    fn description(&self) -> &'static str {
+        "two-copy replication primaries (full plans: pim_sched::replicate)"
+    }
+
+    fn in_comparison(&self) -> bool {
+        false
+    }
+
+    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+        GomcdsScheduler::fast().schedule(ctx, trace)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Alias table: alternate spellings accepted by lookup, resolved before
+/// the case-insensitive name match. Kept tiny and explicit.
+const ALIASES: &[(&str, &str)] = &[
+    ("grouped", "grouped-lomcds"),
+    ("grouped-local", "grouped-lomcds"),
+    ("gomcdsnaive", "gomcds-naive"),
+    ("gomcds(naive)", "gomcds-naive"),
+];
+
+/// Normalize a name for lookup: ASCII-lowercase, trimmed.
+fn normalize(name: &str) -> String {
+    name.trim().to_ascii_lowercase()
+}
+
+/// An ordered collection of named scheduling strategies. Registration
+/// order is the order `iter`/`names` report (and therefore the column
+/// order of registry-driven tables).
+pub struct SchedulerRegistry {
+    entries: Vec<Box<dyn Scheduler>>,
+}
+
+impl SchedulerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SchedulerRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry holding every built-in strategy, in the order the
+    /// paper's tables report them followed by the extensions.
+    pub fn standard() -> Self {
+        let mut r = SchedulerRegistry::new();
+        r.register(Box::new(ScdsScheduler));
+        r.register(Box::new(LomcdsScheduler));
+        r.register(Box::new(GomcdsScheduler::fast()));
+        r.register(Box::new(GomcdsScheduler::naive()));
+        r.register(Box::new(GroupedScheduler {
+            place: GroupMethod::LocalCenters,
+        }));
+        r.register(Box::new(GroupedScheduler {
+            place: GroupMethod::GomcdsCenters,
+        }));
+        r.register(Box::new(BaselineScheduler::default()));
+        r.register(Box::new(OnlineScheduler::default()));
+        r.register(Box::new(KCopyScheduler::default()));
+        r.register(Box::new(ReplicateScheduler));
+        r
+    }
+
+    /// Register a strategy.
+    ///
+    /// # Panics
+    /// Panics when another entry already claims the same normalized name —
+    /// duplicate registration is a programming error, not an input error.
+    pub fn register(&mut self, scheduler: Box<dyn Scheduler>) {
+        let name = normalize(scheduler.name());
+        assert!(
+            self.entries.iter().all(|e| normalize(e.name()) != name),
+            "duplicate scheduler registration: {}",
+            scheduler.name()
+        );
+        self.entries.push(scheduler);
+    }
+
+    /// Look a strategy up by name (case-insensitive; aliases accepted).
+    pub fn get(&self, name: &str) -> Option<&dyn Scheduler> {
+        let mut key = normalize(name);
+        if let Some(&(_, canonical)) = ALIASES.iter().find(|&&(alias, _)| alias == key) {
+            key = canonical.to_string();
+        }
+        self.entries
+            .iter()
+            .find(|e| normalize(e.name()) == key)
+            .map(Box::as_ref)
+    }
+
+    /// Every registered strategy, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Scheduler> {
+        self.entries.iter().map(Box::as_ref)
+    }
+
+    /// The strategies cost-comparison sweeps run by default
+    /// (`in_comparison`), in registration order.
+    pub fn comparison_set(&self) -> impl Iterator<Item = &dyn Scheduler> {
+        self.iter().filter(|s| s.in_comparison())
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name()).collect()
+    }
+}
+
+impl Default for SchedulerRegistry {
+    fn default() -> Self {
+        SchedulerRegistry::new()
+    }
+}
+
+/// The process-wide registry of built-in strategies. Callers needing
+/// custom strategies build their own [`SchedulerRegistry`] (or call
+/// [`Scheduler::schedule`] directly).
+pub fn registry() -> &'static SchedulerRegistry {
+    static REGISTRY: OnceLock<SchedulerRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(SchedulerRegistry::standard)
+}
+
+/// Resolve a list of names against the global registry.
+///
+/// # Panics
+/// Panics on an unknown name (bench/table configuration error).
+pub fn schedulers(names: &[&str]) -> Vec<&'static dyn Scheduler> {
+    names
+        .iter()
+        .map(|n| {
+            registry()
+                .get(n)
+                .unwrap_or_else(|| panic!("unknown scheduler '{n}'"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{MemoryPolicy, Method};
+    use pim_array::grid::Grid;
+    use pim_trace::window::{WindowRefs, WindowedTrace};
+
+    #[test]
+    fn standard_registry_contents() {
+        let names = registry().names();
+        assert_eq!(
+            names,
+            vec![
+                "SCDS",
+                "LOMCDS",
+                "GOMCDS",
+                "GOMCDS-naive",
+                "Grouped-LOMCDS",
+                "Grouped-GOMCDS",
+                "baseline",
+                "online",
+                "kcopy",
+                "replicate",
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_with_aliases() {
+        let r = registry();
+        assert_eq!(r.get("scds").unwrap().name(), "SCDS");
+        assert_eq!(r.get("  GOMCDS ").unwrap().name(), "GOMCDS");
+        assert_eq!(r.get("grouped").unwrap().name(), "Grouped-LOMCDS");
+        assert_eq!(r.get("grouped-local").unwrap().name(), "Grouped-LOMCDS");
+        assert_eq!(r.get("GOMCDS(naive)").unwrap().name(), "GOMCDS-naive");
+        assert!(r.get("magic").is_none());
+    }
+
+    #[test]
+    fn every_method_round_trips_through_the_registry() {
+        for m in Method::ALL {
+            let s = registry().get(m.name()).expect("method registered");
+            assert_eq!(s.name(), m.name(), "name defined once, round-trips");
+            assert_eq!(Method::parse(s.name()), Some(m));
+        }
+    }
+
+    #[test]
+    fn comparison_set_is_the_paper_set() {
+        let names: Vec<_> = registry().comparison_set().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "SCDS",
+                "LOMCDS",
+                "GOMCDS",
+                "Grouped-LOMCDS",
+                "Grouped-GOMCDS"
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scheduler registration")]
+    fn duplicate_registration_panics() {
+        let mut r = SchedulerRegistry::new();
+        r.register(Box::new(ScdsScheduler));
+        r.register(Box::new(ScdsScheduler));
+    }
+
+    #[test]
+    fn custom_registration_one_liner() {
+        // The worked example from DESIGN.md: a strategy lands with one
+        // impl + one registration line.
+        struct Stay;
+        impl Scheduler for Stay {
+            fn name(&self) -> &'static str {
+                "stay-put"
+            }
+            fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+                let m = ctx.grid().num_procs() as u32;
+                let placement = (0..trace.num_data() as u32)
+                    .map(|d| ProcId(d % m))
+                    .collect();
+                Schedule::static_placement(ctx.grid(), placement, trace.num_windows())
+            }
+        }
+        let mut r = SchedulerRegistry::new();
+        r.register(Box::new(Stay));
+        let grid = Grid::new(2, 2);
+        let trace = WindowedTrace::from_parts(grid, vec![vec![WindowRefs::new()]; 5]);
+        let mut ctx = SchedContext::new(&trace, MemoryPolicy::Unbounded);
+        let s = r.get("STAY-PUT").unwrap().schedule(&mut ctx, &trace);
+        assert_eq!(s.center(DataId(4), 0), ProcId(0));
+        assert!(r.comparison_set().any(|s| s.name() == "stay-put"));
+    }
+}

@@ -72,7 +72,12 @@ impl ReplicatedSchedule {
     }
 
     /// Reference cost of serving `refs` from the replica set.
-    fn serve_cost(grid: &Grid, refs: &WindowRefs, primary: ProcId, secondary: Option<ProcId>) -> u64 {
+    fn serve_cost(
+        grid: &Grid,
+        refs: &WindowRefs,
+        primary: ProcId,
+        secondary: Option<ProcId>,
+    ) -> u64 {
         match secondary {
             None => cost_at(grid, refs, primary),
             Some(s) => refs
@@ -279,7 +284,9 @@ pub fn replicated_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Replicate
             if bounded {
                 for (w, s) in secondary.iter().enumerate() {
                     if let Some(s) = s {
-                        mems[w].allocate(*s).expect("secondary DP masked full slots");
+                        mems[w]
+                            .allocate(*s)
+                            .expect("secondary DP masked full slots");
                     }
                 }
             }
@@ -316,9 +323,7 @@ mod tests {
     /// replication exists for.
     fn twin_hotspot_trace() -> WindowedTrace {
         let g = grid();
-        let win = || {
-            WindowRefs::from_pairs([(g.proc_xy(0, 0), 4), (g.proc_xy(3, 3), 4)])
-        };
+        let win = || WindowRefs::from_pairs([(g.proc_xy(0, 0), 4), (g.proc_xy(3, 3), 4)]);
         WindowedTrace::from_parts(g, vec![vec![win(), win(), win()]])
     }
 
@@ -330,7 +335,10 @@ mod tests {
             .total();
         let repl = replicated_schedule(&trace, MemorySpec::unbounded());
         let dual = repl.evaluate(&trace).total();
-        assert!(dual < single, "replication {dual} should beat single copy {single}");
+        assert!(
+            dual < single,
+            "replication {dual} should beat single copy {single}"
+        );
         // both corners hold a copy in every window → zero reference cost
         assert_eq!(dual, 0);
         assert_eq!(repl.secondary_slots(), 3);
@@ -402,10 +410,7 @@ mod tests {
                 (g.proc_xy(0, 0), Some(g.proc_xy(3, 3))),
             ]],
         };
-        let trace = WindowedTrace::from_parts(
-            g,
-            vec![vec![WindowRefs::new(), WindowRefs::new()]],
-        );
+        let trace = WindowedTrace::from_parts(g, vec![vec![WindowRefs::new(), WindowRefs::new()]]);
         let cost = sched.evaluate(&trace);
         assert_eq!(cost.movement, 6); // copy from (0,0) to (3,3)
         assert_eq!(cost.reference, 0);

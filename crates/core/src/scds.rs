@@ -126,10 +126,8 @@ mod tests {
     #[test]
     fn unreferenced_data_parks_deterministically() {
         let grid = g();
-        let trace = WindowedTrace::from_parts(
-            grid,
-            vec![vec![WindowRefs::new()], vec![WindowRefs::new()]],
-        );
+        let trace =
+            WindowedTrace::from_parts(grid, vec![vec![WindowRefs::new()], vec![WindowRefs::new()]]);
         let s = scds_schedule(&trace, MemorySpec::uniform(1));
         // zero cost everywhere → list sorted by id → data scatter over
         // lowest-id processors
@@ -142,10 +140,7 @@ mod tests {
     #[should_panic(expected = "cannot hold")]
     fn infeasible_capacity_panics() {
         let grid = Grid::new(2, 1);
-        let trace = WindowedTrace::from_parts(
-            grid,
-            vec![vec![WindowRefs::new()]; 3],
-        );
+        let trace = WindowedTrace::from_parts(grid, vec![vec![WindowRefs::new()]; 3]);
         scds_schedule(&trace, MemorySpec::uniform(1));
     }
 }

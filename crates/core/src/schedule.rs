@@ -261,10 +261,7 @@ mod tests {
     fn moving_schedule_costs() {
         let grid = g();
         let trace = two_window_trace(grid);
-        let s = Schedule::new(
-            grid,
-            vec![vec![grid.proc_xy(0, 0), grid.proc_xy(3, 3)]],
-        );
+        let s = Schedule::new(grid, vec![vec![grid.proc_xy(0, 0), grid.proc_xy(3, 3)]]);
         let cost = s.evaluate(&trace);
         assert_eq!(cost.reference, 0);
         assert_eq!(cost.movement, 6);

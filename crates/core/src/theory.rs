@@ -109,11 +109,7 @@ pub fn theorem2_holds(grid: &Grid, refs0: &WindowRefs, from: ProcId, to: ProcId)
 /// `separate` charges each window at its own center plus the move between
 /// them; `grouped` charges the merged references at the merged window's
 /// optimal center with no move. Theorem 3 asserts `grouped ≥ separate`.
-pub fn pair_grouping_costs(
-    grid: &Grid,
-    refs0: &WindowRefs,
-    refs1: &WindowRefs,
-) -> (u64, u64) {
+pub fn pair_grouping_costs(grid: &Grid, refs0: &WindowRefs, refs1: &WindowRefs) -> (u64, u64) {
     let (c0, c1) = closest_optimal_pair(grid, refs0, refs1);
     let separate = cost_at(grid, refs0, c0) + cost_at(grid, refs1, c1) + grid.dist(c0, c1);
     let merged = WindowRefs::merged([refs0, refs1]);
@@ -166,7 +162,7 @@ mod tests {
         // starting inside flat optimal region of a symmetric string fails
         let sym = [(2u32, 1u32), (6, 1)];
         assert!(!lemma1_holds(&line, &sym, 2, 6)); // flat between medians
-        // but from the closest optimal center (6 is optimal too) it holds
+                                                   // but from the closest optimal center (6 is optimal too) it holds
         assert!(lemma1_holds(&line, &sym, 6, 8));
     }
 

@@ -188,7 +188,14 @@ mod tests {
     fn single_message_takes_dist_plus_volume_minus_one() {
         let g = Grid::new(4, 4);
         for (dist, vol) in [(1u64, 1u32), (3, 1), (3, 4), (6, 2)] {
-            let m = msg(&g, 0, 0, dist.min(3) as u32, dist.saturating_sub(3) as u32, vol);
+            let m = msg(
+                &g,
+                0,
+                0,
+                dist.min(3) as u32,
+                dist.saturating_sub(3) as u32,
+                vol,
+            );
             let d = g.dist(m.src, m.dst);
             let r = run_window(&g, &[m]);
             assert_eq!(r.completion_cycle, d + vol as u64 - 1, "d={d} vol={vol}");
@@ -227,7 +234,9 @@ mod tests {
                 msg(&g, 0, 0, 2, 0, 5),
                 msg(&g, 1, 1, 1, 3, 2),
             ],
-            (0..10).map(|i| msg(&g, i % 4, 0, 3 - i % 4, 3, 1 + i % 3)).collect(),
+            (0..10)
+                .map(|i| msg(&g, i % 4, 0, 3 - i % 4, 3, 1 + i % 3))
+                .collect(),
         ];
         for msgs in cases {
             let bound = window_completion_time(&g, &msgs);

@@ -148,6 +148,38 @@ pub fn simulate(trace: &WindowedTrace, schedule: &Schedule, pool: Pool) -> SimRe
     SimReport::new(grid, per_window, link_volume)
 }
 
+/// Schedule `trace` with any [`Scheduler`](pim_sched::Scheduler) and
+/// simulate the result — the registry-driven front end: the engine drives
+/// whatever strategy the registry hands it, with no per-method code here.
+///
+/// The same `pool` parallelizes both the scheduling pass (per-datum, when
+/// the policy is unbounded) and the routing pass (per-window).
+pub fn simulate_scheduler(
+    scheduler: &dyn pim_sched::Scheduler,
+    trace: &WindowedTrace,
+    policy: pim_sched::MemoryPolicy,
+    pool: Pool,
+) -> (Schedule, SimReport) {
+    let schedule = pim_sched::Run::new(trace)
+        .policy(policy)
+        .parallel(pool)
+        .run(scheduler);
+    let report = simulate(trace, &schedule, pool);
+    (schedule, report)
+}
+
+/// [`simulate_scheduler`] by registry name (case-insensitive, aliases
+/// accepted); `None` when no scheduler is registered under `name`.
+pub fn simulate_named(
+    name: &str,
+    trace: &WindowedTrace,
+    policy: pim_sched::MemoryPolicy,
+    pool: Pool,
+) -> Option<(Schedule, SimReport)> {
+    let scheduler = pim_sched::registry().get(name)?;
+    Some(simulate_scheduler(scheduler, trace, policy, pool))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,10 +199,7 @@ mod tests {
                 WindowRefs::from_pairs([(grid.proc_xy(0, 2), 1)]),
             ]],
         );
-        let schedule = Schedule::new(
-            grid,
-            vec![vec![grid.proc_xy(0, 0), grid.proc_xy(0, 2)]],
-        );
+        let schedule = Schedule::new(grid, vec![vec![grid.proc_xy(0, 0), grid.proc_xy(0, 2)]]);
         (trace, schedule)
     }
 
@@ -243,5 +272,38 @@ mod tests {
         let (trace, _) = simple_case();
         let bad = Schedule::static_placement(g(), vec![ProcId(0)], 3);
         simulate(&trace, &bad, Pool::serial());
+    }
+
+    #[test]
+    fn simulate_named_drives_any_registered_scheduler() {
+        let (trace, _) = simple_case();
+        for scheduler in pim_sched::registry().iter() {
+            let (schedule, report) = simulate_scheduler(
+                scheduler,
+                &trace,
+                pim_sched::MemoryPolicy::Unbounded,
+                Pool::serial(),
+            );
+            assert_eq!(
+                report.total_hop_volume(),
+                schedule.evaluate(&trace).total(),
+                "{}: routed hop-volume must match the analytic model",
+                scheduler.name()
+            );
+        }
+        assert!(simulate_named(
+            "gomcds",
+            &trace,
+            pim_sched::MemoryPolicy::Unbounded,
+            Pool::serial()
+        )
+        .is_some());
+        assert!(simulate_named(
+            "no-such",
+            &trace,
+            pim_sched::MemoryPolicy::Unbounded,
+            Pool::serial()
+        )
+        .is_none());
     }
 }

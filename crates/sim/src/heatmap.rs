@@ -115,7 +115,10 @@ mod tests {
         let first = art.lines().next().unwrap();
         assert!(first.contains("=="), "{art}");
         let second_row = art.lines().nth(2).unwrap();
-        assert!(!second_row.contains("--") && !second_row.contains("=="), "{art}");
+        assert!(
+            !second_row.contains("--") && !second_row.contains("=="),
+            "{art}"
+        );
         // node totals appear
         assert!(first.contains("[   4]"), "{art}");
     }

@@ -28,5 +28,5 @@ pub mod message;
 pub mod report;
 pub mod traffic;
 
-pub use engine::simulate;
+pub use engine::{simulate, simulate_named, simulate_scheduler};
 pub use report::SimReport;

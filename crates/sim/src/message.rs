@@ -55,7 +55,10 @@ mod tests {
             kind: MessageKind::Fetch,
         };
         assert!(m.is_local());
-        let m2 = Message { dst: ProcId(4), ..m };
+        let m2 = Message {
+            dst: ProcId(4),
+            ..m
+        };
         assert!(!m2.is_local());
     }
 }

@@ -88,7 +88,12 @@ impl SimReport {
 
     /// Mean volume over links that carried any traffic.
     pub fn mean_active_link_volume(&self) -> f64 {
-        let active: Vec<u64> = self.link_volume.iter().copied().filter(|&v| v > 0).collect();
+        let active: Vec<u64> = self
+            .link_volume
+            .iter()
+            .copied()
+            .filter(|&v| v > 0)
+            .collect();
         if active.is_empty() {
             0.0
         } else {

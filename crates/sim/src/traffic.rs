@@ -92,7 +92,7 @@ pub fn traffic_map(trace: &WindowedTrace, schedule: &Schedule) -> TrafficMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use pim_trace::window::{WindowRefs, WindowedTrace};
 
     #[test]
@@ -130,14 +130,9 @@ mod tests {
     #[test]
     fn moves_counted_as_injected_and_received() {
         let grid = Grid::new(4, 4);
-        let trace = WindowedTrace::from_parts(
-            grid,
-            vec![vec![WindowRefs::new(), WindowRefs::new()]],
-        );
-        let s = Schedule::new(
-            grid,
-            vec![vec![grid.proc_xy(0, 0), grid.proc_xy(0, 2)]],
-        );
+        let trace =
+            WindowedTrace::from_parts(grid, vec![vec![WindowRefs::new(), WindowRefs::new()]]);
+        let s = Schedule::new(grid, vec![vec![grid.proc_xy(0, 0), grid.proc_xy(0, 2)]]);
         let t = traffic_map(&trace, &s);
         assert_eq!(t.node(grid.proc_xy(0, 0)).injected, 1);
         assert_eq!(t.node(grid.proc_xy(0, 2)).received, 1);

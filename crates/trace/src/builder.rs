@@ -80,7 +80,11 @@ impl StepHandle<'_> {
             "{proc} out of range for {}",
             self.grid
         );
-        assert!(data.0 < self.num_data, "{data} out of range (num_data={})", self.num_data);
+        assert!(
+            data.0 < self.num_data,
+            "{data} out of range (num_data={})",
+            self.num_data
+        );
         if count > 0 {
             self.step.accesses.push(Access { proc, data, count });
         }
@@ -96,7 +100,9 @@ mod tests {
     fn builds_steps_in_order() {
         let g = Grid::new(4, 4);
         let mut b = TraceBuilder::new(g, 3);
-        b.step().access(ProcId(0), DataId(0)).access(ProcId(1), DataId(1));
+        b.step()
+            .access(ProcId(0), DataId(0))
+            .access(ProcId(1), DataId(1));
         b.step().access_n(ProcId(2), DataId(2), 5);
         let t = b.finish();
         assert_eq!(t.num_steps(), 2);

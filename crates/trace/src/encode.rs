@@ -156,10 +156,7 @@ mod tests {
                     WindowRefs::from_pairs([(ProcId(0), 2), (ProcId(7), 1)]),
                     WindowRefs::new(),
                 ],
-                vec![
-                    WindowRefs::new(),
-                    WindowRefs::from_pairs([(ProcId(15), 9)]),
-                ],
+                vec![WindowRefs::new(), WindowRefs::from_pairs([(ProcId(15), 9)])],
             ],
         )
     }
@@ -195,17 +192,18 @@ mod tests {
         let bytes = encode_trace(&sample());
         for cut in [0, 3, 7, 12, bytes.len() - 1] {
             let sliced = bytes.slice(0..cut);
-            assert_eq!(decode_trace(sliced), Err(DecodeError::Truncated), "cut at {cut}");
+            assert_eq!(
+                decode_trace(sliced),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
         }
     }
 
     #[test]
     fn rejects_out_of_range_proc() {
         let g = Grid::new(2, 2);
-        let t = WindowedTrace::from_parts(
-            g,
-            vec![vec![WindowRefs::from_pairs([(ProcId(3), 1)])]],
-        );
+        let t = WindowedTrace::from_parts(g, vec![vec![WindowRefs::from_pairs([(ProcId(3), 1)])]]);
         let mut raw = BytesMut::from(&encode_trace(&t)[..]);
         // patch the proc id (last 8 bytes are proc,count)
         let n = raw.len();
@@ -218,7 +216,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(DecodeError::BadMagic.to_string(), "not a PIM trace (bad magic)");
+        assert_eq!(
+            DecodeError::BadMagic.to_string(),
+            "not a PIM trace (bad magic)"
+        );
         assert_eq!(DecodeError::Truncated.to_string(), "trace buffer truncated");
     }
 }

@@ -154,10 +154,7 @@ mod tests {
                     WindowRefs::from_pairs([(ProcId(0), 2), (ProcId(3), 1)]),
                     WindowRefs::from_pairs([(ProcId(0), 1)]),
                 ],
-                vec![
-                    WindowRefs::from_pairs([(ProcId(0), 4)]),
-                    WindowRefs::new(),
-                ],
+                vec![WindowRefs::from_pairs([(ProcId(0), 4)]), WindowRefs::new()],
             ],
         )
     }

@@ -80,7 +80,10 @@ impl StepTrace {
     pub fn window_fixed(&self, steps_per_window: usize) -> WindowedTrace {
         assert!(steps_per_window > 0, "window size must be positive");
         let num_windows = self.steps.len().div_ceil(steps_per_window).max(1);
-        self.window_by(|step_idx| (step_idx / steps_per_window).min(num_windows - 1), num_windows)
+        self.window_by(
+            |step_idx| (step_idx / steps_per_window).min(num_windows - 1),
+            num_windows,
+        )
     }
 
     /// Bucket steps into windows with an arbitrary assignment
@@ -90,11 +93,7 @@ impl StepTrace {
     ///
     /// # Panics
     /// Panics if the assignment is non-monotone or out of range.
-    pub fn window_by(
-        &self,
-        assign: impl Fn(usize) -> usize,
-        num_windows: usize,
-    ) -> WindowedTrace {
+    pub fn window_by(&self, assign: impl Fn(usize) -> usize, num_windows: usize) -> WindowedTrace {
         assert!(num_windows > 0, "need at least one window");
         let mut per_data: Vec<Vec<WindowRefs>> =
             vec![vec![WindowRefs::default(); num_windows]; self.num_data as usize];
@@ -124,7 +123,10 @@ impl StepTrace {
     /// # Panics
     /// Panics if the grids differ.
     pub fn concat(mut self, other: &StepTrace) -> StepTrace {
-        assert_eq!(self.grid, other.grid, "cannot concat traces from different grids");
+        assert_eq!(
+            self.grid, other.grid,
+            "cannot concat traces from different grids"
+        );
         self.num_data = self.num_data.max(other.num_data);
         self.steps.extend(other.steps.iter().cloned());
         self

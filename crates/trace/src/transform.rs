@@ -82,11 +82,7 @@ fn map_refs(
         .iter_data()
         .map(|(_, rs)| {
             rs.windows()
-                .map(|w| {
-                    WindowRefs::from_pairs(
-                        w.iter().filter_map(|r| f(r.proc, r.count)),
-                    )
-                })
+                .map(|w| WindowRefs::from_pairs(w.iter().filter_map(|r| f(r.proc, r.count))))
                 .collect()
         })
         .collect();
@@ -107,10 +103,7 @@ mod tests {
                     WindowRefs::from_pairs([(ProcId(0), 2)]),
                     WindowRefs::from_pairs([(ProcId(3), 1)]),
                 ],
-                vec![
-                    WindowRefs::from_pairs([(ProcId(1), 5)]),
-                    WindowRefs::new(),
-                ],
+                vec![WindowRefs::from_pairs([(ProcId(1), 5)]), WindowRefs::new()],
             ],
         )
     }

@@ -130,7 +130,10 @@ mod tests {
         };
         assert_eq!(
             validate_steps(&t),
-            Err(TraceError::ProcOutOfRange { step: Some(0), proc: 4 })
+            Err(TraceError::ProcOutOfRange {
+                step: Some(0),
+                proc: 4
+            })
         );
     }
 
@@ -157,25 +160,29 @@ mod tests {
     #[test]
     fn windowed_validation() {
         let g = Grid::new(2, 2);
-        let ok = WindowedTrace::from_parts(
-            g,
-            vec![vec![WindowRefs::from_pairs([(ProcId(3), 1)])]],
-        );
+        let ok = WindowedTrace::from_parts(g, vec![vec![WindowRefs::from_pairs([(ProcId(3), 1)])]]);
         assert_eq!(validate_windowed(&ok), Ok(()));
-        let bad = WindowedTrace::from_parts(
-            g,
-            vec![vec![WindowRefs::from_pairs([(ProcId(9), 1)])]],
-        );
+        let bad =
+            WindowedTrace::from_parts(g, vec![vec![WindowRefs::from_pairs([(ProcId(9), 1)])]]);
         assert!(matches!(
             validate_windowed(&bad),
-            Err(TraceError::ProcOutOfRange { step: None, proc: 9 })
+            Err(TraceError::ProcOutOfRange {
+                step: None,
+                proc: 9
+            })
         ));
     }
 
     #[test]
     fn error_messages() {
-        let e = TraceError::ProcOutOfRange { step: Some(3), proc: 7 };
+        let e = TraceError::ProcOutOfRange {
+            step: Some(3),
+            proc: 7,
+        };
         assert_eq!(e.to_string(), "step 3: processor P7 out of range");
-        assert_eq!(TraceError::NoWindows.to_string(), "trace has no execution windows");
+        assert_eq!(
+            TraceError::NoWindows.to_string(),
+            "trace has no execution windows"
+        );
     }
 }

@@ -111,7 +111,10 @@ pub struct DataRefString {
 impl DataRefString {
     /// Build from per-window reference strings.
     pub fn new(windows: Vec<WindowRefs>) -> Self {
-        assert!(!windows.is_empty(), "a reference string needs at least one window");
+        assert!(
+            !windows.is_empty(),
+            "a reference string needs at least one window"
+        );
         DataRefString { windows }
     }
 
@@ -366,7 +369,10 @@ mod tests {
     fn ragged_windows_panic() {
         WindowedTrace::from_parts(
             g(),
-            vec![vec![WindowRefs::new()], vec![WindowRefs::new(), WindowRefs::new()]],
+            vec![
+                vec![WindowRefs::new()],
+                vec![WindowRefs::new(), WindowRefs::new()],
+            ],
         );
     }
 }

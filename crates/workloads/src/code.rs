@@ -74,10 +74,8 @@ pub fn code_trace(grid: Grid, params: CodeParams) -> (StepTrace, DataSpace) {
         // Non-linear walk: a quadratic-chirp drift plus random jitter, so
         // displacement is neither constant nor a linear function of phase.
         let t = phase as f64;
-        cx += (0.07 * t * t).sin() * (grid.width() as f64 / 2.0)
-            + rng.gen_range(-1.5..1.5);
-        cy += (0.05 * t * t + 1.0).cos() * (grid.height() as f64 / 2.0)
-            + rng.gen_range(-1.5..1.5);
+        cx += (0.07 * t * t).sin() * (grid.width() as f64 / 2.0) + rng.gen_range(-1.5..1.5);
+        cy += (0.05 * t * t + 1.0).cos() * (grid.height() as f64 / 2.0) + rng.gen_range(-1.5..1.5);
         cx = cx.rem_euclid(grid.width() as f64);
         cy = cy.rem_euclid(grid.height() as f64);
 

@@ -39,7 +39,10 @@ impl FftParams {
 /// Panics unless `points` is a power of two ≥ 2.
 pub fn fft_trace(grid: Grid, params: FftParams) -> (StepTrace, DataSpace) {
     let n = params.points;
-    assert!(n >= 2 && n.is_power_of_two(), "FFT needs a power-of-two size ≥ 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "FFT needs a power-of-two size ≥ 2"
+    );
     let mut space = DataSpace::new();
     let a = space.add_array("A", 1, n);
     let mut b = TraceBuilder::new(grid, space.total_data());

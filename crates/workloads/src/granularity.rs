@@ -51,7 +51,11 @@ pub fn rows_of(steps: &StepTrace, space: &DataSpace) -> RowTrace {
             let (array, row, _col) = space
                 .locate(acc.data)
                 .expect("trace datum outside its data space");
-            sh.access_n(acc.proc, row_space.elem(handles[array_index(&handles, array)], row, 0), acc.count);
+            sh.access_n(
+                acc.proc,
+                row_space.elem(handles[array_index(&handles, array)], row, 0),
+                acc.count,
+            );
         }
     }
     RowTrace {
@@ -115,10 +119,7 @@ mod tests {
             .map(|c| {
                 let mut sp = DataSpace::new();
                 let a = sp.add_array("A", 8, 8);
-                w_elem
-                    .refs(sp.elem(a, 0, c))
-                    .merged_all()
-                    .total_volume()
+                w_elem.refs(sp.elem(a, 0, c)).merged_all().total_volume()
             })
             .sum();
         let row_total = w_rows

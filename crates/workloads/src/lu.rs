@@ -102,7 +102,13 @@ mod tests {
         let grid = Grid::new(4, 4);
         let (t, _) = lu_trace(grid, LuParams::new(8));
         // update steps are the odd indices; volume strictly decreases
-        let updates: Vec<u64> = t.steps.iter().skip(1).step_by(2).map(|s| s.total_refs()).collect();
+        let updates: Vec<u64> = t
+            .steps
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|s| s.total_refs())
+            .collect();
         for w in updates.windows(2) {
             assert!(w[0] > w[1]);
         }
@@ -118,11 +124,7 @@ mod tests {
             h
         });
         let pivot = space.elem(a, 0, 0);
-        let pivot_refs = s
-            .accesses
-            .iter()
-            .filter(|acc| acc.data == pivot)
-            .count();
+        let pivot_refs = s.accesses.iter().filter(|acc| acc.data == pivot).count();
         assert_eq!(pivot_refs, 7, "pivot referenced by every scaling iteration");
     }
 

@@ -52,12 +52,7 @@ fn main() {
             .straightforward(&trace, Layout::RowWise)
             .evaluate(&trace)
             .total();
-        let pct = |m| {
-            improvement_pct(
-                sf,
-                schedule(m, &trace, memory).evaluate(&trace).total(),
-            )
-        };
+        let pct = |m| improvement_pct(sf, schedule(m, &trace, memory).evaluate(&trace).total());
         println!(
             "{:<22} {:>10} {:>8.1}% {:>8.1}% {:>8.1}%",
             bench.name(),

@@ -37,7 +37,10 @@ fn main() {
 
     // Also show the other static layouts for context.
     for layout in [Layout::ColumnWise, Layout::Block2D, Layout::Cyclic] {
-        let cost = space.straightforward(&trace, layout).evaluate(&trace).total();
+        let cost = space
+            .straightforward(&trace, layout)
+            .evaluate(&trace)
+            .total();
         println!(
             "{:<16} {:>10} {:>7.1}%",
             layout.name(),

@@ -7,13 +7,18 @@
 //! across random traces, degenerate and non-square grids, and every memory
 //! policy. These properties are what licenses deleting nothing: the old
 //! code survives as the oracle.
+//!
+//! Since the `Scheduler`-trait refactor this doubles as the registry-wide
+//! conformance suite: `registry_conformance_across_wrappers` drives every
+//! *registered* strategy — including `baseline`/`online`/`kcopy`/
+//! `replicate`, which have no `Method` variant — through the cached,
+//! uncached, and parallel execution wrappers of [`pim_sched::Run`] and
+//! requires all three to agree exactly.
 
 use pim_array::grid::{Grid, ProcId};
 use pim_par::Pool;
 use pim_sched::pipeline::{schedule_cached, schedule_uncached};
-use pim_sched::{
-    schedule, schedule_parallel, CostCache, MemoryPolicy, Method, Workspace,
-};
+use pim_sched::{schedule, schedule_parallel, CostCache, MemoryPolicy, Method, Run, Workspace};
 use pim_trace::window::{WindowRefs, WindowedTrace};
 use proptest::prelude::*;
 
@@ -41,11 +46,8 @@ fn arb_refs(grid: Grid) -> impl Strategy<Value = WindowRefs> {
 fn arb_trace() -> impl Strategy<Value = WindowedTrace> {
     arb_grid().prop_flat_map(|grid| {
         (1usize..=4, 1usize..=6).prop_flat_map(move |(nd, nw)| {
-            proptest::collection::vec(
-                proptest::collection::vec(arb_refs(grid), nw..=nw),
-                nd..=nd,
-            )
-            .prop_map(move |per_data| WindowedTrace::from_parts(grid, per_data))
+            proptest::collection::vec(proptest::collection::vec(arb_refs(grid), nw..=nw), nd..=nd)
+                .prop_map(move |per_data| WindowedTrace::from_parts(grid, per_data))
         })
     })
 }
@@ -114,6 +116,33 @@ proptest! {
             // and the parallel (unconstrained) path agrees with `schedule`
             let seq = schedule(method, &trace, MemoryPolicy::Unbounded);
             prop_assert_eq!(&seq, &parallel, "{} parallel != sequential", method);
+        }
+    }
+
+    /// Registry-wide conformance: every registered scheduler × every memory
+    /// policy is bit-identical across the plain (cached), uncached, and
+    /// parallel execution wrappers. For bounded policies the parallel
+    /// wrapper must fall back to the sequential path (capacity resolution
+    /// is order-dependent), so this also pins that gating.
+    #[test]
+    fn registry_conformance_across_wrappers(trace in arb_trace(), threads in 2usize..=8) {
+        for scheduler in pim_sched::registry().iter() {
+            for policy in policies(&trace) {
+                let cached = Run::new(&trace).policy(policy).run(scheduler);
+                let uncached = Run::new(&trace).policy(policy).cached(false).run(scheduler);
+                prop_assert_eq!(
+                    &cached, &uncached,
+                    "{} under {:?}: cached != uncached", scheduler.name(), policy
+                );
+                let parallel = Run::new(&trace)
+                    .policy(policy)
+                    .parallel(Pool::with_threads(threads))
+                    .run(scheduler);
+                prop_assert_eq!(
+                    &cached, &parallel,
+                    "{} under {:?}: parallel != cached", scheduler.name(), policy
+                );
+            }
         }
     }
 

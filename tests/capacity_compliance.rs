@@ -63,7 +63,10 @@ fn looser_memory_never_hurts() {
         let unbounded = schedule(method, &trace, MemoryPolicy::Unbounded)
             .evaluate(&trace)
             .total();
-        assert!(unbounded <= prev, "{method}: unbounded {unbounded} > 4x {prev}");
+        assert!(
+            unbounded <= prev,
+            "{method}: unbounded {unbounded} > 4x {prev}"
+        );
     }
 }
 

@@ -70,7 +70,10 @@ fn replication_gains_are_real_and_bounded() {
         let repl = replicated_schedule(&trace, spec);
         let dual = repl.evaluate(&trace).total();
         assert!(dual <= single, "{bench}: 2-copy worse than 1-copy");
-        assert!(dual > 0, "{bench}: zero cost is implausible for real traces");
+        assert!(
+            dual > 0,
+            "{bench}: zero cost is implausible for real traces"
+        );
     }
 }
 

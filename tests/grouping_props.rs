@@ -3,12 +3,8 @@
 
 use pim_array::grid::{Grid, ProcId};
 use pim_array::line::Line;
-use pim_sched::grouping::{
-    cost_of_grouping, greedy_grouping, optimal_grouping, GroupMethod,
-};
-use pim_sched::theory::{
-    closest_optimal_pair, lemma1_holds, theorem2_holds, theorem3_holds,
-};
+use pim_sched::grouping::{cost_of_grouping, greedy_grouping, optimal_grouping, GroupMethod};
+use pim_sched::theory::{closest_optimal_pair, lemma1_holds, theorem2_holds, theorem3_holds};
 use pim_trace::window::{DataRefString, WindowRefs};
 use proptest::prelude::*;
 

@@ -45,7 +45,11 @@ fn big_parallel_matches_sequential() {
 fn big_simulation_agrees_with_analytic() {
     let grid = Grid::new(8, 8);
     let (trace, _) = windowed(Benchmark::MatMulCode, grid, 24, 2, 1998);
-    let s = schedule(Method::Lomcds, &trace, MemoryPolicy::ScaledMinimum { factor: 2 });
+    let s = schedule(
+        Method::Lomcds,
+        &trace,
+        MemoryPolicy::ScaledMinimum { factor: 2 },
+    );
     let report = pim_sim::simulate(&trace, &s, Pool::auto());
     assert_eq!(report.total_hop_volume(), s.evaluate(&trace).total());
 }
@@ -55,7 +59,9 @@ fn big_grouping_pipeline_is_sound() {
     let grid = Grid::new(8, 8);
     let (trace, _) = windowed(Benchmark::CodeReverse, grid, 24, 1, 1998);
     let policy = MemoryPolicy::ScaledMinimum { factor: 2 };
-    let plain = schedule(Method::Lomcds, &trace, policy).evaluate(&trace).total();
+    let plain = schedule(Method::Lomcds, &trace, policy)
+        .evaluate(&trace)
+        .total();
     let grouped = schedule(Method::GroupedLocal, &trace, policy)
         .evaluate(&trace)
         .total();

@@ -17,19 +17,17 @@ fn arb_grid() -> impl Strategy<Value = Grid> {
 /// Random reference string over a grid (possibly empty).
 fn arb_refs(grid: Grid) -> impl Strategy<Value = WindowRefs> {
     let m = grid.num_procs() as u32;
-    proptest::collection::vec((0..m, 1u32..6), 0..6)
-        .prop_map(move |pairs| WindowRefs::from_pairs(pairs.into_iter().map(|(p, n)| (ProcId(p), n))))
+    proptest::collection::vec((0..m, 1u32..6), 0..6).prop_map(move |pairs| {
+        WindowRefs::from_pairs(pairs.into_iter().map(|(p, n)| (ProcId(p), n)))
+    })
 }
 
 /// Random windowed trace: up to 4 data × up to 6 windows.
 fn arb_trace() -> impl Strategy<Value = WindowedTrace> {
     arb_grid().prop_flat_map(|grid| {
         (1usize..=4, 1usize..=6).prop_flat_map(move |(nd, nw)| {
-            proptest::collection::vec(
-                proptest::collection::vec(arb_refs(grid), nw..=nw),
-                nd..=nd,
-            )
-            .prop_map(move |per_data| WindowedTrace::from_parts(grid, per_data))
+            proptest::collection::vec(proptest::collection::vec(arb_refs(grid), nw..=nw), nd..=nd)
+                .prop_map(move |per_data| WindowedTrace::from_parts(grid, per_data))
         })
     })
 }

@@ -54,7 +54,11 @@ fn better_schedules_relieve_the_network_too() {
     let grid = Grid::new(4, 4);
     let (trace, space) = windowed(Benchmark::MatMulCode, grid, 16, 2, 1998);
     let baseline = space.straightforward(&trace, pim_array::layout::Layout::RowWise);
-    let gomcds = schedule(Method::Gomcds, &trace, MemoryPolicy::ScaledMinimum { factor: 2 });
+    let gomcds = schedule(
+        Method::Gomcds,
+        &trace,
+        MemoryPolicy::ScaledMinimum { factor: 2 },
+    );
 
     let r_base = simulate(&trace, &baseline, Pool::auto());
     let r_go = simulate(&trace, &gomcds, Pool::auto());

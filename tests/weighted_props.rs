@@ -6,9 +6,7 @@
 
 use pim_array::grid::{Grid, ProcId};
 use pim_array::memory::MemorySpec;
-use pim_sched::gomcds::{
-    gomcds_path_weighted, gomcds_schedule_volumes, Solver,
-};
+use pim_sched::gomcds::{gomcds_path_weighted, gomcds_schedule_volumes, Solver};
 use pim_sched::kcopy::kcopy_schedule;
 use pim_sched::{schedule, MemoryPolicy, Method, Schedule};
 use pim_trace::ids::DataId;

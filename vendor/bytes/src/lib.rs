@@ -96,7 +96,10 @@ impl Bytes {
     /// # Panics
     /// Panics when the range exceeds the view.
     pub fn slice(&self, range: Range<usize>) -> Bytes {
-        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + range.start,

@@ -287,9 +287,12 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr $(,)?) => {{
         let (a, b) = (&$a, &$b);
         if *a == *b {
-            return ::core::result::Result::Err($crate::TestCaseError::fail(
-                format!("{} == {}: both {:?}", stringify!($a), stringify!($b), a),
-            ));
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} == {}: both {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
         }
     }};
 }
@@ -330,7 +333,10 @@ mod tests {
         let mut b = crate::TestRng::deterministic("some::test");
         let s = 0u32..1000;
         for _ in 0..50 {
-            assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
         }
     }
 }
