@@ -2,8 +2,12 @@
 //! the paper benchmarks (4×4 array, 16×16 data, memory = 2× minimum).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pim_array::grid::Grid;
-use pim_sched::{compare_methods, schedule, schedule_uncached, MemoryPolicy, Method};
+use pim_array::grid::{Grid, ProcId};
+use pim_sched::grouping::{greedy_grouping_cached, optimal_grouping_cached, GroupMethod};
+use pim_sched::{
+    compare_methods, schedule, schedule_uncached, DatumCostCache, MemoryPolicy, Method, Workspace,
+};
+use pim_trace::window::{DataRefString, WindowRefs};
 use pim_workloads::{windowed, Benchmark};
 use std::hint::black_box;
 
@@ -117,10 +121,58 @@ fn bench_cached_vs_uncached(c: &mut Criterion) {
     group.finish();
 }
 
+/// Grouping-decision scaling: the incremental greedy (Algorithm 3) and the
+/// `O(t²)` optimal DP over a synthetic reference string as the window count
+/// grows 8 → 128. The greedy should scale linearly in evaluations; the DP
+/// quadratically in the referenced-window count.
+fn bench_grouping_scaling(c: &mut Criterion) {
+    let grid = Grid::new(4, 4);
+    let m = grid.num_procs() as u64;
+    // Deterministic synthetic drift: a hotspot that wanders across the
+    // array with a little multiplicative noise — windows near each other
+    // reference near-by processors, so grouping decisions are non-trivial.
+    let make_refs = |windows: usize| {
+        let per_window = (0..windows)
+            .map(|w| {
+                let s = (w as u64).wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+                let pairs = (0..(s % 3 + 1)).map(move |i| {
+                    let p = (s.wrapping_add(i.wrapping_mul(29)) ^ (w as u64 / 8)) % m;
+                    (ProcId(p as u32), (s >> (8 + i)) as u32 % 5 + 1)
+                });
+                WindowRefs::from_pairs(pairs)
+            })
+            .collect();
+        DataRefString::new(per_window)
+    };
+    let mut group = c.benchmark_group("grouping_scaling");
+    for windows in [8usize, 16, 32, 64, 128] {
+        let rs = make_refs(windows);
+        let cache = DatumCostCache::build(&grid, &rs);
+        cache.ensure_tables();
+        group.bench_with_input(BenchmarkId::new("greedy", windows), &cache, |b, cache| {
+            let mut ws = Workspace::new();
+            b.iter(|| {
+                black_box(greedy_grouping_cached(
+                    &grid,
+                    black_box(cache),
+                    GroupMethod::LocalCenters,
+                    &mut ws,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dp", windows), &cache, |b, cache| {
+            let mut ws = Workspace::new();
+            b.iter(|| black_box(optimal_grouping_cached(&grid, black_box(cache), &mut ws)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_schedulers,
     bench_parallel_speedup,
-    bench_cached_vs_uncached
+    bench_cached_vs_uncached,
+    bench_grouping_scaling
 );
 criterion_main!(benches);

@@ -114,8 +114,11 @@ fn bench_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> (u128, R) {
 /// Time the registry's comparison set cached and uncached over benchmark ×
 /// size, plus the `compare_methods` headline (benchmark 3, 32×32 data, 4×4
 /// array), and render the results as JSON (hand-rolled; the vendored serde
-/// shim has no serializer and the schema is flat). Any newly registered
-/// scheduler with `in_comparison()` shows up here automatically.
+/// shim has no serializer and the schema is flat). Grouped rows also
+/// isolate the Algorithm 3 grouping-decision phase (`grouping_ns`), and
+/// any row whose cached path loses to the reference is warned about on
+/// stderr. Any newly registered scheduler with `in_comparison()` shows up
+/// here automatically.
 fn bench_sched_json() -> String {
     let compare_set: Vec<&dyn pim_sched::Scheduler> = registry().comparison_set().collect();
     let grid = Grid::new(4, 4);
@@ -130,11 +133,41 @@ fn bench_sched_json() -> String {
             let (trace, _) = windowed(bench, grid, size, 2, 1998);
             for &scheduler in &compare_set {
                 let (cached_ns, sched) =
-                    bench_ns(3, || Run::new(&trace).policy(memory).run(scheduler));
-                let (uncached_ns, _) = bench_ns(3, || {
+                    bench_ns(10, || Run::new(&trace).policy(memory).run(scheduler));
+                let (uncached_ns, _) = bench_ns(10, || {
                     Run::new(&trace).policy(memory).cached(false).run(scheduler)
                 });
+                // Isolate the Algorithm 3 grouping-decision phase for the
+                // grouped methods (greedy over every datum, cached); other
+                // methods have no grouping phase and report 0.
+                let grouping_ns = if scheduler.name().starts_with("Grouped") {
+                    let cache = pim_sched::CostCache::build(&trace);
+                    let mut ws = pim_sched::Workspace::new();
+                    let tgrid = trace.grid();
+                    bench_ns(10, || {
+                        for d in 0..trace.num_data() as u32 {
+                            black_box(pim_sched::grouping::greedy_grouping_cached(
+                                &tgrid,
+                                cache.datum(pim_trace::ids::DataId(d)),
+                                pim_sched::grouping::GroupMethod::LocalCenters,
+                                &mut ws,
+                            ));
+                        }
+                    })
+                    .0
+                } else {
+                    0
+                };
                 let cost = sched.evaluate(&trace).total();
+                let speedup = uncached_ns as f64 / cached_ns.max(1) as f64;
+                if speedup < 1.0 {
+                    eprintln!(
+                        "warning: {} on benchmark {} size {size}: cached path slower \
+                         than the reference (speedup {speedup:.3})",
+                        scheduler.name(),
+                        bench.label(),
+                    );
+                }
                 if !first {
                     json.push_str(",\n");
                 }
@@ -143,10 +176,10 @@ fn bench_sched_json() -> String {
                     json,
                     "    {{\"benchmark\": \"{}\", \"size\": {size}, \"method\": \"{}\", \
                      \"total_cost\": {cost}, \"cached_ns\": {cached_ns}, \
-                     \"uncached_ns\": {uncached_ns}, \"speedup\": {:.3}}}",
+                     \"uncached_ns\": {uncached_ns}, \"grouping_ns\": {grouping_ns}, \
+                     \"speedup\": {speedup:.3}}}",
                     bench.label(),
                     scheduler.name(),
-                    uncached_ns as f64 / cached_ns.max(1) as f64,
                 )
                 .expect("write to String cannot fail");
             }
@@ -157,8 +190,8 @@ fn bench_sched_json() -> String {
     // Headline: the full compare_methods sweep, where one shared cost cache
     // serves all five methods, on the paper's benchmark 3 at 32×32 data.
     let (trace, _) = windowed(Benchmark::LuCode, grid, 32, 2, 1998);
-    let (cached_ns, costs) = bench_ns(3, || compare_methods(&trace, memory));
-    let (uncached_ns, uncached_costs) = bench_ns(3, || {
+    let (cached_ns, costs) = bench_ns(5, || compare_methods(&trace, memory));
+    let (uncached_ns, uncached_costs) = bench_ns(5, || {
         let mut run = Run::new(&trace).policy(memory).cached(false);
         compare_set
             .iter()
@@ -167,6 +200,12 @@ fn bench_sched_json() -> String {
     });
     assert_eq!(costs, uncached_costs, "cached diverged from reference");
     let speedup = uncached_ns as f64 / cached_ns.max(1) as f64;
+    if speedup < 1.0 {
+        eprintln!(
+            "warning: compare_methods headline: cached path slower than the \
+             reference (speedup {speedup:.3})"
+        );
+    }
     write!(
         json,
         "  \"compare_methods\": {{\"benchmark\": \"3\", \"size\": 32, \"grid\": \"4x4\", \

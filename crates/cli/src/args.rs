@@ -56,6 +56,10 @@ pub struct ParsedArgs {
     /// (`run`/`stats`/`simulate`/`windows` only — the baseline comparison
     /// needs the data-array shape, which the binary format does not carry).
     pub trace_file: Option<String>,
+    /// Worker threads for per-datum scheduling parallelism (`0` =
+    /// sequential, the default). Schedulers that cannot parallelize
+    /// ignore the pool; see `pim-cli list-methods`.
+    pub threads: usize,
 }
 
 impl Default for ParsedArgs {
@@ -71,6 +75,7 @@ impl Default for ParsedArgs {
             seed: 1998,
             out: None,
             trace_file: None,
+            threads: 0,
         }
     }
 }
@@ -183,6 +188,12 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
             }
             "--out" => out.out = Some(value()?),
             "--trace" => out.trace_file = Some(value()?),
+            "--threads" => {
+                let v = value()?;
+                out.threads = v
+                    .parse()
+                    .map_err(|_| format!("bad value '{v}' for --threads, expected an integer"))?;
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -194,7 +205,8 @@ pub fn usage() -> String {
     "usage: pim-cli <run|compare|stats|simulate|refine|replicate|windows|export|explain|list-methods> \
      [--bench 1-5|code|jacobi|transpose|sor] [--size N] [--grid WxH] \
      [--window STEPS] [--method NAME (see `pim-cli list-methods`)] \
-     [--memory unbounded|Nx|CAP] [--seed S] [--out FILE] [--trace FILE]"
+     [--memory unbounded|Nx|CAP] [--seed S] [--out FILE] [--trace FILE] \
+     [--threads N (0 = sequential)]"
         .to_string()
 }
 
@@ -281,6 +293,16 @@ mod tests {
     fn list_methods_command() {
         let a = parse(&v(&["list-methods"])).unwrap();
         assert_eq!(a.command, Command::ListMethods);
+    }
+
+    #[test]
+    fn threads_flag() {
+        let a = parse(&v(&["run", "--threads", "4"])).unwrap();
+        assert_eq!(a.threads, 4);
+        // default is sequential
+        assert_eq!(parse(&v(&["run"])).unwrap().threads, 0);
+        let err = parse(&v(&["run", "--threads", "many"])).unwrap_err();
+        assert!(err.contains("'many'") && err.contains("--threads"), "{err}");
     }
 
     #[test]

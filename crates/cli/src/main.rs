@@ -3,7 +3,7 @@
 use pim_cli::args::{self, Command};
 use pim_cli::render;
 use pim_par::Pool;
-use pim_sched::{compare_methods, Run};
+use pim_sched::Run;
 use pim_trace::stats::trace_stats;
 use pim_workloads::windowed;
 use std::process::ExitCode;
@@ -21,12 +21,17 @@ fn main() -> ExitCode {
     if parsed.command == Command::ListMethods {
         println!("registered scheduling methods:");
         for s in pim_sched::registry().iter() {
-            let tag = if s.in_comparison() {
+            let par = if s.parallelizable() {
+                "  [parallel]"
+            } else {
+                ""
+            };
+            let cmp = if s.in_comparison() {
                 ""
             } else {
                 "  [not in compare]"
             };
-            println!("  {:<16} {}{tag}", s.name(), s.description());
+            println!("  {:<16} {}{par}{cmp}", s.name(), s.description());
         }
         return ExitCode::SUCCESS;
     }
@@ -84,6 +89,9 @@ fn main() -> ExitCode {
     }
 
     let mut run = Run::new(&trace).policy(parsed.memory);
+    if parsed.threads > 0 {
+        run = run.parallel(Pool::with_threads(parsed.threads));
+    }
 
     match parsed.command {
         Command::Run => {
@@ -100,11 +108,12 @@ fn main() -> ExitCode {
                 .straightforward(&trace, pim_array::layout::Layout::RowWise)
                 .evaluate(&trace)
                 .total();
-            let rows = compare_methods(&trace, parsed.memory)
-                .into_iter()
-                .map(|(name, cost)| {
+            let rows = pim_sched::registry()
+                .comparison_set()
+                .map(|s| {
+                    let cost = run.run(s).evaluate(&trace).total();
                     (
-                        name.to_string(),
+                        s.name().to_string(),
                         cost,
                         pim_sched::schedule::improvement_pct(sf, cost),
                     )

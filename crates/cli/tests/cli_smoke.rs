@@ -112,6 +112,47 @@ fn list_methods_shows_the_registry() {
 }
 
 #[test]
+fn list_methods_marks_parallelizable_schedulers() {
+    let (ok, stdout, _) = run(&["list-methods"]);
+    assert!(ok);
+    assert!(stdout.contains("[parallel]"), "{stdout}");
+    // the streaming policy cannot fan out — its line carries no tag
+    let online = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("online"))
+        .expect("online listed");
+    assert!(!online.contains("[parallel]"), "{online}");
+    let gomcds = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("GOMCDS "))
+        .expect("GOMCDS listed");
+    assert!(gomcds.contains("[parallel]"), "{gomcds}");
+}
+
+#[test]
+fn threads_flag_matches_sequential_output() {
+    let base = [
+        "run", "--bench", "3", "--size", "8", "--method", "gomcds", "--memory", "2x",
+    ];
+    let (ok, sequential, stderr) = run(&base);
+    assert!(ok, "{stderr}");
+    let mut with_threads = base.to_vec();
+    with_threads.extend_from_slice(&["--threads", "2"]);
+    let (ok, parallel, stderr) = run(&with_threads);
+    assert!(ok, "{stderr}");
+    assert_eq!(sequential, parallel, "--threads changed the schedule");
+
+    // compare under a bounded policy exercises the two-phase path for
+    // every comparison-set scheduler
+    let (ok, seq_table, stderr) = run(&["compare", "--bench", "1", "--size", "8"]);
+    assert!(ok, "{stderr}");
+    let (ok, par_table, stderr) =
+        run(&["compare", "--bench", "1", "--size", "8", "--threads", "4"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(seq_table, par_table, "--threads changed the compare table");
+}
+
+#[test]
 fn run_accepts_any_registered_method() {
     for method in ["baseline", "online", "kcopy", "replicate", "gomcds-naive"] {
         let (ok, stdout, stderr) = run(&[

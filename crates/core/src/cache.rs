@@ -10,7 +10,7 @@
 //! Because the L1 cost table is separable (see [`crate::cost`]) and the
 //! axis projection is *linear* in the reference counts, the projections of
 //! a window range are just differences of per-window prefix sums. A
-//! [`DatumCostCache`] stores, per datum:
+//! [`DatumCostCache`] can therefore store, per datum:
 //!
 //! ```text
 //! px[w][x] = Σ_{w' < w} Σ_{refs in window w' at column x} count
@@ -22,21 +22,40 @@
 //! cost table of *any* window range `lo..hi` costs
 //! `O(width + height + m)` — independent of how many references the range
 //! holds — via two subtractions per axis slot and the standard two-sweep
-//! `axis_costs` recurrence in [`crate::cost`]. The arithmetic is identical to running
-//! [`crate::cost::cost_table`] on the merged range, so cached and uncached
-//! schedulers produce bit-identical results (property-tested in
-//! `tests/cache_equivalence.rs`).
+//! `axis_costs` recurrence in [`crate::cost`].
+//!
+//! The prefix tables are built **lazily, on the first query that needs
+//! them**. Single-window and whole-execution queries are served by
+//! projecting the raw references directly — exactly one pass over the
+//! refs involved, which is never more work than the prefix build itself —
+//! so single-pass schedulers (SCDS reads one full table per datum, LOMCDS
+//! and GOMCDS read each window once) pay nothing for tables they would
+//! never amortize. Only a *strict multi-window sub-range* query — the
+//! shape Algorithm 3 grouping issues `O(n)` times per datum — triggers the
+//! one-time prefix build, which every later query of any shape then reuses.
+//!
+//! The arithmetic is identical either way: axis weights are sums of `u64`
+//! counts (associative and exact), so raw projection, prefix subtraction,
+//! and [`crate::cost::cost_table`] on the merged range all produce
+//! bit-identical tables (property-tested in `tests/cache_equivalence.rs`).
+//!
+//! Laziness also parallelizes for free: [`DatumCostCache`] guards its
+//! tables with a [`OnceLock`], so when a worker pool partitions data
+//! across threads (see [`crate::context::SchedContext::parallel_pool`]),
+//! each datum's tables are built on the worker that first needs them —
+//! the build runs on the pool without any coordination. [`CostCache::warm`]
+//! forces the same build eagerly across a pool when a caller wants the
+//! cost out of the measured region.
 
 use crate::cost::{argmin_table, AxisScratch};
 use pim_array::grid::{Grid, ProcId};
 use pim_trace::ids::DataId;
 use pim_trace::window::{DataRefString, WindowedTrace};
+use std::sync::OnceLock;
 
-/// Prefix-summed axis projections of one datum's reference string.
+/// The axis-weight prefix sums of one datum, built lazily on first use.
 #[derive(Debug, Clone)]
-pub struct DatumCostCache {
-    grid: Grid,
-    num_windows: usize,
+struct PrefixTables {
     /// `(nw+1) × width` row-major prefix sums of x-projected weights.
     px: Vec<u64>,
     /// `(nw+1) × height` row-major prefix sums of y-projected weights.
@@ -45,35 +64,60 @@ pub struct DatumCostCache {
     vol: Vec<u64>,
 }
 
-impl DatumCostCache {
-    /// Build the cache for one datum in one pass over its references.
-    pub fn build(grid: &Grid, rs: &DataRefString) -> Self {
-        let w = grid.width() as usize;
-        let h = grid.height() as usize;
-        let nw = rs.num_windows();
-        let mut px = vec![0u64; (nw + 1) * w];
-        let mut py = vec![0u64; (nw + 1) * h];
-        let mut vol = vec![0u64; nw + 1];
-        for (wi, refs) in rs.windows().enumerate() {
-            let (prev_x, row_x) = px[wi * w..(wi + 2) * w].split_at_mut(w);
-            row_x.copy_from_slice(prev_x);
-            let (prev_y, row_y) = py[wi * h..(wi + 2) * h].split_at_mut(h);
-            row_y.copy_from_slice(prev_y);
-            vol[wi + 1] = vol[wi];
-            for r in refs.iter() {
-                let p = grid.point_of(r.proc);
-                row_x[p.x as usize] += r.count as u64;
-                row_y[p.y as usize] += r.count as u64;
-                vol[wi + 1] += r.count as u64;
-            }
-        }
+/// Cached axis projections of one datum's reference string: cheap raw
+/// projection for single-window / whole-execution queries, lazily built
+/// prefix sums for arbitrary sub-ranges.
+#[derive(Debug, Clone)]
+pub struct DatumCostCache<'r> {
+    grid: Grid,
+    num_windows: usize,
+    rs: &'r DataRefString,
+    tables: OnceLock<PrefixTables>,
+}
+
+impl<'r> DatumCostCache<'r> {
+    /// Wrap one datum's reference string. `O(1)` — no tables are built
+    /// until a query needs them (see the module docs for which do).
+    pub fn build(grid: &Grid, rs: &'r DataRefString) -> Self {
         DatumCostCache {
             grid: *grid,
-            num_windows: nw,
-            px,
-            py,
-            vol,
+            num_windows: rs.num_windows(),
+            rs,
+            tables: OnceLock::new(),
         }
+    }
+
+    /// The prefix tables, building them on first call (one pass over the
+    /// reference string). Safe and deterministic under concurrent callers:
+    /// the build is pure and [`OnceLock`] publishes exactly one result.
+    fn tables(&self) -> &PrefixTables {
+        self.tables.get_or_init(|| {
+            let w = self.grid.width() as usize;
+            let h = self.grid.height() as usize;
+            let nw = self.num_windows;
+            let mut px = vec![0u64; (nw + 1) * w];
+            let mut py = vec![0u64; (nw + 1) * h];
+            let mut vol = vec![0u64; nw + 1];
+            for (wi, refs) in self.rs.windows().enumerate() {
+                let (prev_x, row_x) = px[wi * w..(wi + 2) * w].split_at_mut(w);
+                row_x.copy_from_slice(prev_x);
+                let (prev_y, row_y) = py[wi * h..(wi + 2) * h].split_at_mut(h);
+                row_y.copy_from_slice(prev_y);
+                vol[wi + 1] = vol[wi];
+                for r in refs.iter() {
+                    let p = self.grid.point_of(r.proc);
+                    row_x[p.x as usize] += r.count as u64;
+                    row_y[p.y as usize] += r.count as u64;
+                    vol[wi + 1] += r.count as u64;
+                }
+            }
+            PrefixTables { px, py, vol }
+        })
+    }
+
+    /// Force the prefix-table build now (used to warm caches on a pool).
+    pub fn ensure_tables(&self) {
+        let _ = self.tables();
     }
 
     /// Number of execution windows the cache covers.
@@ -84,7 +128,18 @@ impl DatumCostCache {
     /// Total reference volume of windows `lo..hi`.
     pub fn range_volume(&self, lo: usize, hi: usize) -> u64 {
         debug_assert!(lo <= hi && hi <= self.num_windows);
-        self.vol[hi] - self.vol[lo]
+        if let Some(t) = self.tables.get() {
+            return t.vol[hi] - t.vol[lo];
+        }
+        match hi - lo {
+            0 => 0,
+            1 => self.rs.window(lo).total_volume(),
+            _ if lo == 0 && hi == self.num_windows => self.rs.total_volume(),
+            _ => {
+                let t = self.tables();
+                t.vol[hi] - t.vol[lo]
+            }
+        }
     }
 
     /// True when no processor references the datum in windows `lo..hi`.
@@ -94,17 +149,48 @@ impl DatumCostCache {
 
     /// Cost table of the merged window range `lo..hi`: writes
     /// `out[p] = cost_at(grid, merged(lo..hi), p)` for every processor in
-    /// `O(width + height + m)`.
+    /// `O(width + height + m)` once tables exist (plus the raw refs of the
+    /// range on the lazy paths — see the module docs).
     pub fn range_table(&self, lo: usize, hi: usize, axes: &mut AxisScratch, out: &mut Vec<u64>) {
         assert!(lo <= hi && hi <= self.num_windows, "bad range {lo}..{hi}");
+        if let Some(t) = self.tables.get() {
+            return self.serve_from_prefix(t, lo, hi, axes, out);
+        }
+        // No tables yet: single windows and the whole execution project the
+        // raw refs directly (one pass, never worse than a prefix build); a
+        // strict multi-window sub-range builds the tables once.
+        if hi - lo == 1 || (lo == 0 && hi == self.num_windows) {
+            axes.reset_weights(&self.grid);
+            for w in lo..hi {
+                for r in self.rs.window(w).iter() {
+                    let p = self.grid.point_of(r.proc);
+                    axes.wx[p.x as usize] += r.count as u64;
+                    axes.wy[p.y as usize] += r.count as u64;
+                }
+            }
+            axes.sweep_into(&self.grid, out);
+        } else {
+            let t = self.tables();
+            self.serve_from_prefix(t, lo, hi, axes, out);
+        }
+    }
+
+    fn serve_from_prefix(
+        &self,
+        t: &PrefixTables,
+        lo: usize,
+        hi: usize,
+        axes: &mut AxisScratch,
+        out: &mut Vec<u64>,
+    ) {
         let w = self.grid.width() as usize;
         let h = self.grid.height() as usize;
         axes.reset_weights(&self.grid);
         for x in 0..w {
-            axes.wx[x] = self.px[hi * w + x] - self.px[lo * w + x];
+            axes.wx[x] = t.px[hi * w + x] - t.px[lo * w + x];
         }
         for y in 0..h {
-            axes.wy[y] = self.py[hi * h + y] - self.py[lo * h + y];
+            axes.wy[y] = t.py[hi * h + y] - t.py[lo * h + y];
         }
         axes.sweep_into(&self.grid, out);
     }
@@ -135,15 +221,17 @@ impl DatumCostCache {
 
 /// Per-trace cache: one [`DatumCostCache`] per datum. Build once, share
 /// across every scheduling method run on the trace (`compare_methods` does
-/// exactly this).
+/// exactly this). Construction is `O(num_data)`; each datum's prefix
+/// tables appear lazily when a scheduler first issues a query needing
+/// them.
 #[derive(Debug, Clone)]
-pub struct CostCache {
-    data: Vec<DatumCostCache>,
+pub struct CostCache<'t> {
+    data: Vec<DatumCostCache<'t>>,
 }
 
-impl CostCache {
-    /// Build caches for every datum of the trace.
-    pub fn build(trace: &WindowedTrace) -> Self {
+impl<'t> CostCache<'t> {
+    /// Wrap every datum of the trace (no per-datum work yet).
+    pub fn build(trace: &'t WindowedTrace) -> Self {
         let grid = trace.grid();
         CostCache {
             data: trace
@@ -154,13 +242,22 @@ impl CostCache {
     }
 
     /// The cache of one datum.
-    pub fn datum(&self, d: DataId) -> &DatumCostCache {
+    pub fn datum(&self, d: DataId) -> &DatumCostCache<'t> {
         &self.data[d.index()]
     }
 
     /// Number of cached data items.
     pub fn num_data(&self) -> usize {
         self.data.len()
+    }
+
+    /// Build every datum's prefix tables now, fanned out over `pool`.
+    /// Scheduling never *requires* this — lazy builds land on whichever
+    /// worker first queries a datum — but warming keeps the build cost out
+    /// of a measured or latency-sensitive region.
+    pub fn warm(&self, pool: pim_par::Pool) {
+        let ids: Vec<usize> = (0..self.data.len()).collect();
+        pim_par::parallel_map_with(pool, &ids, || (), |_, _, &i| self.data[i].ensure_tables());
     }
 }
 
@@ -193,6 +290,47 @@ mod tests {
                 assert_eq!(cached, direct, "range {lo}..{hi}");
             }
         }
+    }
+
+    #[test]
+    fn lazy_raw_and_prefix_paths_agree() {
+        let grid = Grid::new(4, 3);
+        let rs = sample_rs(&grid);
+        // `fresh` serves raw (no multi-window sub-range query yet);
+        // `warmed` serves the same queries from prefix subtraction.
+        let fresh = DatumCostCache::build(&grid, &rs);
+        let warmed = DatumCostCache::build(&grid, &rs);
+        warmed.ensure_tables();
+        let mut axes = AxisScratch::default();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for w in 0..rs.num_windows() {
+            fresh.window_table(w, &mut axes, &mut a);
+            warmed.window_table(w, &mut axes, &mut b);
+            assert_eq!(a, b, "window {w}");
+        }
+        fresh.full_table(&mut axes, &mut a);
+        warmed.full_table(&mut axes, &mut b);
+        assert_eq!(a, b, "full table");
+        assert_eq!(fresh.range_volume(0, 4), warmed.range_volume(0, 4));
+        assert_eq!(fresh.range_volume(2, 3), warmed.range_volume(2, 3));
+    }
+
+    #[test]
+    fn multi_window_subrange_triggers_one_build() {
+        let grid = Grid::new(4, 3);
+        let rs = sample_rs(&grid);
+        let cache = DatumCostCache::build(&grid, &rs);
+        assert!(cache.tables.get().is_none(), "starts lazy");
+        let mut axes = AxisScratch::default();
+        let mut out = Vec::new();
+        cache.window_table(1, &mut axes, &mut out);
+        cache.full_table(&mut axes, &mut out);
+        assert!(
+            cache.tables.get().is_none(),
+            "single-window and full queries stay raw"
+        );
+        cache.range_table(1, 3, &mut axes, &mut out);
+        assert!(cache.tables.get().is_some(), "sub-range builds tables");
     }
 
     #[test]
@@ -234,5 +372,19 @@ mod tests {
         let cache = CostCache::build(&trace);
         assert_eq!(cache.num_data(), 2);
         assert_eq!(cache.datum(DataId(1)).range_volume(0, 1), 7);
+    }
+
+    #[test]
+    fn warm_builds_every_datum() {
+        let grid = Grid::new(4, 3);
+        let trace = WindowedTrace::from_parts(
+            grid,
+            vec![vec![WindowRefs::from_pairs([(grid.proc_xy(1, 1), 2)]); 3]; 4],
+        );
+        let cache = CostCache::build(&trace);
+        cache.warm(pim_par::Pool::with_threads(2));
+        for d in 0..4 {
+            assert!(cache.datum(DataId(d)).tables.get().is_some());
+        }
     }
 }

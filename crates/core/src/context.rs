@@ -11,12 +11,17 @@
 //! * **uncached**: no cache is built and schedulers fall back to the
 //!   pre-cache reference implementations (the bit-identity oracles);
 //! * **parallel**: a [`Pool`] is attached; schedulers that support
-//!   per-datum parallelism use it when the policy is
-//!   [`MemoryPolicy::Unbounded`] (capacity resolution is order-dependent
-//!   and stays sequential so results remain deterministic).
+//!   per-datum parallelism use it under *every* memory policy. Without a
+//!   capacity constraint the whole schedule is computed in parallel (the
+//!   per-datum subproblems are independent). Under a bounded policy the
+//!   schedulers run a deterministic **two-phase** scheme: phase 1 computes
+//!   the pure, order-independent per-datum quantities (cost tables, center
+//!   paths, groupings) in parallel; phase 2 replays capacity assignment
+//!   sequentially in datum order, exactly as the sequential run would —
+//!   so the output is bit-identical regardless of thread count.
 //!
-//! All three modes are property-tested bit-identical for every registered
-//! scheduler in `tests/cache_equivalence.rs`.
+//! All modes are property-tested bit-identical for every registered
+//! scheduler × every memory policy in `tests/cache_equivalence.rs`.
 
 use crate::cache::CostCache;
 use crate::pipeline::MemoryPolicy;
@@ -28,25 +33,32 @@ use pim_trace::window::WindowedTrace;
 
 /// Execution context owned by one scheduling run and shared across any
 /// number of schedulers (the cache and workspace amortize across calls).
+/// The lifetime ties the context to the trace whose reference strings the
+/// (lazy) [`CostCache`] serves from.
 #[derive(Debug)]
-pub struct SchedContext {
+pub struct SchedContext<'t> {
     grid: Grid,
     policy: MemoryPolicy,
     spec: MemorySpec,
-    cache: Option<CostCache>,
+    cache: Option<CostCache<'t>>,
     ws: Workspace,
     pool: Option<Pool>,
 }
 
-impl SchedContext {
-    /// Cached context: builds the per-trace [`CostCache`] up front.
-    pub fn new(trace: &WindowedTrace, policy: MemoryPolicy) -> Self {
+impl<'t> SchedContext<'t> {
+    /// Cached context: wraps the trace in a (lazy) per-trace [`CostCache`].
+    pub fn new(trace: &'t WindowedTrace, policy: MemoryPolicy) -> Self {
         SchedContext::with_cache(trace, policy, CostCache::build(trace))
     }
 
-    /// Cached context around a prebuilt cost cache (shares the build cost
-    /// with other users of the same trace).
-    pub fn with_cache(trace: &WindowedTrace, policy: MemoryPolicy, cache: CostCache) -> Self {
+    /// Cached context around a prebuilt cost cache (shares the cache — and
+    /// any prefix tables it has already built — with other users of the
+    /// same trace).
+    pub fn with_cache(
+        trace: &'t WindowedTrace,
+        policy: MemoryPolicy,
+        cache: CostCache<'t>,
+    ) -> Self {
         SchedContext {
             grid: trace.grid(),
             policy,
@@ -59,7 +71,7 @@ impl SchedContext {
 
     /// Uncached reference context: schedulers re-walk raw reference strings
     /// exactly as the seed implementation did.
-    pub fn uncached(trace: &WindowedTrace, policy: MemoryPolicy) -> Self {
+    pub fn uncached(trace: &'t WindowedTrace, policy: MemoryPolicy) -> Self {
         SchedContext {
             grid: trace.grid(),
             policy,
@@ -92,7 +104,7 @@ impl SchedContext {
     }
 
     /// The shared cost cache, when this is a cached context.
-    pub fn cache(&self) -> Option<&CostCache> {
+    pub fn cache(&self) -> Option<&CostCache<'t>> {
         self.cache.as_ref()
     }
 
@@ -102,20 +114,23 @@ impl SchedContext {
     }
 
     /// The pool to use for per-datum parallel scheduling, or `None` when
-    /// the run must stay sequential: parallelism applies only when a pool
-    /// is attached, the policy is unconstrained (capacity resolution is
-    /// order-dependent), and the cache is present (the parallel paths read
-    /// from it).
+    /// the run must stay sequential: parallelism applies whenever a pool is
+    /// attached and the cache is present (the parallel paths read from it).
+    /// Bounded policies parallelize too — schedulers split into a parallel
+    /// pure phase and a sequential capacity-replay phase (see the module
+    /// docs), so determinism never depends on thread count. Uncached runs
+    /// stay sequential: they exist to reproduce the seed implementations
+    /// verbatim.
     pub fn parallel_pool(&self) -> Option<Pool> {
-        match (self.pool, self.policy, &self.cache) {
-            (Some(pool), MemoryPolicy::Unbounded, Some(_)) => Some(pool),
+        match (self.pool, &self.cache) {
+            (Some(pool), Some(_)) => Some(pool),
             _ => None,
         }
     }
 
     /// Split-borrow the cache (if cached) and the workspace — the shape
     /// every `*_cached` scheduler entry point wants.
-    pub fn cache_and_ws(&mut self) -> (Option<&CostCache>, &mut Workspace) {
+    pub fn cache_and_ws(&mut self) -> (Option<&CostCache<'t>>, &mut Workspace) {
         (self.cache.as_ref(), &mut self.ws)
     }
 
@@ -160,13 +175,15 @@ mod tests {
     }
 
     #[test]
-    fn parallel_pool_requires_unbounded_policy_and_cache() {
+    fn parallel_pool_requires_pool_and_cache() {
         let t = trace();
         let pool = Pool::serial();
         let unbounded = SchedContext::new(&t, MemoryPolicy::Unbounded).with_pool(pool);
         assert!(unbounded.parallel_pool().is_some());
+        // Bounded policies parallelize via the two-phase scheme.
         let bounded = SchedContext::new(&t, MemoryPolicy::Capacity(2)).with_pool(pool);
-        assert!(bounded.parallel_pool().is_none());
+        assert!(bounded.parallel_pool().is_some());
+        // Uncached runs reproduce the seed implementations and stay serial.
         let uncached = SchedContext::uncached(&t, MemoryPolicy::Unbounded).with_pool(pool);
         assert!(uncached.parallel_pool().is_none());
         let no_pool = SchedContext::new(&t, MemoryPolicy::Unbounded);

@@ -13,13 +13,22 @@
 //! cost — so the wins come from longer runs and from interaction with
 //! movement cost; see [`crate::theory`].
 //!
+//! The greedy's extension decisions are evaluated **incrementally**: both
+//! candidate partitions at a step share their confirmed prefix and their
+//! singleton suffix, so [`greedy_grouping_cached`] precomputes the suffix
+//! once, carries the prefix forward, and pays one cache range query per
+//! step — `O(n)` group evaluations total instead of the literal
+//! re-costing's `O(n²)` (kept as [`greedy_grouping_oracle`]).
+//!
 //! Besides the greedy (the paper's algorithm), [`optimal_grouping`] solves
-//! the same problem exactly by dynamic programming over group boundaries in
-//! `O(n³)` evaluated groups, used by ablation E to measure the greedy's
-//! optimality gap.
+//! the same problem exactly by dynamic programming over group boundaries —
+//! `O(t²)` transitions via a per-boundary distance transform
+//! ([`optimal_grouping_cached`]; the literal `O(t³)` scan survives as
+//! [`optimal_grouping_oracle`]) — used by ablation E to measure the
+//! greedy's optimality gap.
 
 use crate::cache::{CostCache, DatumCostCache};
-use crate::cost::{cost_at, optimal_center};
+use crate::cost::{cost_at, optimal_center, INF};
 use crate::gomcds::{gomcds_path, gomcds_path_ranges, Solver};
 use crate::schedule::Schedule;
 use crate::workspace::Workspace;
@@ -181,6 +190,22 @@ pub fn cost_of_grouping_cached(
 /// assert_eq!(groups, vec![0..2, 2..3]); // merges the twins, keeps the hotspot apart
 /// ```
 pub fn greedy_grouping(grid: &Grid, rs: &DataRefString, method: GroupMethod) -> Vec<Range<usize>> {
+    let cache = DatumCostCache::build(grid, rs);
+    let mut ws = Workspace::new();
+    greedy_grouping_cached(grid, &cache, method, &mut ws)
+}
+
+/// The literal Algorithm 3 loop: re-assemble and fully re-cost both
+/// candidate partitions at every step — `O(n)` group evaluations per
+/// extension decision, `O(n²)` overall. This is the frozen reference the
+/// incremental [`greedy_grouping_cached`] is property-tested bit-identical
+/// against (`tests/grouping_props.rs`), and what the uncached scheduling
+/// path runs.
+pub fn greedy_grouping_oracle(
+    grid: &Grid,
+    rs: &DataRefString,
+    method: GroupMethod,
+) -> Vec<Range<usize>> {
     let n = rs.num_windows();
     let mut confirmed: Vec<Range<usize>> = Vec::new();
     let mut start = 0usize;
@@ -201,45 +226,221 @@ pub fn greedy_grouping(grid: &Grid, rs: &DataRefString, method: GroupMethod) -> 
     confirmed
 }
 
-/// [`greedy_grouping`] with every candidate grouping costed through the
-/// datum's cost cache. Identical output; the `O(n)` cost evaluations per
-/// extension step stop depending on reference counts.
+/// [`greedy_grouping`] with each extension decision evaluated
+/// incrementally from the datum's cost cache — `O(1)` group evaluations
+/// (one cache range query) per step instead of the oracle's `O(n)` full
+/// re-costings, and no per-step partition `Vec`s.
 ///
-/// One further exact saving: whichever grouping wins step `j` *is* (as a
-/// partition of windows) the "current" grouping of step `j + 1` — keeping
-/// the extension turns it into the new current group, cutting appends the
-/// group and the next singleton takes over — so its cost is carried
-/// forward and only the extension is evaluated per step.
+/// Both candidate partitions at step `j` share all three parts of their
+/// cost: the *confirmed prefix* (carried forward as a running sum — under
+/// [`GroupMethod::GomcdsCenters`], as the relaxed DP row after the last
+/// confirmed group), the *current group* (carried from the previous step;
+/// the extension needs exactly one new range query), and the *singleton
+/// tail* `j..n`, precomputed once as a backward suffix array (`tail[j]` for
+/// local centers, a suffix DP row per window for GOMCDS centers). Summing
+/// the three parts reproduces the oracle's full-partition cost exactly —
+/// same `u64` arithmetic, no approximation — so every `≤` comparison, and
+/// therefore the grouping, is bit-identical to [`greedy_grouping_oracle`].
 pub fn greedy_grouping_cached(
     grid: &Grid,
     cache: &DatumCostCache,
     method: GroupMethod,
     ws: &mut Workspace,
 ) -> Vec<Range<usize>> {
+    match method {
+        GroupMethod::LocalCenters => greedy_local_incremental(grid, cache, ws),
+        GroupMethod::GomcdsCenters => greedy_gomcds_incremental(grid, cache, ws),
+    }
+}
+
+/// Movement link from the last confirmed non-empty center (if any) into a
+/// group centered at `c`.
+fn link(grid: &Grid, last: Option<ProcId>, c: ProcId) -> u64 {
+    last.map_or(0, |l| grid.dist(l, c))
+}
+
+/// [`GroupMethod::LocalCenters`] cost of "group (center `c`, refcost `o`,
+/// possibly empty) followed by singleton windows `t..n`", given the last
+/// confirmed non-empty center. Empty windows and groups contribute nothing
+/// under the carry-forward center rule, so the cost decomposes into
+/// non-empty groups' optima plus links between consecutive non-empty
+/// centers — which is what `tail`/`next_ref`/`win_centers` precompute for
+/// the singleton suffix.
+fn local_group_and_tail(
+    grid: &Grid,
+    ws: &Workspace,
+    last: Option<ProcId>,
+    nonempty: bool,
+    c: ProcId,
+    o: u64,
+    t: usize,
+) -> u64 {
+    let n = ws.tail.len() - 1;
+    let nn = ws.next_ref[t]; // first referenced singleton in the tail
+    if nonempty {
+        let bridge = if nn < n {
+            grid.dist(c, ws.win_centers[nn])
+        } else {
+            0
+        };
+        link(grid, last, c) + o + bridge + ws.tail[t]
+    } else {
+        let bridge = match (last, nn < n) {
+            (Some(l), true) => grid.dist(l, ws.win_centers[nn]),
+            _ => 0,
+        };
+        bridge + ws.tail[t]
+    }
+}
+
+fn greedy_local_incremental(
+    grid: &Grid,
+    cache: &DatumCostCache,
+    ws: &mut Workspace,
+) -> Vec<Range<usize>> {
     let n = cache.num_windows();
+    // Per-window singleton centers/costs and the referenced-window index.
+    ws.win_centers.clear();
+    ws.win_centers.resize(n, ProcId(0));
+    ws.win_costs.clear();
+    ws.win_costs.resize(n, 0);
+    ws.next_ref.clear();
+    ws.next_ref.resize(n + 1, n);
+    for w in (0..n).rev() {
+        if cache.range_is_empty(w, w + 1) {
+            ws.next_ref[w] = ws.next_ref[w + 1];
+        } else {
+            let (c, cost) = cache.optimal_center_range(w, w + 1, &mut ws.axes, &mut ws.table);
+            ws.win_centers[w] = c;
+            ws.win_costs[w] = cost;
+            ws.next_ref[w] = w;
+        }
+    }
+    // tail[j] = cost of windows j..n as singleton groups.
+    ws.tail.clear();
+    ws.tail.resize(n + 1, 0);
+    for j in (0..n).rev() {
+        ws.tail[j] = if ws.next_ref[j] != j {
+            ws.tail[j + 1]
+        } else {
+            let nn = ws.next_ref[j + 1];
+            let hop = if nn < n {
+                grid.dist(ws.win_centers[j], ws.win_centers[nn])
+            } else {
+                0
+            };
+            ws.win_costs[j] + hop + ws.tail[j + 1]
+        };
+    }
+
     let mut confirmed: Vec<Range<usize>> = Vec::new();
     let mut start = 0usize;
-    let mut current_cost: Option<u64> = None;
+    let mut prefix_cost = 0u64; // confirmed groups incl. links between them
+    let mut last: Option<ProcId> = None; // last confirmed non-empty center
+    let mut cur_nonempty = ws.next_ref[0] == 0;
+    let mut cur_c = ws.win_centers.first().copied().unwrap_or(ProcId(0));
+    let mut cur_o = ws.win_costs.first().copied().unwrap_or(0);
     for j in 1..n {
-        let cur_cost = current_cost.unwrap_or_else(|| {
-            let current = assemble(&confirmed, start..j, j, n);
-            cost_of_grouping_cached(grid, cache, &current, method, ws)
-        });
-        let extended = assemble(&confirmed, start..j + 1, j + 1, n);
-        let ext_cost = cost_of_grouping_cached(grid, cache, &extended, method, ws);
-        if ext_cost <= cur_cost {
-            current_cost = Some(ext_cost);
+        let cur_total =
+            prefix_cost + local_group_and_tail(grid, ws, last, cur_nonempty, cur_c, cur_o, j);
+        let (ext_nonempty, ext_c, ext_o) = if cache.range_is_empty(start, j + 1) {
+            (false, ProcId(0), 0)
+        } else {
+            let (c, o) = cache.optimal_center_range(start, j + 1, &mut ws.axes, &mut ws.table);
+            (true, c, o)
+        };
+        let ext_total =
+            prefix_cost + local_group_and_tail(grid, ws, last, ext_nonempty, ext_c, ext_o, j + 1);
+        if ext_total <= cur_total {
+            cur_nonempty = ext_nonempty;
+            cur_c = ext_c;
+            cur_o = ext_o;
         } else {
             confirmed.push(start..j);
+            if cur_nonempty {
+                prefix_cost += link(grid, last, cur_c) + cur_o;
+                last = Some(cur_c);
+            }
             start = j;
-            current_cost = Some(cur_cost);
+            cur_nonempty = ws.next_ref[j] == j;
+            cur_c = ws.win_centers[j];
+            cur_o = ws.win_costs[j];
         }
     }
     confirmed.push(start..n);
     confirmed
 }
 
-/// `confirmed ++ [current] ++ singletons rest..n`.
+/// `min_k (fwd[k] + suffix[k])` — joining the forward DP frontier to the
+/// precomputed suffix DP gives the exact full-partition GOMCDS cost.
+fn join_min(fwd: &[u64], suffix: &[u64]) -> u64 {
+    fwd.iter()
+        .zip(suffix)
+        .map(|(&a, &b)| a + b)
+        .min()
+        .expect("non-empty grid")
+}
+
+fn greedy_gomcds_incremental(
+    grid: &Grid,
+    cache: &DatumCostCache,
+    ws: &mut Workspace,
+) -> Vec<Range<usize>> {
+    let n = cache.num_windows();
+    let m = grid.num_procs();
+    // Backward suffix DP over singleton windows: suffix_dp[j][k] = cheapest
+    // way to serve windows j..n given the datum sits at k entering window
+    // j, i.e. relax(node_j + suffix_{j+1}) — the mirror image of the
+    // forward layered DP in crate::gomcds (the L1 metric is symmetric).
+    ws.suffix_dp.clear();
+    ws.suffix_dp.resize((n + 1) * m, 0);
+    for j in (0..n).rev() {
+        cache.window_table(j, &mut ws.axes, &mut ws.table);
+        ws.fwd_ext.clear();
+        ws.fwd_ext
+            .extend((0..m).map(|k| ws.table[k] + ws.suffix_dp[(j + 1) * m + k]));
+        crate::dt::l1_relax(grid, &ws.fwd_ext, &mut ws.relaxed);
+        ws.suffix_dp[j * m..(j + 1) * m].copy_from_slice(&ws.relaxed);
+    }
+
+    // Forward frontier: fwd = DP row of the current group (node costs of
+    // start..j, plus the relaxed row after the confirmed groups once any
+    // exist). Splitting the layered DP at the current group's layer —
+    // min_k (fwd[k] + suffix[j][k]) — reproduces the full shortest-path
+    // cost of "confirmed ++ current ++ singletons" exactly.
+    let mut confirmed: Vec<Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    let mut have_prefix = false;
+    cache.range_table(0, 1, &mut ws.axes, &mut ws.fwd);
+    for j in 1..n {
+        let cur_total = join_min(&ws.fwd, &ws.suffix_dp[j * m..(j + 1) * m]);
+        cache.range_table(start, j + 1, &mut ws.axes, &mut ws.table);
+        ws.fwd_ext.clear();
+        if have_prefix {
+            ws.fwd_ext
+                .extend((0..m).map(|k| ws.table[k] + ws.relaxed_prefix[k]));
+        } else {
+            ws.fwd_ext.extend_from_slice(&ws.table);
+        }
+        let ext_total = join_min(&ws.fwd_ext, &ws.suffix_dp[(j + 1) * m..(j + 2) * m]);
+        if ext_total <= cur_total {
+            core::mem::swap(&mut ws.fwd, &mut ws.fwd_ext);
+        } else {
+            confirmed.push(start..j);
+            crate::dt::l1_relax(grid, &ws.fwd, &mut ws.relaxed_prefix);
+            have_prefix = true;
+            start = j;
+            cache.window_table(j, &mut ws.axes, &mut ws.table);
+            ws.fwd.clear();
+            ws.fwd
+                .extend((0..m).map(|k| ws.table[k] + ws.relaxed_prefix[k]));
+        }
+    }
+    confirmed.push(start..n);
+    confirmed
+}
+
+/// `confirmed ++ [current] ++ singletons rest..n` (oracle-path helper).
 fn assemble(
     confirmed: &[Range<usize>],
     current: Range<usize>,
@@ -260,9 +461,116 @@ fn assemble(
 /// group's merged reference string, and under the carry-forward center rule
 /// it never induces movement on its own. The cost of a grouping therefore
 /// depends only on how the *referenced* windows are partitioned into
-/// consecutive runs. The DP runs over referenced windows (`t` of them) in
-/// `O(t³)`; empty windows are attached to the preceding group afterwards.
+/// consecutive runs. The DP runs over referenced windows (`t` of them);
+/// empty windows are attached to the preceding group afterwards.
 pub fn optimal_grouping(grid: &Grid, rs: &DataRefString) -> (Vec<Range<usize>>, u64) {
+    let cache = DatumCostCache::build(grid, rs);
+    let mut ws = Workspace::new();
+    optimal_grouping_cached(grid, &cache, &mut ws)
+}
+
+/// [`optimal_grouping`] in `O(t²)` DP transitions instead of the oracle's
+/// `O(t³)` triple loop.
+///
+/// The oracle's inner minimum `min_k dp[k][a−1] + dist(centers[k][a−1], ·)`
+/// depends on `k` only through the *center* of run `k..=a−1` — so for each
+/// boundary `a` all `k` are projected onto the grid once
+/// (`g_a[p] = min dp[k][a−1]` over runs centered at `p`) and one L1
+/// distance transform of `g_a` answers the minimum for *every* `(a, b)`
+/// cell at once: `dp[a][b] = costs[a][b] + relax(g_a)[centers[a][b]]`.
+/// That is `O(t·m)` relax work plus `O(t²)` fills; group costs come from
+/// the cache's prefix-served range queries instead of incremental
+/// re-merging. The relax computes the same exact `u64` minima the scan
+/// did, and parents are re-derived by the oracle's own lowest-`k` rule, so
+/// grouping and cost are bit-identical to [`optimal_grouping_oracle`]
+/// (property-tested in `tests/grouping_props.rs`).
+pub fn optimal_grouping_cached(
+    grid: &Grid,
+    cache: &DatumCostCache,
+    ws: &mut Workspace,
+) -> (Vec<Range<usize>>, u64) {
+    let n = cache.num_windows();
+    let refd: Vec<usize> = (0..n)
+        .filter(|&w| !cache.range_is_empty(w, w + 1))
+        .collect();
+    let t = refd.len();
+    if t == 0 {
+        #[allow(clippy::single_range_in_vec_init)] // one group covering 0..n is the intent
+        return (vec![0..n], 0);
+    }
+    let m = grid.num_procs();
+
+    // Merged cost and center for every run refd[a]..=refd[b] (flattened
+    // a·t+b). Interior empty windows contribute nothing to the merge, so
+    // querying refd[a]..refd[b]+1 is exact.
+    let mut centers = vec![ProcId(0); t * t];
+    let mut costs = vec![0u64; t * t];
+    for a in 0..t {
+        for b in a..t {
+            let (c, cost) =
+                cache.optimal_center_range(refd[a], refd[b] + 1, &mut ws.axes, &mut ws.table);
+            centers[a * t + b] = c;
+            costs[a * t + b] = cost;
+        }
+    }
+
+    // dp[a][b]: best cost covering referenced windows 0..=b, last run a..=b.
+    let mut dp = vec![0u64; t * t];
+    dp[..t].copy_from_slice(&costs[..t]); // a = 0: no predecessor
+    let mut proj = vec![INF; m];
+    let mut relaxed = Vec::new();
+    for a in 1..t {
+        // Project every predecessor run k..=a−1 onto its center.
+        proj.iter_mut().for_each(|v| *v = INF);
+        for k in 0..a {
+            let p = centers[k * t + a - 1].index();
+            let v = dp[k * t + a - 1];
+            if v < proj[p] {
+                proj[p] = v;
+            }
+        }
+        crate::dt::l1_relax(grid, &proj, &mut relaxed);
+        for b in a..t {
+            dp[a * t + b] = costs[a * t + b] + relaxed[centers[a * t + b].index()];
+        }
+    }
+
+    // Lowest-index argmin over the last column, as the oracle scans.
+    let (mut a, mut best) = (0usize, dp[t - 1]);
+    for cand in 1..t {
+        if dp[cand * t + t - 1] < best {
+            best = dp[cand * t + t - 1];
+            a = cand;
+        }
+    }
+
+    // Reconstruct runs along the optimal path only: the oracle's parent of
+    // cell (a, b) is the lowest k whose transition achieves dp[a][b], i.e.
+    // the first k with dp[k][a−1] + dist == dp[a][b] − costs[a][b].
+    let mut runs: Vec<(usize, usize)> = Vec::new(); // inclusive (a, b)
+    let mut b = t - 1;
+    loop {
+        runs.push((a, b));
+        if a == 0 {
+            break;
+        }
+        let need = dp[a * t + b] - costs[a * t + b];
+        let cab = centers[a * t + b];
+        let k = (0..a)
+            .find(|&k| dp[k * t + a - 1] + grid.dist(centers[k * t + a - 1], cab) == need)
+            .expect("dp backtrack must find a predecessor");
+        b = a - 1;
+        a = k;
+    }
+    runs.reverse();
+
+    (attach_empty_windows(&runs, &refd, n), best)
+}
+
+/// The original `O(t³)` boundary DP with incremental reference-list
+/// merging — the frozen reference [`optimal_grouping_cached`] is
+/// property-tested bit-identical against.
+pub fn optimal_grouping_oracle(grid: &Grid, rs: &DataRefString) -> (Vec<Range<usize>>, u64) {
     let n = rs.num_windows();
     let refd: Vec<usize> = (0..n).filter(|&w| !rs.window(w).is_empty()).collect();
     let t = refd.len();
@@ -335,13 +643,16 @@ pub fn optimal_grouping(grid: &Grid, rs: &DataRefString) -> (Vec<Range<usize>>, 
     }
     runs.reverse();
 
-    // Map back to full-window ranges: each group starts at the previous
-    // group's end; empty windows attach to the preceding group (leading
-    // empties to the first group), adding no cost.
+    (attach_empty_windows(&runs, &refd, n), best)
+}
+
+/// Map runs in referenced-index space back to full-window ranges: each
+/// group starts at the previous group's end; empty windows attach to the
+/// preceding group (leading empties to the first group), adding no cost.
+fn attach_empty_windows(runs: &[(usize, usize)], refd: &[usize], n: usize) -> Vec<Range<usize>> {
     let mut groups = Vec::with_capacity(runs.len());
     let mut start = 0usize;
-    for (i, &(ra, rb)) in runs.iter().enumerate() {
-        let _ = ra;
+    for (i, &(_, rb)) in runs.iter().enumerate() {
         let end = if i + 1 < runs.len() {
             refd[runs[i + 1].0]
         } else {
@@ -351,7 +662,7 @@ pub fn optimal_grouping(grid: &Grid, rs: &DataRefString) -> (Vec<Range<usize>>, 
         groups.push(start..end);
         start = end;
     }
-    (groups, best)
+    groups
 }
 
 /// Schedule the whole trace with greedy grouping, deciding and placing with
@@ -400,15 +711,54 @@ pub fn grouped_schedule_with_cached(
 ) -> Schedule {
     let grid = trace.grid();
     let nd = trace.num_data();
+    let groupings: Vec<Vec<Range<usize>>> = (0..nd)
+        .map(|d| greedy_grouping_cached(&grid, cache.datum(DataId(d as u32)), decide, ws))
+        .collect();
+    grouped_place_cached(trace, spec, place, cache, ws, &groupings)
+}
+
+/// Two-phase parallel grouped scheduling, bit-identical to the sequential
+/// [`grouped_schedule_with_cached`]: phase 1 runs the per-datum greedy
+/// grouping decisions — pure functions of one datum's reference string,
+/// and the dominant cost of the pipeline — across the pool; phase 2 is the
+/// unchanged sequential placement replay (shared verbatim with the
+/// sequential path), so capacity resolution sees the same state in the
+/// same order regardless of thread count.
+pub fn grouped_schedule_parallel(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    decide: GroupMethod,
+    place: GroupMethod,
+    cache: &CostCache<'_>,
+    pool: pim_par::Pool,
+    ws: &mut Workspace,
+) -> Schedule {
+    let grid = trace.grid();
+    let ids: Vec<_> = trace.iter_data().map(|(d, _)| d).collect();
+    let groupings = pim_par::parallel_map_with(pool, &ids, Workspace::new, |w, _, &d| {
+        greedy_grouping_cached(&grid, cache.datum(d), decide, w)
+    });
+    grouped_place_cached(trace, spec, place, cache, ws, &groupings)
+}
+
+/// The placement phase shared by the sequential and two-phase parallel
+/// grouped schedulers: resolve capacity for precomputed per-datum
+/// groupings, sequentially in the fixed datum/window order.
+fn grouped_place_cached(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    place: GroupMethod,
+    cache: &CostCache,
+    ws: &mut Workspace,
+    groupings: &[Vec<Range<usize>>],
+) -> Schedule {
+    let grid = trace.grid();
+    let nd = trace.num_data();
     let nw = trace.num_windows();
     assert!(
         spec.feasible(&grid, nd),
         "memory spec cannot hold {nd} data items on {grid}"
     );
-
-    let groupings: Vec<Vec<Range<usize>>> = (0..nd)
-        .map(|d| greedy_grouping_cached(&grid, cache.datum(DataId(d as u32)), decide, ws))
-        .collect();
     let mut mems: Vec<MemoryMap> = (0..nw).map(|_| MemoryMap::new(&grid, spec)).collect();
     let mut centers = vec![vec![ProcId(0); nw]; nd];
 
@@ -567,7 +917,7 @@ pub fn grouped_schedule_with_uncached(
     );
 
     let groupings: Vec<Vec<Range<usize>>> = (0..nd)
-        .map(|d| greedy_grouping(&grid, trace.refs(DataId(d as u32)), decide))
+        .map(|d| greedy_grouping_oracle(&grid, trace.refs(DataId(d as u32)), decide))
         .collect();
     let mut mems: Vec<MemoryMap> = (0..nw).map(|_| MemoryMap::new(&grid, spec)).collect();
     let mut centers = vec![vec![ProcId(0); nw]; nd];

@@ -97,14 +97,68 @@ pub fn lomcds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
     lomcds_schedule_cached(trace, spec, &cache, &mut ws)
 }
 
-/// [`lomcds_schedule`] served from a shared per-trace cost cache: every
-/// per-window cost table (center choice and capacity fallback alike) comes
-/// from prefix sums instead of re-walking the window's reference list.
+/// [`lomcds_schedule`] served from a shared per-trace cost cache. Each
+/// window is queried exactly once here, so the cache serves the tables by
+/// direct single-window projection and never builds prefix tables.
+///
+/// The capacity loop only ever consults the unconstrained center sequence
+/// at window 0 (later windows anchor on the *actual* previous center), and
+/// `desired[0]` is by the gap-resolution rule the first referenced
+/// window's local center — so only that first anchor is computed per
+/// datum, not the full sequence the pre-cache path derives.
 pub fn lomcds_schedule_cached(
     trace: &WindowedTrace,
     spec: MemorySpec,
     cache: &CostCache,
     ws: &mut Workspace,
+) -> Schedule {
+    let anchors: Vec<ProcId> = (0..trace.num_data())
+        .map(|d| first_anchor(cache.datum(DataId(d as u32)), ws))
+        .collect();
+    lomcds_assign(trace, spec, cache, ws, &anchors)
+}
+
+/// Two-phase parallel LOMCDS, bit-identical to the sequential
+/// [`lomcds_schedule_cached`]: phase 1 computes every datum's
+/// first anchor in parallel (pure); phase 2 is the unchanged
+/// window-major sequential capacity replay.
+pub fn lomcds_schedule_parallel(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    cache: &CostCache<'_>,
+    pool: pim_par::Pool,
+    ws: &mut Workspace,
+) -> Schedule {
+    let ids: Vec<_> = trace.iter_data().map(|(d, _)| d).collect();
+    let anchors = pim_par::parallel_map_with(pool, &ids, Workspace::new, |w, _, &d| {
+        first_anchor(cache.datum(d), w)
+    });
+    lomcds_assign(trace, spec, cache, ws, &anchors)
+}
+
+/// The anchor a datum uses at window 0: the local optimal center of its
+/// first referenced window (`P0` when it is never referenced) — exactly
+/// `lomcds_centers_unconstrained[0]`, since gap resolution backfills
+/// leading empties with the first known center.
+fn first_anchor(cache: &DatumCostCache, ws: &mut Workspace) -> ProcId {
+    for w in 0..cache.num_windows() {
+        if !cache.range_is_empty(w, w + 1) {
+            return cache
+                .optimal_center_range(w, w + 1, &mut ws.axes, &mut ws.table)
+                .0;
+        }
+    }
+    ProcId(0)
+}
+
+/// Window-major capacity assignment shared by the sequential and two-phase
+/// parallel cached paths.
+fn lomcds_assign(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    cache: &CostCache,
+    ws: &mut Workspace,
+    anchors: &[ProcId],
 ) -> Schedule {
     let grid = trace.grid();
     let nd = trace.num_data();
@@ -114,19 +168,13 @@ pub fn lomcds_schedule_cached(
         "memory spec cannot hold {nd} data items on {grid}"
     );
 
-    // Unconstrained desired centers (used as the anchor for leading empty
-    // windows; later empty windows anchor on the actual previous center).
-    let desired: Vec<Vec<ProcId>> = (0..nd)
-        .map(|d| lomcds_centers_unconstrained_cached(cache.datum(DataId(d as u32)), ws))
-        .collect();
-
     let mut centers = vec![vec![ProcId(0); nw]; nd];
     for w in 0..nw {
         let mut mem = MemoryMap::new(&grid, spec);
         for d in 0..nd {
             let dc = cache.datum(DataId(d as u32));
             let anchor = if w == 0 {
-                desired[d][0]
+                anchors[d]
             } else {
                 centers[d][w - 1]
             };

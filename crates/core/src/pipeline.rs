@@ -148,7 +148,7 @@ pub struct Run<'t> {
     policy: MemoryPolicy,
     cached: bool,
     pool: Option<Pool>,
-    ctx: Option<SchedContext>,
+    ctx: Option<SchedContext<'t>>,
 }
 
 impl<'t> Run<'t> {
@@ -179,10 +179,12 @@ impl<'t> Run<'t> {
         self
     }
 
-    /// Attach a worker pool for per-datum parallelism. Takes effect when
-    /// the policy is unconstrained and the run is cached (see
-    /// [`SchedContext::parallel_pool`]); otherwise the run falls back to
-    /// sequential execution with identical output.
+    /// Attach a worker pool for per-datum parallelism. Takes effect for
+    /// cached runs under any memory policy (see
+    /// [`SchedContext::parallel_pool`]): unconstrained runs parallelize
+    /// outright, bounded runs use the deterministic two-phase scheme.
+    /// Output is bit-identical to the sequential run either way. Uncached
+    /// runs ignore the pool (they reproduce the seed implementations).
     pub fn parallel(mut self, pool: Pool) -> Self {
         self.pool = Some(pool);
         self.ctx = None;
@@ -190,7 +192,7 @@ impl<'t> Run<'t> {
     }
 
     /// The context this run drives schedulers with (built on first use).
-    pub fn context(&mut self) -> &mut SchedContext {
+    pub fn context(&mut self) -> &mut SchedContext<'t> {
         if self.ctx.is_none() {
             let base = if self.cached {
                 SchedContext::new(self.trace, self.policy)
@@ -240,11 +242,11 @@ pub fn schedule(method: Method, trace: &WindowedTrace, policy: MemoryPolicy) -> 
 /// Compatibility shim — a [`Run`] owns and amortizes the cache/workspace
 /// itself, so new code passes neither. This wrapper clones the caller's
 /// cache view (cheap relative to a build) and borrows their warm buffers.
-pub fn schedule_cached(
+pub fn schedule_cached<'t>(
     method: Method,
-    trace: &WindowedTrace,
+    trace: &'t WindowedTrace,
     policy: MemoryPolicy,
-    cache: &CostCache,
+    cache: &CostCache<'t>,
     ws: &mut Workspace,
 ) -> Schedule {
     let mut ctx = SchedContext::with_cache(trace, policy, cache.clone());
@@ -266,14 +268,16 @@ pub fn schedule_uncached(method: Method, trace: &WindowedTrace, policy: MemoryPo
         .run_method(method)
 }
 
-/// Run one scheduling method with per-datum parallelism. Only meaningful
-/// without a capacity constraint; results are identical to
-/// `schedule(method, trace, MemoryPolicy::Unbounded)`.
+/// Run one scheduling method with per-datum parallelism; results are
+/// identical to `schedule(method, trace, MemoryPolicy::Unbounded)`. For a
+/// bounded policy, use `Run::new(trace).policy(policy).parallel(pool)` —
+/// the two-phase scheme keeps that bit-identical to sequential too.
 ///
-/// The trace-level [`CostCache`] is built once up front (its per-datum
-/// prefix sums are read-only and shared by every worker); each persistent
-/// pool worker reuses one [`Workspace`] across all the data it claims, so
-/// the parallel region allocates nothing but the output rows.
+/// The trace-level [`CostCache`] is shared read-only by every worker (each
+/// datum's prefix tables build lazily on whichever worker first needs
+/// them); each persistent pool worker reuses one [`Workspace`] across all
+/// the data it claims, so the parallel region allocates nothing but the
+/// output rows.
 ///
 /// Compatibility shim — prefer `Run::new(trace).parallel(pool)`.
 pub fn schedule_parallel(method: Method, trace: &WindowedTrace, pool: Pool) -> Schedule {

@@ -68,6 +68,16 @@ pub trait Scheduler: Send + Sync {
     fn in_comparison(&self) -> bool {
         true
     }
+
+    /// Whether this strategy exploits [`SchedContext::parallel_pool`]:
+    /// per-datum fan-out when the policy is unbounded, the two-phase
+    /// compute-then-replay scheme when capacity is bounded. Strategies
+    /// that ignore the pool (inherently sequential streaming policies,
+    /// static baselines) say `false`; `pim-cli list-methods` reports the
+    /// flag.
+    fn parallelizable(&self) -> bool {
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -88,20 +98,28 @@ impl Scheduler for ScdsScheduler {
     }
 
     fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
-        if let Some(pool) = ctx.parallel_pool() {
-            let cache = ctx.cache().expect("parallel_pool implies cache");
-            let nw = trace.num_windows();
-            let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
-            let centers = pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
-                let c = cache
-                    .datum(d)
-                    .optimal_center_range(0, nw, &mut ws.axes, &mut ws.table)
-                    .0;
-                vec![c; nw]
-            });
-            return Schedule::new(ctx.grid(), centers);
-        }
         let spec = ctx.spec();
+        if let Some(pool) = ctx.parallel_pool() {
+            if spec.capacity_per_proc == u32::MAX {
+                // Unbounded: every datum is independent — pure fan-out.
+                let cache = ctx.cache().expect("parallel_pool implies cache");
+                let nw = trace.num_windows();
+                let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
+                let centers =
+                    pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                        let c = cache
+                            .datum(d)
+                            .optimal_center_range(0, nw, &mut ws.axes, &mut ws.table)
+                            .0;
+                        vec![c; nw]
+                    });
+                return Schedule::new(ctx.grid(), centers);
+            }
+            // Bounded: two-phase — parallel per-datum tables, sequential
+            // capacity replay in datum order.
+            let cache = ctx.cache().expect("parallel_pool implies cache");
+            return crate::scds::scds_schedule_parallel(trace, spec, cache, pool);
+        }
         match ctx.cache_and_ws() {
             (Some(cache), ws) => crate::scds::scds_schedule_cached(trace, spec, cache, ws),
             (None, _) => crate::scds::scds_schedule_uncached(trace, spec),
@@ -123,15 +141,21 @@ impl Scheduler for LomcdsScheduler {
     }
 
     fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
-        if let Some(pool) = ctx.parallel_pool() {
-            let cache = ctx.cache().expect("parallel_pool implies cache");
-            let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
-            let centers = pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
-                crate::lomcds::lomcds_centers_unconstrained_cached(cache.datum(d), ws)
-            });
-            return Schedule::new(ctx.grid(), centers);
-        }
         let spec = ctx.spec();
+        if let Some(pool) = ctx.parallel_pool() {
+            if spec.capacity_per_proc == u32::MAX {
+                let cache = ctx.cache().expect("parallel_pool implies cache");
+                let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
+                let centers =
+                    pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                        crate::lomcds::lomcds_centers_unconstrained_cached(cache.datum(d), ws)
+                    });
+                return Schedule::new(ctx.grid(), centers);
+            }
+            let (cache, ws) = ctx.cache_and_ws();
+            let cache = cache.expect("parallel_pool implies cache");
+            return crate::lomcds::lomcds_schedule_parallel(trace, spec, cache, pool, ws);
+        }
         match ctx.cache_and_ws() {
             (Some(cache), ws) => crate::lomcds::lomcds_schedule_cached(trace, spec, cache, ws),
             (None, _) => crate::lomcds::lomcds_schedule_uncached(trace, spec),
@@ -185,17 +209,24 @@ impl Scheduler for GomcdsScheduler {
     }
 
     fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
-        if let Some(pool) = ctx.parallel_pool() {
-            let cache = ctx.cache().expect("parallel_pool implies cache");
-            let grid = ctx.grid();
-            let solver = self.solver;
-            let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
-            let centers = pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
-                crate::gomcds::gomcds_path_cached(&grid, cache.datum(d), solver, ws).0
-            });
-            return Schedule::new(grid, centers);
-        }
         let spec = ctx.spec();
+        if let Some(pool) = ctx.parallel_pool() {
+            if spec.capacity_per_proc == u32::MAX {
+                let cache = ctx.cache().expect("parallel_pool implies cache");
+                let grid = ctx.grid();
+                let solver = self.solver;
+                let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
+                let centers =
+                    pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                        crate::gomcds::gomcds_path_cached(&grid, cache.datum(d), solver, ws).0
+                    });
+                return Schedule::new(grid, centers);
+            }
+            let solver = self.solver;
+            let (cache, ws) = ctx.cache_and_ws();
+            let cache = cache.expect("parallel_pool implies cache");
+            return crate::gomcds::gomcds_schedule_parallel(trace, spec, solver, cache, pool, ws);
+        }
         match ctx.cache_and_ws() {
             (Some(cache), ws) => {
                 crate::gomcds::gomcds_schedule_cached(trace, spec, self.solver, cache, ws)
@@ -230,38 +261,53 @@ impl Scheduler for GroupedScheduler {
     }
 
     fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
-        if let Some(pool) = ctx.parallel_pool() {
-            let cache = ctx.cache().expect("parallel_pool implies cache");
-            let grid = ctx.grid();
-            let place = self.place;
-            let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
-            let centers = pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
-                let dc = cache.datum(d);
-                let groups = crate::grouping::greedy_grouping_cached(
-                    &grid,
-                    dc,
-                    GroupMethod::LocalCenters,
-                    ws,
-                );
-                let group_centers = match place {
-                    GroupMethod::LocalCenters => {
-                        crate::grouping::local_group_centers_cached(dc, &groups, ws)
-                    }
-                    GroupMethod::GomcdsCenters => {
-                        crate::gomcds::gomcds_path_ranges(&grid, dc, &groups, ws).0
-                    }
-                };
-                let mut per_window = vec![ProcId(0); dc.num_windows()];
-                for (g, &c) in groups.iter().zip(&group_centers) {
-                    for w in g.clone() {
-                        per_window[w] = c;
-                    }
-                }
-                per_window
-            });
-            return Schedule::new(grid, centers);
-        }
         let spec = ctx.spec();
+        if let Some(pool) = ctx.parallel_pool() {
+            if spec.capacity_per_proc == u32::MAX {
+                let cache = ctx.cache().expect("parallel_pool implies cache");
+                let grid = ctx.grid();
+                let place = self.place;
+                let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
+                let centers =
+                    pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                        let dc = cache.datum(d);
+                        let groups = crate::grouping::greedy_grouping_cached(
+                            &grid,
+                            dc,
+                            GroupMethod::LocalCenters,
+                            ws,
+                        );
+                        let group_centers = match place {
+                            GroupMethod::LocalCenters => {
+                                crate::grouping::local_group_centers_cached(dc, &groups, ws)
+                            }
+                            GroupMethod::GomcdsCenters => {
+                                crate::gomcds::gomcds_path_ranges(&grid, dc, &groups, ws).0
+                            }
+                        };
+                        let mut per_window = vec![ProcId(0); dc.num_windows()];
+                        for (g, &c) in groups.iter().zip(&group_centers) {
+                            for w in g.clone() {
+                                per_window[w] = c;
+                            }
+                        }
+                        per_window
+                    });
+                return Schedule::new(grid, centers);
+            }
+            let place = self.place;
+            let (cache, ws) = ctx.cache_and_ws();
+            let cache = cache.expect("parallel_pool implies cache");
+            return crate::grouping::grouped_schedule_parallel(
+                trace,
+                spec,
+                GroupMethod::LocalCenters,
+                place,
+                cache,
+                pool,
+                ws,
+            );
+        }
         match ctx.cache_and_ws() {
             (Some(cache), ws) => crate::grouping::grouped_schedule_with_cached(
                 trace,
@@ -314,6 +360,11 @@ impl Scheduler for BaselineScheduler {
         false
     }
 
+    fn parallelizable(&self) -> bool {
+        // A static layout needs no per-datum computation worth fanning out.
+        false
+    }
+
     fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
         let nd = trace.num_data() as u32;
         let rows = (nd as f64).sqrt().floor().max(1.0) as u32;
@@ -349,6 +400,12 @@ impl Scheduler for OnlineScheduler {
 
     fn in_comparison(&self) -> bool {
         // Extension, not a paper table column; sweep_online reports it.
+        false
+    }
+
+    fn parallelizable(&self) -> bool {
+        // Streaming decisions depend on prior windows' placements —
+        // inherently sequential.
         false
     }
 

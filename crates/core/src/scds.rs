@@ -27,8 +27,10 @@ pub fn scds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
 }
 
 /// [`scds_schedule`] served from a shared per-trace cost cache: each
-/// datum's merged-window cost table comes from the cache's prefix sums in
-/// `O(width + height + m)` instead of re-merging its reference string.
+/// datum's merged-window cost table is a single whole-execution range
+/// query — one pass over the raw references straight into the axis
+/// projections, with no merged list materialized and no prefix-table
+/// build (the cache stays lazy for this single-query-per-datum shape).
 pub fn scds_schedule_cached(
     trace: &WindowedTrace,
     spec: MemorySpec,
@@ -53,6 +55,39 @@ pub fn scds_schedule_cached(
             .expect("feasibility checked: some processor has room");
         placement.push(p);
     }
+    Schedule::static_placement(grid, placement, trace.num_windows())
+}
+
+/// Two-phase parallel SCDS, bit-identical to the sequential
+/// [`scds_schedule_cached`]: phase 1 derives every datum's merged-window
+/// processor list in parallel (pure); phase 2 replays the ascending-id
+/// capacity assignment sequentially over those lists — the same lists in
+/// the same order give the same placement as the sequential run.
+pub fn scds_schedule_parallel(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+    cache: &CostCache<'_>,
+    pool: pim_par::Pool,
+) -> Schedule {
+    let grid = trace.grid();
+    assert!(
+        spec.feasible(&grid, trace.num_data()),
+        "memory spec cannot hold {} data items on {grid}",
+        trace.num_data()
+    );
+    let ids: Vec<_> = trace.iter_data().map(|(d, _)| d).collect();
+    let lists = pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+        cache.datum(d).full_table(&mut ws.axes, &mut ws.table);
+        ProcessorList::from_cost_table(&ws.table)
+    });
+    let mut mem = MemoryMap::new(&grid, spec);
+    let placement = lists
+        .iter()
+        .map(|list| {
+            list.assign(&mut mem)
+                .expect("feasibility checked: some processor has room")
+        })
+        .collect();
     Schedule::static_placement(grid, placement, trace.num_windows())
 }
 

@@ -13,6 +13,7 @@
 //! between data: every fill path writes the full live region first.
 
 use crate::cost::AxisScratch;
+use pim_array::grid::ProcId;
 
 /// Bundled scratch buffers for the hot scheduling path. Construct once per
 /// thread and pass to the `*_cached` scheduler entry points.
@@ -28,6 +29,32 @@ pub struct Workspace {
     pub(crate) node: Vec<u64>,
     /// Distance-transform relaxation of the previous DP row.
     pub(crate) relaxed: Vec<u64>,
+    /// Memoized node-cost rows of every layer, flattened `[w * m + k]`,
+    /// filled during the GOMCDS forward pass so the backtrack never
+    /// re-derives them.
+    pub(crate) nodes_all: Vec<u64>,
+    /// Incremental greedy grouping: per-window singleton optimal centers.
+    pub(crate) win_centers: Vec<ProcId>,
+    /// Incremental greedy grouping: per-window singleton optimal costs.
+    pub(crate) win_costs: Vec<u64>,
+    /// Incremental greedy grouping: `next_ref[j]` = first referenced
+    /// window `≥ j` (`n` when none); `n + 1` entries.
+    pub(crate) next_ref: Vec<usize>,
+    /// Incremental greedy grouping: `tail[j]` = cost of scheduling windows
+    /// `j..n` as singleton groups; `n + 1` entries.
+    pub(crate) tail: Vec<u64>,
+    /// Incremental GOMCDS-centre grouping: backward suffix DP, flattened
+    /// `[(n + 1) layers × m]`.
+    pub(crate) suffix_dp: Vec<u64>,
+    /// Incremental GOMCDS-centre grouping: forward DP row of the group
+    /// currently being grown.
+    pub(crate) fwd: Vec<u64>,
+    /// Incremental GOMCDS-centre grouping: forward DP row of the candidate
+    /// extension (also reused as a sum scratch by the suffix pass).
+    pub(crate) fwd_ext: Vec<u64>,
+    /// Incremental GOMCDS-centre grouping: relaxation of the DP row after
+    /// the last confirmed group.
+    pub(crate) relaxed_prefix: Vec<u64>,
 }
 
 impl Workspace {

@@ -16,6 +16,10 @@ cargo fmt --check
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+# Benches must keep compiling even though CI never runs them.
+echo "== cargo bench --no-run =="
+cargo bench --no-run -q
+
 # Deny broken intra-doc links in first-party crates. Scoped with -p: the
 # vendored shims (vendor/proptest) carry upstream doc warnings we do not
 # own and must not gate on.

@@ -122,8 +122,10 @@ proptest! {
     /// Registry-wide conformance: every registered scheduler × every memory
     /// policy is bit-identical across the plain (cached), uncached, and
     /// parallel execution wrappers. For bounded policies the parallel
-    /// wrapper must fall back to the sequential path (capacity resolution
-    /// is order-dependent), so this also pins that gating.
+    /// wrapper runs the two-phase scheme (parallel per-datum computation,
+    /// sequential capacity replay in datum order), so this pins that the
+    /// two-phase replay reproduces the sequential capacity resolution
+    /// exactly — not merely the same cost.
     #[test]
     fn registry_conformance_across_wrappers(trace in arb_trace(), threads in 2usize..=8) {
         for scheduler in pim_sched::registry().iter() {

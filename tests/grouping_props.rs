@@ -3,8 +3,12 @@
 
 use pim_array::grid::{Grid, ProcId};
 use pim_array::line::Line;
-use pim_sched::grouping::{cost_of_grouping, greedy_grouping, optimal_grouping, GroupMethod};
+use pim_sched::grouping::{
+    cost_of_grouping, greedy_grouping, greedy_grouping_cached, greedy_grouping_oracle,
+    optimal_grouping, optimal_grouping_cached, optimal_grouping_oracle, GroupMethod,
+};
 use pim_sched::theory::{closest_optimal_pair, lemma1_holds, theorem2_holds, theorem3_holds};
+use pim_sched::{DatumCostCache, Workspace};
 use pim_trace::window::{DataRefString, WindowRefs};
 use proptest::prelude::*;
 
@@ -81,6 +85,35 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The incremental O(n)-evaluation greedy is pinned bit-identical to
+    /// the literal O(n²) re-evaluation oracle for both placement methods:
+    /// same cut positions, not merely the same cost.
+    #[test]
+    fn incremental_greedy_matches_oracle((grid, rs) in arb_ref_string()) {
+        let cache = DatumCostCache::build(&grid, &rs);
+        let mut ws = Workspace::new();
+        for method in [GroupMethod::LocalCenters, GroupMethod::GomcdsCenters] {
+            let oracle = greedy_grouping_oracle(&grid, &rs, method);
+            let incremental = greedy_grouping_cached(&grid, &cache, method, &mut ws);
+            prop_assert_eq!(
+                &incremental, &oracle,
+                "incremental greedy diverged from oracle under {:?}", method
+            );
+        }
+    }
+
+    /// The O(t²) grouping DP is pinned bit-identical to the O(t³) oracle:
+    /// same partition (lowest-index tie-breaking preserved) and same cost.
+    #[test]
+    fn quadratic_grouping_dp_matches_oracle((grid, rs) in arb_ref_string()) {
+        let cache = DatumCostCache::build(&grid, &rs);
+        let mut ws = Workspace::new();
+        let (oracle_groups, oracle_cost) = optimal_grouping_oracle(&grid, &rs);
+        let (fast_groups, fast_cost) = optimal_grouping_cached(&grid, &cache, &mut ws);
+        prop_assert_eq!(fast_cost, oracle_cost);
+        prop_assert_eq!(&fast_groups, &oracle_groups, "O(t^2) DP picked a different partition");
     }
 
     #[test]
