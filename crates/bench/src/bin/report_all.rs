@@ -5,8 +5,10 @@
 //!
 //! Also emits `BENCH_sched.json` (in the working directory): machine-readable
 //! wall times and total costs of the cached scheduling path against the
-//! pre-cache reference, per method × benchmark × size, plus the
-//! `compare_methods` headline on the paper's benchmark 3 at 32×32 data.
+//! pre-cache reference, per method × benchmark × size — each row carrying a
+//! `"metrics"` object (cache/phase/placement/pool counters from one observed
+//! run) — plus the `compare_methods` headline on the paper's benchmark 3 at
+//! 32×32 data.
 
 use pim_array::grid::Grid;
 use pim_array::layout::Layout;
@@ -132,11 +134,29 @@ fn bench_sched_json() -> String {
         for size in [8u32, 16] {
             let (trace, _) = windowed(bench, grid, size, 2, 1998);
             for &scheduler in &compare_set {
-                let (cached_ns, sched) =
-                    bench_ns(10, || Run::new(&trace).policy(memory).run(scheduler));
-                let (uncached_ns, _) = bench_ns(10, || {
-                    Run::new(&trace).policy(memory).cached(false).run(scheduler)
+                let (cached_ns, sched) = bench_ns(10, || {
+                    Run::new(&trace)
+                        .policy(memory)
+                        .run(scheduler)
+                        .unwrap_or_else(|e| panic!("{e}"))
                 });
+                let (uncached_ns, _) = bench_ns(10, || {
+                    Run::new(&trace)
+                        .policy(memory)
+                        .cached(false)
+                        .run(scheduler)
+                        .unwrap_or_else(|e| panic!("{e}"))
+                });
+                // One extra observed run per row (outside the timing loop,
+                // so collection can't skew the wall times): cache, phase,
+                // placement and pool counters for this scheduler alone.
+                let metrics = pim_sched::Metrics::enabled();
+                Run::new(&trace)
+                    .policy(memory)
+                    .metrics(metrics.clone())
+                    .run(scheduler)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                let metrics_json = metrics.report().to_json();
                 // Isolate the Algorithm 3 grouping-decision phase for the
                 // grouped methods (greedy over every datum, cached); other
                 // methods have no grouping phase and report 0.
@@ -177,7 +197,7 @@ fn bench_sched_json() -> String {
                     "    {{\"benchmark\": \"{}\", \"size\": {size}, \"method\": \"{}\", \
                      \"total_cost\": {cost}, \"cached_ns\": {cached_ns}, \
                      \"uncached_ns\": {uncached_ns}, \"grouping_ns\": {grouping_ns}, \
-                     \"speedup\": {speedup:.3}}}",
+                     \"speedup\": {speedup:.3}, \"metrics\": {metrics_json}}}",
                     bench.label(),
                     scheduler.name(),
                 )
@@ -195,7 +215,10 @@ fn bench_sched_json() -> String {
         let mut run = Run::new(&trace).policy(memory).cached(false);
         compare_set
             .iter()
-            .map(|&s| (s.name(), run.run(s).evaluate(&trace).total()))
+            .map(|&s| {
+                let sched = run.run(s).unwrap_or_else(|e| panic!("{e}"));
+                (s.name(), sched.evaluate(&trace).total())
+            })
             .collect::<Vec<_>>()
     });
     assert_eq!(costs, uncached_costs, "cached diverged from reference");

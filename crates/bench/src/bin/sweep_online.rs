@@ -39,7 +39,8 @@ fn main() {
                     threshold,
                     spec: MemorySpec::unbounded(),
                 },
-            );
+            )
+            .expect("unbounded policy is always feasible");
             let online = s.evaluate(&trace).total();
             let gap = (online as f64 - offline as f64) / offline as f64 * 100.0;
             let tl = if threshold >= 1e9 {

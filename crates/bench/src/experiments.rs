@@ -68,7 +68,10 @@ pub fn run_comparison(
     let entries = schedulers
         .iter()
         .map(|&s| {
-            let cost = run.run(s).evaluate(&trace).total();
+            let sched = run
+                .run(s)
+                .unwrap_or_else(|e| panic!("table configuration infeasible: {e}"));
+            let cost = sched.evaluate(&trace).total();
             (
                 s.name(),
                 cost,

@@ -60,6 +60,9 @@ pub struct ParsedArgs {
     /// sequential, the default). Schedulers that cannot parallelize
     /// ignore the pool; see `pim-cli list-methods`.
     pub threads: usize,
+    /// Write a JSON run report (analytic cost + routed traffic +
+    /// scheduler metrics) to this path (`run`/`compare` only).
+    pub metrics_out: Option<String>,
 }
 
 impl Default for ParsedArgs {
@@ -76,6 +79,7 @@ impl Default for ParsedArgs {
             out: None,
             trace_file: None,
             threads: 0,
+            metrics_out: None,
         }
     }
 }
@@ -187,6 +191,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
                     .map_err(|_| format!("bad value '{v}' for --seed, expected an integer"))?;
             }
             "--out" => out.out = Some(value()?),
+            "--metrics" => out.metrics_out = Some(value()?),
             "--trace" => out.trace_file = Some(value()?),
             "--threads" => {
                 let v = value()?;
@@ -197,6 +202,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
+    if out.metrics_out.is_some() && !matches!(out.command, Command::Run | Command::Compare) {
+        return Err("--metrics is only supported by `run` and `compare`".to_string());
+    }
     Ok(out)
 }
 
@@ -206,7 +214,8 @@ pub fn usage() -> String {
      [--bench 1-5|code|jacobi|transpose|sor] [--size N] [--grid WxH] \
      [--window STEPS] [--method NAME (see `pim-cli list-methods`)] \
      [--memory unbounded|Nx|CAP] [--seed S] [--out FILE] [--trace FILE] \
-     [--threads N (0 = sequential)]"
+     [--threads N (0 = sequential)] \
+     [--metrics FILE (run/compare: write a JSON run report)]"
         .to_string()
 }
 
@@ -303,6 +312,20 @@ mod tests {
         assert_eq!(parse(&v(&["run"])).unwrap().threads, 0);
         let err = parse(&v(&["run", "--threads", "many"])).unwrap_err();
         assert!(err.contains("'many'") && err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn metrics_flag() {
+        let a = parse(&v(&["run", "--metrics", "m.json"])).unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(parse(&v(&["run"])).unwrap().metrics_out, None);
+        let a = parse(&v(&["compare", "--metrics", "rows.json"])).unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("rows.json"));
+        // only run/compare produce a run report
+        let err = parse(&v(&["stats", "--metrics", "m.json"])).unwrap_err();
+        assert!(err.contains("--metrics"), "{err}");
+        let err = parse(&v(&["simulate", "--metrics", "m.json"])).unwrap_err();
+        assert!(err.contains("run"), "{err}");
     }
 
     #[test]

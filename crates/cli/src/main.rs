@@ -3,7 +3,7 @@
 use pim_cli::args::{self, Command};
 use pim_cli::render;
 use pim_par::Pool;
-use pim_sched::Run;
+use pim_sched::{Metrics, Run};
 use pim_trace::stats::trace_stats;
 use pim_workloads::windowed;
 use std::process::ExitCode;
@@ -88,38 +88,104 @@ fn main() -> ExitCode {
         );
     }
 
-    let mut run = Run::new(&trace).policy(parsed.memory);
+    // Observability is opt-in: a disabled handle records nothing and the
+    // schedule is bit-identical either way.
+    let metrics = if parsed.metrics_out.is_some() {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
+    let sim_pool = if parsed.threads > 0 {
+        Pool::with_threads(parsed.threads)
+    } else {
+        Pool::serial()
+    };
+    let mut run = Run::new(&trace)
+        .policy(parsed.memory)
+        .metrics(metrics.clone());
     if parsed.threads > 0 {
         run = run.parallel(Pool::with_threads(parsed.threads));
     }
 
     match parsed.command {
         Command::Run => {
-            let s = run.run_named(&parsed.method).expect("validated at parse");
+            let s = match run.run_named(&parsed.method) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             println!("{}", render::breakdown(&parsed.method, s.evaluate(&trace)));
             println!(
                 "moves: {}, max occupancy: {}",
                 s.num_moves(),
                 s.max_occupancy()
             );
+            if let Some(path) = &parsed.metrics_out {
+                let sim = pim_sim::simulate(&trace, &s, sim_pool);
+                let report = pim_sim::RunReport::from_parts(
+                    &parsed.method,
+                    parsed.memory,
+                    s.evaluate(&trace),
+                    &sim,
+                    metrics.report(),
+                );
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote run metrics to {path}");
+            }
         }
         Command::Compare => {
             let sf = space
                 .straightforward(&trace, pim_array::layout::Layout::RowWise)
                 .evaluate(&trace)
                 .total();
-            let rows = pim_sched::registry()
-                .comparison_set()
-                .map(|s| {
-                    let cost = run.run(s).evaluate(&trace).total();
-                    (
-                        s.name().to_string(),
-                        cost,
-                        pim_sched::schedule::improvement_pct(sf, cost),
-                    )
-                })
-                .collect::<Vec<_>>();
+            let mut rows = Vec::new();
+            for s in pim_sched::registry().comparison_set() {
+                let sched = match run.run(s) {
+                    Ok(sched) => sched,
+                    Err(e) => {
+                        eprintln!("error: {}: {e}", s.name());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let cost = sched.evaluate(&trace).total();
+                rows.push((
+                    s.name().to_string(),
+                    cost,
+                    pim_sched::schedule::improvement_pct(sf, cost),
+                ));
+            }
             print!("{}", render::comparison_table(sf, &rows));
+            if let Some(path) = &parsed.metrics_out {
+                // One isolated report per method: each gets its own sink so
+                // cache/placement counters don't mix across schedulers.
+                let mut reports = Vec::new();
+                for s in pim_sched::registry().comparison_set() {
+                    match pim_sim::collect_run_report(
+                        s.name(),
+                        &trace,
+                        parsed.memory,
+                        sim_pool,
+                        Metrics::enabled(),
+                    ) {
+                        Ok((_, r)) => reports.push(r.to_json()),
+                        Err(e) => {
+                            eprintln!("error: {}: {e}", s.name());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                let json = format!("[{}]", reports.join(","));
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote per-method metrics to {path}");
+            }
         }
         Command::Stats => {
             let st = trace_stats(&trace);
@@ -132,9 +198,18 @@ fn main() -> ExitCode {
             println!("inter-window drift:    {:.2}", st.mean_drift);
         }
         Command::Simulate => {
-            let (s, report) =
-                pim_sim::simulate_named(&parsed.method, &trace, parsed.memory, Pool::auto())
-                    .expect("validated at parse");
+            let (s, report) = match pim_sim::simulate_named(
+                &parsed.method,
+                &trace,
+                parsed.memory,
+                Pool::auto(),
+            ) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             print!("{report}");
             let analytic = s.evaluate(&trace).total();
             assert_eq!(
@@ -158,7 +233,13 @@ fn main() -> ExitCode {
         }
         Command::Refine => {
             let spec = parsed.memory.resolve(&trace);
-            let mut s = run.run_named(&parsed.method).expect("validated at parse");
+            let mut s = match run.run_named(&parsed.method) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let before = s.evaluate(&trace).total();
             let stats = pim_sched::refine::refine(&trace, &mut s, spec, 100);
             println!(
@@ -172,11 +253,13 @@ fn main() -> ExitCode {
         }
         Command::Replicate => {
             let spec = parsed.memory.resolve(&trace);
-            let single = run
-                .run_named("gomcds")
-                .expect("gomcds is registered")
-                .evaluate(&trace)
-                .total();
+            let single = match run.run_named("gomcds") {
+                Ok(s) => s.evaluate(&trace).total(),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let repl = pim_sched::replicate::replicated_schedule(&trace, spec);
             let dual = repl.evaluate(&trace).total();
             println!(
@@ -204,7 +287,13 @@ fn main() -> ExitCode {
         }
         Command::Explain => {
             use pim_sched::explain::{render_data, summarize};
-            let s = run.run_named(&parsed.method).expect("validated at parse");
+            let s = match run.run_named(&parsed.method) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let sum = summarize(&trace, &s);
             println!(
                 "{}: total {} (movement {}, {} moves, total regret {})",

@@ -49,9 +49,11 @@
 
 use crate::cost::{argmin_table, AxisScratch};
 use pim_array::grid::{Grid, ProcId};
+use pim_metrics::CacheStats;
 use pim_trace::ids::DataId;
 use pim_trace::window::{DataRefString, WindowedTrace};
-use std::sync::OnceLock;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
 
 /// The axis-weight prefix sums of one datum, built lazily on first use.
 #[derive(Debug, Clone)]
@@ -73,6 +75,10 @@ pub struct DatumCostCache<'r> {
     num_windows: usize,
     rs: &'r DataRefString,
     tables: OnceLock<PrefixTables>,
+    /// Observability counters shared with a [`pim_metrics::Metrics`] sink;
+    /// `None` (the default) skips counting entirely. Counting never feeds
+    /// back into any served table, so metrics cannot change a schedule.
+    stats: Option<Arc<CacheStats>>,
 }
 
 impl<'r> DatumCostCache<'r> {
@@ -84,7 +90,13 @@ impl<'r> DatumCostCache<'r> {
             num_windows: rs.num_windows(),
             rs,
             tables: OnceLock::new(),
+            stats: None,
         }
+    }
+
+    /// Install shared cache counters (from an enabled metrics sink).
+    pub fn set_stats(&mut self, stats: Arc<CacheStats>) {
+        self.stats = Some(stats);
     }
 
     /// The prefix tables, building them on first call (one pass over the
@@ -92,6 +104,9 @@ impl<'r> DatumCostCache<'r> {
     /// the build is pure and [`OnceLock`] publishes exactly one result.
     fn tables(&self) -> &PrefixTables {
         self.tables.get_or_init(|| {
+            if let Some(stats) = &self.stats {
+                stats.prefix_builds.fetch_add(1, Ordering::Relaxed);
+            }
             let w = self.grid.width() as usize;
             let h = self.grid.height() as usize;
             let nw = self.num_windows;
@@ -160,6 +175,9 @@ impl<'r> DatumCostCache<'r> {
         // raw refs directly (one pass, never worse than a prefix build); a
         // strict multi-window sub-range builds the tables once.
         if hi - lo == 1 || (lo == 0 && hi == self.num_windows) {
+            if let Some(stats) = &self.stats {
+                stats.raw_serves.fetch_add(1, Ordering::Relaxed);
+            }
             axes.reset_weights(&self.grid);
             for w in lo..hi {
                 for r in self.rs.window(w).iter() {
@@ -183,6 +201,9 @@ impl<'r> DatumCostCache<'r> {
         axes: &mut AxisScratch,
         out: &mut Vec<u64>,
     ) {
+        if let Some(stats) = &self.stats {
+            stats.prefix_hits.fetch_add(1, Ordering::Relaxed);
+        }
         let w = self.grid.width() as usize;
         let h = self.grid.height() as usize;
         axes.reset_weights(&self.grid);
@@ -244,6 +265,14 @@ impl<'t> CostCache<'t> {
     /// The cache of one datum.
     pub fn datum(&self, d: DataId) -> &DatumCostCache<'t> {
         &self.data[d.index()]
+    }
+
+    /// Install shared cache counters into every datum's cache (from an
+    /// enabled metrics sink).
+    pub fn set_stats(&mut self, stats: &Arc<CacheStats>) {
+        for d in &mut self.data {
+            d.set_stats(Arc::clone(stats));
+        }
     }
 
     /// Number of cached data items.
@@ -357,6 +386,24 @@ mod tests {
             let direct = optimal_center(&grid, &rs.merged_range(lo, hi));
             assert_eq!(cached, direct, "range {lo}..{hi}");
         }
+    }
+
+    #[test]
+    fn counters_track_every_serve_path() {
+        let grid = Grid::new(4, 3);
+        let rs = sample_rs(&grid);
+        let mut cache = DatumCostCache::build(&grid, &rs);
+        let stats = Arc::new(CacheStats::default());
+        cache.set_stats(Arc::clone(&stats));
+        let mut axes = AxisScratch::default();
+        let mut out = Vec::new();
+        cache.window_table(0, &mut axes, &mut out); // raw
+        cache.full_table(&mut axes, &mut out); // raw
+        cache.range_table(1, 3, &mut axes, &mut out); // build + prefix hit
+        cache.window_table(0, &mut axes, &mut out); // tables exist → hit
+        assert_eq!(stats.raw_serves.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.prefix_builds.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.prefix_hits.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -67,9 +67,21 @@ impl ProcessorList {
 
     /// First available processor, also claiming its slot.
     pub fn assign(&self, mem: &mut MemoryMap) -> Option<ProcId> {
-        let p = self.first_available(mem)?;
-        mem.allocate(p).expect("has_room checked");
-        Some(p)
+        self.assign_ranked(mem).map(|(p, _)| p)
+    }
+
+    /// Like [`assign`](ProcessorList::assign), but also reports the
+    /// chosen processor's rank in the list — the datum's *capacity
+    /// displacement*: 0 means it landed on [`best`](ProcessorList::best),
+    /// `k` means the `k` cheaper processors were all full.
+    pub fn assign_ranked(&self, mem: &mut MemoryMap) -> Option<(ProcId, usize)> {
+        let (rank, &p) = self
+            .procs
+            .iter()
+            .enumerate()
+            .find(|&(_, &p)| mem.has_room(p))?;
+        mem.allocate(p).ok()?;
+        Some((p, rank))
     }
 }
 
@@ -124,6 +136,18 @@ mod tests {
         assert!(list.assign(&mut mem).is_some());
         assert!(list.assign(&mut mem).is_some());
         assert_eq!(list.assign(&mut mem), None);
+    }
+
+    #[test]
+    fn assign_ranked_reports_displacement() {
+        let grid = g();
+        let refs = WindowRefs::from_pairs([(grid.proc_xy(0, 0), 1)]);
+        let list = ProcessorList::build(&grid, &refs);
+        let mut mem = MemoryMap::new(&grid, MemorySpec::uniform(1));
+        assert_eq!(list.assign_ranked(&mut mem), Some((grid.proc_xy(0, 0), 0)));
+        // The optimal center is full now: next datum lands one rank down.
+        assert_eq!(list.assign_ranked(&mut mem), Some((grid.proc_xy(1, 0), 1)));
+        assert_eq!(list.assign_ranked(&mut mem), Some((grid.proc_xy(0, 1), 2)));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::pipeline::MemoryPolicy;
 use crate::workspace::Workspace;
 use pim_array::grid::Grid;
 use pim_array::memory::MemorySpec;
+use pim_metrics::Metrics;
 use pim_par::Pool;
 use pim_trace::window::WindowedTrace;
 
@@ -43,6 +44,7 @@ pub struct SchedContext<'t> {
     cache: Option<CostCache<'t>>,
     ws: Workspace,
     pool: Option<Pool>,
+    metrics: Metrics,
 }
 
 impl<'t> SchedContext<'t> {
@@ -66,6 +68,7 @@ impl<'t> SchedContext<'t> {
             cache: Some(cache),
             ws: Workspace::new(),
             pool: None,
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -79,6 +82,7 @@ impl<'t> SchedContext<'t> {
             cache: None,
             ws: Workspace::new(),
             pool: None,
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -86,6 +90,24 @@ impl<'t> SchedContext<'t> {
     pub fn with_pool(mut self, pool: Pool) -> Self {
         self.pool = Some(pool);
         self
+    }
+
+    /// Attach a metrics sink. An enabled sink is installed into the owned
+    /// cost cache (cache-behavior counters) and the workspace (capacity
+    /// displacement); schedulers record into it but never read from it, so
+    /// the schedule stays bit-identical with metrics on or off.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        if let (Some(stats), Some(cache)) = (metrics.cache_stats(), self.cache.as_mut()) {
+            cache.set_stats(&stats);
+        }
+        self.ws.metrics = metrics.clone();
+        self.metrics = metrics;
+        self
+    }
+
+    /// The metrics sink of this run (disabled by default).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The processor grid of the trace this context was built for.

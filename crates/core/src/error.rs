@@ -1,0 +1,96 @@
+//! Typed scheduling errors.
+//!
+//! Capacity exhaustion used to be a panic (`assert!`/`expect` deep inside
+//! the placement loops). Legal inputs can hit it — any trace with more
+//! data than the grid's memory slots — so every [`crate::Scheduler`] now
+//! returns a [`SchedError`] instead, and the CLI turns it into a nonzero
+//! exit with a one-line message rather than a backtrace.
+
+use pim_trace::ids::DataId;
+use std::fmt;
+
+/// Why a scheduling run could not produce a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The requested scheduler name is not in the registry.
+    UnknownScheduler(String),
+    /// The memory policy cannot hold the working set: either infeasible
+    /// up front (more data than total slots — `datum` is `None`), or a
+    /// specific datum found every candidate processor full.
+    CapacityExhausted {
+        /// The datum that could not be placed, when known.
+        datum: Option<DataId>,
+        /// The execution window where placement failed, when known.
+        window: Option<usize>,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::UnknownScheduler(name) => {
+                write!(f, "no scheduler registered under {name:?}")
+            }
+            SchedError::CapacityExhausted { datum, window } => {
+                write!(f, "memory capacity exhausted")?;
+                if let Some(d) = datum {
+                    write!(f, " placing datum {}", d.0)?;
+                }
+                if let Some(w) = window {
+                    write!(f, " in window {w}")?;
+                }
+                write!(f, ": the memory spec cannot hold the working set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Upfront feasibility gate shared by every scheduler: total slots must
+/// hold every datum at once.
+pub(crate) fn ensure_feasible(
+    grid: &pim_array::grid::Grid,
+    spec: pim_array::memory::MemorySpec,
+    num_data: usize,
+) -> Result<(), SchedError> {
+    if spec.feasible(grid, num_data) {
+        Ok(())
+    } else {
+        Err(SchedError::CapacityExhausted {
+            datum: None,
+            window: None,
+        })
+    }
+}
+
+/// Shorthand for a placement-time exhaustion error.
+pub(crate) fn exhausted(datum: DataId, window: Option<usize>) -> SchedError {
+    SchedError::CapacityExhausted {
+        datum: Some(datum),
+        window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_site() {
+        let e = exhausted(DataId(7), Some(3));
+        let msg = e.to_string();
+        assert!(msg.contains("datum 7"), "{msg}");
+        assert!(msg.contains("window 3"), "{msg}");
+        // The legacy panic message promised "cannot hold"; keep the
+        // substring so wrapper `# Panics` docs and tests stay truthful.
+        assert!(msg.contains("cannot hold"), "{msg}");
+        let up_front = SchedError::CapacityExhausted {
+            datum: None,
+            window: None,
+        };
+        assert!(up_front.to_string().contains("cannot hold"));
+        let unknown = SchedError::UnknownScheduler("nope".into());
+        assert!(unknown.to_string().contains("nope"));
+    }
+}

@@ -37,6 +37,7 @@
 
 use crate::cache::{CostCache, DatumCostCache};
 use crate::cost::{cost_table_with, AxisScratch, INF};
+use crate::error::{ensure_feasible, exhausted, SchedError};
 use crate::schedule::Schedule;
 use crate::workspace::Workspace;
 use core::ops::Range;
@@ -372,11 +373,13 @@ pub fn gomcds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
 /// string twice.
 ///
 /// # Panics
-/// Panics if the array's total memory cannot hold every datum.
+/// Panics if the array's total memory cannot hold every datum. Use the
+/// [`crate::Run`] pipeline (or [`gomcds_schedule_cached`]) for a typed
+/// [`SchedError`] instead.
 pub fn gomcds_schedule_with(trace: &WindowedTrace, spec: MemorySpec, solver: Solver) -> Schedule {
     let cache = CostCache::build(trace);
     let mut ws = Workspace::new();
-    gomcds_schedule_cached(trace, spec, solver, &cache, &mut ws)
+    gomcds_schedule_cached(trace, spec, solver, &cache, &mut ws).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Pre-cache reference implementation: identical output, node costs walked
@@ -386,7 +389,7 @@ pub fn gomcds_schedule_with_uncached(
     trace: &WindowedTrace,
     spec: MemorySpec,
     solver: Solver,
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     let mut ws = Workspace::new();
     gomcds_schedule_driver(trace, spec, solver, &mut ws, None)
 }
@@ -399,7 +402,7 @@ pub fn gomcds_schedule_cached(
     solver: Solver,
     cache: &CostCache,
     ws: &mut Workspace,
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     gomcds_schedule_driver(trace, spec, solver, ws, Some(cache))
 }
 
@@ -422,20 +425,22 @@ pub fn gomcds_schedule_parallel(
     cache: &CostCache<'_>,
     pool: pim_par::Pool,
     ws: &mut Workspace,
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
     let nd = trace.num_data();
     let nw = trace.num_windows();
-    assert!(
-        spec.feasible(&grid, nd),
-        "memory spec cannot hold {nd} data items on {grid}"
-    );
+    ensure_feasible(&grid, spec, nd)?;
+    let metrics = ws.metrics.clone();
 
     let ids: Vec<_> = trace.iter_data().map(|(d, _)| d).collect();
-    let paths = pim_par::parallel_map_with(pool, &ids, Workspace::new, |w, _, &d| {
-        gomcds_path_cached(&grid, cache.datum(d), solver, w).0
-    });
+    let paths = {
+        let _t = metrics.phase("GOMCDS/phase1-paths");
+        pim_par::parallel_map_with(pool, &ids, Workspace::new, |w, _, &d| {
+            gomcds_path_cached(&grid, cache.datum(d), solver, w).0
+        })
+    };
 
+    let _t = metrics.phase("GOMCDS/phase2-replay");
     let mut masks: Vec<MemoryMap> = (0..nw).map(|_| MemoryMap::new(&grid, spec)).collect();
     let mut centers = Vec::with_capacity(nd);
     for (d, unconstrained) in ids.into_iter().zip(paths) {
@@ -454,15 +459,15 @@ pub fn gomcds_schedule_parallel(
                 ws,
                 1,
             )
-            .expect("feasibility checked: every window has a free processor")
+            .ok_or_else(|| exhausted(d, None))?
             .0
         };
         for (w, &p) in path.iter().enumerate() {
-            masks[w].allocate(p).expect("solver avoids full processors");
+            masks[w].allocate(p).map_err(|_| exhausted(d, Some(w)))?;
         }
         centers.push(path);
     }
-    Schedule::new(grid, centers)
+    Ok(Schedule::new(grid, centers))
 }
 
 fn gomcds_schedule_driver(
@@ -471,14 +476,11 @@ fn gomcds_schedule_driver(
     solver: Solver,
     ws: &mut Workspace,
     cache: Option<&CostCache>,
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
     let nd = trace.num_data();
     let nw = trace.num_windows();
-    assert!(
-        spec.feasible(&grid, nd),
-        "memory spec cannot hold {nd} data items on {grid}"
-    );
+    ensure_feasible(&grid, spec, nd)?;
 
     let bounded = spec.capacity_per_proc != u32::MAX;
     let mut masks: Vec<MemoryMap> = if bounded {
@@ -501,15 +503,15 @@ fn gomcds_schedule_driver(
             ),
             None => solve_layered(&grid, &NodeSource::Raw(rs), mask_ref, solver, ws, 1),
         }
-        .expect("feasibility checked: every window has a free processor");
+        .ok_or_else(|| exhausted(d, None))?;
         if bounded {
             for (w, &p) in path.iter().enumerate() {
-                masks[w].allocate(p).expect("solver avoids full processors");
+                masks[w].allocate(p).map_err(|_| exhausted(d, Some(w)))?;
             }
         }
         centers.push(path);
     }
-    Schedule::new(grid, centers)
+    Ok(Schedule::new(grid, centers))
 }
 
 #[cfg(test)]
@@ -612,7 +614,7 @@ mod tests {
             for solver in [Solver::Naive, Solver::DistanceTransform] {
                 assert_eq!(
                     gomcds_schedule_with(&trace, spec, solver),
-                    gomcds_schedule_with_uncached(&trace, spec, solver),
+                    gomcds_schedule_with_uncached(&trace, spec, solver).unwrap(),
                     "spec {spec:?} solver {solver:?}"
                 );
             }

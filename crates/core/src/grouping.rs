@@ -29,6 +29,7 @@
 
 use crate::cache::{CostCache, DatumCostCache};
 use crate::cost::{cost_at, optimal_center, INF};
+use crate::error::{ensure_feasible, exhausted, SchedError};
 use crate::gomcds::{gomcds_path, gomcds_path_ranges, Solver};
 use crate::schedule::Schedule;
 use crate::workspace::Workspace;
@@ -686,7 +687,9 @@ pub fn grouped_schedule(trace: &WindowedTrace, spec: MemorySpec, method: GroupMe
 /// grouped windows like GOMCDS.
 ///
 /// # Panics
-/// Panics if the array's total memory cannot hold every datum.
+/// Panics if the array's total memory cannot hold every datum. Use the
+/// [`crate::Run`] pipeline (or [`grouped_schedule_with_cached`]) for a
+/// typed [`crate::SchedError`] instead.
 pub fn grouped_schedule_with(
     trace: &WindowedTrace,
     spec: MemorySpec,
@@ -696,6 +699,7 @@ pub fn grouped_schedule_with(
     let cache = CostCache::build(trace);
     let mut ws = Workspace::new();
     grouped_schedule_with_cached(trace, spec, decide, place, &cache, &mut ws)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`grouped_schedule_with`] served from a shared per-trace cost cache:
@@ -708,7 +712,7 @@ pub fn grouped_schedule_with_cached(
     place: GroupMethod,
     cache: &CostCache,
     ws: &mut Workspace,
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
     let nd = trace.num_data();
     let groupings: Vec<Vec<Range<usize>>> = (0..nd)
@@ -732,12 +736,17 @@ pub fn grouped_schedule_parallel(
     cache: &CostCache<'_>,
     pool: pim_par::Pool,
     ws: &mut Workspace,
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
+    let metrics = ws.metrics.clone();
     let ids: Vec<_> = trace.iter_data().map(|(d, _)| d).collect();
-    let groupings = pim_par::parallel_map_with(pool, &ids, Workspace::new, |w, _, &d| {
-        greedy_grouping_cached(&grid, cache.datum(d), decide, w)
-    });
+    let groupings = {
+        let _t = metrics.phase("Grouped/phase1-groupings");
+        pim_par::parallel_map_with(pool, &ids, Workspace::new, |w, _, &d| {
+            greedy_grouping_cached(&grid, cache.datum(d), decide, w)
+        })
+    };
+    let _t = metrics.phase("Grouped/phase2-replay");
     grouped_place_cached(trace, spec, place, cache, ws, &groupings)
 }
 
@@ -751,14 +760,12 @@ fn grouped_place_cached(
     cache: &CostCache,
     ws: &mut Workspace,
     groupings: &[Vec<Range<usize>>],
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
     let nd = trace.num_data();
     let nw = trace.num_windows();
-    assert!(
-        spec.feasible(&grid, nd),
-        "memory spec cannot hold {nd} data items on {grid}"
-    );
+    ensure_feasible(&grid, spec, nd)?;
+    let metrics = ws.metrics.clone();
     let mut mems: Vec<MemoryMap> = (0..nw).map(|_| MemoryMap::new(&grid, spec)).collect();
     let mut centers = vec![vec![ProcId(0); nw]; nd];
 
@@ -811,12 +818,16 @@ fn grouped_place_cached(
                     let list = crate::capacity::ProcessorList::from_cost_table(&ws.table);
                     let chosen = list
                         .iter()
-                        .map(|(p, _)| p)
-                        .find(|&p| g.clone().all(|wi| mems[wi].has_room(p)));
+                        .enumerate()
+                        .map(|(rank, (p, _))| (rank, p))
+                        .find(|&(_, p)| g.clone().all(|wi| mems[wi].has_room(p)));
                     match chosen {
-                        Some(p) => {
+                        Some((rank, p)) => {
+                            metrics.record_placement(rank);
                             for wi in g.clone() {
-                                mems[wi].allocate(p).expect("room checked");
+                                mems[wi]
+                                    .allocate(p)
+                                    .map_err(|_| exhausted(DataId(d as u32), Some(wi)))?;
                                 centers[d][wi] = p;
                             }
                         }
@@ -828,14 +839,16 @@ fn grouped_place_cached(
                             // cost benefit is lost for this datum but the
                             // schedule stays feasible.
                             for wi in g.clone() {
-                                let p = list
+                                let (rank, p) = list
                                     .iter()
-                                    .map(|(p, _)| p)
-                                    .find(|&p| mems[wi].has_room(p))
-                                    .expect(
-                                        "every window has a free slot: one per datum is allocated",
-                                    );
-                                mems[wi].allocate(p).expect("room checked");
+                                    .enumerate()
+                                    .map(|(rank, (p, _))| (rank, p))
+                                    .find(|&(_, p)| mems[wi].has_room(p))
+                                    .ok_or_else(|| exhausted(DataId(d as u32), Some(wi)))?;
+                                metrics.record_placement(rank);
+                                mems[wi]
+                                    .allocate(p)
+                                    .map_err(|_| exhausted(DataId(d as u32), Some(wi)))?;
                                 centers[d][wi] = p;
                             }
                         }
@@ -863,9 +876,7 @@ fn grouped_place_cached(
                         for p in grid.procs() {
                             if !g.clone().all(|wi| mems[wi].has_room(p)) {
                                 // mark full by exhausting its capacity
-                                while m.has_room(p) {
-                                    m.allocate(p).expect("has room");
-                                }
+                                while m.allocate(p).is_ok() {}
                             }
                         }
                         m
@@ -875,7 +886,9 @@ fn grouped_place_cached(
                     Some(path) => {
                         for (gi, g) in groups.iter().enumerate() {
                             for wi in g.clone() {
-                                mems[wi].allocate(path[gi]).expect("mask guaranteed room");
+                                mems[wi]
+                                    .allocate(path[gi])
+                                    .map_err(|_| exhausted(DataId(d as u32), Some(wi)))?;
                                 centers[d][wi] = path[gi];
                             }
                         }
@@ -886,9 +899,11 @@ fn grouped_place_cached(
                         // ungrouped masked path for this datum, which only
                         // needs one free slot per individual window.
                         let path = crate::gomcds::solve_masked_path_cached(&grid, dc, &mems, ws)
-                            .expect("every window has a free slot: one per datum is allocated");
+                            .ok_or_else(|| exhausted(DataId(d as u32), None))?;
                         for (wi, &p) in path.iter().enumerate() {
-                            mems[wi].allocate(p).expect("mask guaranteed room");
+                            mems[wi]
+                                .allocate(p)
+                                .map_err(|_| exhausted(DataId(d as u32), Some(wi)))?;
                             centers[d][wi] = p;
                         }
                     }
@@ -896,7 +911,7 @@ fn grouped_place_cached(
             }
         }
     }
-    Schedule::new(grid, centers)
+    Ok(Schedule::new(grid, centers))
 }
 
 /// Pre-cache reference implementation of [`grouped_schedule_with`] — every
@@ -907,14 +922,11 @@ pub fn grouped_schedule_with_uncached(
     spec: MemorySpec,
     decide: GroupMethod,
     place: GroupMethod,
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
     let nd = trace.num_data();
     let nw = trace.num_windows();
-    assert!(
-        spec.feasible(&grid, nd),
-        "memory spec cannot hold {nd} data items on {grid}"
-    );
+    ensure_feasible(&grid, spec, nd)?;
 
     let groupings: Vec<Vec<Range<usize>>> = (0..nd)
         .map(|d| greedy_grouping_oracle(&grid, trace.refs(DataId(d as u32)), decide))
@@ -972,7 +984,9 @@ pub fn grouped_schedule_with_uncached(
                     match chosen {
                         Some(p) => {
                             for wi in g.clone() {
-                                mems[wi].allocate(p).expect("room checked");
+                                mems[wi]
+                                    .allocate(p)
+                                    .map_err(|_| exhausted(DataId(d as u32), Some(wi)))?;
                                 centers[d][wi] = p;
                             }
                         }
@@ -988,10 +1002,10 @@ pub fn grouped_schedule_with_uncached(
                                     .iter()
                                     .map(|(p, _)| p)
                                     .find(|&p| mems[wi].has_room(p))
-                                    .expect(
-                                        "every window has a free slot: one per datum is allocated",
-                                    );
-                                mems[wi].allocate(p).expect("room checked");
+                                    .ok_or_else(|| exhausted(DataId(d as u32), Some(wi)))?;
+                                mems[wi]
+                                    .allocate(p)
+                                    .map_err(|_| exhausted(DataId(d as u32), Some(wi)))?;
                                 centers[d][wi] = p;
                             }
                         }
@@ -1020,9 +1034,7 @@ pub fn grouped_schedule_with_uncached(
                         for p in grid.procs() {
                             if !g.clone().all(|wi| mems[wi].has_room(p)) {
                                 // mark full by exhausting its capacity
-                                while m.has_room(p) {
-                                    m.allocate(p).expect("has room");
-                                }
+                                while m.allocate(p).is_ok() {}
                             }
                         }
                         m
@@ -1032,7 +1044,9 @@ pub fn grouped_schedule_with_uncached(
                     Some(path) => {
                         for (gi, g) in groups.iter().enumerate() {
                             for wi in g.clone() {
-                                mems[wi].allocate(path[gi]).expect("mask guaranteed room");
+                                mems[wi]
+                                    .allocate(path[gi])
+                                    .map_err(|_| exhausted(DataId(d as u32), Some(wi)))?;
                                 centers[d][wi] = path[gi];
                             }
                         }
@@ -1043,9 +1057,11 @@ pub fn grouped_schedule_with_uncached(
                         // ungrouped masked path for this datum, which only
                         // needs one free slot per individual window.
                         let path = crate::gomcds::solve_masked_path(&grid, rs, &mems)
-                            .expect("every window has a free slot: one per datum is allocated");
+                            .ok_or_else(|| exhausted(DataId(d as u32), None))?;
                         for (wi, &p) in path.iter().enumerate() {
-                            mems[wi].allocate(p).expect("mask guaranteed room");
+                            mems[wi]
+                                .allocate(p)
+                                .map_err(|_| exhausted(DataId(d as u32), Some(wi)))?;
                             centers[d][wi] = p;
                         }
                     }
@@ -1053,7 +1069,7 @@ pub fn grouped_schedule_with_uncached(
             }
         }
     }
-    Schedule::new(grid, centers)
+    Ok(Schedule::new(grid, centers))
 }
 
 #[cfg(test)]

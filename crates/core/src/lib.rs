@@ -80,6 +80,7 @@ pub mod capacity;
 pub mod context;
 pub mod cost;
 pub mod dt;
+pub mod error;
 pub mod exhaustive;
 pub mod explain;
 pub mod generic;
@@ -100,6 +101,8 @@ pub mod workspace;
 
 pub use cache::{CostCache, DatumCostCache};
 pub use context::SchedContext;
+pub use error::SchedError;
+pub use pim_metrics::{Metrics, MetricsReport};
 pub use pipeline::{
     compare_methods, schedule, schedule_cached, schedule_parallel, schedule_uncached, MemoryPolicy,
     Method, Run,

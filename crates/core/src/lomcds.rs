@@ -14,6 +14,7 @@
 use crate::cache::{CostCache, DatumCostCache};
 use crate::capacity::ProcessorList;
 use crate::cost::{cost_table, optimal_center};
+use crate::error::{ensure_feasible, exhausted, SchedError};
 use crate::schedule::Schedule;
 use crate::workspace::Workspace;
 use pim_array::grid::{Grid, ProcId};
@@ -90,11 +91,13 @@ fn resolve_gaps(centers: &mut [Option<ProcId>]) {
 /// minimal.
 ///
 /// # Panics
-/// Panics if the array's total memory cannot hold every datum.
+/// Panics if the array's total memory cannot hold every datum. Use the
+/// [`crate::Run`] pipeline (or [`lomcds_schedule_cached`]) for a typed
+/// [`SchedError`] instead.
 pub fn lomcds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
     let cache = CostCache::build(trace);
     let mut ws = Workspace::new();
-    lomcds_schedule_cached(trace, spec, &cache, &mut ws)
+    lomcds_schedule_cached(trace, spec, &cache, &mut ws).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`lomcds_schedule`] served from a shared per-trace cost cache. Each
@@ -111,7 +114,7 @@ pub fn lomcds_schedule_cached(
     spec: MemorySpec,
     cache: &CostCache,
     ws: &mut Workspace,
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     let anchors: Vec<ProcId> = (0..trace.num_data())
         .map(|d| first_anchor(cache.datum(DataId(d as u32)), ws))
         .collect();
@@ -128,11 +131,16 @@ pub fn lomcds_schedule_parallel(
     cache: &CostCache<'_>,
     pool: pim_par::Pool,
     ws: &mut Workspace,
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
+    let metrics = ws.metrics.clone();
     let ids: Vec<_> = trace.iter_data().map(|(d, _)| d).collect();
-    let anchors = pim_par::parallel_map_with(pool, &ids, Workspace::new, |w, _, &d| {
-        first_anchor(cache.datum(d), w)
-    });
+    let anchors = {
+        let _t = metrics.phase("LOMCDS/phase1-anchors");
+        pim_par::parallel_map_with(pool, &ids, Workspace::new, |w, _, &d| {
+            first_anchor(cache.datum(d), w)
+        })
+    };
+    let _t = metrics.phase("LOMCDS/phase2-replay");
     lomcds_assign(trace, spec, cache, ws, &anchors)
 }
 
@@ -159,14 +167,12 @@ fn lomcds_assign(
     cache: &CostCache,
     ws: &mut Workspace,
     anchors: &[ProcId],
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
     let nd = trace.num_data();
     let nw = trace.num_windows();
-    assert!(
-        spec.feasible(&grid, nd),
-        "memory spec cannot hold {nd} data items on {grid}"
-    );
+    ensure_feasible(&grid, spec, nd)?;
+    let metrics = ws.metrics.clone();
 
     let mut centers = vec![vec![ProcId(0); nw]; nd];
     for w in 0..nw {
@@ -180,29 +186,32 @@ fn lomcds_assign(
             };
             let p = if dc.range_is_empty(w, w + 1) {
                 nearest_free(&grid, anchor, &mut mem)
+                    .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?
             } else {
                 dc.window_table(w, &mut ws.axes, &mut ws.table);
-                ProcessorList::from_cost_table(&ws.table)
-                    .assign(&mut mem)
-                    .expect("feasibility checked")
+                let (p, rank) = ProcessorList::from_cost_table(&ws.table)
+                    .assign_ranked(&mut mem)
+                    .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?;
+                metrics.record_placement(rank);
+                p
             };
             centers[d][w] = p;
         }
     }
-    Schedule::new(grid, centers)
+    Ok(Schedule::new(grid, centers))
 }
 
 /// Pre-cache reference implementation of [`lomcds_schedule`] — walks every
 /// window's reference list directly. Bit-identical; kept for the
 /// equivalence property tests and benches.
-pub fn lomcds_schedule_uncached(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
+pub fn lomcds_schedule_uncached(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
     let nd = trace.num_data();
     let nw = trace.num_windows();
-    assert!(
-        spec.feasible(&grid, nd),
-        "memory spec cannot hold {nd} data items on {grid}"
-    );
+    ensure_feasible(&grid, spec, nd)?;
 
     let desired: Vec<Vec<ProcId>> = (0..nd)
         .map(|d| lomcds_centers_unconstrained(&grid, trace.refs(DataId(d as u32))))
@@ -221,28 +230,29 @@ pub fn lomcds_schedule_uncached(trace: &WindowedTrace, spec: MemorySpec) -> Sche
             };
             let p = if refs.is_empty() {
                 nearest_free(&grid, anchor, &mut mem)
+                    .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?
             } else {
                 cost_table(&grid, refs, &mut table);
                 ProcessorList::from_cost_table(&table)
                     .assign(&mut mem)
-                    .expect("feasibility checked")
+                    .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?
             };
             centers[d][w] = p;
         }
     }
-    Schedule::new(grid, centers)
+    Ok(Schedule::new(grid, centers))
 }
 
-/// Claim the free processor nearest to `anchor` (ties by ascending id).
-fn nearest_free(grid: &Grid, anchor: ProcId, mem: &mut MemoryMap) -> ProcId {
+/// Claim the free processor nearest to `anchor` (ties by ascending id);
+/// `None` when every processor is full.
+fn nearest_free(grid: &Grid, anchor: ProcId, mem: &mut MemoryMap) -> Option<ProcId> {
     let a = grid.point_of(anchor);
     let p = grid
         .procs()
         .filter(|&p| mem.has_room(p))
-        .min_by_key(|&p| (grid.point_of(p).l1_dist(a), p.0))
-        .expect("feasibility checked: some processor has room");
-    mem.allocate(p).expect("has_room checked");
-    p
+        .min_by_key(|&p| (grid.point_of(p).l1_dist(a), p.0))?;
+    mem.allocate(p).ok()?;
+    Some(p)
 }
 
 #[cfg(test)]

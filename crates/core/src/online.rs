@@ -19,6 +19,7 @@
 //! LOMCDS's reference costs window by window.
 
 use crate::cost::{cost_at, optimal_center};
+use crate::error::{ensure_feasible, exhausted, SchedError};
 use crate::schedule::Schedule;
 use pim_array::grid::ProcId;
 use pim_array::memory::{MemoryMap, MemorySpec};
@@ -48,16 +49,16 @@ impl OnlinePolicy {
 
 /// Run the online policy over a trace, revealing one window at a time.
 ///
-/// # Panics
-/// Panics if the array cannot hold every datum.
-pub fn online_schedule(trace: &WindowedTrace, policy: OnlinePolicy) -> Schedule {
+/// Returns [`SchedError::CapacityExhausted`] when the array cannot hold
+/// every datum.
+pub fn online_schedule(
+    trace: &WindowedTrace,
+    policy: OnlinePolicy,
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
     let nd = trace.num_data();
     let nw = trace.num_windows();
-    assert!(
-        policy.spec.feasible(&grid, nd),
-        "memory spec cannot hold {nd} data items on {grid}"
-    );
+    ensure_feasible(&grid, policy.spec, nd)?;
     let m = grid.num_procs() as u32;
 
     // Blind initial placement: stripe data over processors by id.
@@ -91,14 +92,15 @@ pub fn online_schedule(trace: &WindowedTrace, policy: OnlinePolicy) -> Schedule 
                 grid.procs()
                     .filter(|&p| mem.has_room(p))
                     .min_by_key(|&p| (grid.point_of(p).l1_dist(t), p.0))
-                    .expect("feasibility checked")
+                    .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?
             };
-            mem.allocate(placed).expect("has_room checked");
+            mem.allocate(placed)
+                .map_err(|_| exhausted(DataId(d as u32), Some(w)))?;
             centers[d][w] = placed;
             current[d] = placed;
         }
     }
-    Schedule::new(grid, centers)
+    Ok(Schedule::new(grid, centers))
 }
 
 #[cfg(test)]
@@ -138,7 +140,8 @@ mod tests {
                     threshold,
                     spec: MemorySpec::unbounded(),
                 },
-            );
+            )
+            .unwrap();
             assert!(
                 s.evaluate(&t).total() >= offline,
                 "threshold {threshold}: online beat the clairvoyant optimum"
@@ -149,7 +152,7 @@ mod tests {
     #[test]
     fn eager_policy_chases_the_hot_spot() {
         let t = drifting_trace();
-        let s = online_schedule(&t, OnlinePolicy::eager(MemorySpec::unbounded()));
+        let s = online_schedule(&t, OnlinePolicy::eager(MemorySpec::unbounded())).unwrap();
         let g = grid();
         // once it catches up, it sits exactly on each hot processor
         assert_eq!(s.center(DataId(0), 1), g.proc_xy(1, 1));
@@ -168,7 +171,8 @@ mod tests {
                 threshold: 1e12,
                 spec: MemorySpec::unbounded(),
             },
-        );
+        )
+        .unwrap();
         assert!(!s.has_movement());
     }
 
@@ -182,15 +186,15 @@ mod tests {
             ]
         };
         let t = WindowedTrace::from_parts(g, vec![want(g.proc_xy(2, 2)), want(g.proc_xy(2, 2))]);
-        let s = online_schedule(&t, OnlinePolicy::eager(MemorySpec::uniform(1)));
+        let s = online_schedule(&t, OnlinePolicy::eager(MemorySpec::uniform(1))).unwrap();
         assert_eq!(s.max_occupancy(), 1);
     }
 
     #[test]
     fn deterministic() {
         let t = drifting_trace();
-        let a = online_schedule(&t, OnlinePolicy::eager(MemorySpec::unbounded()));
-        let b = online_schedule(&t, OnlinePolicy::eager(MemorySpec::unbounded()));
+        let a = online_schedule(&t, OnlinePolicy::eager(MemorySpec::unbounded())).unwrap();
+        let b = online_schedule(&t, OnlinePolicy::eager(MemorySpec::unbounded())).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -31,11 +31,13 @@
 use crate::baseline;
 use crate::cache::CostCache;
 use crate::context::SchedContext;
+use crate::error::SchedError;
 use crate::registry::{registry, Scheduler};
 use crate::schedule::Schedule;
 use crate::workspace::Workspace;
 use pim_array::layout::Layout;
 use pim_array::memory::MemorySpec;
+use pim_metrics::{Metrics, PoolUsage};
 use pim_par::Pool;
 use pim_trace::window::WindowedTrace;
 use serde::{Deserialize, Serialize};
@@ -148,6 +150,7 @@ pub struct Run<'t> {
     policy: MemoryPolicy,
     cached: bool,
     pool: Option<Pool>,
+    metrics: Metrics,
     ctx: Option<SchedContext<'t>>,
 }
 
@@ -159,6 +162,7 @@ impl<'t> Run<'t> {
             policy: MemoryPolicy::Unbounded,
             cached: true,
             pool: None,
+            metrics: Metrics::disabled(),
             ctx: None,
         }
     }
@@ -191,6 +195,18 @@ impl<'t> Run<'t> {
         self
     }
 
+    /// Record run observability into `metrics` (default: a disabled handle
+    /// that records nothing). An enabled handle collects cache behavior,
+    /// per-scheduler phase timings, capacity-displacement counts and — for
+    /// parallel runs — worker-pool usage; read the totals back with
+    /// [`Metrics::report`]. Collection never changes a schedule bit
+    /// (property-tested in `tests/cache_equivalence.rs`).
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self.ctx = None;
+        self
+    }
+
     /// The context this run drives schedulers with (built on first use).
     pub fn context(&mut self) -> &mut SchedContext<'t> {
         if self.ctx.is_none() {
@@ -199,6 +215,7 @@ impl<'t> Run<'t> {
             } else {
                 SchedContext::uncached(self.trace, self.policy)
             };
+            let base = base.with_metrics(self.metrics.clone());
             self.ctx = Some(match self.pool {
                 Some(pool) => base.with_pool(pool),
                 None => base,
@@ -207,21 +224,45 @@ impl<'t> Run<'t> {
         self.ctx.as_mut().expect("context just built")
     }
 
-    /// Run one scheduler.
-    pub fn run(&mut self, scheduler: &dyn Scheduler) -> Schedule {
+    /// Run one scheduler. Returns [`SchedError::CapacityExhausted`] when
+    /// the memory policy cannot hold the working set.
+    pub fn run(&mut self, scheduler: &dyn Scheduler) -> Result<Schedule, SchedError> {
         let trace = self.trace;
-        scheduler.schedule(self.context(), trace)
+        let metrics = self.metrics.clone();
+        let pool_before = if metrics.is_enabled() && self.pool.is_some() {
+            Some(pim_par::stats::snapshot())
+        } else {
+            None
+        };
+        let result = {
+            let _t = metrics.phase(scheduler.name());
+            scheduler.schedule(self.context(), trace)
+        };
+        if let Some(before) = pool_before {
+            let delta = pim_par::stats::snapshot().since(&before);
+            metrics.record_pool(PoolUsage {
+                jobs: delta.jobs,
+                worker_tasks: delta.total_worker_tasks(),
+                submitter_tasks: delta.submitter_tasks,
+                max_worker_tasks: delta.max_worker_tasks(),
+                parks: delta.parks,
+            });
+        }
+        result
     }
 
     /// Run the scheduler registered under `name` (case-insensitive,
-    /// aliases accepted); `None` if no such registration exists.
-    pub fn run_named(&mut self, name: &str) -> Option<Schedule> {
-        let scheduler = registry().get(name)?;
-        Some(self.run(scheduler))
+    /// aliases accepted); [`SchedError::UnknownScheduler`] if no such
+    /// registration exists.
+    pub fn run_named(&mut self, name: &str) -> Result<Schedule, SchedError> {
+        let scheduler = registry()
+            .get(name)
+            .ok_or_else(|| SchedError::UnknownScheduler(name.to_string()))?;
+        self.run(scheduler)
     }
 
     /// Run a [`Method`]'s registered scheduler.
-    pub fn run_method(&mut self, method: Method) -> Schedule {
+    pub fn run_method(&mut self, method: Method) -> Result<Schedule, SchedError> {
         self.run(method.scheduler())
     }
 }
@@ -229,9 +270,16 @@ impl<'t> Run<'t> {
 /// Run one scheduling method over a trace.
 ///
 /// Compatibility shim over [`Run`] — prefer
-/// `Run::new(trace).policy(policy).run_method(method)`.
+/// `Run::new(trace).policy(policy).run_method(method)` for a typed
+/// [`SchedError`] instead of the panic below.
+///
+/// # Panics
+/// Panics when the memory policy cannot hold the working set.
 pub fn schedule(method: Method, trace: &WindowedTrace, policy: MemoryPolicy) -> Schedule {
-    Run::new(trace).policy(policy).run_method(method)
+    Run::new(trace)
+        .policy(policy)
+        .run_method(method)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Run one scheduling method from a prebuilt per-trace cost cache and a
@@ -251,7 +299,10 @@ pub fn schedule_cached<'t>(
 ) -> Schedule {
     let mut ctx = SchedContext::with_cache(trace, policy, cache.clone());
     ctx.swap_workspace(ws);
-    let sched = method.scheduler().schedule(&mut ctx, trace);
+    let sched = method
+        .scheduler()
+        .schedule(&mut ctx, trace)
+        .unwrap_or_else(|e| panic!("{e}"));
     ctx.swap_workspace(ws);
     sched
 }
@@ -266,6 +317,7 @@ pub fn schedule_uncached(method: Method, trace: &WindowedTrace, policy: MemoryPo
         .policy(policy)
         .cached(false)
         .run_method(method)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Run one scheduling method with per-datum parallelism; results are
@@ -281,7 +333,10 @@ pub fn schedule_uncached(method: Method, trace: &WindowedTrace, policy: MemoryPo
 ///
 /// Compatibility shim — prefer `Run::new(trace).parallel(pool)`.
 pub fn schedule_parallel(method: Method, trace: &WindowedTrace, pool: Pool) -> Schedule {
-    Run::new(trace).parallel(pool).run_method(method)
+    Run::new(trace)
+        .parallel(pool)
+        .run_method(method)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Evaluate the registry's comparison set (SCDS, LOMCDS, GOMCDS, grouped
@@ -292,7 +347,10 @@ pub fn compare_methods(trace: &WindowedTrace, policy: MemoryPolicy) -> Vec<(&'st
     let mut run = Run::new(trace).policy(policy);
     registry()
         .comparison_set()
-        .map(|s| (s.name(), run.run(s).evaluate(trace).total()))
+        .map(|s| {
+            let sched = run.run(s).unwrap_or_else(|e| panic!("{e}"));
+            (s.name(), sched.evaluate(trace).total())
+        })
         .collect()
 }
 
@@ -324,7 +382,8 @@ pub fn compare(
     let out_rows = schedulers
         .iter()
         .map(|&s| {
-            let cost = run.run(s).evaluate(trace).total();
+            let sched = run.run(s).unwrap_or_else(|e| panic!("{e}"));
+            let cost = sched.evaluate(trace).total();
             (s.name(), cost, crate::schedule::improvement_pct(sf, cost))
         })
         .collect();
@@ -430,7 +489,7 @@ mod tests {
         let trace = sample_trace();
         let mut run = Run::new(&trace).policy(MemoryPolicy::ScaledMinimum { factor: 2 });
         let a = run.run_named("gomcds").expect("registered");
-        let b = run.run_method(Method::Gomcds);
+        let b = run.run_method(Method::Gomcds).unwrap();
         assert_eq!(a, b);
         assert_eq!(
             a,
@@ -440,7 +499,10 @@ mod tests {
                 MemoryPolicy::ScaledMinimum { factor: 2 }
             )
         );
-        assert!(run.run_named("no-such-method").is_none());
+        assert!(matches!(
+            run.run_named("no-such-method"),
+            Err(SchedError::UnknownScheduler(_))
+        ));
     }
 
     #[test]

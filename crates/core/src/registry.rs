@@ -30,6 +30,7 @@
 //! compatibility and maps 1:1 onto registered names.
 
 use crate::context::SchedContext;
+use crate::error::{ensure_feasible, SchedError};
 use crate::gomcds::Solver;
 use crate::grouping::GroupMethod;
 use crate::schedule::Schedule;
@@ -54,7 +55,16 @@ pub trait Scheduler: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Compute the schedule for `trace` under the context's memory policy.
-    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule;
+    ///
+    /// Every built-in strategy checks feasibility up front and returns
+    /// [`SchedError::CapacityExhausted`] — never panics — when the memory
+    /// spec cannot hold the working set (uniform contract, property-tested
+    /// across the registry in `tests/capacity_compliance.rs`).
+    fn schedule(
+        &self,
+        ctx: &mut SchedContext,
+        trace: &WindowedTrace,
+    ) -> Result<Schedule, SchedError>;
 
     /// One-line human description (shown by `pim-cli list-methods`).
     fn description(&self) -> &'static str {
@@ -97,8 +107,13 @@ impl Scheduler for ScdsScheduler {
         "Algorithm 1: single center per datum, no run-time movement"
     }
 
-    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+    fn schedule(
+        &self,
+        ctx: &mut SchedContext,
+        trace: &WindowedTrace,
+    ) -> Result<Schedule, SchedError> {
         let spec = ctx.spec();
+        ensure_feasible(&ctx.grid(), spec, trace.num_data())?;
         if let Some(pool) = ctx.parallel_pool() {
             if spec.capacity_per_proc == u32::MAX {
                 // Unbounded: every datum is independent — pure fan-out.
@@ -113,12 +128,13 @@ impl Scheduler for ScdsScheduler {
                             .0;
                         vec![c; nw]
                     });
-                return Schedule::new(ctx.grid(), centers);
+                return Ok(Schedule::new(ctx.grid(), centers));
             }
             // Bounded: two-phase — parallel per-datum tables, sequential
             // capacity replay in datum order.
-            let cache = ctx.cache().expect("parallel_pool implies cache");
-            return crate::scds::scds_schedule_parallel(trace, spec, cache, pool);
+            let (cache, ws) = ctx.cache_and_ws();
+            let cache = cache.expect("parallel_pool implies cache");
+            return crate::scds::scds_schedule_parallel(trace, spec, cache, pool, ws);
         }
         match ctx.cache_and_ws() {
             (Some(cache), ws) => crate::scds::scds_schedule_cached(trace, spec, cache, ws),
@@ -140,8 +156,13 @@ impl Scheduler for LomcdsScheduler {
         "per-window local-optimal centers; movement between windows"
     }
 
-    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+    fn schedule(
+        &self,
+        ctx: &mut SchedContext,
+        trace: &WindowedTrace,
+    ) -> Result<Schedule, SchedError> {
         let spec = ctx.spec();
+        ensure_feasible(&ctx.grid(), spec, trace.num_data())?;
         if let Some(pool) = ctx.parallel_pool() {
             if spec.capacity_per_proc == u32::MAX {
                 let cache = ctx.cache().expect("parallel_pool implies cache");
@@ -150,7 +171,7 @@ impl Scheduler for LomcdsScheduler {
                     pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
                         crate::lomcds::lomcds_centers_unconstrained_cached(cache.datum(d), ws)
                     });
-                return Schedule::new(ctx.grid(), centers);
+                return Ok(Schedule::new(ctx.grid(), centers));
             }
             let (cache, ws) = ctx.cache_and_ws();
             let cache = cache.expect("parallel_pool implies cache");
@@ -208,8 +229,13 @@ impl Scheduler for GomcdsScheduler {
         self.solver == Solver::DistanceTransform
     }
 
-    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+    fn schedule(
+        &self,
+        ctx: &mut SchedContext,
+        trace: &WindowedTrace,
+    ) -> Result<Schedule, SchedError> {
         let spec = ctx.spec();
+        ensure_feasible(&ctx.grid(), spec, trace.num_data())?;
         if let Some(pool) = ctx.parallel_pool() {
             if spec.capacity_per_proc == u32::MAX {
                 let cache = ctx.cache().expect("parallel_pool implies cache");
@@ -220,7 +246,7 @@ impl Scheduler for GomcdsScheduler {
                     pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
                         crate::gomcds::gomcds_path_cached(&grid, cache.datum(d), solver, ws).0
                     });
-                return Schedule::new(grid, centers);
+                return Ok(Schedule::new(grid, centers));
             }
             let solver = self.solver;
             let (cache, ws) = ctx.cache_and_ws();
@@ -260,8 +286,13 @@ impl Scheduler for GroupedScheduler {
         }
     }
 
-    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+    fn schedule(
+        &self,
+        ctx: &mut SchedContext,
+        trace: &WindowedTrace,
+    ) -> Result<Schedule, SchedError> {
         let spec = ctx.spec();
+        ensure_feasible(&ctx.grid(), spec, trace.num_data())?;
         if let Some(pool) = ctx.parallel_pool() {
             if spec.capacity_per_proc == u32::MAX {
                 let cache = ctx.cache().expect("parallel_pool implies cache");
@@ -293,7 +324,7 @@ impl Scheduler for GroupedScheduler {
                         }
                         per_window
                     });
-                return Schedule::new(grid, centers);
+                return Ok(Schedule::new(grid, centers));
             }
             let place = self.place;
             let (cache, ws) = ctx.cache_and_ws();
@@ -365,12 +396,23 @@ impl Scheduler for BaselineScheduler {
         false
     }
 
-    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+    fn schedule(
+        &self,
+        ctx: &mut SchedContext,
+        trace: &WindowedTrace,
+    ) -> Result<Schedule, SchedError> {
+        // The layout itself ignores capacity, but the uniform registry
+        // contract still rejects an array that cannot hold the data.
+        ensure_feasible(&ctx.grid(), ctx.spec(), trace.num_data())?;
         let nd = trace.num_data() as u32;
         let rows = (nd as f64).sqrt().floor().max(1.0) as u32;
         let cols = (nd / rows).max(1);
-        let _ = ctx;
-        crate::baseline::layout_schedule(trace, rows, cols, self.layout)
+        Ok(crate::baseline::layout_schedule(
+            trace,
+            rows,
+            cols,
+            self.layout,
+        ))
     }
 }
 
@@ -409,7 +451,11 @@ impl Scheduler for OnlineScheduler {
         false
     }
 
-    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+    fn schedule(
+        &self,
+        ctx: &mut SchedContext,
+        trace: &WindowedTrace,
+    ) -> Result<Schedule, SchedError> {
         crate::online::online_schedule(
             trace,
             crate::online::OnlinePolicy {
@@ -450,7 +496,11 @@ impl Scheduler for KCopyScheduler {
         false
     }
 
-    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+    fn schedule(
+        &self,
+        ctx: &mut SchedContext,
+        trace: &WindowedTrace,
+    ) -> Result<Schedule, SchedError> {
         GomcdsScheduler::fast().schedule(ctx, trace)
     }
 }
@@ -474,7 +524,11 @@ impl Scheduler for ReplicateScheduler {
         false
     }
 
-    fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+    fn schedule(
+        &self,
+        ctx: &mut SchedContext,
+        trace: &WindowedTrace,
+    ) -> Result<Schedule, SchedError> {
         GomcdsScheduler::fast().schedule(ctx, trace)
     }
 }
@@ -685,12 +739,20 @@ mod tests {
             fn name(&self) -> &'static str {
                 "stay-put"
             }
-            fn schedule(&self, ctx: &mut SchedContext, trace: &WindowedTrace) -> Schedule {
+            fn schedule(
+                &self,
+                ctx: &mut SchedContext,
+                trace: &WindowedTrace,
+            ) -> Result<Schedule, SchedError> {
                 let m = ctx.grid().num_procs() as u32;
                 let placement = (0..trace.num_data() as u32)
                     .map(|d| ProcId(d % m))
                     .collect();
-                Schedule::static_placement(ctx.grid(), placement, trace.num_windows())
+                Ok(Schedule::static_placement(
+                    ctx.grid(),
+                    placement,
+                    trace.num_windows(),
+                ))
             }
         }
         let mut r = SchedulerRegistry::new();
@@ -698,7 +760,11 @@ mod tests {
         let grid = Grid::new(2, 2);
         let trace = WindowedTrace::from_parts(grid, vec![vec![WindowRefs::new()]; 5]);
         let mut ctx = SchedContext::new(&trace, MemoryPolicy::Unbounded);
-        let s = r.get("STAY-PUT").unwrap().schedule(&mut ctx, &trace);
+        let s = r
+            .get("STAY-PUT")
+            .unwrap()
+            .schedule(&mut ctx, &trace)
+            .unwrap();
         assert_eq!(s.center(DataId(4), 0), ProcId(0));
         assert!(r.comparison_set().any(|s| s.name() == "stay-put"));
     }

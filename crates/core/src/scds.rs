@@ -9,6 +9,7 @@
 use crate::cache::CostCache;
 use crate::capacity::ProcessorList;
 use crate::cost::cost_table;
+use crate::error::{ensure_feasible, exhausted, SchedError};
 use crate::schedule::Schedule;
 use crate::workspace::Workspace;
 use pim_array::memory::{MemoryMap, MemorySpec};
@@ -19,11 +20,13 @@ use pim_trace::window::WindowedTrace;
 ///
 /// # Panics
 /// Panics if the total memory of the array cannot hold one copy of every
-/// datum (`spec.capacity_per_proc × num_procs < num_data`).
+/// datum (`spec.capacity_per_proc × num_procs < num_data`). Use the
+/// [`crate::Run`] pipeline (or [`scds_schedule_cached`]) for a typed
+/// [`SchedError`] instead.
 pub fn scds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
     let cache = CostCache::build(trace);
     let mut ws = Workspace::new();
-    scds_schedule_cached(trace, spec, &cache, &mut ws)
+    scds_schedule_cached(trace, spec, &cache, &mut ws).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`scds_schedule`] served from a shared per-trace cost cache: each
@@ -31,18 +34,18 @@ pub fn scds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
 /// query — one pass over the raw references straight into the axis
 /// projections, with no merged list materialized and no prefix-table
 /// build (the cache stays lazy for this single-query-per-datum shape).
+///
+/// Returns [`SchedError::CapacityExhausted`] when the memory spec cannot
+/// hold every datum.
 pub fn scds_schedule_cached(
     trace: &WindowedTrace,
     spec: MemorySpec,
     cache: &CostCache,
     ws: &mut Workspace,
-) -> Schedule {
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
-    assert!(
-        spec.feasible(&grid, trace.num_data()),
-        "memory spec cannot hold {} data items on {grid}",
-        trace.num_data()
-    );
+    ensure_feasible(&grid, spec, trace.num_data())?;
+    let metrics = ws.metrics.clone();
     let mut mem = MemoryMap::new(&grid, spec);
     let mut placement = Vec::with_capacity(trace.num_data());
     for d in 0..trace.num_data() {
@@ -50,12 +53,17 @@ pub fn scds_schedule_cached(
             .datum(DataId(d as u32))
             .full_table(&mut ws.axes, &mut ws.table);
         let list = ProcessorList::from_cost_table(&ws.table);
-        let p = list
-            .assign(&mut mem)
-            .expect("feasibility checked: some processor has room");
+        let (p, rank) = list
+            .assign_ranked(&mut mem)
+            .ok_or_else(|| exhausted(DataId(d as u32), None))?;
+        metrics.record_placement(rank);
         placement.push(p);
     }
-    Schedule::static_placement(grid, placement, trace.num_windows())
+    Ok(Schedule::static_placement(
+        grid,
+        placement,
+        trace.num_windows(),
+    ))
 }
 
 /// Two-phase parallel SCDS, bit-identical to the sequential
@@ -68,52 +76,60 @@ pub fn scds_schedule_parallel(
     spec: MemorySpec,
     cache: &CostCache<'_>,
     pool: pim_par::Pool,
-) -> Schedule {
+    ws: &mut Workspace,
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
-    assert!(
-        spec.feasible(&grid, trace.num_data()),
-        "memory spec cannot hold {} data items on {grid}",
-        trace.num_data()
-    );
+    ensure_feasible(&grid, spec, trace.num_data())?;
+    let metrics = ws.metrics.clone();
     let ids: Vec<_> = trace.iter_data().map(|(d, _)| d).collect();
-    let lists = pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
-        cache.datum(d).full_table(&mut ws.axes, &mut ws.table);
-        ProcessorList::from_cost_table(&ws.table)
-    });
-    let mut mem = MemoryMap::new(&grid, spec);
-    let placement = lists
-        .iter()
-        .map(|list| {
-            list.assign(&mut mem)
-                .expect("feasibility checked: some processor has room")
+    let lists = {
+        let _t = metrics.phase("SCDS/phase1-lists");
+        pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+            cache.datum(d).full_table(&mut ws.axes, &mut ws.table);
+            ProcessorList::from_cost_table(&ws.table)
         })
-        .collect();
-    Schedule::static_placement(grid, placement, trace.num_windows())
+    };
+    let _t = metrics.phase("SCDS/phase2-replay");
+    let mut mem = MemoryMap::new(&grid, spec);
+    let mut placement = Vec::with_capacity(lists.len());
+    for (i, list) in lists.iter().enumerate() {
+        let (p, rank) = list
+            .assign_ranked(&mut mem)
+            .ok_or_else(|| exhausted(DataId(i as u32), None))?;
+        metrics.record_placement(rank);
+        placement.push(p);
+    }
+    Ok(Schedule::static_placement(
+        grid,
+        placement,
+        trace.num_windows(),
+    ))
 }
 
 /// Pre-cache reference implementation (merges each reference string and
 /// runs [`cost_table`] directly). Bit-identical to [`scds_schedule`];
 /// kept for the equivalence property tests and benches.
-pub fn scds_schedule_uncached(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
+pub fn scds_schedule_uncached(
+    trace: &WindowedTrace,
+    spec: MemorySpec,
+) -> Result<Schedule, SchedError> {
     let grid = trace.grid();
-    assert!(
-        spec.feasible(&grid, trace.num_data()),
-        "memory spec cannot hold {} data items on {grid}",
-        trace.num_data()
-    );
+    ensure_feasible(&grid, spec, trace.num_data())?;
     let mut mem = MemoryMap::new(&grid, spec);
     let mut table = Vec::new();
     let mut placement = Vec::with_capacity(trace.num_data());
-    for (_, rs) in trace.iter_data() {
+    for (d, rs) in trace.iter_data() {
         let merged = rs.merged_all();
         cost_table(&grid, &merged, &mut table);
         let list = ProcessorList::from_cost_table(&table);
-        let p = list
-            .assign(&mut mem)
-            .expect("feasibility checked: some processor has room");
+        let p = list.assign(&mut mem).ok_or_else(|| exhausted(d, None))?;
         placement.push(p);
     }
-    Schedule::static_placement(grid, placement, trace.num_windows())
+    Ok(Schedule::static_placement(
+        grid,
+        placement,
+        trace.num_windows(),
+    ))
 }
 
 #[cfg(test)]
@@ -177,5 +193,16 @@ mod tests {
         let grid = Grid::new(2, 1);
         let trace = WindowedTrace::from_parts(grid, vec![vec![WindowRefs::new()]; 3]);
         scds_schedule(&trace, MemorySpec::uniform(1));
+    }
+
+    #[test]
+    fn infeasible_capacity_errors_through_cached_entry() {
+        let grid = Grid::new(2, 1);
+        let trace = WindowedTrace::from_parts(grid, vec![vec![WindowRefs::new()]; 3]);
+        let cache = CostCache::build(&trace);
+        let mut ws = Workspace::new();
+        let err = scds_schedule_cached(&trace, MemorySpec::uniform(1), &cache, &mut ws)
+            .expect_err("3 data cannot fit 2 slots");
+        assert!(matches!(err, SchedError::CapacityExhausted { .. }));
     }
 }

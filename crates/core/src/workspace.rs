@@ -14,11 +14,16 @@
 
 use crate::cost::AxisScratch;
 use pim_array::grid::ProcId;
+use pim_metrics::Metrics;
 
 /// Bundled scratch buffers for the hot scheduling path. Construct once per
 /// thread and pass to the `*_cached` scheduler entry points.
 #[derive(Debug, Default)]
 pub struct Workspace {
+    /// Metrics sink the `*_cached` capacity loops record placements into.
+    /// Disabled (a no-op) by default; [`crate::SchedContext::with_metrics`]
+    /// installs an enabled handle.
+    pub(crate) metrics: Metrics,
     /// Axis-projection and sweep buffers for separable cost tables.
     pub(crate) axes: AxisScratch,
     /// General cost-table output row (`m` entries).

@@ -107,7 +107,7 @@ impl Executor {
             }
             let spawned = std::thread::Builder::new()
                 .name(format!("pim-par-{have}"))
-                .spawn(move || self.worker_loop());
+                .spawn(move || self.worker_loop(have));
             if spawned.is_err() {
                 // Could not create the thread (resource limit). Undo the
                 // reservation; jobs still complete because the submitter
@@ -118,7 +118,8 @@ impl Executor {
         }
     }
 
-    fn worker_loop(&self) {
+    fn worker_loop(&self, index: usize) {
+        crate::stats::register_worker(index);
         loop {
             let job = {
                 let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
@@ -126,6 +127,7 @@ impl Executor {
                     if let Some(job) = q.pop_front() {
                         break job;
                     }
+                    crate::stats::note_park();
                     q = self
                         .available
                         .wait(q)
@@ -158,6 +160,7 @@ pub(crate) fn run_job(extra_workers: usize, body: &(dyn Fn() + Sync)) {
         panic: Mutex::new(None),
     });
 
+    crate::stats::note_job();
     let ex = executor();
     ex.ensure_workers(extra_workers);
     {

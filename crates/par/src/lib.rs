@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod counter;
 mod executor;
+pub mod stats;
 
 /// Execution-width policy for the parallel helpers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +141,7 @@ where
     let threads = pool.threads().min(n.div_ceil(chunk));
     if threads <= 1 {
         let mut state = init();
+        stats::note_tasks(n as u64);
         return items
             .iter()
             .enumerate()
@@ -162,6 +164,7 @@ where
                 break;
             }
             let end = (start + chunk).min(n);
+            stats::note_tasks((end - start) as u64);
             for i in start..end {
                 let value = f(&mut state, i, &items[i]);
                 // SAFETY: each index is claimed by exactly one participant

@@ -1,0 +1,171 @@
+//! Always-on utilization counters for the process-wide worker pool.
+//!
+//! The pool records how much work it actually does — jobs submitted, items
+//! executed per worker thread vs. on the submitting thread, and how often
+//! workers park on the condvar — as process-wide relaxed atomics. The
+//! counters are cheap enough to leave on unconditionally (one relaxed add
+//! per claimed *chunk*, not per item), which keeps `pim-par` free of any
+//! metrics dependency: observability layers take a [`snapshot`] before and
+//! after a region and diff with [`PoolSnapshot::since`].
+//!
+//! Counters are cumulative for the process. Concurrent jobs from other
+//! threads interleave into the same counters, so a delta brackets the
+//! region's own work plus whatever ran alongside it — exact attribution
+//! would need per-job plumbing the hot path doesn't want to pay for.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-worker task counters are tracked for this many worker threads;
+/// workers beyond the limit fold into slot `index % MAX_TRACKED_WORKERS`.
+/// The pool is grow-only and sized to the machine, so in practice every
+/// worker gets its own slot.
+pub const MAX_TRACKED_WORKERS: usize = 64;
+
+static JOBS: AtomicU64 = AtomicU64::new(0);
+static SUBMITTER_TASKS: AtomicU64 = AtomicU64::new(0);
+static PARKS: AtomicU64 = AtomicU64::new(0);
+static WORKER_TASKS: [AtomicU64; MAX_TRACKED_WORKERS] =
+    [const { AtomicU64::new(0) }; MAX_TRACKED_WORKERS];
+
+thread_local! {
+    /// Which tracked worker slot this thread charges tasks to; `None` on
+    /// every thread that is not a pool worker (tasks count as submitter
+    /// participation instead).
+    static WORKER_SLOT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Mark the current thread as pool worker `index` (called once from the
+/// worker loop before it starts draining jobs).
+pub(crate) fn register_worker(index: usize) {
+    WORKER_SLOT.with(|s| s.set(Some(index % MAX_TRACKED_WORKERS)));
+}
+
+/// Count one job handed to the pool.
+pub(crate) fn note_job() {
+    JOBS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count one condvar park of an idle worker.
+pub(crate) fn note_park() {
+    PARKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Charge `n` executed items to the current thread (worker slot or
+/// submitter).
+pub(crate) fn note_tasks(n: u64) {
+    if n == 0 {
+        return;
+    }
+    match WORKER_SLOT.with(Cell::get) {
+        Some(slot) => {
+            WORKER_TASKS[slot].fetch_add(n, Ordering::Relaxed);
+        }
+        None => {
+            SUBMITTER_TASKS.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Cumulative pool counters at one point in time. Monotone per field;
+/// diff two snapshots with [`since`](PoolSnapshot::since) to bracket a
+/// region of interest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Jobs submitted to the pool (serial fallbacks are not jobs).
+    pub jobs: u64,
+    /// Items executed on submitting (non-worker) threads, including the
+    /// serial fallback path.
+    pub submitter_tasks: u64,
+    /// Condvar parks of idle workers.
+    pub parks: u64,
+    /// Items executed per tracked worker slot.
+    pub worker_tasks: Vec<u64>,
+}
+
+impl PoolSnapshot {
+    /// Items executed on pool workers, summed over every slot.
+    pub fn total_worker_tasks(&self) -> u64 {
+        self.worker_tasks.iter().sum()
+    }
+
+    /// Items executed by the busiest single worker slot.
+    pub fn max_worker_tasks(&self) -> u64 {
+        self.worker_tasks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Field-wise delta since an `earlier` snapshot (saturating, so a
+    /// stale or foreign snapshot can never underflow).
+    pub fn since(&self, earlier: &PoolSnapshot) -> PoolSnapshot {
+        PoolSnapshot {
+            jobs: self.jobs.saturating_sub(earlier.jobs),
+            submitter_tasks: self.submitter_tasks.saturating_sub(earlier.submitter_tasks),
+            parks: self.parks.saturating_sub(earlier.parks),
+            worker_tasks: self
+                .worker_tasks
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v.saturating_sub(earlier.worker_tasks.get(i).copied().unwrap_or(0)))
+                .collect(),
+        }
+    }
+}
+
+/// Read the cumulative counters.
+pub fn snapshot() -> PoolSnapshot {
+    PoolSnapshot {
+        jobs: JOBS.load(Ordering::Relaxed),
+        submitter_tasks: SUBMITTER_TASKS.load(Ordering::Relaxed),
+        parks: PARKS.load(Ordering::Relaxed),
+        worker_tasks: WORKER_TASKS
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parallel_map, Pool};
+
+    #[test]
+    fn snapshot_delta_accounts_for_every_item() {
+        let before = snapshot();
+        let items: Vec<u64> = (0..200).collect();
+        let out = parallel_map(Pool::with_threads(4), &items, |_, &x| x + 1);
+        assert_eq!(out.len(), 200);
+        let delta = snapshot().since(&before);
+        // Other tests may run concurrently, so the delta is a lower bound
+        // on this map's work, never less.
+        assert!(
+            delta.total_worker_tasks() + delta.submitter_tasks >= 200,
+            "delta lost items: {delta:?}"
+        );
+        assert!(delta.jobs >= 1, "a 4-wide map must submit a pool job");
+    }
+
+    #[test]
+    fn serial_fallback_charges_the_submitter() {
+        let before = snapshot();
+        let items: Vec<u64> = (0..50).collect();
+        let _ = parallel_map(Pool::serial(), &items, |_, &x| x);
+        let delta = snapshot().since(&before);
+        assert!(delta.submitter_tasks >= 50, "serial items: {delta:?}");
+    }
+
+    #[test]
+    fn since_saturates_against_foreign_snapshots() {
+        let later = snapshot();
+        let fake = PoolSnapshot {
+            jobs: u64::MAX,
+            submitter_tasks: u64::MAX,
+            parks: u64::MAX,
+            worker_tasks: vec![u64::MAX; MAX_TRACKED_WORKERS],
+        };
+        let delta = later.since(&fake);
+        assert_eq!(delta.jobs, 0);
+        assert_eq!(delta.total_worker_tasks(), 0);
+        assert_eq!(delta.max_worker_tasks(), 0);
+    }
+}

@@ -27,7 +27,9 @@ pub fn window_completion_time(grid: &Grid, messages: &[Message]) -> u64 {
     let mut occupancy = vec![0u64; links.num_slots()];
     let mut latency_bound = 0u64;
     for m in messages {
-        if m.is_local() {
+        // Zero-volume messages carry no flits: they neither occupy a link
+        // nor serialize, and `dist + volume − 1` would underflow on them.
+        if m.is_local() || m.volume == 0 {
             continue;
         }
         let dist = grid.dist(m.src, m.dst);
@@ -65,6 +67,18 @@ mod tests {
         // local messages are free too
         let local = msg(&g, 1, 1, 1, 1, 9);
         assert_eq!(window_completion_time(&g, &[local]), 0);
+    }
+
+    #[test]
+    fn zero_volume_message_is_free() {
+        // Regression: `dist + volume − 1` used to underflow (debug panic,
+        // release wrap to u64::MAX) on a remote message with volume 0.
+        let g = Grid::new(4, 4);
+        let empty = msg(&g, 0, 0, 3, 3, 0);
+        assert_eq!(window_completion_time(&g, &[empty]), 0);
+        // and it never dominates real traffic
+        let real = msg(&g, 0, 0, 1, 0, 2);
+        assert_eq!(window_completion_time(&g, &[empty, real]), 2);
     }
 
     #[test]

@@ -153,31 +153,36 @@ pub fn simulate(trace: &WindowedTrace, schedule: &Schedule, pool: Pool) -> SimRe
 /// whatever strategy the registry hands it, with no per-method code here.
 ///
 /// The same `pool` parallelizes both the scheduling pass (per-datum, when
-/// the policy is unbounded) and the routing pass (per-window).
+/// the policy is unbounded) and the routing pass (per-window). Scheduling
+/// failures (e.g. [`pim_sched::SchedError::CapacityExhausted`]) propagate
+/// as the typed error — nothing panics on an infeasible policy.
 pub fn simulate_scheduler(
     scheduler: &dyn pim_sched::Scheduler,
     trace: &WindowedTrace,
     policy: pim_sched::MemoryPolicy,
     pool: Pool,
-) -> (Schedule, SimReport) {
+) -> Result<(Schedule, SimReport), pim_sched::SchedError> {
     let schedule = pim_sched::Run::new(trace)
         .policy(policy)
         .parallel(pool)
-        .run(scheduler);
+        .run(scheduler)?;
     let report = simulate(trace, &schedule, pool);
-    (schedule, report)
+    Ok((schedule, report))
 }
 
 /// [`simulate_scheduler`] by registry name (case-insensitive, aliases
-/// accepted); `None` when no scheduler is registered under `name`.
+/// accepted); [`pim_sched::SchedError::UnknownScheduler`] when no
+/// scheduler is registered under `name`.
 pub fn simulate_named(
     name: &str,
     trace: &WindowedTrace,
     policy: pim_sched::MemoryPolicy,
     pool: Pool,
-) -> Option<(Schedule, SimReport)> {
-    let scheduler = pim_sched::registry().get(name)?;
-    Some(simulate_scheduler(scheduler, trace, policy, pool))
+) -> Result<(Schedule, SimReport), pim_sched::SchedError> {
+    let scheduler = pim_sched::registry()
+        .get(name)
+        .ok_or_else(|| pim_sched::SchedError::UnknownScheduler(name.to_string()))?;
+    simulate_scheduler(scheduler, trace, policy, pool)
 }
 
 #[cfg(test)]
@@ -283,7 +288,8 @@ mod tests {
                 &trace,
                 pim_sched::MemoryPolicy::Unbounded,
                 Pool::serial(),
-            );
+            )
+            .unwrap();
             assert_eq!(
                 report.total_hop_volume(),
                 schedule.evaluate(&trace).total(),
@@ -297,13 +303,15 @@ mod tests {
             pim_sched::MemoryPolicy::Unbounded,
             Pool::serial()
         )
-        .is_some());
-        assert!(simulate_named(
-            "no-such",
-            &trace,
-            pim_sched::MemoryPolicy::Unbounded,
-            Pool::serial()
-        )
-        .is_none());
+        .is_ok());
+        assert!(matches!(
+            simulate_named(
+                "no-such",
+                &trace,
+                pim_sched::MemoryPolicy::Unbounded,
+                Pool::serial()
+            ),
+            Err(pim_sched::SchedError::UnknownScheduler(_))
+        ));
     }
 }

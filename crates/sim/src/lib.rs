@@ -19,6 +19,7 @@
 //! * [`engine`] — trace + schedule → messages → routed statistics.
 //! * [`contention`] — completion-time estimates per window.
 //! * [`report`] — aggregated results with human-readable rendering.
+//! * [`run_report`] — analytic + routed + metrics in one export record.
 
 pub mod contention;
 pub mod cycle;
@@ -26,7 +27,9 @@ pub mod engine;
 pub mod heatmap;
 pub mod message;
 pub mod report;
+pub mod run_report;
 pub mod traffic;
 
 pub use engine::{simulate, simulate_named, simulate_scheduler};
 pub use report::SimReport;
+pub use run_report::{collect_run_report, RunReport};

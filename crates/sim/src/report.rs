@@ -76,28 +76,37 @@ impl SimReport {
     }
 
     /// The most loaded link and its volume, if any traffic flowed.
+    ///
+    /// Ties break deterministically to the **lowest link slot** (the
+    /// first maximal link in [`LinkIndex`] order): the scan only replaces
+    /// the champion on a strictly greater volume, so equal-volume links
+    /// keep the earliest slot.
     pub fn hottest_link(&self) -> Option<(pim_array::routing::Link, u64)> {
         let links = LinkIndex::new(self.grid);
-        self.link_volume
-            .iter()
-            .enumerate()
-            .filter(|&(_, &v)| v > 0)
-            .max_by_key(|&(slot, &v)| (v, usize::MAX - slot))
-            .and_then(|(slot, &v)| links.link_of(slot).map(|l| (l, v)))
+        let mut best: Option<(usize, u64)> = None;
+        for (slot, &v) in self.link_volume.iter().enumerate() {
+            if v > 0 && best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((slot, v));
+            }
+        }
+        best.and_then(|(slot, v)| links.link_of(slot).map(|l| (l, v)))
     }
 
-    /// Mean volume over links that carried any traffic.
+    /// Mean volume over links that carried any traffic. One pass over the
+    /// link table — no per-call allocation.
     pub fn mean_active_link_volume(&self) -> f64 {
-        let active: Vec<u64> = self
-            .link_volume
-            .iter()
-            .copied()
-            .filter(|&v| v > 0)
-            .collect();
-        if active.is_empty() {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for &v in &self.link_volume {
+            if v > 0 {
+                sum += v;
+                count += 1;
+            }
+        }
+        if count == 0 {
             0.0
         } else {
-            active.iter().sum::<u64>() as f64 / active.len() as f64
+            sum as f64 / count as f64
         }
     }
 
@@ -197,6 +206,19 @@ mod tests {
         assert_eq!(link.from, pim_array::grid::ProcId(0));
         assert_eq!(r.mean_active_link_volume(), 4.0);
         assert_eq!(r.link_imbalance(), 1.5);
+    }
+
+    #[test]
+    fn hottest_link_ties_pick_lowest_slot() {
+        let grid = Grid::new(2, 2);
+        let links = LinkIndex::new(grid);
+        // every link carries the same volume → slot 0's link must win
+        let lv = vec![3u64; links.num_slots()];
+        let r = SimReport::new(grid, vec![], lv);
+        let (link, v) = r.hottest_link().unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(links.index_of(link), 0, "tie must resolve to slot 0");
+        assert_eq!(links.link_of(0), Some(link));
     }
 
     #[test]

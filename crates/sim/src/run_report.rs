@@ -1,0 +1,262 @@
+//! One unified record per scheduling run: analytic cost, routed traffic
+//! and collected [`Metrics`] side by side.
+//!
+//! The analytic model (`pim-sched`), the routed simulation (this crate)
+//! and the observability layer (`pim-metrics`) each describe the same run
+//! from a different angle. [`RunReport`] flattens all three into a single
+//! serializable row — the export format behind `pim-cli run --metrics`
+//! and the per-row `"metrics"` objects in `BENCH_sched.json` — and
+//! [`collect_run_report`] is the one-call front end that produces it.
+//!
+//! JSON is hand-rolled ([`RunReport::to_json`]): the vendored `serde`
+//! shim provides derive markers only, no serializer.
+
+use crate::report::SimReport;
+use pim_par::Pool;
+use pim_sched::schedule::{CostBreakdown, Schedule};
+use pim_sched::{MemoryPolicy, Metrics, MetricsReport, Run, SchedError};
+use pim_trace::window::WindowedTrace;
+use serde::Serialize;
+
+/// Everything one run produced, in export order.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Registry name of the scheduler that produced the run.
+    pub scheduler: String,
+    /// Memory policy the run scheduled under (debug form).
+    pub policy: String,
+    /// Analytic total cost — must equal `total_hop_volume`.
+    pub analytic_total: u64,
+    /// Analytic volume-weighted reference traffic.
+    pub analytic_reference: u64,
+    /// Analytic inter-window movement traffic.
+    pub analytic_movement: u64,
+    /// Routed hop-volume over all windows.
+    pub total_hop_volume: u64,
+    /// Routed fetch hop-volume.
+    pub fetch_hop_volume: u64,
+    /// Routed move hop-volume.
+    pub move_hop_volume: u64,
+    /// Sum of per-window completion-time lower bounds.
+    pub completion_time: u64,
+    /// Most loaded link (`"src->dst"`), if any traffic flowed.
+    pub hottest_link: Option<String>,
+    /// Volume on the hottest link (0 when no traffic flowed).
+    pub hottest_link_volume: u64,
+    /// Mean volume over links that carried traffic.
+    pub mean_active_link_volume: f64,
+    /// Hottest over mean active link volume.
+    pub link_imbalance: f64,
+    /// Scheduler-side observability (cache, phases, placements, pool).
+    pub metrics: MetricsReport,
+}
+
+impl RunReport {
+    /// Assemble a report from the pieces a caller already has (the bench
+    /// tables schedule and simulate themselves; [`collect_run_report`]
+    /// does the whole pipeline for everyone else).
+    pub fn from_parts(
+        scheduler: &str,
+        policy: MemoryPolicy,
+        analytic: CostBreakdown,
+        sim: &SimReport,
+        metrics: MetricsReport,
+    ) -> Self {
+        let (hottest_link, hottest_link_volume) = match sim.hottest_link() {
+            Some((l, v)) => (Some(l.to_string()), v),
+            None => (None, 0),
+        };
+        RunReport {
+            scheduler: scheduler.to_string(),
+            policy: format!("{policy:?}"),
+            analytic_total: analytic.total(),
+            analytic_reference: analytic.reference,
+            analytic_movement: analytic.movement,
+            total_hop_volume: sim.total_hop_volume(),
+            fetch_hop_volume: sim.total_fetch_hop_volume(),
+            move_hop_volume: sim.total_move_hop_volume(),
+            completion_time: sim.total_completion_time(),
+            hottest_link,
+            hottest_link_volume,
+            mean_active_link_volume: sim.mean_active_link_volume(),
+            link_imbalance: sim.link_imbalance(),
+            metrics,
+        }
+    }
+
+    /// Serialize as one JSON object.
+    pub fn to_json(&self) -> String {
+        let hottest = match &self.hottest_link {
+            Some(l) => format!("\"{}\"", escape_json(l)),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"scheduler\":\"{}\",\"policy\":\"{}\",",
+                "\"analytic\":{{\"total\":{},\"reference\":{},\"movement\":{}}},",
+                "\"sim\":{{\"total_hop_volume\":{},\"fetch_hop_volume\":{},",
+                "\"move_hop_volume\":{},\"completion_time\":{},",
+                "\"hottest_link\":{},\"hottest_link_volume\":{},",
+                "\"mean_active_link_volume\":{:.4},\"link_imbalance\":{:.4}}},",
+                "\"metrics\":{}}}"
+            ),
+            escape_json(&self.scheduler),
+            escape_json(&self.policy),
+            self.analytic_total,
+            self.analytic_reference,
+            self.analytic_movement,
+            self.total_hop_volume,
+            self.fetch_hop_volume,
+            self.move_hop_volume,
+            self.completion_time,
+            hottest,
+            self.hottest_link_volume,
+            self.mean_active_link_volume,
+            self.link_imbalance,
+            self.metrics.to_json(),
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// enough for scheduler names, policy debug strings and link labels.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Schedule `name` over `trace` under `policy`, simulate the result, and
+/// return the unified report (plus the schedule for further use).
+///
+/// `metrics` decides the observability depth: pass
+/// [`Metrics::enabled()`] to collect cache/phase/placement/pool data, or
+/// [`Metrics::disabled()`] for a zero-overhead run whose report carries
+/// `"enabled": false` and zeros. The schedule is bit-identical either way
+/// (property-tested in the conformance suite).
+pub fn collect_run_report(
+    name: &str,
+    trace: &WindowedTrace,
+    policy: MemoryPolicy,
+    pool: Pool,
+    metrics: Metrics,
+) -> Result<(Schedule, RunReport), SchedError> {
+    let schedule = Run::new(trace)
+        .policy(policy)
+        .parallel(pool)
+        .metrics(metrics.clone())
+        .run_named(name)?;
+    let sim = crate::simulate(trace, &schedule, pool);
+    let analytic = schedule.evaluate(trace);
+    let canonical = pim_sched::registry()
+        .get(name)
+        .map(|s| s.name())
+        .unwrap_or(name);
+    let report = RunReport::from_parts(canonical, policy, analytic, &sim, metrics.report());
+    Ok((schedule, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_array::grid::Grid;
+    use pim_trace::window::{WindowRefs, WindowedTrace};
+
+    /// The paper's running example shape: a 4×4 array.
+    fn paper_trace() -> WindowedTrace {
+        let grid = Grid::new(4, 4);
+        WindowedTrace::from_parts(
+            grid,
+            vec![
+                vec![
+                    WindowRefs::from_pairs([(grid.proc_xy(0, 0), 3)]),
+                    WindowRefs::from_pairs([(grid.proc_xy(3, 3), 2)]),
+                ],
+                vec![
+                    WindowRefs::from_pairs([(grid.proc_xy(2, 1), 1)]),
+                    WindowRefs::from_pairs([(grid.proc_xy(1, 2), 4)]),
+                ],
+            ],
+        )
+    }
+
+    #[test]
+    fn total_hop_volume_equals_analytic_cost() {
+        let trace = paper_trace();
+        for name in ["SCDS", "LOMCDS", "GOMCDS"] {
+            let (schedule, report) = collect_run_report(
+                name,
+                &trace,
+                MemoryPolicy::Unbounded,
+                Pool::serial(),
+                Metrics::enabled(),
+            )
+            .unwrap();
+            assert_eq!(
+                report.total_hop_volume,
+                schedule.evaluate(&trace).total(),
+                "{name}: routed volume vs analytic cost"
+            );
+            assert_eq!(report.analytic_total, report.total_hop_volume);
+            assert!(report.metrics.enabled);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        let trace = paper_trace();
+        let err = collect_run_report(
+            "no-such",
+            &trace,
+            MemoryPolicy::Unbounded,
+            Pool::serial(),
+            Metrics::disabled(),
+        )
+        .expect_err("unknown scheduler");
+        assert!(matches!(err, SchedError::UnknownScheduler(_)));
+    }
+
+    #[test]
+    fn json_has_the_three_sections() {
+        let trace = paper_trace();
+        let (_, report) = collect_run_report(
+            "gomcds",
+            &trace,
+            MemoryPolicy::Capacity(2),
+            Pool::serial(),
+            Metrics::enabled(),
+        )
+        .unwrap();
+        let json = report.to_json();
+        for key in [
+            "\"scheduler\":\"GOMCDS\"",
+            "\"policy\":",
+            "\"analytic\":",
+            "\"sim\":",
+            "\"total_hop_volume\":",
+            "\"hottest_link\":",
+            "\"metrics\":",
+            "\"enabled\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains("\\u{"), "raw rust escapes leaked");
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\ny");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

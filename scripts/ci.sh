@@ -10,6 +10,9 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== cargo test --doc -q =="
+cargo test --doc -q
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
@@ -27,5 +30,31 @@ echo "== cargo doc --no-deps (first-party, -D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p pim-array -p pim-trace -p pim-par -p pim-workloads \
   -p pim-sched -p pim-sim -p pim-cli -p pim-bench
+
+# Metrics export smoke: `--metrics` must emit JSON that parses and
+# carries the three RunReport sections. Falls back to grep when no
+# python3 is on the PATH.
+echo "== --metrics smoke run =="
+metrics_tmp="$(mktemp -d)"
+trap 'rm -rf "$metrics_tmp"' EXIT
+(cd "$metrics_tmp" && "$OLDPWD/target/release/pim-cli" \
+  run --bench 3 --size 8 --method gomcds --metrics run_metrics.json)
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$metrics_tmp/run_metrics.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for key in ("scheduler", "analytic", "sim", "metrics"):
+    assert key in report, f"missing {key!r} in RunReport"
+assert report["metrics"]["enabled"] is True
+assert report["analytic"]["total"] == report["sim"]["total_hop_volume"]
+print("run_metrics.json: parses, all sections present")
+PY
+else
+  for key in '"scheduler"' '"analytic"' '"sim"' '"metrics"' '"enabled": true'; do
+    grep -q "$key" "$metrics_tmp/run_metrics.json" \
+      || { echo "run_metrics.json missing $key"; exit 1; }
+  done
+  echo "run_metrics.json: expected keys present (grep fallback)"
+fi
 
 echo "ci: all green"

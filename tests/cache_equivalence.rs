@@ -13,7 +13,9 @@
 //! *registered* strategy — including `baseline`/`online`/`kcopy`/
 //! `replicate`, which have no `Method` variant — through the cached,
 //! uncached, and parallel execution wrappers of [`pim_sched::Run`] and
-//! requires all three to agree exactly.
+//! requires all three to agree exactly. The same discipline covers the
+//! observability layer: `metrics_never_change_a_schedule_bit` proves that
+//! attaching an enabled [`pim_sched::Metrics`] sink is pure observation.
 
 use pim_array::grid::{Grid, ProcId};
 use pim_par::Pool;
@@ -144,6 +146,43 @@ proptest! {
                     &cached, &parallel,
                     "{} under {:?}: parallel != cached", scheduler.name(), policy
                 );
+            }
+        }
+    }
+
+    /// Metrics collection is pure observation: for every registered
+    /// scheduler × policy × {sequential, parallel} wrapper, a run with an
+    /// enabled metrics sink produces exactly the schedule the metrics-free
+    /// run does — same centers, not just same cost.
+    #[test]
+    fn metrics_never_change_a_schedule_bit(trace in arb_trace(), threads in 2usize..=4) {
+        for scheduler in pim_sched::registry().iter() {
+            for policy in policies(&trace) {
+                let plain = Run::new(&trace).policy(policy).run(scheduler);
+                let metrics = pim_sched::Metrics::enabled();
+                let observed = Run::new(&trace)
+                    .policy(policy)
+                    .metrics(metrics.clone())
+                    .run(scheduler);
+                prop_assert_eq!(
+                    &plain, &observed,
+                    "{} under {:?}: metrics changed the sequential schedule",
+                    scheduler.name(), policy
+                );
+                let par_metrics = pim_sched::Metrics::enabled();
+                let par_observed = Run::new(&trace)
+                    .policy(policy)
+                    .parallel(Pool::with_threads(threads))
+                    .metrics(par_metrics.clone())
+                    .run(scheduler);
+                prop_assert_eq!(
+                    &plain, &par_observed,
+                    "{} under {:?}: metrics changed the parallel schedule",
+                    scheduler.name(), policy
+                );
+                // the observed runs actually recorded something observable
+                prop_assert!(metrics.report().enabled);
+                prop_assert!(par_metrics.report().enabled);
             }
         }
     }

@@ -1,8 +1,12 @@
 //! Memory-capacity compliance: every scheduler must respect the per-
-//! processor, per-window slot limit in every window, for every policy.
+//! processor, per-window slot limit in every window, for every policy —
+//! and when a policy cannot hold the working set at all, every registered
+//! scheduler must report the typed [`SchedError::CapacityExhausted`]
+//! through the `Scheduler` trait instead of panicking.
 
 use pim_array::grid::Grid;
-use pim_sched::{schedule, MemoryPolicy, Method};
+use pim_par::Pool;
+use pim_sched::{schedule, MemoryPolicy, Method, Run, SchedError};
 use pim_workloads::{windowed, Benchmark};
 
 #[test]
@@ -73,7 +77,59 @@ fn looser_memory_never_hurts() {
 #[test]
 #[should_panic(expected = "cannot hold")]
 fn infeasible_policy_panics_with_clear_message() {
+    // The legacy `schedule` shim keeps the seed's panicking contract; the
+    // typed-error path is pinned by the exhaustion matrix below.
     let grid = Grid::new(2, 2);
     let (trace, _) = windowed(Benchmark::Lu, grid, 8, 2, 0); // 64 data, 4 procs
     let _ = schedule(Method::Gomcds, &trace, MemoryPolicy::Capacity(2)); // 8 slots < 64
+}
+
+/// Capacity exhaustion is a *typed error*, never a panic: on a grid whose
+/// total memory cannot hold the working set, every registered scheduler ×
+/// every bounded policy × every execution wrapper (sequential cached,
+/// pre-cache reference, two-phase parallel) returns
+/// [`SchedError::CapacityExhausted`], and its message names the failure.
+#[test]
+fn capacity_exhaustion_is_a_typed_error_for_every_scheduler() {
+    let grid = Grid::new(2, 2);
+    let (trace, _) = windowed(Benchmark::Lu, grid, 8, 2, 0); // 64 data, 4 procs
+    assert!(
+        trace.num_data() > 4 * 15,
+        "trace must overflow every policy"
+    );
+    // 4, 8 and 60 slots — all short of the 64 data items.
+    for policy in [
+        MemoryPolicy::Capacity(1),
+        MemoryPolicy::Capacity(2),
+        MemoryPolicy::Capacity(15),
+    ] {
+        for scheduler in pim_sched::registry().iter() {
+            let name = scheduler.name();
+            for (mode, result) in [
+                ("cached", Run::new(&trace).policy(policy).run(scheduler)),
+                (
+                    "uncached",
+                    Run::new(&trace).policy(policy).cached(false).run(scheduler),
+                ),
+                (
+                    "parallel",
+                    Run::new(&trace)
+                        .policy(policy)
+                        .parallel(Pool::with_threads(3))
+                        .run(scheduler),
+                ),
+            ] {
+                match result {
+                    Err(e @ SchedError::CapacityExhausted { .. }) => assert!(
+                        e.to_string().contains("cannot hold"),
+                        "{name}/{mode}: error must name the failure, got {e}"
+                    ),
+                    Err(other) => panic!("{name}/{mode}: wrong error kind {other}"),
+                    Ok(_) => {
+                        panic!("{name}/{mode} under {policy:?} must fail, not schedule")
+                    }
+                }
+            }
+        }
+    }
 }

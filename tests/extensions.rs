@@ -110,6 +110,7 @@ fn online_is_sandwiched_between_offline_and_static() {
             .evaluate(&trace)
             .total();
         let online = online_schedule(&trace, OnlinePolicy::eager(MemorySpec::unbounded()))
+            .unwrap()
             .evaluate(&trace)
             .total();
         assert!(online >= offline, "{bench}: online beat clairvoyance");
