@@ -12,6 +12,7 @@
 
 use pim_array::grid::Grid;
 use pim_array::layout::Layout;
+use pim_bench::cycle_workload::reversal_window;
 use pim_bench::experiments::{paper_config, run_table, PaperConfig};
 use pim_bench::table;
 use pim_sched::registry::schedulers;
@@ -98,6 +99,12 @@ fn main() {
     let json = bench_sched_json();
     std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
     println!("\nwrote BENCH_sched.json");
+
+    // Machine-readable cycle-simulator benchmark: the event-driven rewrite
+    // against the brute-force oracle on high-contention windows.
+    let json = bench_cycle_json();
+    std::fs::write("BENCH_cycle.json", &json).expect("write BENCH_cycle.json");
+    println!("wrote BENCH_cycle.json");
 
     println!("\nall consistency assertions passed");
 }
@@ -251,5 +258,64 @@ fn bench_sched_json() -> String {
         cached_ns as f64 / 1e6,
         uncached_ns as f64 / 1e6,
     );
+    json
+}
+
+/// Time the event-driven cycle simulator and the brute-force oracle on the
+/// same high-contention reversal window per grid size, assert they still
+/// agree bit for bit, and render the rows as JSON (`oracle_ns` is the old
+/// implementation, `event_ns` the rewrite). Mirrors `bench_sched_json`'s
+/// convention: any row where the rewrite loses is warned about on stderr.
+fn bench_cycle_json() -> String {
+    use pim_sim::cycle::{run_window_oracle, CycleSim};
+
+    const VOLUME: u32 = 256;
+    let mut json = String::from("{\n");
+    json.push_str("  \"config\": {\"pattern\": \"reversal\", \"volume_per_message\": 256},\n");
+    json.push_str("  \"rows\": [\n");
+    println!();
+    for (i, side) in [4u32, 8, 16].into_iter().enumerate() {
+        let grid = Grid::new(side, side);
+        let msgs = reversal_window(&grid, VOLUME);
+        let mut sim = CycleSim::new(grid);
+        // The oracle is O(cycles × flits in flight); keep its rep count low
+        // on the big grid so the report stays quick.
+        let reps = if side >= 16 { 3 } else { 10 };
+        let (event_ns, event) = bench_ns(reps, || sim.run_window(&msgs).expect("event sim"));
+        let (oracle_ns, oracle) = bench_ns(reps, || {
+            run_window_oracle(&grid, &msgs).expect("oracle sim")
+        });
+        assert_eq!(event, oracle, "event-driven diverged from the oracle");
+        let speedup = oracle_ns as f64 / event_ns.max(1) as f64;
+        if speedup < 1.0 {
+            eprintln!(
+                "warning: cycle sim on {side}x{side}: event-driven path slower \
+                 than the oracle (speedup {speedup:.3})"
+            );
+        }
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        write!(
+            json,
+            "    {{\"grid\": \"{side}x{side}\", \"messages\": {}, \
+             \"volume_per_message\": {VOLUME}, \"completion_cycles\": {}, \
+             \"flit_hops\": {}, \"peak_in_flight\": {}, \
+             \"oracle_ns\": {oracle_ns}, \"event_ns\": {event_ns}, \
+             \"speedup\": {speedup:.3}}}",
+            msgs.len(),
+            event.completion_cycle,
+            event.flit_hops,
+            event.peak_in_flight,
+        )
+        .expect("write to String cannot fail");
+        println!(
+            "cycle sim {side}x{side} reversal window: event {:.3} ms vs oracle {:.3} ms \
+             ({speedup:.1}x)",
+            event_ns as f64 / 1e6,
+            oracle_ns as f64 / 1e6,
+        );
+    }
+    json.push_str("\n  ]\n}\n");
     json
 }

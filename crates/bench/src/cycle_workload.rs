@@ -1,0 +1,51 @@
+//! Synthetic high-contention windows for the cycle-simulator benches.
+//!
+//! The `cycle_scaling` Criterion group and `report_all`'s
+//! `BENCH_cycle.json` emission must time the event-driven simulator and
+//! its brute-force oracle on the *same* message set, so the generator
+//! lives here rather than in either binary.
+
+use pim_array::grid::{Grid, ProcId};
+use pim_sim::message::{Message, MessageKind};
+use pim_trace::ids::DataId;
+
+/// An all-to-all-mirror window: processor `i` sends `volume` flits to
+/// processor `n − 1 − i` (the odd grid's center talks to itself and is
+/// skipped). Every message crosses the middle of the mesh, so the x-y
+/// routes pile onto the central links — the worst-case contention shape
+/// for a fixed per-message volume, and the one where the oracle's
+/// cycle-by-cycle scan is most expensive.
+pub fn reversal_window(grid: &Grid, volume: u32) -> Vec<Message> {
+    let n = grid.num_procs() as u32;
+    (0..n)
+        .filter(|&p| p != n - 1 - p)
+        .map(|p| Message {
+            src: ProcId(p),
+            dst: ProcId(n - 1 - p),
+            volume,
+            data: DataId(p),
+            window: 0,
+            kind: MessageKind::Fetch,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversal_covers_every_proc_once() {
+        let g = Grid::new(4, 4);
+        let msgs = reversal_window(&g, 8);
+        assert_eq!(msgs.len(), 16);
+        assert!(msgs.iter().all(|m| !m.is_local() && m.volume == 8));
+    }
+
+    #[test]
+    fn odd_grid_skips_the_center() {
+        let g = Grid::new(3, 3);
+        let msgs = reversal_window(&g, 2);
+        assert_eq!(msgs.len(), 8, "the center proc pairs with itself");
+    }
+}

@@ -20,6 +20,7 @@
 //! Criterion micro-benches live under `benches/`. All binaries accept
 //! `--csv` to emit machine-readable output alongside the pretty table.
 
+pub mod cycle_workload;
 pub mod experiments;
 pub mod table;
 

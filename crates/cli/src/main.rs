@@ -124,12 +124,27 @@ fn main() -> ExitCode {
             );
             if let Some(path) = &parsed.metrics_out {
                 let sim = pim_sim::simulate(&trace, &s, sim_pool);
+                let cycles = match pim_sim::simulate_cycles_observed(&trace, &s, sim_pool, &metrics)
+                {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
                 let report = pim_sim::RunReport::from_parts(
                     &parsed.method,
                     parsed.memory,
                     s.evaluate(&trace),
                     &sim,
+                    &cycles,
                     metrics.report(),
+                );
+                println!(
+                    "simulated completion: {} cycles over {} windows (peak {} flits in flight)",
+                    report.simulated_completion_cycles,
+                    report.window_completion_cycles.len(),
+                    report.peak_in_flight
                 );
                 if let Err(e) = std::fs::write(path, report.to_json()) {
                     eprintln!("cannot write {path}: {e}");

@@ -3,8 +3,8 @@
 //! [`crate::contention`] gives a closed-form *lower bound* on a window's
 //! completion time; this module actually clocks the mesh: store-and-forward
 //! flit transport, one flit per link per cycle, FIFO arbitration with
-//! deterministic tie-breaking (lowest message id first). It reports the
-//! cycle at which the last flit of the window arrives.
+//! deterministic tie-breaking (oldest flit first, then lowest message id).
+//! It reports the cycle at which the last flit of the window arrives.
 //!
 //! Invariants (tested):
 //!
@@ -13,14 +13,37 @@
 //!   (wormhole pipelining across store-and-forward hops of 1-flit depth);
 //! * total delivered flit-hops equal the analytic hop-volume.
 //!
+//! ## Event-driven engine, brute-force oracle
+//!
+//! [`run_window`] is queue-driven: each message's x-y route is flattened
+//! **once** into a slice of dense link slots, its `volume` flits exist only
+//! as per-hop `sent`/`avail` counters, and every link owns a tiny priority
+//! queue holding at most one entry per waiting message hop — the head
+//! flit, keyed by `(flit index, message id)`, which is exactly the
+//! injection-order priority the brute-force loop arbitrates by. Each
+//! simulated cycle then costs `O(active links · log queue)` instead of
+//! `O(flits in flight)`: blocked traffic waits in its queue for free, and
+//! a cycle with no eligible link never runs (the loop ends — in this
+//! model some flit moves every cycle, so active cycles are dense).
+//!
+//! The seed's literal clock-every-flit loop survives as
+//! [`run_window_oracle`]; the two are pinned bit-identical on
+//! `(completion_cycle, flit_hops, peak_in_flight)` over random grids and
+//! message sets in `tests/cycle_props.rs`, the same oracle pattern the
+//! cost cache and grouping rework used.
+//!
 //! The model is intentionally minimal — infinite node buffers, no
 //! virtual channels — because its role is to show that hop-volume savings
 //! translate into wall-clock savings under contention, not to model a
 //! specific router.
 
+use crate::error::{SimError, SAFETY_VALVE_CYCLES};
 use crate::message::Message;
 use pim_array::grid::{Grid, ProcId};
-use pim_array::routing::{xy_route, LinkIndex};
+use pim_array::routing::{visit_xy_links, xy_route, LinkIndex};
+use pim_sched::Metrics;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Result of clocking one window's messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +56,260 @@ pub struct CycleResult {
     pub peak_in_flight: usize,
 }
 
-/// One flit in transit.
+impl CycleResult {
+    const EMPTY: CycleResult = CycleResult {
+        completion_cycle: 0,
+        flit_hops: 0,
+        peak_in_flight: 0,
+    };
+}
+
+/// A link's queue entry: the *head* waiting flit of one message at one
+/// hop. Ordered by `(flit index, message id)` — the same priority the
+/// oracle's injection-sorted scan gives — with the flattened hop index
+/// carried as payload.
+type QueueEntry = Reverse<(u64, u32)>;
+
+fn entry(flit: u32, msg: usize, hop: usize) -> QueueEntry {
+    Reverse((((flit as u64) << 32) | msg as u64, hop as u32))
+}
+
+/// Reusable event-driven simulator for one grid.
+///
+/// Construction sizes the per-link queues once; [`CycleSim::run_window`]
+/// reuses every buffer, so a worker thread clocking many windows
+/// allocates only when a window is larger than any it has seen before
+/// (the same high-water discipline as `pim_sched::Workspace`).
+pub struct CycleSim {
+    grid: Grid,
+    links: LinkIndex,
+    /// Flattened routes of all messages: one dense link slot per hop.
+    route: Vec<u32>,
+    /// Per-message offset into `route`; one trailing sentinel.
+    m_start: Vec<u32>,
+    /// Per-message flit count.
+    m_vol: Vec<u32>,
+    /// Per hop: flits already sent across this hop's link.
+    sent: Vec<u32>,
+    /// Per hop (downstream of the source): flits arrived and not yet sent.
+    avail: Vec<u32>,
+    /// Per link slot: waiting message heads, highest priority first.
+    queues: Vec<BinaryHeap<QueueEntry>>,
+    /// Per link slot: already scheduled for the next cycle.
+    scheduled: Vec<bool>,
+    /// Links with at least one eligible head this cycle / next cycle.
+    active: Vec<u32>,
+    active_next: Vec<u32>,
+    /// Flits that crossed a link this cycle and land one hop downstream
+    /// at the next: `(flattened hop, message id)`.
+    arrivals: Vec<(u32, u32)>,
+    /// Injection-rate deltas for the peak-in-flight sweep.
+    rate_delta: Vec<i64>,
+    /// Flits leaving the network per cycle, for the same sweep.
+    retire_cnt: Vec<u32>,
+}
+
+impl CycleSim {
+    /// Build a simulator for `grid`.
+    pub fn new(grid: Grid) -> Self {
+        let links = LinkIndex::new(grid);
+        let slots = links.num_slots();
+        CycleSim {
+            grid,
+            links,
+            route: Vec::new(),
+            m_start: Vec::new(),
+            m_vol: Vec::new(),
+            sent: Vec::new(),
+            avail: Vec::new(),
+            queues: (0..slots).map(|_| BinaryHeap::new()).collect(),
+            scheduled: vec![false; slots],
+            active: Vec::new(),
+            active_next: Vec::new(),
+            arrivals: Vec::new(),
+            rate_delta: Vec::new(),
+            retire_cnt: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.route.clear();
+        self.m_start.clear();
+        self.m_vol.clear();
+        self.sent.clear();
+        self.avail.clear();
+        self.active.clear();
+        self.active_next.clear();
+        self.arrivals.clear();
+        self.rate_delta.clear();
+        self.retire_cnt.clear();
+        debug_assert!(self.queues.iter().all(|q| q.is_empty()));
+        debug_assert!(self.scheduled.iter().all(|s| !s));
+    }
+
+    fn schedule(&mut self, link: usize) {
+        if !self.scheduled[link] {
+            self.scheduled[link] = true;
+            self.active_next.push(link as u32);
+        }
+    }
+
+    /// Clock one window's messages to completion.
+    ///
+    /// Flits of message `m` are injected one per cycle starting at cycle 0
+    /// (a node can source one flit of each of its messages per cycle — the
+    /// serialization bottleneck is the links, which is what we study).
+    ///
+    /// Bit-identical to [`run_window_oracle`] on
+    /// `(completion_cycle, flit_hops, peak_in_flight)`; the event-driven
+    /// path refuses up front with [`SimError::NoProgress`] when the
+    /// window's flit-hop volume reaches [`SAFETY_VALVE_CYCLES`] (its cycle
+    /// count is bounded by its hop volume, so the oracle's in-loop valve
+    /// could only ever trip past that point).
+    pub fn run_window(&mut self, messages: &[Message]) -> Result<CycleResult, SimError> {
+        self.reset();
+
+        // Flatten every route once: no per-flit route clone, no link
+        // lookup per hop per cycle.
+        let grid = self.grid;
+        let links = self.links;
+        let mut hop_volume: u64 = 0;
+        for m in messages {
+            if m.is_local() || m.volume == 0 {
+                continue;
+            }
+            let start = self.route.len();
+            self.m_start.push(start as u32);
+            self.m_vol.push(m.volume);
+            let route = &mut self.route;
+            visit_xy_links(&grid, m.src, m.dst, |l| {
+                route.push(links.index_of(l) as u32);
+            });
+            hop_volume += (self.route.len() - start) as u64 * m.volume as u64;
+        }
+        self.m_start.push(self.route.len() as u32);
+        if self.m_vol.is_empty() {
+            return Ok(CycleResult::EMPTY);
+        }
+        if hop_volume >= SAFETY_VALVE_CYCLES {
+            return Err(SimError::NoProgress {
+                cycle: SAFETY_VALVE_CYCLES,
+            });
+        }
+
+        self.sent.resize(self.route.len(), 0);
+        self.avail.resize(self.route.len(), 0);
+        let max_vol = *self.m_vol.iter().max().expect("nonempty") as usize;
+        self.rate_delta.resize(max_vol + 1, 0);
+        for msg in 0..self.m_vol.len() {
+            let first = self.m_start[msg] as usize;
+            let vol = self.m_vol[msg];
+            self.avail[first] = 1; // flit 0 is at the source at cycle 0
+            self.queues[self.route[first] as usize].push(entry(0, msg, first));
+            let link = self.route[first] as usize;
+            self.schedule(link);
+            self.rate_delta[0] += 1;
+            self.rate_delta[vol as usize] -= 1;
+        }
+
+        let mut cycle: u64 = 0;
+        let mut completion: u64 = 0;
+        let mut flit_hops: u64 = 0;
+        loop {
+            std::mem::swap(&mut self.active, &mut self.active_next);
+            self.active_next.clear();
+            if self.active.is_empty() {
+                break;
+            }
+            for i in 0..self.active.len() {
+                self.scheduled[self.active[i] as usize] = false;
+            }
+            self.arrivals.clear();
+
+            // Every active link forwards its highest-priority head flit.
+            for i in 0..self.active.len() {
+                let l = self.active[i] as usize;
+                let Reverse((key, hop)) = self.queues[l]
+                    .pop()
+                    .expect("scheduled link has a queued head flit");
+                let msg = (key & u32::MAX as u64) as usize;
+                let hop = hop as usize;
+                self.sent[hop] += 1;
+                flit_hops += 1;
+                let next_hop = hop + 1;
+                if next_hop == self.m_start[msg + 1] as usize {
+                    // Last hop: the flit leaves the network after this cycle.
+                    let r = (cycle + 1) as usize;
+                    completion = cycle + 1;
+                    if self.retire_cnt.len() <= r {
+                        self.retire_cnt.resize(r + 1, 0);
+                    }
+                    self.retire_cnt[r] += 1;
+                } else {
+                    self.arrivals.push((next_hop as u32, msg as u32));
+                }
+                // Re-arm this hop's head: at the source the backlog is
+                // implicit (flit `sent` exists iff `sent < volume`, and is
+                // always injected by the next cycle); downstream it is
+                // `avail − sent`.
+                let first = self.m_start[msg] as usize;
+                let waiting = if hop == first {
+                    self.sent[hop] < self.m_vol[msg]
+                } else {
+                    self.avail[hop] > self.sent[hop]
+                };
+                if waiting {
+                    self.queues[l].push(entry(self.sent[hop], msg, hop));
+                }
+                if !self.queues[l].is_empty() {
+                    self.schedule(l);
+                }
+            }
+
+            // Arrivals land one cycle after crossing; apply them only after
+            // every link arbitrated, so a flit cannot be forwarded (or win
+            // arbitration) in the cycle it arrives.
+            for i in 0..self.arrivals.len() {
+                let (hop, msg) = self.arrivals[i];
+                let (hop, msg) = (hop as usize, msg as usize);
+                self.avail[hop] += 1;
+                if self.avail[hop] == self.sent[hop] + 1 {
+                    let l = self.route[hop] as usize;
+                    self.queues[l].push(entry(self.sent[hop], msg, hop));
+                    self.schedule(l);
+                }
+            }
+            cycle += 1;
+        }
+        debug_assert_eq!(flit_hops, hop_volume);
+
+        // Peak flits in flight, swept from the aggregate injection ramp
+        // (+1 per message per cycle while flits remain) minus retirements.
+        let mut rate: i64 = 0;
+        let mut in_flight: i64 = 0;
+        let mut peak: i64 = 0;
+        for c in 0..completion as usize {
+            rate += self.rate_delta.get(c).copied().unwrap_or(0);
+            in_flight += rate - self.retire_cnt.get(c).copied().unwrap_or(0) as i64;
+            peak = peak.max(in_flight);
+        }
+
+        Ok(CycleResult {
+            completion_cycle: completion,
+            flit_hops,
+            peak_in_flight: peak as usize,
+        })
+    }
+}
+
+/// Clock one window's messages to completion (one-shot front end over
+/// [`CycleSim`]; build the workspace yourself to amortize it over many
+/// windows).
+pub fn run_window(grid: &Grid, messages: &[Message]) -> Result<CycleResult, SimError> {
+    CycleSim::new(*grid).run_window(messages)
+}
+
+/// One flit in transit (oracle representation).
 #[derive(Debug, Clone)]
 struct Flit {
     /// Remaining route (next hop is `route[pos]` → `route[pos + 1]`).
@@ -55,12 +331,11 @@ impl Flit {
     }
 }
 
-/// Clock one window's messages to completion.
-///
-/// Flits of message `m` are injected one per cycle starting at cycle 0 (a
-/// node can source one flit of each of its messages per cycle — the
-/// serialization bottleneck is the links, which is what we study).
-pub fn run_window(grid: &Grid, messages: &[Message]) -> CycleResult {
+/// The seed's brute-force cycle loop, kept as the correctness oracle for
+/// [`run_window`]: every flit is materialized and every in-flight flit is
+/// visited every cycle. `O(cycles × flits in flight)` — use only for
+/// validation and benchmarking the event-driven rewrite against.
+pub fn run_window_oracle(grid: &Grid, messages: &[Message]) -> Result<CycleResult, SimError> {
     let links = LinkIndex::new(*grid);
     // Materialize flits: message m with volume v yields v flits injected at
     // cycles 0..v (one per cycle).
@@ -82,11 +357,7 @@ pub fn run_window(grid: &Grid, messages: &[Message]) -> CycleResult {
         }
     }
     if pending.is_empty() {
-        return CycleResult {
-            completion_cycle: 0,
-            flit_hops: 0,
-            peak_in_flight: 0,
-        };
+        return Ok(CycleResult::EMPTY);
     }
     // Stable order: by injection cycle, then message id (FIFO fairness).
     pending.sort_by_key(|(c, f)| (*c, f.msg));
@@ -127,33 +398,57 @@ pub fn run_window(grid: &Grid, messages: &[Message]) -> CycleResult {
         cycle += 1;
 
         // safety valve: progress is guaranteed (at least one flit moves per
-        // cycle when any is in flight), so this cannot trigger; it guards
-        // against future modelling bugs.
-        assert!(
-            cycle < 1_000_000_000,
-            "cycle simulator failed to make progress"
-        );
+        // cycle when any is in flight), so this can only trip on a future
+        // modelling bug — reported as a typed error, not a panic.
+        if cycle >= SAFETY_VALVE_CYCLES {
+            return Err(SimError::NoProgress { cycle });
+        }
     }
-    CycleResult {
+    Ok(CycleResult {
         completion_cycle: cycle,
         flit_hops,
         peak_in_flight: peak,
-    }
+    })
 }
 
 /// Clock every window of a (trace, schedule) pair, in parallel across
-/// windows. Returns one [`CycleResult`] per window.
+/// windows through the persistent `pim-par` pool; each worker reuses one
+/// [`CycleSim`] across all the windows it claims. Returns one
+/// [`CycleResult`] per window, bit-identical regardless of thread count;
+/// the first failing window (in window order) short-circuits the result.
 pub fn simulate_cycles(
     trace: &pim_trace::window::WindowedTrace,
     schedule: &pim_sched::schedule::Schedule,
     pool: pim_par::Pool,
-) -> Vec<CycleResult> {
+) -> Result<Vec<CycleResult>, SimError> {
+    simulate_cycles_observed(trace, schedule, pool, &Metrics::disabled())
+}
+
+/// [`simulate_cycles`] with observability: records a `cycle-sim` phase
+/// around the whole pass and a `cycle-sim/window` phase per window into
+/// `metrics` (no-ops on a disabled handle; the results are bit-identical
+/// either way).
+pub fn simulate_cycles_observed(
+    trace: &pim_trace::window::WindowedTrace,
+    schedule: &pim_sched::schedule::Schedule,
+    pool: pim_par::Pool,
+    metrics: &Metrics,
+) -> Result<Vec<CycleResult>, SimError> {
+    let _whole = metrics.phase("cycle-sim");
     let grid = trace.grid();
     let windows: Vec<usize> = (0..trace.num_windows()).collect();
-    pim_par::parallel_map(pool, &windows, |_, &w| {
-        let msgs = crate::engine::window_messages(trace, schedule, w);
-        run_window(&grid, &msgs)
-    })
+    pim_par::parallel_map_with(
+        pool,
+        &windows,
+        || CycleSim::new(grid),
+        |sim, _, &w| {
+            let _t = metrics.phase("cycle-sim/window");
+            let msgs = crate::engine::window_messages(trace, schedule, w);
+            sim.run_window(&msgs)
+        },
+    )
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -174,14 +469,28 @@ mod tests {
         }
     }
 
+    fn run(grid: &Grid, msgs: &[Message]) -> CycleResult {
+        let event = run_window(grid, msgs).expect("event sim");
+        let oracle = run_window_oracle(grid, msgs).expect("oracle sim");
+        assert_eq!(event, oracle, "event-driven diverged from the oracle");
+        event
+    }
+
     #[test]
     fn empty_and_local_are_free() {
         let g = Grid::new(4, 4);
-        assert_eq!(run_window(&g, &[]).completion_cycle, 0);
+        assert_eq!(run(&g, &[]).completion_cycle, 0);
         let local = msg(&g, 1, 1, 1, 1, 5);
-        let r = run_window(&g, &[local]);
+        let r = run(&g, &[local]);
         assert_eq!(r.completion_cycle, 0);
         assert_eq!(r.flit_hops, 0);
+    }
+
+    #[test]
+    fn zero_volume_messages_are_free() {
+        let g = Grid::new(4, 4);
+        let r = run(&g, &[msg(&g, 0, 0, 3, 3, 0)]);
+        assert_eq!(r, CycleResult::EMPTY);
     }
 
     #[test]
@@ -197,7 +506,7 @@ mod tests {
                 vol,
             );
             let d = g.dist(m.src, m.dst);
-            let r = run_window(&g, &[m]);
+            let r = run(&g, &[m]);
             assert_eq!(r.completion_cycle, d + vol as u64 - 1, "d={d} vol={vol}");
             assert_eq!(r.flit_hops, d * vol as u64);
         }
@@ -209,7 +518,7 @@ mod tests {
         // two messages share their entire 1-hop route
         let a = msg(&g, 0, 0, 1, 0, 3);
         let b = msg(&g, 0, 0, 1, 0, 3);
-        let r = run_window(&g, &[a, b]);
+        let r = run(&g, &[a, b]);
         // 6 flits over one link: exactly 6 cycles
         assert_eq!(r.completion_cycle, 6);
         assert_eq!(r.flit_hops, 6);
@@ -220,7 +529,7 @@ mod tests {
         let g = Grid::new(4, 4);
         let a = msg(&g, 0, 0, 3, 0, 2);
         let b = msg(&g, 0, 3, 3, 3, 2);
-        let r = run_window(&g, &[a, b]);
+        let r = run(&g, &[a, b]);
         assert_eq!(r.completion_cycle, 3 + 2 - 1);
     }
 
@@ -240,7 +549,7 @@ mod tests {
         ];
         for msgs in cases {
             let bound = window_completion_time(&g, &msgs);
-            let r = run_window(&g, &msgs);
+            let r = run(&g, &msgs);
             assert!(
                 r.completion_cycle >= bound,
                 "simulated {} < bound {bound}",
@@ -257,15 +566,59 @@ mod tests {
             .iter()
             .map(|m| g.dist(m.src, m.dst) * m.volume as u64)
             .sum();
-        assert_eq!(run_window(&g, &msgs).flit_hops, hop_volume);
+        assert_eq!(run(&g, &msgs).flit_hops, hop_volume);
     }
 
     #[test]
     fn peak_in_flight_bounded_by_flits() {
         let g = Grid::new(4, 4);
         let msgs = vec![msg(&g, 0, 0, 3, 3, 3)];
-        let r = run_window(&g, &msgs);
+        let r = run(&g, &msgs);
         assert!(r.peak_in_flight <= 3);
         assert!(r.peak_in_flight >= 1);
+    }
+
+    #[test]
+    fn crossing_and_opposing_traffic_matches_oracle() {
+        // A denser mixed case: shared links in both axes, opposing
+        // directions, different volumes — the shapes most likely to shake
+        // out an arbitration divergence.
+        let g = Grid::new(4, 4);
+        let msgs = vec![
+            msg(&g, 0, 0, 3, 3, 4),
+            msg(&g, 3, 3, 0, 0, 4),
+            msg(&g, 0, 3, 3, 0, 2),
+            msg(&g, 3, 0, 0, 3, 5),
+            msg(&g, 1, 1, 1, 1, 9), // local noise between the ids
+            msg(&g, 0, 0, 3, 3, 1),
+            msg(&g, 2, 0, 2, 3, 7),
+        ];
+        run(&g, &msgs);
+    }
+
+    #[test]
+    fn workspace_reuse_is_stateless() {
+        let g = Grid::new(4, 4);
+        let heavy = vec![msg(&g, 0, 0, 3, 3, 6), msg(&g, 0, 0, 3, 0, 6)];
+        let light = vec![msg(&g, 1, 0, 2, 0, 1)];
+        let mut sim = CycleSim::new(g);
+        let first = sim.run_window(&heavy).unwrap();
+        let second = sim.run_window(&light).unwrap();
+        let third = sim.run_window(&heavy).unwrap();
+        assert_eq!(first, third, "reuse leaked state across windows");
+        assert_eq!(second, run_window(&g, &light).unwrap());
+    }
+
+    #[test]
+    fn oversized_window_is_a_typed_error() {
+        let g = Grid::new(4, 4);
+        // 2 · 1 073 741 824 flit-hops ≥ the valve: refused, not clocked.
+        let m = msg(&g, 0, 0, 2, 0, 1 << 30);
+        assert_eq!(
+            run_window(&g, &[m]),
+            Err(SimError::NoProgress {
+                cycle: SAFETY_VALVE_CYCLES
+            })
+        );
     }
 }

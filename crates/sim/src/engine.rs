@@ -19,8 +19,15 @@ use pim_trace::window::WindowedTrace;
 /// Expand the messages of one window: fetches of every remote reference,
 /// plus the moves *leaving* this window (for `w < nw − 1`).
 pub fn window_messages(trace: &WindowedTrace, schedule: &Schedule, w: usize) -> Vec<Message> {
-    let mut msgs = Vec::new();
     let last = trace.num_windows() - 1;
+    // Exact fetch count, plus one potential move per datum when a next
+    // window exists: one allocation instead of a realloc-per-doubling in
+    // the per-window hot loop.
+    let fetches: usize = (0..trace.num_data())
+        .map(|d| trace.refs(DataId(d as u32)).window(w).num_procs())
+        .sum();
+    let moves = if w < last { trace.num_data() } else { 0 };
+    let mut msgs = Vec::with_capacity(fetches + moves);
     for d in 0..trace.num_data() {
         let data = DataId(d as u32);
         let center = schedule.center(data, w);

@@ -11,25 +11,33 @@
 //! * per-link utilization — where the traffic concentrates;
 //! * an idealized per-window completion-time estimate under unit-bandwidth
 //!   links ([`contention`]), separating bandwidth-bound from latency-bound
-//!   windows.
+//!   windows;
+//! * cycle-accurate completion under link contention ([`cycle`]): an
+//!   event-driven per-link-queue simulator, validated bit-identically
+//!   against the brute-force oracle it replaced.
 //!
 //! ## Modules
 //!
 //! * [`message`] — the transfer unit (fetches and moves).
 //! * [`engine`] — trace + schedule → messages → routed statistics.
 //! * [`contention`] — completion-time estimates per window.
+//! * [`cycle`] — event-driven cycle-level simulation (plus its oracle).
+//! * [`error`] — typed simulation failures ([`SimError`], [`RunError`]).
 //! * [`report`] — aggregated results with human-readable rendering.
-//! * [`run_report`] — analytic + routed + metrics in one export record.
+//! * [`run_report`] — analytic + routed + cycle + metrics in one record.
 
 pub mod contention;
 pub mod cycle;
 pub mod engine;
+pub mod error;
 pub mod heatmap;
 pub mod message;
 pub mod report;
 pub mod run_report;
 pub mod traffic;
 
+pub use cycle::{simulate_cycles, simulate_cycles_observed, CycleResult, CycleSim};
 pub use engine::{simulate, simulate_named, simulate_scheduler};
+pub use error::{RunError, SimError, SAFETY_VALVE_CYCLES};
 pub use report::SimReport;
 pub use run_report::{collect_run_report, RunReport};

@@ -11,10 +11,12 @@
 //! JSON is hand-rolled ([`RunReport::to_json`]): the vendored `serde`
 //! shim provides derive markers only, no serializer.
 
+use crate::cycle::CycleResult;
+use crate::error::RunError;
 use crate::report::SimReport;
 use pim_par::Pool;
 use pim_sched::schedule::{CostBreakdown, Schedule};
-use pim_sched::{MemoryPolicy, Metrics, MetricsReport, Run, SchedError};
+use pim_sched::{MemoryPolicy, Metrics, MetricsReport, Run};
 use pim_trace::window::WindowedTrace;
 use serde::Serialize;
 
@@ -39,6 +41,13 @@ pub struct RunReport {
     pub move_hop_volume: u64,
     /// Sum of per-window completion-time lower bounds.
     pub completion_time: u64,
+    /// Sum of per-window *simulated* completion cycles (cycle-accurate,
+    /// under link contention) — always ≥ `completion_time`.
+    pub simulated_completion_cycles: u64,
+    /// Largest per-window peak of flits simultaneously in flight.
+    pub peak_in_flight: usize,
+    /// Simulated completion cycle of every window, in window order.
+    pub window_completion_cycles: Vec<u64>,
     /// Most loaded link (`"src->dst"`), if any traffic flowed.
     pub hottest_link: Option<String>,
     /// Volume on the hottest link (0 when no traffic flowed).
@@ -60,6 +69,7 @@ impl RunReport {
         policy: MemoryPolicy,
         analytic: CostBreakdown,
         sim: &SimReport,
+        cycles: &[CycleResult],
         metrics: MetricsReport,
     ) -> Self {
         let (hottest_link, hottest_link_volume) = match sim.hottest_link() {
@@ -76,6 +86,9 @@ impl RunReport {
             fetch_hop_volume: sim.total_fetch_hop_volume(),
             move_hop_volume: sim.total_move_hop_volume(),
             completion_time: sim.total_completion_time(),
+            simulated_completion_cycles: cycles.iter().map(|c| c.completion_cycle).sum(),
+            peak_in_flight: cycles.iter().map(|c| c.peak_in_flight).max().unwrap_or(0),
+            window_completion_cycles: cycles.iter().map(|c| c.completion_cycle).collect(),
             hottest_link,
             hottest_link_volume,
             mean_active_link_volume: sim.mean_active_link_volume(),
@@ -90,6 +103,12 @@ impl RunReport {
             Some(l) => format!("\"{}\"", escape_json(l)),
             None => "null".to_string(),
         };
+        let windows = self
+            .window_completion_cycles
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"scheduler\":\"{}\",\"policy\":\"{}\",",
@@ -98,6 +117,8 @@ impl RunReport {
                 "\"move_hop_volume\":{},\"completion_time\":{},",
                 "\"hottest_link\":{},\"hottest_link_volume\":{},",
                 "\"mean_active_link_volume\":{:.4},\"link_imbalance\":{:.4}}},",
+                "\"cycle\":{{\"completion_cycles\":{},\"peak_in_flight\":{},",
+                "\"window_completion_cycles\":[{}]}},",
                 "\"metrics\":{}}}"
             ),
             escape_json(&self.scheduler),
@@ -113,6 +134,9 @@ impl RunReport {
             self.hottest_link_volume,
             self.mean_active_link_volume,
             self.link_imbalance,
+            self.simulated_completion_cycles,
+            self.peak_in_flight,
+            windows,
             self.metrics.to_json(),
         )
     }
@@ -136,33 +160,39 @@ fn escape_json(s: &str) -> String {
     out
 }
 
-/// Schedule `name` over `trace` under `policy`, simulate the result, and
-/// return the unified report (plus the schedule for further use).
+/// Schedule `name` over `trace` under `policy`, simulate the result (both
+/// the routed hop-volume pass and the cycle-accurate pass), and return the
+/// unified report (plus the schedule for further use).
 ///
 /// `metrics` decides the observability depth: pass
 /// [`Metrics::enabled()`] to collect cache/phase/placement/pool data, or
 /// [`Metrics::disabled()`] for a zero-overhead run whose report carries
 /// `"enabled": false` and zeros. The schedule is bit-identical either way
-/// (property-tested in the conformance suite).
+/// (property-tested in the conformance suite). Either pipeline half can
+/// fail, hence the combined [`RunError`].
 pub fn collect_run_report(
     name: &str,
     trace: &WindowedTrace,
     policy: MemoryPolicy,
     pool: Pool,
     metrics: Metrics,
-) -> Result<(Schedule, RunReport), SchedError> {
+) -> Result<(Schedule, RunReport), RunError> {
     let schedule = Run::new(trace)
         .policy(policy)
         .parallel(pool)
         .metrics(metrics.clone())
-        .run_named(name)?;
+        .run_named(name)
+        .map_err(RunError::Sched)?;
     let sim = crate::simulate(trace, &schedule, pool);
+    let cycles = crate::cycle::simulate_cycles_observed(trace, &schedule, pool, &metrics)
+        .map_err(RunError::Sim)?;
     let analytic = schedule.evaluate(trace);
     let canonical = pim_sched::registry()
         .get(name)
         .map(|s| s.name())
         .unwrap_or(name);
-    let report = RunReport::from_parts(canonical, policy, analytic, &sim, metrics.report());
+    let report =
+        RunReport::from_parts(canonical, policy, analytic, &sim, &cycles, metrics.report());
     Ok((schedule, report))
 }
 
@@ -209,6 +239,13 @@ mod tests {
             );
             assert_eq!(report.analytic_total, report.total_hop_volume);
             assert!(report.metrics.enabled);
+            // cycle-accurate completion can never beat the lower bound
+            assert!(report.simulated_completion_cycles >= report.completion_time);
+            assert_eq!(
+                report.window_completion_cycles.len(),
+                trace.num_windows(),
+                "one simulated completion per window"
+            );
         }
     }
 
@@ -223,7 +260,10 @@ mod tests {
             Metrics::disabled(),
         )
         .expect_err("unknown scheduler");
-        assert!(matches!(err, SchedError::UnknownScheduler(_)));
+        assert!(matches!(
+            err,
+            RunError::Sched(pim_sched::SchedError::UnknownScheduler(_))
+        ));
     }
 
     #[test]
@@ -245,6 +285,10 @@ mod tests {
             "\"sim\":",
             "\"total_hop_volume\":",
             "\"hottest_link\":",
+            "\"cycle\":",
+            "\"completion_cycles\":",
+            "\"peak_in_flight\":",
+            "\"window_completion_cycles\":[",
             "\"metrics\":",
             "\"enabled\": true",
         ] {

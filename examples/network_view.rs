@@ -47,6 +47,7 @@ fn main() {
             .map(|(_, v)| v.to_string())
             .unwrap_or_else(|| "-".into());
         let cycles: u64 = pim_sim::cycle::simulate_cycles(&trace, &sched, Pool::auto())
+            .expect("benchmark windows fit the safety valve")
             .iter()
             .map(|r| r.completion_cycle)
             .sum();

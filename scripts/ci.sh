@@ -13,6 +13,12 @@ cargo test -q
 echo "== cargo test --doc -q =="
 cargo test --doc -q
 
+# Simulator oracle-equivalence proptests, in release so the corpus is
+# cheap. The vendored proptest shim derives its RNG seed from the test
+# name, so this run is deterministic — the "fixed seed" is built in.
+echo "== cycle simulator proptests (release, fixed seed) =="
+cargo test -q --release -p pim-tests-int --test cycle_props
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
@@ -43,18 +49,56 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "$metrics_tmp/run_metrics.json" <<'PY'
 import json, sys
 report = json.load(open(sys.argv[1]))
-for key in ("scheduler", "analytic", "sim", "metrics"):
+for key in ("scheduler", "analytic", "sim", "cycle", "metrics"):
     assert key in report, f"missing {key!r} in RunReport"
 assert report["metrics"]["enabled"] is True
 assert report["analytic"]["total"] == report["sim"]["total_hop_volume"]
+cycle = report["cycle"]
+assert cycle["completion_cycles"] >= report["sim"]["completion_time"], \
+    "simulated completion beat the analytic lower bound"
+assert cycle["window_completion_cycles"], "no per-window completion cycles"
 print("run_metrics.json: parses, all sections present")
 PY
 else
-  for key in '"scheduler"' '"analytic"' '"sim"' '"metrics"' '"enabled": true'; do
+  for key in '"scheduler"' '"analytic"' '"sim"' '"cycle"' '"metrics"' '"enabled": true'; do
     grep -q "$key" "$metrics_tmp/run_metrics.json" \
       || { echo "run_metrics.json missing $key"; exit 1; }
   done
   echo "run_metrics.json: expected keys present (grep fallback)"
+fi
+
+# Cycle-bench artifact smoke: the committed BENCH_cycle.json (emitted by
+# `report_all`) must parse, carry at least one row, and keep the speedup
+# column; a speedup below 1 is reported but does not gate (timings are
+# machine-dependent), mirroring report_all's own stderr warning.
+echo "== BENCH_cycle.json smoke =="
+if [ ! -f BENCH_cycle.json ]; then
+  echo "BENCH_cycle.json missing — regenerate with: cargo run --release -p pim-bench --bin report_all"
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_cycle.json <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+rows = bench["rows"]
+assert rows, "BENCH_cycle.json has no rows"
+for row in rows:
+    for key in ("grid", "oracle_ns", "event_ns", "speedup"):
+        assert key in row, f"row missing {key!r}: {row}"
+    if row["speedup"] < 1.0:
+        print(f"warning: {row['grid']}: event-driven slower than oracle "
+              f"(speedup {row['speedup']:.3f})", file=sys.stderr)
+print(f"BENCH_cycle.json: parses, {len(rows)} rows, speedup column present")
+PY
+else
+  for key in '"rows"' '"oracle_ns"' '"event_ns"' '"speedup"' '"grid"'; do
+    grep -q "$key" BENCH_cycle.json \
+      || { echo "BENCH_cycle.json missing $key"; exit 1; }
+  done
+  if grep -q '"speedup": 0\.' BENCH_cycle.json; then
+    echo "warning: BENCH_cycle.json has a speedup < 1 row" >&2
+  fi
+  echo "BENCH_cycle.json: expected keys present (grep fallback)"
 fi
 
 echo "ci: all green"

@@ -1,0 +1,94 @@
+//! Property tests for the event-driven cycle simulator.
+//!
+//! The rewrite in `pim_sim::cycle` is pinned bit-identical to the
+//! brute-force oracle it replaced — the same oracle discipline the cost
+//! cache and grouping rework used — and its completion times are checked
+//! against the analytic `window_completion_time` lower bound. Run by
+//! `scripts/ci.sh` in release mode (the vendored proptest shim derives a
+//! fixed per-test seed, so the corpus is reproducible).
+
+use pim_array::grid::{Grid, ProcId};
+use pim_sim::contention::window_completion_time;
+use pim_sim::cycle::{run_window_oracle, CycleSim};
+use pim_sim::message::{Message, MessageKind};
+use pim_trace::ids::DataId;
+use proptest::prelude::*;
+
+fn arb_grid() -> impl Strategy<Value = Grid> {
+    (1u32..=8, 1u32..=8).prop_map(|(w, h)| Grid::new(w, h))
+}
+
+/// Random message sets over the grid: arbitrary endpoint pairs (locals
+/// included — they must be free), volumes 0..=9 (zero-volume must also be
+/// free), message ids in declaration order as `window_messages` produces
+/// them.
+fn arb_window() -> impl Strategy<Value = (Grid, Vec<Message>)> {
+    arb_grid().prop_flat_map(|grid| {
+        let n = grid.num_procs() as u32;
+        proptest::collection::vec((0..n, 0..n, 0u32..10), 0..24).prop_map(move |triples| {
+            let msgs = triples
+                .into_iter()
+                .enumerate()
+                .map(|(i, (src, dst, volume))| Message {
+                    src: ProcId(src),
+                    dst: ProcId(dst),
+                    volume,
+                    data: DataId(i as u32),
+                    window: 0,
+                    kind: if i % 3 == 0 {
+                        MessageKind::Move
+                    } else {
+                        MessageKind::Fetch
+                    },
+                })
+                .collect();
+            (grid, msgs)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The event-driven simulator and the brute-force oracle agree bit for
+    /// bit on every observable: completion, delivered flit-hops, and the
+    /// peak number of flits in flight.
+    #[test]
+    fn event_driven_matches_oracle((grid, msgs) in arb_window()) {
+        let event = CycleSim::new(grid).run_window(&msgs).expect("event sim");
+        let oracle = run_window_oracle(&grid, &msgs).expect("oracle sim");
+        prop_assert_eq!(event, oracle, "event-driven diverged from the oracle");
+    }
+
+    /// Reusing one workspace across windows never changes a result.
+    #[test]
+    fn workspace_reuse_matches_one_shot(
+        (grid, msgs) in arb_window(),
+        rounds in 1usize..4,
+    ) {
+        let fresh = CycleSim::new(grid).run_window(&msgs).expect("fresh sim");
+        let mut sim = CycleSim::new(grid);
+        for _ in 0..rounds {
+            let reused = sim.run_window(&msgs).expect("reused sim");
+            prop_assert_eq!(reused, fresh, "workspace reuse leaked state");
+        }
+    }
+
+    /// Simulated completion can never beat the analytic bandwidth/latency
+    /// lower bound, and delivered flit-hops equal the analytic hop-volume.
+    #[test]
+    fn completion_dominates_analytic_bound((grid, msgs) in arb_window()) {
+        let r = CycleSim::new(grid).run_window(&msgs).expect("event sim");
+        let bound = window_completion_time(&grid, &msgs);
+        prop_assert!(
+            r.completion_cycle >= bound,
+            "simulated {} < analytic bound {}", r.completion_cycle, bound
+        );
+        let hop_volume: u64 = msgs
+            .iter()
+            .filter(|m| !m.is_local())
+            .map(|m| grid.dist(m.src, m.dst) * m.volume as u64)
+            .sum();
+        prop_assert_eq!(r.flit_hops, hop_volume);
+    }
+}

@@ -127,7 +127,7 @@ fn cycle_sim_consistent_with_bounds_on_benchmarks() {
     for w in 0..trace.num_windows() {
         let msgs = window_messages(&trace, &s, w);
         let bound = pim_sim::contention::window_completion_time(&grid, &msgs);
-        let r = run_window(&grid, &msgs);
+        let r = run_window(&grid, &msgs).expect("benchmark window fits the safety valve");
         assert!(
             r.completion_cycle >= bound,
             "window {w}: simulated {} < bound {bound}",
