@@ -19,9 +19,14 @@
 //!
 //! Criterion micro-benches live under `benches/`. All binaries accept
 //! `--csv` to emit machine-readable output alongside the pretty table.
+//!
+//! `report_scale` (module [`scale`]) is the big-instance harness: synthetic
+//! flat traces up to 64×64 grids × 1M data, timing the SoA fast paths
+//! against the classic schedulers and writing `BENCH_scale.json`.
 
 pub mod cycle_workload;
 pub mod experiments;
+pub mod scale;
 pub mod table;
 
 pub use experiments::{paper_config, run_comparison, ComparisonRow, PaperConfig};

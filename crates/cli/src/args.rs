@@ -28,6 +28,10 @@ pub enum Command {
     Explain,
     /// List every registered scheduling method with its description.
     ListMethods,
+    /// Big-instance pipeline: synthesize a flat trace (`--data`,
+    /// `--windows`) and run a scheduler's SoA fast path, printing build
+    /// and schedule wall times.
+    Scale,
 }
 
 /// Fully parsed CLI invocation.
@@ -63,6 +67,13 @@ pub struct ParsedArgs {
     /// Write a JSON run report (analytic cost + routed traffic +
     /// scheduler metrics) to this path (`run`/`compare` only).
     pub metrics_out: Option<String>,
+    /// `run` only: convert the trace to the flat SoA layout and use the
+    /// big-instance fast path (SCDS/LOMCDS/GOMCDS only).
+    pub flat: bool,
+    /// `scale` only: number of synthetic data.
+    pub data: usize,
+    /// `scale` only: number of execution windows.
+    pub windows: usize,
 }
 
 impl Default for ParsedArgs {
@@ -80,6 +91,9 @@ impl Default for ParsedArgs {
             trace_file: None,
             threads: 0,
             metrics_out: None,
+            flat: false,
+            data: 100_000,
+            windows: 32,
         }
     }
 }
@@ -147,6 +161,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
         "export" => Command::Export,
         "explain" => Command::Explain,
         "list-methods" => Command::ListMethods,
+        "scale" => Command::Scale,
         "-h" | "--help" | "help" => return Err(usage()),
         other => return Err(format!("unknown command '{other}'\n{}", usage())),
     };
@@ -190,6 +205,25 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
                     .parse()
                     .map_err(|_| format!("bad value '{v}' for --seed, expected an integer"))?;
             }
+            "--flat" => out.flat = true,
+            "--data" => {
+                let v = value()?;
+                out.data = v
+                    .parse()
+                    .map_err(|_| format!("bad value '{v}' for --data, expected an integer"))?;
+                if out.data == 0 {
+                    return Err("--data must be positive".to_string());
+                }
+            }
+            "--windows" => {
+                let v = value()?;
+                out.windows = v
+                    .parse()
+                    .map_err(|_| format!("bad value '{v}' for --windows, expected an integer"))?;
+                if out.windows == 0 {
+                    return Err("--windows must be positive".to_string());
+                }
+            }
             "--out" => out.out = Some(value()?),
             "--metrics" => out.metrics_out = Some(value()?),
             "--trace" => out.trace_file = Some(value()?),
@@ -205,17 +239,24 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
     if out.metrics_out.is_some() && !matches!(out.command, Command::Run | Command::Compare) {
         return Err("--metrics is only supported by `run` and `compare`".to_string());
     }
+    if out.flat && out.command != Command::Run {
+        return Err(
+            "--flat is only supported by `run` (use `scale` for synthetic instances)".to_string(),
+        );
+    }
     Ok(out)
 }
 
 /// The usage text.
 pub fn usage() -> String {
-    "usage: pim-cli <run|compare|stats|simulate|refine|replicate|windows|export|explain|list-methods> \
+    "usage: pim-cli <run|compare|stats|simulate|refine|replicate|windows|export|explain|list-methods|scale> \
      [--bench 1-5|code|jacobi|transpose|sor] [--size N] [--grid WxH] \
      [--window STEPS] [--method NAME (see `pim-cli list-methods`)] \
      [--memory unbounded|Nx|CAP] [--seed S] [--out FILE] [--trace FILE] \
      [--threads N (0 = sequential)] \
-     [--metrics FILE (run/compare: write a JSON run report)]"
+     [--metrics FILE (run/compare: write a JSON run report)] \
+     [--flat (run: SoA fast path for scds/lomcds/gomcds)] \
+     [--data N] [--windows N (scale: synthetic instance shape)]"
         .to_string()
 }
 
@@ -326,6 +367,35 @@ mod tests {
         assert!(err.contains("--metrics"), "{err}");
         let err = parse(&v(&["simulate", "--metrics", "m.json"])).unwrap_err();
         assert!(err.contains("run"), "{err}");
+    }
+
+    #[test]
+    fn scale_and_flat_flags() {
+        let a = parse(&v(&[
+            "scale",
+            "--grid",
+            "64x64",
+            "--data",
+            "1000000",
+            "--windows",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, Command::Scale);
+        assert_eq!(a.data, 1_000_000);
+        assert_eq!(a.windows, 16);
+
+        let a = parse(&v(&["run", "--flat", "--method", "scds"])).unwrap();
+        assert!(a.flat);
+        assert_eq!(a.method, "SCDS");
+        assert!(!parse(&v(&["run"])).unwrap().flat);
+
+        let err = parse(&v(&["compare", "--flat"])).unwrap_err();
+        assert!(err.contains("--flat"), "{err}");
+        let err = parse(&v(&["scale", "--data", "0"])).unwrap_err();
+        assert!(err.contains("--data must be positive"), "{err}");
+        let err = parse(&v(&["scale", "--windows", "none"])).unwrap_err();
+        assert!(err.contains("'none'") && err.contains("--windows"), "{err}");
     }
 
     #[test]

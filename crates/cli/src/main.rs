@@ -18,6 +18,9 @@ fn main() -> ExitCode {
         }
     };
 
+    if parsed.command == Command::Scale {
+        return run_scale(&parsed);
+    }
     if parsed.command == Command::ListMethods {
         println!("registered scheduling methods:");
         for s in pim_sched::registry().iter() {
@@ -109,11 +112,27 @@ fn main() -> ExitCode {
 
     match parsed.command {
         Command::Run => {
-            let s = match run.run_named(&parsed.method) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
+            let s = if parsed.flat {
+                let flat = pim_trace::flat::FlatTrace::from_trace(&trace);
+                let pool = if parsed.threads > 0 {
+                    Pool::with_threads(parsed.threads)
+                } else {
+                    Pool::serial()
+                };
+                match flat_schedule(&parsed.method, &flat, parsed.memory, pool) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match run.run_named(&parsed.method) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             };
             println!("{}", render::breakdown(&parsed.method, s.evaluate(&trace)));
@@ -357,7 +376,82 @@ fn main() -> ExitCode {
                 println!("  {len:>3} -> {count}");
             }
         }
-        Command::ListMethods => unreachable!("handled before trace construction"),
+        Command::ListMethods | Command::Scale => {
+            unreachable!("handled before trace construction")
+        }
     }
+    ExitCode::SUCCESS
+}
+
+/// Dispatch a method name to its flat SoA fast path.
+fn flat_schedule(
+    method: &str,
+    flat: &pim_trace::flat::FlatTrace,
+    memory: pim_sched::MemoryPolicy,
+    pool: Pool,
+) -> Result<pim_sched::Schedule, String> {
+    match method {
+        "SCDS" => pim_sched::flat_scds(flat, memory, pool).map_err(|e| e.to_string()),
+        "LOMCDS" => pim_sched::flat_lomcds(flat, memory, pool).map_err(|e| e.to_string()),
+        "GOMCDS" => pim_sched::flat_gomcds(flat, memory, pool).map_err(|e| e.to_string()),
+        other => Err(format!(
+            "--flat supports SCDS, LOMCDS and GOMCDS (got '{other}')"
+        )),
+    }
+}
+
+/// The `scale` subcommand: synthesize a flat big instance and time the
+/// SoA pipeline (CSR build, schedule, cost evaluation) on it.
+fn run_scale(parsed: &pim_cli::args::ParsedArgs) -> ExitCode {
+    use std::time::Instant;
+    let grid = parsed.grid;
+    println!(
+        "synthetic flat instance: {} data x {} windows on {}, memory {:?}, method {}",
+        parsed.data, parsed.windows, grid, parsed.memory, parsed.method
+    );
+    let records =
+        pim_bench::scale::synthetic_records(grid, parsed.windows, parsed.data, parsed.seed);
+    let start = Instant::now();
+    let flat = match pim_trace::flat::FlatTrace::from_records(
+        grid,
+        parsed.windows,
+        parsed.data,
+        records,
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let build = start.elapsed();
+    let pool = if parsed.threads > 0 {
+        Pool::with_threads(parsed.threads)
+    } else {
+        Pool::serial()
+    };
+    let start = Instant::now();
+    let s = match flat_schedule(&parsed.method, &flat, parsed.memory, pool) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sched = start.elapsed();
+    let cost = pim_sched::flat_total_cost(&flat, &s);
+    println!(
+        "{} reference runs; build {:.1} ms, schedule {:.1} ms",
+        flat.num_refs(),
+        build.as_secs_f64() * 1e3,
+        sched.as_secs_f64() * 1e3
+    );
+    println!("{}", render::breakdown(&parsed.method, cost));
+    println!(
+        "moves: {}, max occupancy: {}, peak RSS {} MB",
+        s.num_moves(),
+        s.max_occupancy(),
+        pim_bench::scale::peak_rss_kb().unwrap_or(0) / 1024
+    );
     ExitCode::SUCCESS
 }

@@ -24,15 +24,26 @@
 //! holds — via two subtractions per axis slot and the standard two-sweep
 //! `axis_costs` recurrence in [`crate::cost`].
 //!
-//! The prefix tables are built **lazily, on the first query that needs
-//! them**. Single-window and whole-execution queries are served by
-//! projecting the raw references directly — exactly one pass over the
-//! refs involved, which is never more work than the prefix build itself —
-//! so single-pass schedulers (SCDS reads one full table per datum, LOMCDS
-//! and GOMCDS read each window once) pay nothing for tables they would
-//! never amortize. Only a *strict multi-window sub-range* query — the
-//! shape Algorithm 3 grouping issues `O(n)` times per datum — triggers the
-//! one-time prefix build, which every later query of any shape then reuses.
+//! The prefix tables are built **lazily, on a query that needs them**.
+//! Whole-execution queries are always served by projecting the raw
+//! references directly — exactly one pass over the refs involved, which is
+//! never more work than the prefix build itself — so SCDS (one full table
+//! per datum) pays nothing for tables it would never amortize. A *strict
+//! multi-window sub-range* query — the shape Algorithm 3 grouping issues
+//! `O(n)` times per datum — triggers the one-time prefix build immediately.
+//! Single-window queries are served raw until the datum has answered more
+//! of them than one full window sweep could issue
+//! (`num_windows + SINGLE_WINDOW_SWEEP_SLACK`); the next one triggers
+//! the build. The point: a window-sweeping scheduler (LOMCDS, GOMCDS)
+//! reads each window exactly once, so across the whole sweep the raw path
+//! walks every reference exactly once — the same total work as the prefix
+//! build itself, minus the build's row copies and allocations. Building
+//! mid-sweep can therefore only lose (measurably so on the paper table's
+//! sparse instances). Only a *re-scan* — more single-window queries than
+//! windows, as issued by iterated refinement or repeated capacity replays
+//! — amortizes the build, and that is exactly when it fires. The slack
+//! keeps one extra probe (e.g. LOMCDS' first-anchor lookup before its
+//! sweep) build-free.
 //!
 //! The arithmetic is identical either way: axis weights are sums of `u64`
 //! counts (associative and exact), so raw projection, prefix subtraction,
@@ -50,10 +61,30 @@
 use crate::cost::{argmin_table, AxisScratch};
 use pim_array::grid::{Grid, ProcId};
 use pim_metrics::CacheStats;
+use pim_trace::flat::{FlatRef, FlatTrace};
 use pim_trace::ids::DataId;
 use pim_trace::window::{DataRefString, WindowedTrace};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// Extra raw single-window serves allowed beyond one per window before a
+/// single-window query triggers the prefix build (see the module docs for
+/// the rationale): a datum builds its tables on single-window query
+/// `num_windows + SINGLE_WINDOW_SWEEP_SLACK + 1`.
+const SINGLE_WINDOW_SWEEP_SLACK: u32 = 1;
+
+/// Where a datum's raw references live: the nested per-window
+/// representation, or one contiguous window-major slice of a
+/// [`FlatTrace`]. Both orderings iterate references identically
+/// (window-major, ascending processor id) and all served quantities are
+/// exact `u64` sums, so the backing choice can never change a table bit.
+#[derive(Debug, Clone, Copy)]
+enum RefSource<'r> {
+    /// Nested per-window reference string.
+    Windowed(&'r DataRefString),
+    /// One datum's span of a [`FlatTrace`], sorted by (window, proc).
+    Flat(&'r [FlatRef]),
+}
 
 /// The axis-weight prefix sums of one datum, built lazily on first use.
 #[derive(Debug, Clone)]
@@ -67,31 +98,71 @@ struct PrefixTables {
 }
 
 /// Cached axis projections of one datum's reference string: cheap raw
-/// projection for single-window / whole-execution queries, lazily built
-/// prefix sums for arbitrary sub-ranges.
-#[derive(Debug, Clone)]
+/// projection for one-shot queries, lazily built prefix sums for
+/// arbitrary sub-ranges and repeated window sweeps.
+#[derive(Debug)]
 pub struct DatumCostCache<'r> {
     grid: Grid,
     num_windows: usize,
-    rs: &'r DataRefString,
+    src: RefSource<'r>,
     tables: OnceLock<PrefixTables>,
+    /// Count of raw-served single-window queries, driving the
+    /// [`SINGLE_WINDOW_PREFIX_THRESHOLD`] build trigger. Atomic because
+    /// caches are queried concurrently from worker pools; the count only
+    /// decides *when* tables appear, never what they contain, so relaxed
+    /// racing cannot change a served bit.
+    raw_singles: AtomicU32,
     /// Observability counters shared with a [`pim_metrics::Metrics`] sink;
     /// `None` (the default) skips counting entirely. Counting never feeds
     /// back into any served table, so metrics cannot change a schedule.
     stats: Option<Arc<CacheStats>>,
 }
 
+impl Clone for DatumCostCache<'_> {
+    fn clone(&self) -> Self {
+        DatumCostCache {
+            grid: self.grid,
+            num_windows: self.num_windows,
+            src: self.src,
+            tables: self.tables.clone(),
+            raw_singles: AtomicU32::new(self.raw_singles.load(Ordering::Relaxed)),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
 impl<'r> DatumCostCache<'r> {
     /// Wrap one datum's reference string. `O(1)` — no tables are built
     /// until a query needs them (see the module docs for which do).
     pub fn build(grid: &Grid, rs: &'r DataRefString) -> Self {
+        Self::from_source(grid, RefSource::Windowed(rs), rs.num_windows())
+    }
+
+    /// Wrap one datum's span of a [`FlatTrace`] (window-major, ascending
+    /// processor order — the layout [`FlatTrace`] guarantees). Serves the
+    /// exact same tables as [`DatumCostCache::build`] on the equivalent
+    /// nested string.
+    pub fn build_flat(grid: &Grid, refs: &'r [FlatRef], num_windows: usize) -> Self {
+        Self::from_source(grid, RefSource::Flat(refs), num_windows)
+    }
+
+    fn from_source(grid: &Grid, src: RefSource<'r>, num_windows: usize) -> Self {
         DatumCostCache {
             grid: *grid,
-            num_windows: rs.num_windows(),
-            rs,
+            num_windows,
+            src,
             tables: OnceLock::new(),
+            raw_singles: AtomicU32::new(0),
             stats: None,
         }
+    }
+
+    /// Datum `d`'s references within windows `lo..hi` of the flat span
+    /// (binary search on the sorted window ids).
+    fn flat_range(refs: &'r [FlatRef], lo: usize, hi: usize) -> &'r [FlatRef] {
+        let a = refs.partition_point(|r| (r.window as usize) < lo);
+        let b = refs.partition_point(|r| (r.window as usize) < hi);
+        &refs[a..b]
     }
 
     /// Install shared cache counters (from an enabled metrics sink).
@@ -113,17 +184,33 @@ impl<'r> DatumCostCache<'r> {
             let mut px = vec![0u64; (nw + 1) * w];
             let mut py = vec![0u64; (nw + 1) * h];
             let mut vol = vec![0u64; nw + 1];
-            for (wi, refs) in self.rs.windows().enumerate() {
+            let mut flat_next = 0usize;
+            for wi in 0..nw {
                 let (prev_x, row_x) = px[wi * w..(wi + 2) * w].split_at_mut(w);
                 row_x.copy_from_slice(prev_x);
                 let (prev_y, row_y) = py[wi * h..(wi + 2) * h].split_at_mut(h);
                 row_y.copy_from_slice(prev_y);
                 vol[wi + 1] = vol[wi];
-                for r in refs.iter() {
-                    let p = self.grid.point_of(r.proc);
-                    row_x[p.x as usize] += r.count as u64;
-                    row_y[p.y as usize] += r.count as u64;
-                    vol[wi + 1] += r.count as u64;
+                match self.src {
+                    RefSource::Windowed(rs) => {
+                        for r in rs.window(wi).iter() {
+                            let p = self.grid.point_of(r.proc);
+                            row_x[p.x as usize] += r.count as u64;
+                            row_y[p.y as usize] += r.count as u64;
+                            vol[wi + 1] += r.count as u64;
+                        }
+                    }
+                    RefSource::Flat(refs) => {
+                        while let Some(r) = refs.get(flat_next) {
+                            if r.window as usize != wi {
+                                break;
+                            }
+                            row_x[r.x as usize] += r.count as u64;
+                            row_y[r.y as usize] += r.count as u64;
+                            vol[wi + 1] += r.count as u64;
+                            flat_next += 1;
+                        }
+                    }
                 }
             }
             PrefixTables { px, py, vol }
@@ -148,12 +235,29 @@ impl<'r> DatumCostCache<'r> {
         }
         match hi - lo {
             0 => 0,
-            1 => self.rs.window(lo).total_volume(),
-            _ if lo == 0 && hi == self.num_windows => self.rs.total_volume(),
+            1 => self.raw_volume(lo, hi),
+            _ if lo == 0 && hi == self.num_windows => self.raw_volume(lo, hi),
             _ => {
                 let t = self.tables();
                 t.vol[hi] - t.vol[lo]
             }
+        }
+    }
+
+    /// Range volume by walking the raw references of `lo..hi`.
+    fn raw_volume(&self, lo: usize, hi: usize) -> u64 {
+        match self.src {
+            RefSource::Windowed(rs) => {
+                if lo == 0 && hi == self.num_windows {
+                    rs.total_volume()
+                } else {
+                    (lo..hi).map(|w| rs.window(w).total_volume()).sum()
+                }
+            }
+            RefSource::Flat(refs) => Self::flat_range(refs, lo, hi)
+                .iter()
+                .map(|r| r.count as u64)
+                .sum(),
         }
     }
 
@@ -171,25 +275,63 @@ impl<'r> DatumCostCache<'r> {
         if let Some(t) = self.tables.get() {
             return self.serve_from_prefix(t, lo, hi, axes, out);
         }
-        // No tables yet: single windows and the whole execution project the
-        // raw refs directly (one pass, never worse than a prefix build); a
-        // strict multi-window sub-range builds the tables once.
-        if hi - lo == 1 || (lo == 0 && hi == self.num_windows) {
+        // No tables yet: the whole execution always projects the raw refs
+        // directly (one pass, never worse than a prefix build). A single
+        // window does too — until more singles have been served than one
+        // full window sweep issues, the signature of a re-scanning caller.
+        // A strict multi-window sub-range builds the tables at once.
+        let single = hi - lo == 1;
+        if single && self.num_windows > 1 {
+            let prior = self.raw_singles.fetch_add(1, Ordering::Relaxed);
+            if prior >= self.num_windows as u32 + SINGLE_WINDOW_SWEEP_SLACK {
+                let t = self.tables();
+                return self.serve_from_prefix(t, lo, hi, axes, out);
+            }
+        }
+        if single || (lo == 0 && hi == self.num_windows) {
             if let Some(stats) = &self.stats {
                 stats.raw_serves.fetch_add(1, Ordering::Relaxed);
             }
-            axes.reset_weights(&self.grid);
-            for w in lo..hi {
-                for r in self.rs.window(w).iter() {
-                    let p = self.grid.point_of(r.proc);
-                    axes.wx[p.x as usize] += r.count as u64;
-                    axes.wy[p.y as usize] += r.count as u64;
-                }
-            }
+            self.fill_weights_raw(lo, hi, axes);
             axes.sweep_into(&self.grid, out);
         } else {
             let t = self.tables();
             self.serve_from_prefix(t, lo, hi, axes, out);
+        }
+    }
+
+    /// Project the raw references of `lo..hi` onto the axis weights.
+    fn fill_weights_raw(&self, lo: usize, hi: usize, axes: &mut AxisScratch) {
+        axes.reset_weights(&self.grid);
+        match self.src {
+            RefSource::Windowed(rs) => {
+                for w in lo..hi {
+                    for r in rs.window(w).iter() {
+                        let p = self.grid.point_of(r.proc);
+                        axes.wx[p.x as usize] += r.count as u64;
+                        axes.wy[p.y as usize] += r.count as u64;
+                    }
+                }
+            }
+            RefSource::Flat(refs) => {
+                for r in Self::flat_range(refs, lo, hi) {
+                    axes.wx[r.x as usize] += r.count as u64;
+                    axes.wy[r.y as usize] += r.count as u64;
+                }
+            }
+        }
+    }
+
+    /// Fill the axis weights of `lo..hi` by prefix subtraction.
+    fn fill_weights_prefix(&self, t: &PrefixTables, lo: usize, hi: usize, axes: &mut AxisScratch) {
+        let w = self.grid.width() as usize;
+        let h = self.grid.height() as usize;
+        axes.reset_weights(&self.grid);
+        for x in 0..w {
+            axes.wx[x] = t.px[hi * w + x] - t.px[lo * w + x];
+        }
+        for y in 0..h {
+            axes.wy[y] = t.py[hi * h + y] - t.py[lo * h + y];
         }
     }
 
@@ -204,15 +346,7 @@ impl<'r> DatumCostCache<'r> {
         if let Some(stats) = &self.stats {
             stats.prefix_hits.fetch_add(1, Ordering::Relaxed);
         }
-        let w = self.grid.width() as usize;
-        let h = self.grid.height() as usize;
-        axes.reset_weights(&self.grid);
-        for x in 0..w {
-            axes.wx[x] = t.px[hi * w + x] - t.px[lo * w + x];
-        }
-        for y in 0..h {
-            axes.wy[y] = t.py[hi * h + y] - t.py[lo * h + y];
-        }
+        self.fill_weights_prefix(t, lo, hi, axes);
         axes.sweep_into(&self.grid, out);
     }
 
@@ -224,6 +358,26 @@ impl<'r> DatumCostCache<'r> {
     /// Cost table of the whole execution merged — what SCDS schedules on.
     pub fn full_table(&self, axes: &mut AxisScratch, out: &mut Vec<u64>) {
         self.range_table(0, self.num_windows, axes, out);
+    }
+
+    /// The cost-table argmin (lowest-id tie-break) of the merged range
+    /// `lo..hi` **without building the table**: the per-axis weighted
+    /// medians, in `O(width + height + refs in range)` — or
+    /// `O(width + height)` once prefix tables exist. Never triggers a
+    /// prefix build and does not advance the single-window build counter;
+    /// equal to `argmin_table(range_table(lo, hi)).0` by the median
+    /// decomposition (pinned in `tests/cache_equivalence.rs`).
+    pub fn range_median(&self, lo: usize, hi: usize, axes: &mut AxisScratch) -> ProcId {
+        assert!(lo <= hi && hi <= self.num_windows, "bad range {lo}..{hi}");
+        match self.tables.get() {
+            Some(t) => self.fill_weights_prefix(t, lo, hi, axes),
+            None => self.fill_weights_raw(lo, hi, axes),
+        }
+        let w = self.grid.width() as usize;
+        let h = self.grid.height() as usize;
+        let mx = crate::median::dense_weighted_median(&axes.wx[..w]);
+        let my = crate::median::dense_weighted_median(&axes.wy[..h]);
+        self.grid.proc_xy(mx, my)
     }
 
     /// Local optimal center (lowest-id argmin) and its cost for the merged
@@ -258,6 +412,20 @@ impl<'t> CostCache<'t> {
             data: trace
                 .iter_data()
                 .map(|(_, rs)| DatumCostCache::build(&grid, rs))
+                .collect(),
+        }
+    }
+
+    /// Wrap every datum of a flat trace. Serves bit-identical tables to
+    /// [`CostCache::build`] on the equivalent nested trace
+    /// (property-tested in `tests/cache_equivalence.rs`), while datum
+    /// spans stay contiguous slices of one shared `refs` array.
+    pub fn build_flat(flat: &'t FlatTrace) -> Self {
+        let grid = flat.grid();
+        let nw = flat.num_windows();
+        CostCache {
+            data: (0..flat.num_data())
+                .map(|d| DatumCostCache::build_flat(&grid, flat.span(DataId(d as u32)), nw))
                 .collect(),
         }
     }
@@ -360,6 +528,23 @@ mod tests {
         );
         cache.range_table(1, 3, &mut axes, &mut out);
         assert!(cache.tables.get().is_some(), "sub-range builds tables");
+    }
+
+    #[test]
+    fn single_window_rescan_triggers_build_after_full_sweep() {
+        let grid = Grid::new(4, 3);
+        let rs = sample_rs(&grid); // 4 windows
+        let cache = DatumCostCache::build(&grid, &rs);
+        let mut axes = AxisScratch::default();
+        let mut out = Vec::new();
+        // One full sweep plus the slack probe stays raw...
+        for q in 0..rs.num_windows() + SINGLE_WINDOW_SWEEP_SLACK as usize {
+            cache.window_table(q % rs.num_windows(), &mut axes, &mut out);
+            assert!(cache.tables.get().is_none(), "query {q} must serve raw");
+        }
+        // ...and the next single-window query builds the tables.
+        cache.window_table(0, &mut axes, &mut out);
+        assert!(cache.tables.get().is_some(), "re-scan builds tables");
     }
 
     #[test]

@@ -435,9 +435,13 @@ pub fn gomcds_schedule_parallel(
     let ids: Vec<_> = trace.iter_data().map(|(d, _)| d).collect();
     let paths = {
         let _t = metrics.phase("GOMCDS/phase1-paths");
-        pim_par::parallel_map_with(pool, &ids, Workspace::new, |w, _, &d| {
-            gomcds_path_cached(&grid, cache.datum(d), solver, w).0
-        })
+        pim_par::parallel_map_with_chunked(
+            pool,
+            &ids,
+            pim_par::auto_chunk(ids.len(), pool.threads()),
+            Workspace::new,
+            |w, _, &d| gomcds_path_cached(&grid, cache.datum(d), solver, w).0,
+        )
     };
 
     let _t = metrics.phase("GOMCDS/phase2-replay");

@@ -43,6 +43,9 @@
 //! * [`mod@registry`] — the [`Scheduler`] trait and the [`SchedulerRegistry`]:
 //!   every strategy (the three schedulers, grouping, the baseline, and the
 //!   `online`/`kcopy`/`replicate` extensions) as a pluggable named value.
+//! * [`flat`] — big-instance fast paths driving SCDS/LOMCDS/GOMCDS
+//!   straight off the flat SoA trace (`pim_trace::flat::FlatTrace`) with
+//!   incremental medians and chunk-sharded parallelism.
 //! * [`context`] — the [`SchedContext`] a scheduler runs against: grid,
 //!   policy, shared cost cache, workspace, optional pool.
 //! * [`pipeline`] — the [`Run`] builder (one canonical entry point driving
@@ -83,6 +86,7 @@ pub mod dt;
 pub mod error;
 pub mod exhaustive;
 pub mod explain;
+pub mod flat;
 pub mod generic;
 pub mod gomcds;
 pub mod grouping;
@@ -102,6 +106,7 @@ pub mod workspace;
 pub use cache::{CostCache, DatumCostCache};
 pub use context::SchedContext;
 pub use error::SchedError;
+pub use flat::{flat_gomcds, flat_lomcds, flat_scds, flat_total_cost};
 pub use pim_metrics::{Metrics, MetricsReport};
 pub use pipeline::{
     compare_methods, schedule, schedule_cached, schedule_parallel, schedule_uncached, MemoryPolicy,

@@ -101,8 +101,10 @@ pub fn lomcds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
 }
 
 /// [`lomcds_schedule`] served from a shared per-trace cost cache. Each
-/// window is queried exactly once here, so the cache serves the tables by
-/// direct single-window projection and never builds prefix tables.
+/// window is queried once here; the cache serves the first single-window
+/// table per datum raw and builds the datum's prefix tables on the second
+/// (see `cache.rs`' repeat-customer threshold), so window sweeps over
+/// dense strings run in `O(width + height)` per window.
 ///
 /// The capacity loop only ever consults the unconstrained center sequence
 /// at window 0 (later windows anchor on the *actual* previous center), and
@@ -118,7 +120,7 @@ pub fn lomcds_schedule_cached(
     let anchors: Vec<ProcId> = (0..trace.num_data())
         .map(|d| first_anchor(cache.datum(DataId(d as u32)), ws))
         .collect();
-    lomcds_assign(trace, spec, cache, ws, &anchors)
+    lomcds_assign(trace.grid(), trace.num_windows(), spec, cache, ws, &anchors)
 }
 
 /// Two-phase parallel LOMCDS, bit-identical to the sequential
@@ -136,19 +138,23 @@ pub fn lomcds_schedule_parallel(
     let ids: Vec<_> = trace.iter_data().map(|(d, _)| d).collect();
     let anchors = {
         let _t = metrics.phase("LOMCDS/phase1-anchors");
-        pim_par::parallel_map_with(pool, &ids, Workspace::new, |w, _, &d| {
-            first_anchor(cache.datum(d), w)
-        })
+        pim_par::parallel_map_with_chunked(
+            pool,
+            &ids,
+            pim_par::auto_chunk(ids.len(), pool.threads()),
+            Workspace::new,
+            |w, _, &d| first_anchor(cache.datum(d), w),
+        )
     };
     let _t = metrics.phase("LOMCDS/phase2-replay");
-    lomcds_assign(trace, spec, cache, ws, &anchors)
+    lomcds_assign(trace.grid(), trace.num_windows(), spec, cache, ws, &anchors)
 }
 
 /// The anchor a datum uses at window 0: the local optimal center of its
 /// first referenced window (`P0` when it is never referenced) — exactly
 /// `lomcds_centers_unconstrained[0]`, since gap resolution backfills
 /// leading empties with the first known center.
-fn first_anchor(cache: &DatumCostCache, ws: &mut Workspace) -> ProcId {
+pub(crate) fn first_anchor(cache: &DatumCostCache, ws: &mut Workspace) -> ProcId {
     for w in 0..cache.num_windows() {
         if !cache.range_is_empty(w, w + 1) {
             return cache
@@ -159,18 +165,18 @@ fn first_anchor(cache: &DatumCostCache, ws: &mut Workspace) -> ProcId {
     ProcId(0)
 }
 
-/// Window-major capacity assignment shared by the sequential and two-phase
-/// parallel cached paths.
-fn lomcds_assign(
-    trace: &WindowedTrace,
+/// Window-major capacity assignment shared by the sequential, two-phase
+/// parallel, and flat-trace cached paths. Takes the grid and window count
+/// directly so any trace representation backing `cache` can drive it.
+pub(crate) fn lomcds_assign(
+    grid: Grid,
+    nw: usize,
     spec: MemorySpec,
     cache: &CostCache,
     ws: &mut Workspace,
     anchors: &[ProcId],
 ) -> Result<Schedule, SchedError> {
-    let grid = trace.grid();
-    let nd = trace.num_data();
-    let nw = trace.num_windows();
+    let nd = cache.num_data();
     ensure_feasible(&grid, spec, nd)?;
     let metrics = ws.metrics.clone();
 
@@ -188,12 +194,25 @@ fn lomcds_assign(
                 nearest_free(&grid, anchor, &mut mem)
                     .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?
             } else {
-                dc.window_table(w, &mut ws.axes, &mut ws.table);
-                let (p, rank) = ProcessorList::from_cost_table(&ws.table)
-                    .assign_ranked(&mut mem)
-                    .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?;
-                metrics.record_placement(rank);
-                p
+                // Median-first: the window's weighted-median center is the
+                // head of its processor list (lowest-id argmin), so when it
+                // still has room `assign_ranked` would return it at rank 0
+                // — skip building and sorting the full table. Only a full
+                // median (capacity conflict) pays for the list.
+                let m = dc.range_median(w, w + 1, &mut ws.axes);
+                if mem.has_room(m) {
+                    mem.allocate(m)
+                        .map_err(|_| exhausted(DataId(d as u32), Some(w)))?;
+                    metrics.record_placement(0);
+                    m
+                } else {
+                    dc.window_table(w, &mut ws.axes, &mut ws.table);
+                    let (p, rank) = ProcessorList::from_cost_table(&ws.table)
+                        .assign_ranked(&mut mem)
+                        .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?;
+                    metrics.record_placement(rank);
+                    p
+                }
             };
             centers[d][w] = p;
         }
@@ -245,7 +264,15 @@ pub fn lomcds_schedule_uncached(
 
 /// Claim the free processor nearest to `anchor` (ties by ascending id);
 /// `None` when every processor is full.
-fn nearest_free(grid: &Grid, anchor: ProcId, mem: &mut MemoryMap) -> Option<ProcId> {
+pub(crate) fn nearest_free(grid: &Grid, anchor: ProcId, mem: &mut MemoryMap) -> Option<ProcId> {
+    // The anchor is the unique distance-0 candidate, so when it has room
+    // the full (distance, id)-minimum scan below could only return it —
+    // answer in O(1). Carry-forward keeps most anchors stable, making this
+    // the common case on big instances.
+    if mem.has_room(anchor) {
+        mem.allocate(anchor).ok()?;
+        return Some(anchor);
+    }
     let a = grid.point_of(anchor);
     let p = grid
         .procs()

@@ -129,11 +129,19 @@ pub enum MemoryPolicy {
 impl MemoryPolicy {
     /// Resolve to a concrete [`MemorySpec`] for a trace.
     pub fn resolve(&self, trace: &WindowedTrace) -> MemorySpec {
+        self.resolve_parts(&trace.grid(), trace.num_data())
+    }
+
+    /// Resolve from the quantities the policy actually depends on — the
+    /// grid and the datum population — so trace representations other than
+    /// [`WindowedTrace`] (e.g. [`pim_trace::flat::FlatTrace`]) resolve
+    /// identically.
+    pub fn resolve_parts(&self, grid: &pim_array::grid::Grid, num_data: usize) -> MemorySpec {
         match *self {
             MemoryPolicy::Unbounded => MemorySpec::unbounded(),
             MemoryPolicy::Capacity(c) => MemorySpec::uniform(c),
             MemoryPolicy::ScaledMinimum { factor } => {
-                MemorySpec::scaled_minimum(&trace.grid(), trace.num_data(), factor)
+                MemorySpec::scaled_minimum(grid, num_data, factor)
             }
         }
     }

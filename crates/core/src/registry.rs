@@ -120,14 +120,19 @@ impl Scheduler for ScdsScheduler {
                 let cache = ctx.cache().expect("parallel_pool implies cache");
                 let nw = trace.num_windows();
                 let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
-                let centers =
-                    pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                let centers = pim_par::parallel_map_with_chunked(
+                    pool,
+                    &ids,
+                    pim_par::auto_chunk(ids.len(), pool.threads()),
+                    Workspace::new,
+                    |ws, _, &d| {
                         let c = cache
                             .datum(d)
                             .optimal_center_range(0, nw, &mut ws.axes, &mut ws.table)
                             .0;
                         vec![c; nw]
-                    });
+                    },
+                );
                 return Ok(Schedule::new(ctx.grid(), centers));
             }
             // Bounded: two-phase — parallel per-datum tables, sequential
@@ -167,10 +172,15 @@ impl Scheduler for LomcdsScheduler {
             if spec.capacity_per_proc == u32::MAX {
                 let cache = ctx.cache().expect("parallel_pool implies cache");
                 let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
-                let centers =
-                    pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                let centers = pim_par::parallel_map_with_chunked(
+                    pool,
+                    &ids,
+                    pim_par::auto_chunk(ids.len(), pool.threads()),
+                    Workspace::new,
+                    |ws, _, &d| {
                         crate::lomcds::lomcds_centers_unconstrained_cached(cache.datum(d), ws)
-                    });
+                    },
+                );
                 return Ok(Schedule::new(ctx.grid(), centers));
             }
             let (cache, ws) = ctx.cache_and_ws();
@@ -242,10 +252,15 @@ impl Scheduler for GomcdsScheduler {
                 let grid = ctx.grid();
                 let solver = self.solver;
                 let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
-                let centers =
-                    pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                let centers = pim_par::parallel_map_with_chunked(
+                    pool,
+                    &ids,
+                    pim_par::auto_chunk(ids.len(), pool.threads()),
+                    Workspace::new,
+                    |ws, _, &d| {
                         crate::gomcds::gomcds_path_cached(&grid, cache.datum(d), solver, ws).0
-                    });
+                    },
+                );
                 return Ok(Schedule::new(grid, centers));
             }
             let solver = self.solver;
@@ -299,8 +314,12 @@ impl Scheduler for GroupedScheduler {
                 let grid = ctx.grid();
                 let place = self.place;
                 let ids: Vec<DataId> = (0..trace.num_data() as u32).map(DataId).collect();
-                let centers =
-                    pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
+                let centers = pim_par::parallel_map_with_chunked(
+                    pool,
+                    &ids,
+                    pim_par::auto_chunk(ids.len(), pool.threads()),
+                    Workspace::new,
+                    |ws, _, &d| {
                         let dc = cache.datum(d);
                         let groups = crate::grouping::greedy_grouping_cached(
                             &grid,
@@ -323,7 +342,8 @@ impl Scheduler for GroupedScheduler {
                             }
                         }
                         per_window
-                    });
+                    },
+                );
                 return Ok(Schedule::new(grid, centers));
             }
             let place = self.place;

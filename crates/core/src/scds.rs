@@ -84,10 +84,16 @@ pub fn scds_schedule_parallel(
     let ids: Vec<_> = trace.iter_data().map(|(d, _)| d).collect();
     let lists = {
         let _t = metrics.phase("SCDS/phase1-lists");
-        pim_par::parallel_map_with(pool, &ids, Workspace::new, |ws, _, &d| {
-            cache.datum(d).full_table(&mut ws.axes, &mut ws.table);
-            ProcessorList::from_cost_table(&ws.table)
-        })
+        pim_par::parallel_map_with_chunked(
+            pool,
+            &ids,
+            pim_par::auto_chunk(ids.len(), pool.threads()),
+            Workspace::new,
+            |ws, _, &d| {
+                cache.datum(d).full_table(&mut ws.axes, &mut ws.table);
+                ProcessorList::from_cost_table(&ws.table)
+            },
+        )
     };
     let _t = metrics.phase("SCDS/phase2-replay");
     let mut mem = MemoryMap::new(&grid, spec);

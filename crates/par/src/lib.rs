@@ -180,6 +180,16 @@ where
         .collect()
 }
 
+/// A chunk size for sharding `n` items over `threads` workers:
+/// contiguous runs large enough to amortize the shared-counter traffic and
+/// keep each worker streaming cache-adjacent items, while still leaving
+/// ~8 chunks per worker for dynamic load balancing. Returns 1 (per-item
+/// claiming) for small inputs where chunking cannot help.
+pub fn auto_chunk(n: usize, threads: usize) -> usize {
+    let per_thread = n.div_ceil(threads.max(1));
+    per_thread.div_ceil(8).max(1)
+}
+
 /// Map then reduce with an associative `combine`. `identity` must be a
 /// neutral element for `combine`.
 pub fn parallel_reduce<T, U, F, C>(pool: Pool, items: &[T], identity: U, f: F, combine: C) -> U
@@ -266,6 +276,21 @@ mod tests {
                 assert_eq!(v.load(Ordering::Relaxed), 1, "index {i} chunk {chunk}");
             }
         }
+    }
+
+    #[test]
+    fn auto_chunk_shapes() {
+        assert_eq!(auto_chunk(0, 4), 1);
+        assert_eq!(auto_chunk(5, 4), 1);
+        assert_eq!(auto_chunk(64, 4), 2);
+        assert_eq!(auto_chunk(100_000, 4), 3125);
+        // serial pool still chunks (amortizes the counter, preserves order)
+        assert_eq!(auto_chunk(80, 1), 10);
+        // every item is still visited exactly once at any chunk size
+        let items: Vec<usize> = (0..1000).collect();
+        let chunk = auto_chunk(items.len(), 4);
+        let out = parallel_map_chunked(Pool::with_threads(4), &items, chunk, |_, &x| x);
+        assert_eq!(out, items);
     }
 
     #[test]

@@ -1,0 +1,591 @@
+//! Flat structure-of-arrays (SoA) trace layout for big instances.
+//!
+//! [`crate::window::WindowedTrace`] is a `Vec`-of-`Vec`s: every datum owns
+//! one heap-allocated [`crate::window::WindowRefs`] per window, so a
+//! million-datum trace scatters tens of millions of tiny allocations across
+//! the heap and every scheduler walk chases two levels of pointers per
+//! window. [`FlatTrace`] stores the same reference strings datum-major in
+//! **one** contiguous `refs` array (CSR layout): per datum an
+//! `(offset, len)` span of [`FlatRef`] records carrying the window id, the
+//! axis-projected processor coordinates, and the access count. Schedulers
+//! iterate a datum's whole reference run as a plain slice — no per-window
+//! allocation, no pointer chasing, and the axis projections the L1 cost
+//! machinery wants are precomputed in the record.
+//!
+//! Invariants (established by every constructor):
+//!
+//! * a datum's records are sorted by `(window, y, x)` — window-major, then
+//!   ascending processor id (`id = y·width + x`), matching the iteration
+//!   order of [`crate::window::WindowRefs::iter`];
+//! * at most one record per `(datum, window, processor)` triple (duplicate
+//!   input records aggregate their counts);
+//! * every record's window is `< num_windows` and its coordinates are on
+//!   the grid.
+//!
+//! Round trip: [`FlatTrace::from_trace`] / [`FlatTrace::to_windowed`]
+//! convert losslessly in both directions (property-tested in
+//! `tests/cache_equivalence.rs`). [`FlatTrace::from_reader`] streams a
+//! simple line-oriented text format so big traces never need the nested
+//! representation at all.
+
+use crate::ids::DataId;
+use crate::window::{WindowRefs, WindowedTrace};
+use pim_array::grid::{Grid, ProcId};
+use std::io::BufRead;
+
+/// One reference in the flat layout: "in `window`, the processor at
+/// `(x, y)` touched this datum `count` times".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatRef {
+    /// Execution window of the reference.
+    pub window: u32,
+    /// Column of the referencing processor (x axis projection).
+    pub x: u32,
+    /// Row of the referencing processor (y axis projection).
+    pub y: u32,
+    /// Access count (reference volume).
+    pub count: u32,
+}
+
+impl FlatRef {
+    /// The referencing processor's dense id on `grid`.
+    #[inline]
+    pub fn proc(&self, grid: &Grid) -> ProcId {
+        grid.proc_xy(self.x, self.y)
+    }
+}
+
+/// One raw `(datum, window, proc, count)` record fed to
+/// [`FlatTrace::from_records`]. Records may arrive in any order and may
+/// repeat a `(datum, window, proc)` triple (counts aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatRecord {
+    /// The referenced datum.
+    pub datum: DataId,
+    /// Execution window of the access.
+    pub window: u32,
+    /// Referencing processor.
+    pub proc: ProcId,
+    /// Access count.
+    pub count: u32,
+}
+
+/// Why a flat trace could not be built or parsed.
+#[derive(Debug)]
+pub enum FlatTraceError {
+    /// A record referenced a window `>= num_windows`.
+    WindowOutOfRange {
+        /// The offending window id.
+        window: u32,
+        /// Number of windows the trace declares.
+        num_windows: usize,
+    },
+    /// A record referenced a processor outside the grid.
+    ProcOutOfRange {
+        /// The offending processor id.
+        proc: u32,
+        /// Number of processors on the grid.
+        num_procs: usize,
+    },
+    /// A record referenced a datum `>= num_data` (header-declared count).
+    DatumOutOfRange {
+        /// The offending datum id.
+        datum: u32,
+        /// Number of data the trace declares.
+        num_data: usize,
+    },
+    /// The datum population does not fit the dense 32-bit id space.
+    IdOverflow(crate::ids::IdOverflow),
+    /// A line of the text format did not parse.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The underlying reader failed.
+    Io(std::io::Error),
+}
+
+impl core::fmt::Display for FlatTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FlatTraceError::WindowOutOfRange {
+                window,
+                num_windows,
+            } => write!(f, "window {window} out of range (trace has {num_windows})"),
+            FlatTraceError::ProcOutOfRange { proc, num_procs } => {
+                write!(f, "processor {proc} out of range (grid has {num_procs})")
+            }
+            FlatTraceError::DatumOutOfRange { datum, num_data } => {
+                write!(f, "datum {datum} out of range (trace declares {num_data})")
+            }
+            FlatTraceError::IdOverflow(e) => write!(f, "{e}"),
+            FlatTraceError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            FlatTraceError::Io(e) => write!(f, "read error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlatTraceError {}
+
+impl From<std::io::Error> for FlatTraceError {
+    fn from(e: std::io::Error) -> Self {
+        FlatTraceError::Io(e)
+    }
+}
+
+impl From<crate::ids::IdOverflow> for FlatTraceError {
+    fn from(e: crate::ids::IdOverflow) -> Self {
+        FlatTraceError::IdOverflow(e)
+    }
+}
+
+/// Datum-major CSR view of a whole windowed trace (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatTrace {
+    grid: Grid,
+    num_windows: usize,
+    /// `offsets[d]..offsets[d + 1]` is datum `d`'s span in `refs`.
+    offsets: Vec<usize>,
+    refs: Vec<FlatRef>,
+}
+
+impl FlatTrace {
+    /// Flatten an existing windowed trace. One pass; the nested trace
+    /// stays untouched and both views describe identical reference strings.
+    pub fn from_trace(trace: &WindowedTrace) -> FlatTrace {
+        let grid = trace.grid();
+        let mut offsets = Vec::with_capacity(trace.num_data() + 1);
+        offsets.push(0usize);
+        let mut refs = Vec::new();
+        for (_, rs) in trace.iter_data() {
+            for (w, window) in rs.windows().enumerate() {
+                for r in window.iter() {
+                    let p = grid.point_of(r.proc);
+                    refs.push(FlatRef {
+                        window: w as u32,
+                        x: p.x,
+                        y: p.y,
+                        count: r.count,
+                    });
+                }
+            }
+            offsets.push(refs.len());
+        }
+        FlatTrace {
+            grid,
+            num_windows: trace.num_windows(),
+            offsets,
+            refs,
+        }
+    }
+
+    /// Build from raw records in any order. `num_data` fixes the datum
+    /// population (trailing never-referenced data are legal, exactly as in
+    /// [`WindowedTrace`]); duplicate `(datum, window, proc)` records
+    /// aggregate their counts. Beyond the output arrays, peak memory is one
+    /// `(DataId, FlatRef)` pair per input record.
+    pub fn from_records(
+        grid: Grid,
+        num_windows: usize,
+        num_data: usize,
+        records: impl IntoIterator<Item = FlatRecord>,
+    ) -> Result<FlatTrace, FlatTraceError> {
+        let num_windows = num_windows.max(1);
+        let _ = DataId::try_from_index(num_data.saturating_sub(1))?;
+        let mut tagged: Vec<(u32, FlatRef)> = Vec::new();
+        for r in records {
+            if r.datum.index() >= num_data {
+                return Err(FlatTraceError::DatumOutOfRange {
+                    datum: r.datum.0,
+                    num_data,
+                });
+            }
+            if r.window as usize >= num_windows {
+                return Err(FlatTraceError::WindowOutOfRange {
+                    window: r.window,
+                    num_windows,
+                });
+            }
+            if r.proc.index() >= grid.num_procs() {
+                return Err(FlatTraceError::ProcOutOfRange {
+                    proc: r.proc.0,
+                    num_procs: grid.num_procs(),
+                });
+            }
+            let p = grid.point_of(r.proc);
+            tagged.push((
+                r.datum.0,
+                FlatRef {
+                    window: r.window,
+                    x: p.x,
+                    y: p.y,
+                    count: r.count,
+                },
+            ));
+        }
+        // Sort into the canonical (datum, window, proc) order, then
+        // aggregate duplicates in place.
+        tagged.sort_unstable_by_key(|&(d, r)| (d, r.window, r.y, r.x));
+        let mut offsets = vec![0usize; num_data + 1];
+        let mut refs: Vec<FlatRef> = Vec::with_capacity(tagged.len());
+        let mut cursor = 0usize; // next datum whose offset is unset
+        for (d, r) in tagged {
+            let same_key = refs.last().is_some_and(|last| {
+                cursor == d as usize + 1
+                    && last.window == r.window
+                    && last.y == r.y
+                    && last.x == r.x
+            });
+            if same_key {
+                let last = refs.last_mut().expect("checked non-empty");
+                last.count = last.count.saturating_add(r.count);
+                continue;
+            }
+            while cursor <= d as usize {
+                offsets[cursor] = refs.len();
+                cursor += 1;
+            }
+            refs.push(r);
+        }
+        while cursor <= num_data {
+            offsets[cursor] = refs.len();
+            cursor += 1;
+        }
+        Ok(FlatTrace {
+            grid,
+            num_windows,
+            offsets,
+            refs,
+        })
+    }
+
+    /// Stream the line-oriented text format (see [`FlatTrace::to_text`]):
+    ///
+    /// ```text
+    /// flat v1 <width> <height> <num_windows> <num_data>
+    /// <datum> <window> <proc> <count>
+    /// ...
+    /// ```
+    ///
+    /// Blank lines and `#` comments are skipped. Records may arrive in any
+    /// order; the loader never materializes a nested trace.
+    pub fn from_reader(reader: impl BufRead) -> Result<FlatTrace, FlatTraceError> {
+        let parse = |line: usize, field: &str, what: &str| -> Result<u64, FlatTraceError> {
+            field.parse::<u64>().map_err(|_| FlatTraceError::Parse {
+                line,
+                msg: format!("bad {what}: {field:?}"),
+            })
+        };
+        let mut header: Option<(Grid, usize, usize)> = None;
+        let mut records: Vec<FlatRecord> = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            let lineno = i + 1;
+            let body = line.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = body.split_whitespace().collect();
+            if header.is_none() {
+                if fields.len() != 6 || fields[0] != "flat" || fields[1] != "v1" {
+                    return Err(FlatTraceError::Parse {
+                        line: lineno,
+                        msg: "expected header: flat v1 <width> <height> <windows> <data>"
+                            .to_string(),
+                    });
+                }
+                let w = parse(lineno, fields[2], "width")? as u32;
+                let h = parse(lineno, fields[3], "height")? as u32;
+                if w == 0 || h == 0 || w.checked_mul(h).is_none() {
+                    return Err(FlatTraceError::Parse {
+                        line: lineno,
+                        msg: format!("bad grid {w}x{h}"),
+                    });
+                }
+                let nw = parse(lineno, fields[4], "window count")? as usize;
+                let nd = parse(lineno, fields[5], "data count")? as usize;
+                header = Some((Grid::new(w, h), nw, nd));
+                continue;
+            }
+            if fields.len() != 4 {
+                return Err(FlatTraceError::Parse {
+                    line: lineno,
+                    msg: format!("expected 4 fields, got {}", fields.len()),
+                });
+            }
+            let datum = parse(lineno, fields[0], "datum")?;
+            let window = parse(lineno, fields[1], "window")?;
+            let proc = parse(lineno, fields[2], "proc")?;
+            let count = parse(lineno, fields[3], "count")?;
+            let narrow = |v: u64, what: &str| -> Result<u32, FlatTraceError> {
+                u32::try_from(v).map_err(|_| FlatTraceError::Parse {
+                    line: lineno,
+                    msg: format!("{what} {v} overflows u32"),
+                })
+            };
+            records.push(FlatRecord {
+                datum: DataId(narrow(datum, "datum")?),
+                window: narrow(window, "window")?,
+                proc: ProcId(narrow(proc, "proc")?),
+                count: narrow(count, "count")?,
+            });
+        }
+        let (grid, nw, nd) = header.ok_or(FlatTraceError::Parse {
+            line: 0,
+            msg: "empty input: missing flat v1 header".to_string(),
+        })?;
+        FlatTrace::from_records(grid, nw, nd, records)
+    }
+
+    /// Serialize to the text format [`FlatTrace::from_reader`] accepts.
+    pub fn to_text(&self) -> String {
+        use core::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flat v1 {} {} {} {}",
+            self.grid.width(),
+            self.grid.height(),
+            self.num_windows,
+            self.num_data()
+        );
+        for d in 0..self.num_data() {
+            for r in self.span(DataId(d as u32)) {
+                let proc = self.grid.proc_xy(r.x, r.y).0;
+                let _ = writeln!(out, "{} {} {} {}", d, r.window, proc, r.count);
+            }
+        }
+        out
+    }
+
+    /// Expand back into the nested per-window representation (tests and
+    /// small instances; defeats the point at scale).
+    pub fn to_windowed(&self) -> WindowedTrace {
+        let data = (0..self.num_data())
+            .map(|d| {
+                let mut windows = vec![WindowRefs::new(); self.num_windows];
+                for (w, run) in self.window_runs(DataId(d as u32)) {
+                    windows[w as usize] = WindowRefs::from_pairs(
+                        run.iter().map(|r| (self.grid.proc_xy(r.x, r.y), r.count)),
+                    );
+                }
+                windows
+            })
+            .collect();
+        WindowedTrace::from_parts(self.grid, data)
+    }
+
+    /// The processor grid.
+    #[inline]
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Number of data items.
+    #[inline]
+    pub fn num_data(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of execution windows.
+    #[inline]
+    pub fn num_windows(&self) -> usize {
+        self.num_windows
+    }
+
+    /// Total number of (aggregated) reference records.
+    #[inline]
+    pub fn num_refs(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Sum of every record's count.
+    pub fn total_volume(&self) -> u64 {
+        self.refs.iter().map(|r| r.count as u64).sum()
+    }
+
+    /// Datum `d`'s whole reference run, window-major.
+    #[inline]
+    pub fn span(&self, d: DataId) -> &[FlatRef] {
+        &self.refs[self.offsets[d.index()]..self.offsets[d.index() + 1]]
+    }
+
+    /// Datum `d`'s references in window `w` (possibly empty), found by
+    /// binary search within the span.
+    pub fn window_run(&self, d: DataId, w: usize) -> &[FlatRef] {
+        let span = self.span(d);
+        let lo = span.partition_point(|r| (r.window as usize) < w);
+        let hi = span.partition_point(|r| (r.window as usize) <= w);
+        &span[lo..hi]
+    }
+
+    /// Iterate datum `d`'s non-empty windows as `(window, run)` pairs, in
+    /// ascending window order.
+    pub fn window_runs(&self, d: DataId) -> impl Iterator<Item = (u32, &[FlatRef])> {
+        self.span(d)
+            .chunk_by(|a, b| a.window == b.window)
+            .map(|run| (run[0].window, run))
+    }
+
+    /// A contiguous chunk size for sharding per-datum work over `threads`
+    /// workers: targets several chunks per worker (for load balancing)
+    /// while keeping each chunk's reference footprint large enough that
+    /// workers stream cache-friendly runs of `refs` instead of ping-ponging
+    /// over single data.
+    pub fn suggested_chunk(&self, threads: usize) -> usize {
+        let nd = self.num_data();
+        if nd == 0 {
+            return 1;
+        }
+        let per_thread = nd.div_ceil(threads.max(1));
+        // ~8 chunks per worker, each at least one datum.
+        per_thread.div_ceil(8).clamp(1, per_thread.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> WindowedTrace {
+        let grid = Grid::new(4, 3);
+        WindowedTrace::from_parts(
+            grid,
+            vec![
+                vec![
+                    WindowRefs::from_pairs([(grid.proc_xy(0, 0), 3), (grid.proc_xy(3, 2), 1)]),
+                    WindowRefs::new(),
+                    WindowRefs::from_pairs([(grid.proc_xy(2, 1), 5)]),
+                ],
+                vec![
+                    WindowRefs::new(),
+                    WindowRefs::from_pairs([(grid.proc_xy(1, 2), 2)]),
+                    WindowRefs::new(),
+                ],
+                vec![WindowRefs::new(), WindowRefs::new(), WindowRefs::new()],
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trips_through_windowed() {
+        let trace = sample_trace();
+        let flat = FlatTrace::from_trace(&trace);
+        assert_eq!(flat.num_data(), 3);
+        assert_eq!(flat.num_windows(), 3);
+        assert_eq!(flat.num_refs(), 4);
+        assert_eq!(flat.total_volume(), trace.total_volume());
+        assert_eq!(flat.to_windowed(), trace);
+    }
+
+    #[test]
+    fn spans_and_window_runs() {
+        let flat = FlatTrace::from_trace(&sample_trace());
+        assert_eq!(flat.span(DataId(0)).len(), 3);
+        assert_eq!(flat.span(DataId(2)).len(), 0);
+        assert_eq!(flat.window_run(DataId(0), 0).len(), 2);
+        assert_eq!(flat.window_run(DataId(0), 1).len(), 0);
+        assert_eq!(flat.window_run(DataId(0), 2).len(), 1);
+        let runs: Vec<(u32, usize)> = flat
+            .window_runs(DataId(0))
+            .map(|(w, run)| (w, run.len()))
+            .collect();
+        assert_eq!(runs, vec![(0, 2), (2, 1)]);
+        assert!(flat.window_runs(DataId(2)).next().is_none());
+    }
+
+    #[test]
+    fn records_aggregate_and_sort() {
+        let grid = Grid::new(4, 4);
+        let rec = |d: u32, w: u32, p: u32, c: u32| FlatRecord {
+            datum: DataId(d),
+            window: w,
+            proc: ProcId(p),
+            count: c,
+        };
+        // shuffled, with a duplicate (1, 0, 5)
+        let flat = FlatTrace::from_records(
+            grid,
+            2,
+            3,
+            vec![
+                rec(1, 0, 5, 2),
+                rec(0, 1, 3, 1),
+                rec(1, 0, 5, 4),
+                rec(0, 0, 9, 7),
+            ],
+        )
+        .unwrap();
+        assert_eq!(flat.num_refs(), 3);
+        assert_eq!(flat.window_run(DataId(1), 0)[0].count, 6);
+        let d0: Vec<u32> = flat.span(DataId(0)).iter().map(|r| r.window).collect();
+        assert_eq!(d0, vec![0, 1]);
+        assert_eq!(flat.span(DataId(2)).len(), 0);
+        // equivalent nested trace agrees
+        let trace = flat.to_windowed();
+        assert_eq!(FlatTrace::from_trace(&trace), flat);
+    }
+
+    #[test]
+    fn record_validation() {
+        let grid = Grid::new(2, 2);
+        let rec = |d: u32, w: u32, p: u32| FlatRecord {
+            datum: DataId(d),
+            window: w,
+            proc: ProcId(p),
+            count: 1,
+        };
+        assert!(matches!(
+            FlatTrace::from_records(grid, 1, 1, vec![rec(1, 0, 0)]),
+            Err(FlatTraceError::DatumOutOfRange { datum: 1, .. })
+        ));
+        assert!(matches!(
+            FlatTrace::from_records(grid, 1, 1, vec![rec(0, 1, 0)]),
+            Err(FlatTraceError::WindowOutOfRange { window: 1, .. })
+        ));
+        assert!(matches!(
+            FlatTrace::from_records(grid, 1, 1, vec![rec(0, 0, 4)]),
+            Err(FlatTraceError::ProcOutOfRange { proc: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let flat = FlatTrace::from_trace(&sample_trace());
+        let text = flat.to_text();
+        let back = FlatTrace::from_reader(text.as_bytes()).unwrap();
+        assert_eq!(back, flat);
+    }
+
+    #[test]
+    fn reader_skips_comments_and_reports_errors() {
+        let ok = "# big trace\nflat v1 4 4 2 2\n\n0 0 3 2 # inline comment\n1 1 15 1\n";
+        let flat = FlatTrace::from_reader(ok.as_bytes()).unwrap();
+        assert_eq!(flat.num_refs(), 2);
+        assert_eq!(flat.grid(), Grid::new(4, 4));
+
+        let bad_header = "flat v2 4 4 2 2\n";
+        assert!(matches!(
+            FlatTrace::from_reader(bad_header.as_bytes()),
+            Err(FlatTraceError::Parse { line: 1, .. })
+        ));
+        let bad_row = "flat v1 4 4 2 2\n0 0 three 1\n";
+        let err = FlatTrace::from_reader(bad_row.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let empty = "";
+        assert!(FlatTrace::from_reader(empty.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn suggested_chunk_shapes() {
+        let flat = FlatTrace::from_trace(&sample_trace());
+        assert_eq!(flat.suggested_chunk(8), 1);
+        let grid = Grid::new(2, 2);
+        let many = FlatTrace::from_records(grid, 1, 100_000, vec![]).unwrap();
+        let chunk = many.suggested_chunk(4);
+        assert!(chunk >= 1 && chunk * 4 * 8 >= 100_000 - 4 * 8 * chunk);
+        assert!(chunk <= 100_000usize.div_ceil(4));
+    }
+}

@@ -15,7 +15,36 @@ impl DataId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Checked conversion from a container index. Million-datum traces fit
+    /// comfortably (`u32::MAX` ≈ 4.3 G data); anything wider is a caller
+    /// bug surfaced as a typed error instead of a silent `as u32` wrap.
+    #[inline]
+    pub fn try_from_index(index: usize) -> Result<DataId, IdOverflow> {
+        u32::try_from(index)
+            .map(DataId)
+            .map_err(|_| IdOverflow { index })
+    }
 }
+
+/// A container index did not fit the dense 32-bit id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdOverflow {
+    /// The offending index.
+    pub index: usize,
+}
+
+impl core::fmt::Display for IdOverflow {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "index {} overflows the 32-bit datum id space",
+            self.index
+        )
+    }
+}
+
+impl std::error::Error for IdOverflow {}
 
 impl core::fmt::Display for DataId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -41,6 +70,18 @@ mod tests {
     fn display_and_index() {
         assert_eq!(DataId(7).to_string(), "D7");
         assert_eq!(DataId(7).index(), 7);
+    }
+
+    #[test]
+    fn checked_index_conversion() {
+        assert_eq!(DataId::try_from_index(70_000), Ok(DataId(70_000)));
+        assert_eq!(
+            DataId::try_from_index(u32::MAX as usize),
+            Ok(DataId(u32::MAX))
+        );
+        let err = DataId::try_from_index(u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(err.index, u32::MAX as usize + 1);
+        assert!(err.to_string().contains("overflows"));
     }
 
     #[test]

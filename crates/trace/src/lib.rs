@@ -12,6 +12,8 @@
 //! * [`step`] — raw per-step access traces as emitted by workload kernels.
 //! * [`window`] — windowed (bucketed) reference strings: the canonical
 //!   scheduler input, plus re-windowing utilities for window-size studies.
+//! * [`flat`] — flat structure-of-arrays (CSR) trace layout for big
+//!   instances, plus a streaming text loader.
 //! * [`builder`] — ergonomic trace construction.
 //! * [`stats`] — descriptive statistics (reference locality, spread).
 //! * [`encode`] — compact binary encoding (magic + version framing) for
@@ -37,6 +39,7 @@
 pub mod adaptive;
 pub mod builder;
 pub mod encode;
+pub mod flat;
 pub mod ids;
 pub mod perproc;
 pub mod stats;
@@ -46,6 +49,7 @@ pub mod validate;
 pub mod window;
 
 pub use builder::TraceBuilder;
+pub use flat::{FlatRecord, FlatRef, FlatTrace, FlatTraceError};
 pub use ids::DataId;
 pub use step::{Access, ExecStep, StepTrace};
 pub use window::{DataRefString, Ref, WindowRefs, WindowedTrace};

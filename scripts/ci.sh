@@ -101,4 +101,36 @@ else
   echo "BENCH_cycle.json: expected keys present (grep fallback)"
 fi
 
+# Scale-pipeline smoke: regenerate one small big-instance row (16×16,
+# 50k data) and validate the BENCH_scale.json shape. Cost parity with the
+# classic path is asserted inside scale_row itself — the binary exits
+# non-zero on divergence; here we additionally check the speedup column
+# made it into the JSON.
+echo "== scale pipeline smoke (16x16 x 50k) =="
+./target/release/report_scale --smoke --out "$metrics_tmp/scale_smoke.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$metrics_tmp/scale_smoke.json" <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+rows = bench["rows"]
+assert rows, "scale smoke produced no rows"
+for row in rows:
+    for key in ("grid", "num_data", "num_refs", "build_ns", "methods", "peak_rss_kb"):
+        assert key in row, f"row missing {key!r}: {row}"
+    for m in row["methods"]:
+        for key in ("method", "flat_ns", "total_cost"):
+            assert key in m, f"method entry missing {key!r}: {m}"
+        assert m["exact_cost"] == m["total_cost"], \
+            f"{m['method']}: flat cost diverged from the exact path"
+print(f"scale smoke: parses, {len(rows)} row(s), flat/exact cost parity holds")
+PY
+else
+  for key in '"rows"' '"grid"' '"num_refs"' '"build_ns"' '"flat_ns"' \
+             '"total_cost"' '"exact_cost"' '"speedup"'; do
+    grep -q "$key" "$metrics_tmp/scale_smoke.json" \
+      || { echo "scale_smoke.json missing $key"; exit 1; }
+  done
+  echo "scale smoke: expected keys present (grep fallback)"
+fi
+
 echo "ci: all green"

@@ -20,7 +20,11 @@
 use pim_array::grid::{Grid, ProcId};
 use pim_par::Pool;
 use pim_sched::pipeline::{schedule_cached, schedule_uncached};
-use pim_sched::{schedule, schedule_parallel, CostCache, MemoryPolicy, Method, Run, Workspace};
+use pim_sched::{
+    flat_gomcds, flat_lomcds, flat_scds, flat_total_cost, schedule, schedule_parallel, CostCache,
+    MemoryPolicy, Method, Run, SchedContext, Workspace,
+};
+use pim_trace::flat::FlatTrace;
 use pim_trace::window::{WindowRefs, WindowedTrace};
 use proptest::prelude::*;
 
@@ -183,6 +187,108 @@ proptest! {
                 // the observed runs actually recorded something observable
                 prop_assert!(metrics.report().enabled);
                 prop_assert!(par_metrics.report().enabled);
+            }
+        }
+    }
+
+    /// The SoA trace layout is a pure representation change: a cost cache
+    /// built from the flat CSR refs drives every registered scheduler ×
+    /// policy to exactly the schedule the nested-trace cache produces.
+    #[test]
+    fn flat_backed_cache_bit_identical(trace in arb_trace()) {
+        let flat = FlatTrace::from_trace(&trace);
+        for scheduler in pim_sched::registry().iter() {
+            for policy in policies(&trace) {
+                let classic = Run::new(&trace).policy(policy).run(scheduler);
+                let cache = CostCache::build_flat(&flat);
+                let mut ctx = SchedContext::with_cache(&trace, policy, cache);
+                let flat_backed = scheduler.schedule(&mut ctx, &trace);
+                prop_assert_eq!(
+                    &classic, &flat_backed,
+                    "{} under {:?}: flat-backed cache diverged", scheduler.name(), policy
+                );
+            }
+        }
+    }
+
+    /// The flat fast paths (incremental medians + chunk-sharded fan-out +
+    /// capacity replay) are bit-identical to the classic schedulers for
+    /// every policy, and `flat_total_cost` charges exactly what
+    /// `Schedule::evaluate` does.
+    #[test]
+    fn flat_fast_paths_bit_identical(trace in arb_trace(), threads in 1usize..=4) {
+        let flat = FlatTrace::from_trace(&trace);
+        let pool = Pool::with_threads(threads);
+        for policy in policies(&trace) {
+            for (method, fast) in [
+                (Method::Scds, flat_scds as fn(&FlatTrace, MemoryPolicy, Pool) -> _),
+                (Method::Lomcds, flat_lomcds),
+                (Method::Gomcds, flat_gomcds),
+            ] {
+                let classic = schedule(method, &trace, policy);
+                let fast = fast(&flat, policy, pool)
+                    .unwrap_or_else(|e| panic!("{method} {policy:?}: {e}"));
+                prop_assert_eq!(
+                    &classic, &fast,
+                    "flat {} under {:?} diverged", method, policy
+                );
+                prop_assert_eq!(
+                    flat_total_cost(&flat, &fast),
+                    classic.evaluate(&trace),
+                    "flat cost model diverged for {} under {:?}", method, policy
+                );
+            }
+        }
+    }
+
+    /// Incremental window medians equal the scan-based center selection on
+    /// random traces: sliding per-window sweeps and extending merged
+    /// prefixes both match `median_center`, and the cache's table-free
+    /// `range_median` matches the cost-table argmin it replaces.
+    #[test]
+    fn incremental_medians_match_scan_selection(trace in arb_trace()) {
+        let grid = trace.grid();
+        let cache = CostCache::build(&trace);
+        let mut st = pim_sched::median::MedianState::default();
+        let mut axes = Default::default();
+        let mut table = Vec::new();
+        for (d, rs) in trace.iter_data() {
+            let dc = cache.datum(d);
+            // Sliding single-window sweep.
+            st.reset(&grid);
+            for w in 0..trace.num_windows() {
+                let refs = rs.window(w);
+                for r in refs.iter() {
+                    let p = grid.point_of(r.proc);
+                    st.add(p.x, p.y, r.count as u64);
+                }
+                prop_assert_eq!(
+                    st.center(&grid),
+                    pim_sched::median::median_center(&grid, refs),
+                    "datum {:?} window {}: sliding median diverged", d, w
+                );
+                prop_assert_eq!(
+                    dc.range_median(w, w + 1, &mut axes),
+                    dc.optimal_center_range(w, w + 1, &mut axes, &mut table).0,
+                    "datum {:?} window {}: range_median != table argmin", d, w
+                );
+                for r in refs.iter() {
+                    let p = grid.point_of(r.proc);
+                    st.remove(p.x, p.y, r.count as u64);
+                }
+            }
+            // Extending merged prefix (the SCDS shape).
+            st.reset(&grid);
+            for hi in 1..=trace.num_windows() {
+                for r in rs.window(hi - 1).iter() {
+                    let p = grid.point_of(r.proc);
+                    st.add(p.x, p.y, r.count as u64);
+                }
+                prop_assert_eq!(
+                    st.center(&grid),
+                    pim_sched::median::median_center(&grid, &rs.merged_range(0, hi)),
+                    "datum {:?} prefix 0..{}: extending median diverged", d, hi
+                );
             }
         }
     }

@@ -54,6 +54,36 @@ fn big_simulation_agrees_with_analytic() {
     assert_eq!(report.total_hop_volume(), s.evaluate(&trace).total());
 }
 
+/// Million-scale id audit: datum indices beyond the 16-bit boundary round
+/// trip through the flat pipeline — build, schedule, evaluate — with no
+/// truncation. 70k data exceeds `u16::MAX`; the typed conversion guards
+/// the 32-bit boundary.
+#[test]
+fn datum_ids_survive_past_65k() {
+    use pim_trace::ids::DataId;
+
+    // The checked conversion accepts the 32-bit range and rejects overflow.
+    assert_eq!(DataId::try_from_index(70_000).unwrap(), DataId(70_000));
+    assert_eq!(
+        DataId::try_from_index(u32::MAX as usize).unwrap(),
+        DataId(u32::MAX)
+    );
+    assert!(DataId::try_from_index(u32::MAX as usize + 1).is_err());
+
+    let grid = Grid::new(16, 16);
+    const ND: usize = 70_000;
+    let flat = pim_bench::scale::synthetic_flat(grid, 8, ND, 7);
+    assert_eq!(flat.num_data(), ND);
+    // The last datum (index > 65535) kept its own references.
+    assert!(!flat.span(DataId(ND as u32 - 1)).is_empty());
+
+    let s = pim_sched::flat_lomcds(&flat, MemoryPolicy::Unbounded, Pool::auto())
+        .expect("unbounded cannot exhaust");
+    assert_eq!(s.num_data(), ND);
+    let cost = pim_sched::flat_total_cost(&flat, &s);
+    assert!(cost.total() > 0);
+}
+
 #[test]
 fn big_grouping_pipeline_is_sound() {
     let grid = Grid::new(8, 8);
