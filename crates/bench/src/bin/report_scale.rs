@@ -65,6 +65,26 @@ fn report(side: u32, num_data: usize, parity: bool, reps: u32) -> ScaleRow {
         if let Some(s) = m.speedup() {
             print!(" ({s:.1}x vs exact, cost parity ok)");
         }
+        // Mirror report_all's convention: losing rows are loud on stderr,
+        // not buried in the JSON.
+        if m.exact_cost.is_some_and(|c| c != m.total_cost) {
+            eprintln!(
+                "warning: {} at {side}x{side} n={num_data}: flat cost {} differs \
+                 from the exact cost {}",
+                m.method,
+                m.total_cost,
+                m.exact_cost.unwrap_or(0),
+            );
+        }
+        if let Some(s) = m.speedup() {
+            if s < 1.0 {
+                eprintln!(
+                    "warning: {} at {side}x{side} n={num_data}: flat path slower \
+                     than the exact path (speedup {s:.3})",
+                    m.method,
+                );
+            }
+        }
     }
     println!(", peak RSS {} MB", row.peak_rss_kb / 1024);
     row

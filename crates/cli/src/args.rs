@@ -70,6 +70,11 @@ pub struct ParsedArgs {
     /// `run` only: convert the trace to the flat SoA layout and use the
     /// big-instance fast path (SCDS/LOMCDS/GOMCDS only).
     pub flat: bool,
+    /// Task DAG source: a JSON file path, or the literal `natural` for
+    /// the benchmark's analytically known dependence chain (`run`: gate
+    /// the cycle simulation and inform precedence-aware schedulers;
+    /// `export`: write the natural DAG as JSON to `--out`).
+    pub dag: Option<String>,
     /// `scale` only: number of synthetic data.
     pub data: usize,
     /// `scale` only: number of execution windows.
@@ -92,6 +97,7 @@ impl Default for ParsedArgs {
             threads: 0,
             metrics_out: None,
             flat: false,
+            dag: None,
             data: 100_000,
             windows: 32,
         }
@@ -206,6 +212,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
                     .map_err(|_| format!("bad value '{v}' for --seed, expected an integer"))?;
             }
             "--flat" => out.flat = true,
+            "--dag" => out.dag = Some(value()?),
             "--data" => {
                 let v = value()?;
                 out.data = v
@@ -244,6 +251,25 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
             "--flat is only supported by `run` (use `scale` for synthetic instances)".to_string(),
         );
     }
+    if out.dag.is_some() {
+        if !matches!(out.command, Command::Run | Command::Export) {
+            return Err("--dag is only supported by `run` and `export`".to_string());
+        }
+        if out.flat {
+            return Err(
+                "--dag cannot be combined with --flat (the SoA fast path has no \
+                        precedence context)"
+                    .to_string(),
+            );
+        }
+        if out.dag.as_deref() == Some("natural") && out.trace_file.is_some() {
+            return Err(
+                "--dag natural regenerates the benchmark; it cannot be combined \
+                        with --trace"
+                    .to_string(),
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -256,6 +282,7 @@ pub fn usage() -> String {
      [--threads N (0 = sequential)] \
      [--metrics FILE (run/compare: write a JSON run report)] \
      [--flat (run: SoA fast path for scds/lomcds/gomcds)] \
+     [--dag FILE|natural (run: precedence-gated simulation; export: write the DAG)] \
      [--data N] [--windows N (scale: synthetic instance shape)]"
         .to_string()
 }
@@ -396,6 +423,23 @@ mod tests {
         assert!(err.contains("--data must be positive"), "{err}");
         let err = parse(&v(&["scale", "--windows", "none"])).unwrap_err();
         assert!(err.contains("'none'") && err.contains("--windows"), "{err}");
+    }
+
+    #[test]
+    fn dag_flag() {
+        let a = parse(&v(&["run", "--dag", "natural", "--bench", "1"])).unwrap();
+        assert_eq!(a.dag.as_deref(), Some("natural"));
+        let a = parse(&v(&["run", "--dag", "chain.json"])).unwrap();
+        assert_eq!(a.dag.as_deref(), Some("chain.json"));
+        let a = parse(&v(&["export", "--dag", "natural", "--out", "d.json"])).unwrap();
+        assert_eq!(a.dag.as_deref(), Some("natural"));
+        assert_eq!(parse(&v(&["run"])).unwrap().dag, None);
+        let err = parse(&v(&["compare", "--dag", "natural"])).unwrap_err();
+        assert!(err.contains("--dag"), "{err}");
+        let err = parse(&v(&["run", "--flat", "--dag", "natural"])).unwrap_err();
+        assert!(err.contains("--flat"), "{err}");
+        let err = parse(&v(&["run", "--dag", "natural", "--trace", "t.bin"])).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
     }
 
     #[test]

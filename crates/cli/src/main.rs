@@ -29,12 +29,18 @@ fn main() -> ExitCode {
             } else {
                 ""
             };
+            let flat = if s.flat_capable() { "  [flat]" } else { "" };
+            let dag = if s.precedence_aware() { "  [dag]" } else { "" };
             let cmp = if s.in_comparison() {
                 ""
             } else {
                 "  [not in compare]"
             };
-            println!("  {:<16} {}{par}{cmp}", s.name(), s.description());
+            println!(
+                "  {:<16} {}{par}{flat}{dag}{cmp}",
+                s.name(),
+                s.description()
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -91,6 +97,16 @@ fn main() -> ExitCode {
         );
     }
 
+    // `--dag` resolves before the Run is built: the borrow has to outlive
+    // the scheduling context.
+    let dag = match load_dag(&parsed, &trace) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     // Observability is opt-in: a disabled handle records nothing and the
     // schedule is bit-identical either way.
     let metrics = if parsed.metrics_out.is_some() {
@@ -108,6 +124,9 @@ fn main() -> ExitCode {
         .metrics(metrics.clone());
     if parsed.threads > 0 {
         run = run.parallel(Pool::with_threads(parsed.threads));
+    }
+    if let Some(d) = &dag {
+        run = run.dag(d);
     }
 
     match parsed.command {
@@ -141,6 +160,25 @@ fn main() -> ExitCode {
                 s.num_moves(),
                 s.max_occupancy()
             );
+            let dag_cycles = if let Some(d) = &dag {
+                match pim_sim::simulate_cycles_dag(&trace, &s, d, sim_pool) {
+                    Ok(c) => {
+                        let total: u64 = c.iter().map(|w| w.completion_cycle).sum();
+                        println!(
+                            "dag-gated completion: {total} cycles ({} tasks, {} edges)",
+                            d.num_tasks(),
+                            d.edges().len()
+                        );
+                        Some(c)
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                None
+            };
             if let Some(path) = &parsed.metrics_out {
                 let sim = pim_sim::simulate(&trace, &s, sim_pool);
                 let cycles = match pim_sim::simulate_cycles_observed(&trace, &s, sim_pool, &metrics)
@@ -151,7 +189,7 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                let report = pim_sim::RunReport::from_parts(
+                let mut report = pim_sim::RunReport::from_parts(
                     &parsed.method,
                     parsed.memory,
                     s.evaluate(&trace),
@@ -159,6 +197,9 @@ fn main() -> ExitCode {
                     &cycles,
                     metrics.report(),
                 );
+                if let Some(c) = &dag_cycles {
+                    report = report.with_dag_cycles(c);
+                }
                 println!(
                     "simulated completion: {} cycles over {} windows (peak {} flits in flight)",
                     report.simulated_completion_cycles,
@@ -307,17 +348,32 @@ fn main() -> ExitCode {
                 eprintln!("export needs --out FILE");
                 return ExitCode::FAILURE;
             };
-            let bytes = pim_trace::encode::encode_trace(&trace);
-            if let Err(e) = std::fs::write(path, &bytes) {
-                eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+            if let Some(d) = &dag {
+                // `export --dag` writes the (validated) DAG, not the trace:
+                // the natural chain of a kernel becomes a reusable JSON file.
+                if let Err(e) = std::fs::write(path, d.to_json()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "wrote task dag ({} tasks, {} edges over {} windows) to {path}",
+                    d.num_tasks(),
+                    d.edges().len(),
+                    d.num_windows()
+                );
+            } else {
+                let bytes = pim_trace::encode::encode_trace(&trace);
+                if let Err(e) = std::fs::write(path, &bytes) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "wrote {} bytes ({} data x {} windows) to {path}",
+                    bytes.len(),
+                    trace.num_data(),
+                    trace.num_windows()
+                );
             }
-            println!(
-                "wrote {} bytes ({} data x {} windows) to {path}",
-                bytes.len(),
-                trace.num_data(),
-                trace.num_windows()
-            );
         }
         Command::Explain => {
             use pim_sched::explain::{render_data, summarize};
@@ -381,6 +437,39 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Resolve `--dag`: `natural` derives the benchmark's step-chain DAG,
+/// anything else loads a JSON file. Either way the DAG is validated
+/// against the trace before use.
+fn load_dag(
+    parsed: &pim_cli::args::ParsedArgs,
+    trace: &pim_trace::window::WindowedTrace,
+) -> Result<Option<pim_trace::dag::TaskDag>, String> {
+    let Some(spec) = &parsed.dag else {
+        return Ok(None);
+    };
+    let dag = if spec == "natural" {
+        pim_workloads::natural_dag(
+            parsed.bench,
+            parsed.grid,
+            parsed.size,
+            parsed.window,
+            parsed.seed,
+        )
+        .ok_or_else(|| {
+            format!(
+                "benchmark {} has no natural dag (chain kernels: 1 (LU), cholesky, trisolve)",
+                parsed.bench.name()
+            )
+        })?
+    } else {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+        pim_trace::dag::TaskDag::from_json(&text).map_err(|e| format!("bad dag in {spec}: {e}"))?
+    };
+    dag.validate_cover(trace)
+        .map_err(|e| format!("dag does not match the trace: {e}"))?;
+    Ok(Some(dag))
 }
 
 /// Dispatch a method name to its flat SoA fast path.

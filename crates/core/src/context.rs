@@ -30,7 +30,34 @@ use pim_array::grid::Grid;
 use pim_array::memory::MemorySpec;
 use pim_metrics::Metrics;
 use pim_par::Pool;
+use pim_trace::dag::TaskDag;
 use pim_trace::window::WindowedTrace;
+
+/// Whether (and how) task precedence constrains a scheduling run.
+///
+/// The default is [`PrecedencePolicy::None`]: every scheduler behaves
+/// exactly as the precedence-free paper model. Attaching a DAG lets the
+/// precedence-aware schedulers (`list-scds`, `edf-scds`) weight and order
+/// their placement decisions by task priority; precedence-oblivious
+/// schedulers simply ignore it.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum PrecedencePolicy<'t> {
+    /// No precedence constraints: the all-ready-at-window-start model.
+    #[default]
+    None,
+    /// Placement is informed by this task DAG.
+    Dag(&'t TaskDag),
+}
+
+impl<'t> PrecedencePolicy<'t> {
+    /// The attached DAG, if any.
+    pub fn dag(&self) -> Option<&'t TaskDag> {
+        match self {
+            PrecedencePolicy::None => None,
+            PrecedencePolicy::Dag(dag) => Some(dag),
+        }
+    }
+}
 
 /// Execution context owned by one scheduling run and shared across any
 /// number of schedulers (the cache and workspace amortize across calls).
@@ -45,6 +72,7 @@ pub struct SchedContext<'t> {
     ws: Workspace,
     pool: Option<Pool>,
     metrics: Metrics,
+    precedence: PrecedencePolicy<'t>,
 }
 
 impl<'t> SchedContext<'t> {
@@ -69,6 +97,7 @@ impl<'t> SchedContext<'t> {
             ws: Workspace::new(),
             pool: None,
             metrics: Metrics::disabled(),
+            precedence: PrecedencePolicy::None,
         }
     }
 
@@ -83,12 +112,21 @@ impl<'t> SchedContext<'t> {
             ws: Workspace::new(),
             pool: None,
             metrics: Metrics::disabled(),
+            precedence: PrecedencePolicy::None,
         }
     }
 
     /// Attach a worker pool for per-datum parallelism.
     pub fn with_pool(mut self, pool: Pool) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Attach a precedence policy (a task DAG). Precedence-aware
+    /// schedulers read it through [`SchedContext::dag`]; everything else
+    /// ignores it, so attaching a DAG never perturbs oblivious schedulers.
+    pub fn with_precedence(mut self, precedence: PrecedencePolicy<'t>) -> Self {
+        self.precedence = precedence;
         self
     }
 
@@ -123,6 +161,16 @@ impl<'t> SchedContext<'t> {
     /// The policy resolved against the trace.
     pub fn spec(&self) -> MemorySpec {
         self.spec
+    }
+
+    /// The precedence policy of this run.
+    pub fn precedence(&self) -> PrecedencePolicy<'t> {
+        self.precedence
+    }
+
+    /// The attached task DAG, when precedence applies.
+    pub fn dag(&self) -> Option<&'t TaskDag> {
+        self.precedence.dag()
     }
 
     /// The shared cost cache, when this is a cached context.
@@ -194,6 +242,17 @@ mod tests {
         let ctx = SchedContext::uncached(&t, MemoryPolicy::Capacity(4));
         assert!(ctx.cache().is_none());
         assert_eq!(ctx.spec().capacity_per_proc, 4);
+    }
+
+    #[test]
+    fn precedence_defaults_to_none() {
+        let t = trace();
+        let ctx = SchedContext::new(&t, MemoryPolicy::Unbounded);
+        assert!(ctx.dag().is_none());
+        let dag = pim_trace::dag::TaskDag::new(2, vec![], vec![]).unwrap();
+        let ctx = SchedContext::new(&t, MemoryPolicy::Unbounded)
+            .with_precedence(PrecedencePolicy::Dag(&dag));
+        assert_eq!(ctx.dag().map(|d| d.num_windows()), Some(2));
     }
 
     #[test]

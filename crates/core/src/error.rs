@@ -23,6 +23,9 @@ pub enum SchedError {
         /// The execution window where placement failed, when known.
         window: Option<usize>,
     },
+    /// A precedence-aware run was handed a task DAG that does not match
+    /// the trace (wrong window count, incomplete ownership cover, …).
+    DagMismatch(String),
 }
 
 impl fmt::Display for SchedError {
@@ -40,6 +43,9 @@ impl fmt::Display for SchedError {
                     write!(f, " in window {w}")?;
                 }
                 write!(f, ": the memory spec cannot hold the working set")
+            }
+            SchedError::DagMismatch(msg) => {
+                write!(f, "task dag does not match the trace: {msg}")
             }
         }
     }

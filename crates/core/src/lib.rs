@@ -50,6 +50,9 @@
 //!   policy, shared cost cache, workspace, optional pool.
 //! * [`pipeline`] — the [`Run`] builder (one canonical entry point driving
 //!   any registered scheduler) plus the paper-table comparison helpers.
+//! * [`precedence`] — precedence-aware scheduling over an optional task
+//!   DAG (`list-scds` / `edf-scds`): list-scheduling priorities steer
+//!   center selection and capacity order.
 //!
 //! ## Example
 //!
@@ -95,6 +98,7 @@ pub mod lomcds;
 pub mod median;
 pub mod online;
 pub mod pipeline;
+pub mod precedence;
 pub mod refine;
 pub mod registry;
 pub mod replicate;
@@ -104,13 +108,16 @@ pub mod theory;
 pub mod workspace;
 
 pub use cache::{CostCache, DatumCostCache};
-pub use context::SchedContext;
+pub use context::{PrecedencePolicy, SchedContext};
 pub use error::SchedError;
 pub use flat::{flat_gomcds, flat_lomcds, flat_scds, flat_total_cost};
 pub use pim_metrics::{Metrics, MetricsReport};
 pub use pipeline::{
     compare_methods, schedule, schedule_cached, schedule_parallel, schedule_uncached, MemoryPolicy,
     Method, Run,
+};
+pub use precedence::{
+    estimate_completion, task_priorities, EdfScdsScheduler, ListScdsScheduler, PriorityMode,
 };
 pub use registry::{registry, Scheduler, SchedulerRegistry};
 pub use schedule::{CostBreakdown, Schedule};

@@ -30,7 +30,7 @@
 
 use crate::baseline;
 use crate::cache::CostCache;
-use crate::context::SchedContext;
+use crate::context::{PrecedencePolicy, SchedContext};
 use crate::error::SchedError;
 use crate::registry::{registry, Scheduler};
 use crate::schedule::Schedule;
@@ -159,6 +159,7 @@ pub struct Run<'t> {
     cached: bool,
     pool: Option<Pool>,
     metrics: Metrics,
+    precedence: PrecedencePolicy<'t>,
     ctx: Option<SchedContext<'t>>,
 }
 
@@ -171,6 +172,7 @@ impl<'t> Run<'t> {
             cached: true,
             pool: None,
             metrics: Metrics::disabled(),
+            precedence: PrecedencePolicy::None,
             ctx: None,
         }
     }
@@ -203,6 +205,16 @@ impl<'t> Run<'t> {
         self
     }
 
+    /// Attach a task precedence DAG. Only the precedence-aware schedulers
+    /// (`list-scds`, `edf-scds`) read it; every other scheduler is
+    /// unaffected, and without this call they all behave exactly as the
+    /// precedence-free model.
+    pub fn dag(mut self, dag: &'t pim_trace::dag::TaskDag) -> Self {
+        self.precedence = PrecedencePolicy::Dag(dag);
+        self.ctx = None;
+        self
+    }
+
     /// Record run observability into `metrics` (default: a disabled handle
     /// that records nothing). An enabled handle collects cache behavior,
     /// per-scheduler phase timings, capacity-displacement counts and — for
@@ -223,7 +235,9 @@ impl<'t> Run<'t> {
             } else {
                 SchedContext::uncached(self.trace, self.policy)
             };
-            let base = base.with_metrics(self.metrics.clone());
+            let base = base
+                .with_metrics(self.metrics.clone())
+                .with_precedence(self.precedence);
             self.ctx = Some(match self.pool {
                 Some(pool) => base.with_pool(pool),
                 None => base,

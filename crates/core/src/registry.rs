@@ -19,6 +19,8 @@
 //! | `online` | streaming policy with movement hysteresis |
 //! | `kcopy` | K-copy primaries (single-copy projection) |
 //! | `replicate` | two-copy primaries (single-copy projection) |
+//! | `list-scds` | critical-path list scheduling over a task DAG |
+//! | `edf-scds` | deadline-ordered (EDF) scheduling over a task DAG |
 //!
 //! Adding a strategy takes one impl plus one registration line (see the
 //! worked example in `DESIGN.md`); the CLI (`--method`, `list-methods`),
@@ -88,6 +90,22 @@ pub trait Scheduler: Send + Sync {
     fn parallelizable(&self) -> bool {
         true
     }
+
+    /// Whether the big-instance flat fast path (`pim-cli run --flat`,
+    /// driving [`crate::flat`] straight off a
+    /// [`pim_trace::flat::FlatTrace`]) implements this strategy.
+    /// `pim-cli list-methods` reports the flag so `--flat` users can see
+    /// which methods have fast paths.
+    fn flat_capable(&self) -> bool {
+        false
+    }
+
+    /// Whether this strategy reads a task DAG off
+    /// [`SchedContext::dag`] (precedence-aware placement). Strategies
+    /// saying `false` ignore an attached DAG entirely.
+    fn precedence_aware(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -105,6 +123,10 @@ impl Scheduler for ScdsScheduler {
 
     fn description(&self) -> &'static str {
         "Algorithm 1: single center per datum, no run-time movement"
+    }
+
+    fn flat_capable(&self) -> bool {
+        true
     }
 
     fn schedule(
@@ -159,6 +181,10 @@ impl Scheduler for LomcdsScheduler {
 
     fn description(&self) -> &'static str {
         "per-window local-optimal centers; movement between windows"
+    }
+
+    fn flat_capable(&self) -> bool {
+        true
     }
 
     fn schedule(
@@ -236,6 +262,11 @@ impl Scheduler for GomcdsScheduler {
 
     fn in_comparison(&self) -> bool {
         // The naive solver is an ablation: same answer, slower.
+        self.solver == Solver::DistanceTransform
+    }
+
+    fn flat_capable(&self) -> bool {
+        // The flat fast path only drives the production solver.
         self.solver == Solver::DistanceTransform
     }
 
@@ -604,6 +635,8 @@ impl SchedulerRegistry {
         r.register(Box::new(OnlineScheduler::default()));
         r.register(Box::new(KCopyScheduler::default()));
         r.register(Box::new(ReplicateScheduler));
+        r.register(Box::new(crate::precedence::ListScdsScheduler));
+        r.register(Box::new(crate::precedence::EdfScdsScheduler));
         r
     }
 
@@ -703,8 +736,27 @@ mod tests {
                 "online",
                 "kcopy",
                 "replicate",
+                "list-scds",
+                "edf-scds",
             ]
         );
+    }
+
+    #[test]
+    fn capability_flags() {
+        let r = registry();
+        let flat: Vec<_> = r
+            .iter()
+            .filter(|s| s.flat_capable())
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(flat, vec!["SCDS", "LOMCDS", "GOMCDS"]);
+        let dag: Vec<_> = r
+            .iter()
+            .filter(|s| s.precedence_aware())
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(dag, vec!["list-scds", "edf-scds"]);
     }
 
     #[test]

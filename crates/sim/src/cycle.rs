@@ -36,12 +36,27 @@
 //! virtual channels — because its role is to show that hop-volume savings
 //! translate into wall-clock savings under contention, not to model a
 //! specific router.
+//!
+//! ## Precedence-gated release
+//!
+//! [`CycleSim::run_window_gated`] generalizes injection: given a
+//! [`WindowPrecedence`] (one window's gating, distilled from a
+//! [`TaskDag`]), a task's messages enter the network only once every
+//! intra-window predecessor task has delivered all of its traffic —
+//! completion-triggered release instead of all-at-window-start. Queue
+//! keys become `(release cycle + flit index, message id)`, which is still
+//! exactly injection order; with no precedence every release is 0, so the
+//! gated engine is bit-identical to [`run_window`] (pinned by tests).
+//! Cross-window DAG edges need no gating here: windows are simulated
+//! independently and their completions summed, which is a barrier no
+//! intra-window release can cross.
 
 use crate::error::{SimError, SAFETY_VALVE_CYCLES};
-use crate::message::Message;
+use crate::message::{Message, MessageKind};
 use pim_array::grid::{Grid, ProcId};
 use pim_array::routing::{visit_xy_links, xy_route, LinkIndex};
 use pim_sched::Metrics;
+use pim_trace::dag::TaskDag;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -65,14 +80,19 @@ impl CycleResult {
 }
 
 /// A link's queue entry: the *head* waiting flit of one message at one
-/// hop. Ordered by `(flit index, message id)` — the same priority the
-/// oracle's injection-sorted scan gives — with the flattened hop index
+/// hop. Ordered by `(injection cycle, message id)` — release cycle plus
+/// flit index, the same priority the oracle's injection-sorted scan gives
+/// (releases are all 0 without precedence) — with the flattened hop index
 /// carried as payload.
 type QueueEntry = Reverse<(u64, u32)>;
 
-fn entry(flit: u32, msg: usize, hop: usize) -> QueueEntry {
-    Reverse((((flit as u64) << 32) | msg as u64, hop as u32))
+fn entry(inject_cycle: u64, msg: usize, hop: usize) -> QueueEntry {
+    Reverse(((inject_cycle << 32) | msg as u64, hop as u32))
 }
+
+/// Group id for messages no task owns (move-only traffic of data with no
+/// references in the window): released at cycle 0, never gated.
+const UNGATED: u32 = u32::MAX;
 
 /// Reusable event-driven simulator for one grid.
 ///
@@ -107,6 +127,21 @@ pub struct CycleSim {
     rate_delta: Vec<i64>,
     /// Flits leaving the network per cycle, for the same sweep.
     retire_cnt: Vec<u32>,
+    /// Per-message release cycle (all 0 without precedence).
+    m_release: Vec<u64>,
+    /// Per-message owning task group, [`UNGATED`] when none (gated runs).
+    m_group: Vec<u32>,
+    /// Per group: gated messages not yet fully delivered.
+    g_outstanding: Vec<u32>,
+    /// Per group: intra-window predecessor groups not yet complete.
+    g_pred_left: Vec<u32>,
+    /// CSR offsets/ids of each group's flattened messages.
+    g_msg_off: Vec<u32>,
+    g_msg_adj: Vec<u32>,
+    /// Groups whose last message retired this cycle.
+    done_buf: Vec<u32>,
+    /// Groups whose predecessor count just hit zero (release worklist).
+    worklist: Vec<u32>,
 }
 
 impl CycleSim {
@@ -129,6 +164,14 @@ impl CycleSim {
             arrivals: Vec::new(),
             rate_delta: Vec::new(),
             retire_cnt: Vec::new(),
+            m_release: Vec::new(),
+            m_group: Vec::new(),
+            g_outstanding: Vec::new(),
+            g_pred_left: Vec::new(),
+            g_msg_off: Vec::new(),
+            g_msg_adj: Vec::new(),
+            done_buf: Vec::new(),
+            worklist: Vec::new(),
         }
     }
 
@@ -143,6 +186,14 @@ impl CycleSim {
         self.arrivals.clear();
         self.rate_delta.clear();
         self.retire_cnt.clear();
+        self.m_release.clear();
+        self.m_group.clear();
+        self.g_outstanding.clear();
+        self.g_pred_left.clear();
+        self.g_msg_off.clear();
+        self.g_msg_adj.clear();
+        self.done_buf.clear();
+        self.worklist.clear();
         debug_assert!(self.queues.iter().all(|q| q.is_empty()));
         debug_assert!(self.scheduled.iter().all(|s| !s));
     }
@@ -167,6 +218,23 @@ impl CycleSim {
     /// count is bounded by its hop volume, so the oracle's in-loop valve
     /// could only ever trip past that point).
     pub fn run_window(&mut self, messages: &[Message]) -> Result<CycleResult, SimError> {
+        self.run_window_gated(messages, None)
+    }
+
+    /// [`CycleSim::run_window`] under completion-triggered release: each
+    /// message belongs to a task group (per `prec`, built from the same
+    /// `messages` slice), and a group's messages are injected only once
+    /// every intra-window predecessor group has delivered all of its
+    /// traffic — one cycle after the predecessor's last flit crosses its
+    /// final link. Groups with no gated traffic (all local or
+    /// zero-volume) complete the moment they release and cascade. With
+    /// `prec == None` every message releases at cycle 0 and the result is
+    /// bit-identical to [`CycleSim::run_window`].
+    pub fn run_window_gated(
+        &mut self,
+        messages: &[Message],
+        prec: Option<&WindowPrecedence>,
+    ) -> Result<CycleResult, SimError> {
         self.reset();
 
         // Flatten every route once: no per-flit route clone, no link
@@ -174,13 +242,16 @@ impl CycleSim {
         let grid = self.grid;
         let links = self.links;
         let mut hop_volume: u64 = 0;
-        for m in messages {
+        for (i, m) in messages.iter().enumerate() {
             if m.is_local() || m.volume == 0 {
                 continue;
             }
             let start = self.route.len();
             self.m_start.push(start as u32);
             self.m_vol.push(m.volume);
+            if let Some(p) = prec {
+                self.m_group.push(p.msg_group[i]);
+            }
             let route = &mut self.route;
             visit_xy_links(&grid, m.src, m.dst, |l| {
                 route.push(links.index_of(l) as u32);
@@ -199,17 +270,62 @@ impl CycleSim {
 
         self.sent.resize(self.route.len(), 0);
         self.avail.resize(self.route.len(), 0);
-        let max_vol = *self.m_vol.iter().max().expect("nonempty") as usize;
-        self.rate_delta.resize(max_vol + 1, 0);
-        for msg in 0..self.m_vol.len() {
-            let first = self.m_start[msg] as usize;
-            let vol = self.m_vol[msg];
-            self.avail[first] = 1; // flit 0 is at the source at cycle 0
-            self.queues[self.route[first] as usize].push(entry(0, msg, first));
-            let link = self.route[first] as usize;
-            self.schedule(link);
-            self.rate_delta[0] += 1;
-            self.rate_delta[vol as usize] -= 1;
+        self.m_release.resize(self.m_vol.len(), 0);
+
+        match prec {
+            None => {
+                // The classic model: everything enters at window start.
+                for msg in 0..self.m_vol.len() {
+                    self.inject(msg, 0);
+                }
+            }
+            Some(p) => {
+                debug_assert_eq!(
+                    p.msg_group.len(),
+                    messages.len(),
+                    "WindowPrecedence built from a different message slice"
+                );
+                let ng = p.num_groups();
+                self.g_pred_left.extend_from_slice(&p.indeg);
+                self.g_outstanding.resize(ng, 0);
+                self.g_msg_off.resize(ng + 1, 0);
+                for &g in &self.m_group {
+                    if g != UNGATED {
+                        self.g_outstanding[g as usize] += 1;
+                        self.g_msg_off[g as usize + 1] += 1;
+                    }
+                }
+                for g in 0..ng {
+                    self.g_msg_off[g + 1] += self.g_msg_off[g];
+                }
+                // Counting-sort messages into per-group lists, borrowing
+                // `done_buf` as the fill cursor.
+                self.g_msg_adj.resize(self.g_msg_off[ng] as usize, 0);
+                self.done_buf.extend_from_slice(&self.g_msg_off[..ng]);
+                for msg in 0..self.m_group.len() {
+                    let g = self.m_group[msg];
+                    if g != UNGATED {
+                        let c = self.done_buf[g as usize] as usize;
+                        self.g_msg_adj[c] = msg as u32;
+                        self.done_buf[g as usize] += 1;
+                    }
+                }
+                self.done_buf.clear();
+                // Unowned traffic and dependency-free groups release at
+                // cycle 0; all-local groups complete instantly, cascading
+                // through `drain_releases`.
+                for msg in 0..self.m_group.len() {
+                    if self.m_group[msg] == UNGATED {
+                        self.inject(msg, 0);
+                    }
+                }
+                for g in 0..ng {
+                    if self.g_pred_left[g] == 0 {
+                        self.worklist.push(g as u32);
+                    }
+                }
+                self.drain_releases(p, 0);
+            }
         }
 
         let mut cycle: u64 = 0;
@@ -245,6 +361,17 @@ impl CycleSim {
                         self.retire_cnt.resize(r + 1, 0);
                     }
                     self.retire_cnt[r] += 1;
+                    if prec.is_some() && self.sent[hop] == self.m_vol[msg] {
+                        // Whole message delivered: retire it from its
+                        // owning task group.
+                        let g = self.m_group[msg];
+                        if g != UNGATED {
+                            self.g_outstanding[g as usize] -= 1;
+                            if self.g_outstanding[g as usize] == 0 {
+                                self.done_buf.push(g);
+                            }
+                        }
+                    }
                 } else {
                     self.arrivals.push((next_hop as u32, msg as u32));
                 }
@@ -259,7 +386,11 @@ impl CycleSim {
                     self.avail[hop] > self.sent[hop]
                 };
                 if waiting {
-                    self.queues[l].push(entry(self.sent[hop], msg, hop));
+                    self.queues[l].push(entry(
+                        self.m_release[msg] + self.sent[hop] as u64,
+                        msg,
+                        hop,
+                    ));
                 }
                 if !self.queues[l].is_empty() {
                     self.schedule(l);
@@ -275,8 +406,32 @@ impl CycleSim {
                 self.avail[hop] += 1;
                 if self.avail[hop] == self.sent[hop] + 1 {
                     let l = self.route[hop] as usize;
-                    self.queues[l].push(entry(self.sent[hop], msg, hop));
+                    self.queues[l].push(entry(
+                        self.m_release[msg] + self.sent[hop] as u64,
+                        msg,
+                        hop,
+                    ));
                     self.schedule(l);
+                }
+            }
+
+            // Groups that finished this cycle release their intra-window
+            // successors at the next one (the completing flit leaves the
+            // network first); deferred past arbitration so a release can
+            // never feed a link arbitrated later in the same cycle.
+            if let Some(p) = prec {
+                if !self.done_buf.is_empty() {
+                    for i in 0..self.done_buf.len() {
+                        let g = self.done_buf[i];
+                        for &s in p.succs(g) {
+                            self.g_pred_left[s as usize] -= 1;
+                            if self.g_pred_left[s as usize] == 0 {
+                                self.worklist.push(s);
+                            }
+                        }
+                    }
+                    self.done_buf.clear();
+                    self.drain_releases(p, cycle + 1);
                 }
             }
             cycle += 1;
@@ -299,6 +454,142 @@ impl CycleSim {
             flit_hops,
             peak_in_flight: peak as usize,
         })
+    }
+
+    /// Release one message at cycle `release`: its head flit enters its
+    /// first link's queue and the injection ramp is recorded for the
+    /// peak-in-flight sweep. Flit `f` becomes available at the source at
+    /// cycle `release + f`, which is exactly its queue key.
+    fn inject(&mut self, msg: usize, release: u64) {
+        self.m_release[msg] = release;
+        let first = self.m_start[msg] as usize;
+        self.avail[first] = 1; // flit 0 is at the source on release
+        let l = self.route[first] as usize;
+        self.queues[l].push(entry(release, msg, first));
+        self.schedule(l);
+        let lo = release as usize;
+        let hi = lo + self.m_vol[msg] as usize;
+        if self.rate_delta.len() <= hi {
+            self.rate_delta.resize(hi + 1, 0);
+        }
+        self.rate_delta[lo] += 1;
+        self.rate_delta[hi] -= 1;
+    }
+
+    /// Release every group on the worklist at cycle `t`, cascading
+    /// through groups with no gated traffic: they complete the moment
+    /// they release, unblocking their successors at the same cycle
+    /// (local work is free, matching the analytic cost model).
+    fn drain_releases(&mut self, prec: &WindowPrecedence, t: u64) {
+        while let Some(g) = self.worklist.pop() {
+            let g = g as usize;
+            let lo = self.g_msg_off[g] as usize;
+            let hi = self.g_msg_off[g + 1] as usize;
+            for k in lo..hi {
+                let msg = self.g_msg_adj[k] as usize;
+                self.inject(msg, t);
+            }
+            if self.g_outstanding[g] == 0 {
+                for &s in prec.succs(g as u32) {
+                    self.g_pred_left[s as usize] -= 1;
+                    if self.g_pred_left[s as usize] == 0 {
+                        self.worklist.push(s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One window's precedence gating, distilled from a [`TaskDag`]: the
+/// owning task group of every message plus the window-internal release
+/// edges. Cross-window edges are dropped — the window barrier (windows
+/// simulated independently, completions summed) already enforces them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowPrecedence {
+    /// Per message (same indexing as the slice handed to
+    /// [`CycleSim::run_window_gated`]): group id local to this window, or
+    /// [`UNGATED`] for move-only traffic of data with no references here.
+    msg_group: Vec<u32>,
+    /// Intra-window successor CSR over groups.
+    succ_off: Vec<u32>,
+    succ_adj: Vec<u32>,
+    /// Per group: number of intra-window predecessors.
+    indeg: Vec<u32>,
+}
+
+impl WindowPrecedence {
+    /// Distill `dag`'s gating for `window` over that window's `messages`
+    /// (as produced by [`crate::engine::window_messages`]).
+    ///
+    /// Fetch traffic for a datum no task owns means the DAG does not
+    /// cover the trace ([`SimError::UnownedMessage`]); move-only traffic
+    /// without an owner is legal and rides ungated at cycle 0.
+    ///
+    /// # Panics
+    /// Panics if `window >= dag.num_windows()`;
+    /// [`simulate_cycles_dag`] checks the window counts up front.
+    pub fn build(
+        dag: &TaskDag,
+        window: usize,
+        messages: &[Message],
+    ) -> Result<WindowPrecedence, SimError> {
+        let w = window as u32;
+        let tasks = dag.tasks_in_window(w);
+        let local = |t: u32| {
+            tasks
+                .binary_search(&t)
+                .expect("task listed in its own window") as u32
+        };
+        let mut msg_group = Vec::with_capacity(messages.len());
+        for m in messages {
+            let group = match dag.owner(w, m.data) {
+                Some(t) => local(t),
+                None if m.kind == MessageKind::Move => UNGATED,
+                None => {
+                    return Err(SimError::UnownedMessage {
+                        window: w,
+                        datum: m.data.0,
+                    })
+                }
+            };
+            msg_group.push(group);
+        }
+        let mut indeg = vec![0u32; tasks.len()];
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (li, &t) in tasks.iter().enumerate() {
+            for &p in dag.preds(t) {
+                if dag.task(p).window == w {
+                    edges.push((local(p), li as u32));
+                    indeg[li] += 1;
+                }
+            }
+        }
+        edges.sort_unstable();
+        let mut succ_off = vec![0u32; tasks.len() + 1];
+        for &(from, _) in &edges {
+            succ_off[from as usize + 1] += 1;
+        }
+        for g in 0..tasks.len() {
+            succ_off[g + 1] += succ_off[g];
+        }
+        let succ_adj = edges.iter().map(|&(_, to)| to).collect();
+        Ok(WindowPrecedence {
+            msg_group,
+            succ_off,
+            succ_adj,
+            indeg,
+        })
+    }
+
+    fn num_groups(&self) -> usize {
+        self.indeg.len()
+    }
+
+    fn succs(&self, g: u32) -> &[u32] {
+        let lo = self.succ_off[g as usize] as usize;
+        let hi = self.succ_off[g as usize + 1] as usize;
+        &self.succ_adj[lo..hi]
     }
 }
 
@@ -445,6 +736,40 @@ pub fn simulate_cycles_observed(
             let _t = metrics.phase("cycle-sim/window");
             let msgs = crate::engine::window_messages(trace, schedule, w);
             sim.run_window(&msgs)
+        },
+    )
+    .into_iter()
+    .collect()
+}
+
+/// Clock every window of a (trace, schedule) pair under completion-
+/// triggered release: a task's traffic enters the network only once all
+/// its intra-window DAG predecessors have delivered theirs (cross-window
+/// edges are already honored by the window barrier). With an edge-free
+/// DAG this is bit-identical to [`simulate_cycles`]. Parallel across
+/// windows; the first failing window (in window order) short-circuits.
+pub fn simulate_cycles_dag(
+    trace: &pim_trace::window::WindowedTrace,
+    schedule: &pim_sched::schedule::Schedule,
+    dag: &TaskDag,
+    pool: pim_par::Pool,
+) -> Result<Vec<CycleResult>, SimError> {
+    if dag.num_windows() != trace.num_windows() {
+        return Err(SimError::DagWindows {
+            dag: dag.num_windows(),
+            trace: trace.num_windows(),
+        });
+    }
+    let grid = trace.grid();
+    let windows: Vec<usize> = (0..trace.num_windows()).collect();
+    pim_par::parallel_map_with(
+        pool,
+        &windows,
+        || CycleSim::new(grid),
+        |sim, _, &w| {
+            let msgs = crate::engine::window_messages(trace, schedule, w);
+            let prec = WindowPrecedence::build(dag, w, &msgs)?;
+            sim.run_window_gated(&msgs, Some(&prec))
         },
     )
     .into_iter()
@@ -607,6 +932,163 @@ mod tests {
         let third = sim.run_window(&heavy).unwrap();
         assert_eq!(first, third, "reuse leaked state across windows");
         assert_eq!(second, run_window(&g, &light).unwrap());
+    }
+
+    fn dmsg(grid: &Grid, sx: u32, sy: u32, dx: u32, dy: u32, vol: u32, d: u32) -> Message {
+        Message {
+            data: DataId(d),
+            ..msg(grid, sx, sy, dx, dy, vol)
+        }
+    }
+
+    fn task(w: u32, data: &[u32]) -> pim_trace::dag::Task {
+        pim_trace::dag::Task {
+            window: w,
+            data: data.iter().map(|&d| DataId(d)).collect(),
+            wcet: 1,
+        }
+    }
+
+    fn dag(
+        num_windows: usize,
+        tasks: Vec<pim_trace::dag::Task>,
+        edges: Vec<(u32, u32)>,
+    ) -> TaskDag {
+        TaskDag::new(num_windows, tasks, edges).expect("valid dag")
+    }
+
+    #[test]
+    fn edge_free_gating_is_bit_identical() {
+        let g = Grid::new(4, 4);
+        let msgs = vec![
+            dmsg(&g, 0, 0, 3, 3, 4, 0),
+            dmsg(&g, 3, 3, 0, 0, 4, 1),
+            dmsg(&g, 0, 3, 3, 0, 2, 2),
+            dmsg(&g, 1, 1, 1, 1, 9, 3), // local: its group has no traffic
+        ];
+        let d = dag(
+            1,
+            vec![task(0, &[0]), task(0, &[1]), task(0, &[2]), task(0, &[3])],
+            vec![],
+        );
+        let prec = WindowPrecedence::build(&d, 0, &msgs).unwrap();
+        let plain = run(&g, &msgs);
+        let gated = CycleSim::new(g)
+            .run_window_gated(&msgs, Some(&prec))
+            .unwrap();
+        assert_eq!(gated, plain);
+    }
+
+    #[test]
+    fn chain_gating_delays_the_successor() {
+        let g = Grid::new(4, 4);
+        let msgs = vec![
+            dmsg(&g, 0, 0, 1, 0, 3, 0), // last flit crosses at cycle 2
+            dmsg(&g, 2, 0, 3, 0, 1, 1), // disjoint link; alone: 1 cycle
+        ];
+        let plain = run(&g, &msgs);
+        assert_eq!(plain.completion_cycle, 3);
+        let d = dag(1, vec![task(0, &[0]), task(0, &[1])], vec![(0, 1)]);
+        let prec = WindowPrecedence::build(&d, 0, &msgs).unwrap();
+        let gated = CycleSim::new(g)
+            .run_window_gated(&msgs, Some(&prec))
+            .unwrap();
+        // Datum 1 releases at 3, one cycle after datum 0's last flit
+        // crossed, and lands at 4; hop volume is unchanged.
+        assert_eq!(gated.completion_cycle, 4);
+        assert_eq!(gated.flit_hops, plain.flit_hops);
+    }
+
+    #[test]
+    fn local_only_groups_release_successors_immediately() {
+        let g = Grid::new(4, 4);
+        let msgs = vec![
+            dmsg(&g, 1, 1, 1, 1, 5, 0), // local: never enters the network
+            dmsg(&g, 0, 0, 2, 0, 2, 1),
+        ];
+        let d = dag(1, vec![task(0, &[0]), task(0, &[1])], vec![(0, 1)]);
+        let prec = WindowPrecedence::build(&d, 0, &msgs).unwrap();
+        let gated = CycleSim::new(g)
+            .run_window_gated(&msgs, Some(&prec))
+            .unwrap();
+        // The predecessor's work is local (free): no gating delay at all.
+        assert_eq!(gated, run(&g, &msgs));
+    }
+
+    #[test]
+    fn unowned_traffic_must_be_move_only() {
+        let g = Grid::new(4, 4);
+        let d = dag(1, vec![task(0, &[0])], vec![]);
+        // A move of a datum with no references in the window rides ungated.
+        let mv = Message {
+            kind: MessageKind::Move,
+            ..dmsg(&g, 0, 0, 1, 0, 1, 7)
+        };
+        let prec = WindowPrecedence::build(&d, 0, &[mv]).unwrap();
+        let r = CycleSim::new(g)
+            .run_window_gated(&[mv], Some(&prec))
+            .unwrap();
+        assert_eq!(r.completion_cycle, 1);
+        // A fetch of an unowned datum is a cover violation.
+        let fetch = dmsg(&g, 0, 0, 1, 0, 1, 7);
+        assert_eq!(
+            WindowPrecedence::build(&d, 0, &[fetch]).unwrap_err(),
+            SimError::UnownedMessage {
+                window: 0,
+                datum: 7
+            }
+        );
+    }
+
+    #[test]
+    fn dag_sim_matches_plain_on_edge_free_and_cross_window_dags() {
+        use pim_trace::builder::TraceBuilder;
+        let g = Grid::new(4, 4);
+        let mut b = TraceBuilder::new(g, 3);
+        b.step()
+            .access(g.proc_xy(0, 0), DataId(0))
+            .access(g.proc_xy(3, 3), DataId(1));
+        b.step()
+            .access(g.proc_xy(3, 0), DataId(0))
+            .access(g.proc_xy(0, 3), DataId(2));
+        b.step().access(g.proc_xy(2, 2), DataId(1));
+        let trace = b.finish().window_fixed(1);
+        let sched = pim_sched::Run::new(&trace).run_named("gomcds").unwrap();
+        // One task per (window, referenced datum), covering the trace.
+        let mut tasks = Vec::new();
+        for w in 0..trace.num_windows() {
+            for (did, rs) in trace.iter_data() {
+                if !rs.window(w).is_empty() {
+                    tasks.push(pim_trace::dag::Task {
+                        window: w as u32,
+                        data: vec![did],
+                        wcet: 1,
+                    });
+                }
+            }
+        }
+        let edge_free = TaskDag::new(trace.num_windows(), tasks.clone(), vec![]).unwrap();
+        edge_free.validate_cover(&trace).unwrap();
+        let plain = simulate_cycles(&trace, &sched, pim_par::Pool::serial()).unwrap();
+        let gated =
+            simulate_cycles_dag(&trace, &sched, &edge_free, pim_par::Pool::serial()).unwrap();
+        assert_eq!(gated, plain);
+        // Cross-window edges are covered by the window barrier: adding
+        // one changes nothing.
+        let t0 = edge_free.tasks_in_window(0)[0];
+        let t1 = edge_free.tasks_in_window(1)[0];
+        let cross = TaskDag::new(trace.num_windows(), tasks, vec![(t0, t1)]).unwrap();
+        let gated2 = simulate_cycles_dag(&trace, &sched, &cross, pim_par::Pool::serial()).unwrap();
+        assert_eq!(gated2, plain);
+        // A DAG for the wrong window count is a typed error.
+        let stub = TaskDag::new(1, vec![], vec![]).unwrap();
+        assert_eq!(
+            simulate_cycles_dag(&trace, &sched, &stub, pim_par::Pool::serial()).unwrap_err(),
+            SimError::DagWindows {
+                dag: 1,
+                trace: trace.num_windows()
+            }
+        );
     }
 
     #[test]

@@ -29,6 +29,23 @@ pub enum SimError {
         /// The cycle budget that was exhausted.
         cycle: u64,
     },
+    /// A precedence-gated window contained a fetch message for a
+    /// `(window, datum)` pair no task owns — the task DAG does not cover
+    /// the trace (run `TaskDag::validate_cover` before simulating).
+    UnownedMessage {
+        /// The execution window of the orphaned message.
+        window: u32,
+        /// The datum no task in that window owns.
+        datum: u32,
+    },
+    /// A precedence-gated simulation was handed a task DAG built for a
+    /// different number of execution windows than the trace.
+    DagWindows {
+        /// Windows the DAG covers.
+        dag: usize,
+        /// Windows the trace has.
+        trace: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +56,14 @@ impl fmt::Display for SimError {
                 "cycle simulator made no progress within {cycle} cycles \
                  (window too large for the safety valve, or a modelling bug)"
             ),
+            SimError::UnownedMessage { window, datum } => write!(
+                f,
+                "task dag does not cover the trace: no task in window \
+                 {window} owns datum {datum}"
+            ),
+            SimError::DagWindows { dag, trace } => {
+                write!(f, "task dag covers {dag} windows but the trace has {trace}")
+            }
         }
     }
 }
@@ -88,6 +113,17 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("42"), "{msg}");
         assert!(msg.contains("no progress"), "{msg}");
+    }
+
+    #[test]
+    fn unowned_message_names_the_orphan() {
+        let e = SimError::UnownedMessage {
+            window: 3,
+            datum: 9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("window 3"), "{msg}");
+        assert!(msg.contains("datum 9"), "{msg}");
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   windows;
 //! * cycle-accurate completion under link contention ([`cycle`]): an
 //!   event-driven per-link-queue simulator, validated bit-identically
-//!   against the brute-force oracle it replaced.
+//!   against the brute-force oracle it replaced — optionally gated by a
+//!   task DAG ([`simulate_cycles_dag`]) so a task's traffic enters the
+//!   network only when its intra-window predecessors have delivered.
 //!
 //! ## Modules
 //!
@@ -36,7 +38,10 @@ pub mod report;
 pub mod run_report;
 pub mod traffic;
 
-pub use cycle::{simulate_cycles, simulate_cycles_observed, CycleResult, CycleSim};
+pub use cycle::{
+    simulate_cycles, simulate_cycles_dag, simulate_cycles_observed, CycleResult, CycleSim,
+    WindowPrecedence,
+};
 pub use engine::{simulate, simulate_named, simulate_scheduler};
 pub use error::{RunError, SimError, SAFETY_VALVE_CYCLES};
 pub use report::SimReport;

@@ -48,6 +48,11 @@ pub struct RunReport {
     pub peak_in_flight: usize,
     /// Simulated completion cycle of every window, in window order.
     pub window_completion_cycles: Vec<u64>,
+    /// Sum of per-window completion cycles under precedence-gated release
+    /// ([`crate::simulate_cycles_dag`]), when the run carried a task DAG.
+    pub dag_completion_cycles: Option<u64>,
+    /// Per-window gated completion cycles (empty without a DAG).
+    pub dag_window_completion_cycles: Vec<u64>,
     /// Most loaded link (`"src->dst"`), if any traffic flowed.
     pub hottest_link: Option<String>,
     /// Volume on the hottest link (0 when no traffic flowed).
@@ -89,12 +94,22 @@ impl RunReport {
             simulated_completion_cycles: cycles.iter().map(|c| c.completion_cycle).sum(),
             peak_in_flight: cycles.iter().map(|c| c.peak_in_flight).max().unwrap_or(0),
             window_completion_cycles: cycles.iter().map(|c| c.completion_cycle).collect(),
+            dag_completion_cycles: None,
+            dag_window_completion_cycles: Vec::new(),
             hottest_link,
             hottest_link_volume,
             mean_active_link_volume: sim.mean_active_link_volume(),
             link_imbalance: sim.link_imbalance(),
             metrics,
         }
+    }
+
+    /// Attach precedence-gated cycle results (`pim-cli run --dag`, the
+    /// DAG bench tables): the report gains a `"dag"` JSON section.
+    pub fn with_dag_cycles(mut self, cycles: &[CycleResult]) -> Self {
+        self.dag_completion_cycles = Some(cycles.iter().map(|c| c.completion_cycle).sum());
+        self.dag_window_completion_cycles = cycles.iter().map(|c| c.completion_cycle).collect();
+        self
     }
 
     /// Serialize as one JSON object.
@@ -109,6 +124,18 @@ impl RunReport {
             .map(|c| c.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        let dag = match self.dag_completion_cycles {
+            Some(total) => format!(
+                "\"dag\":{{\"completion_cycles\":{},\"window_completion_cycles\":[{}]}},",
+                total,
+                self.dag_window_completion_cycles
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"scheduler\":\"{}\",\"policy\":\"{}\",",
@@ -118,7 +145,7 @@ impl RunReport {
                 "\"hottest_link\":{},\"hottest_link_volume\":{},",
                 "\"mean_active_link_volume\":{:.4},\"link_imbalance\":{:.4}}},",
                 "\"cycle\":{{\"completion_cycles\":{},\"peak_in_flight\":{},",
-                "\"window_completion_cycles\":[{}]}},",
+                "\"window_completion_cycles\":[{}]}},{}",
                 "\"metrics\":{}}}"
             ),
             escape_json(&self.scheduler),
@@ -137,6 +164,7 @@ impl RunReport {
             self.simulated_completion_cycles,
             self.peak_in_flight,
             windows,
+            dag,
             self.metrics.to_json(),
         )
     }
@@ -295,6 +323,43 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(!json.contains("\\u{"), "raw rust escapes leaked");
+    }
+
+    #[test]
+    fn dag_section_appears_only_when_attached() {
+        let trace = paper_trace();
+        let (schedule, report) = collect_run_report(
+            "gomcds",
+            &trace,
+            MemoryPolicy::Unbounded,
+            Pool::serial(),
+            Metrics::disabled(),
+        )
+        .unwrap();
+        assert!(!report.to_json().contains("\"dag\":"));
+        // Edge-free cover DAG: gated cycles equal the plain ones.
+        let mut tasks = Vec::new();
+        for w in 0..trace.num_windows() {
+            for (d, rs) in trace.iter_data() {
+                if !rs.window(w).is_empty() {
+                    tasks.push(pim_trace::dag::Task {
+                        window: w as u32,
+                        data: vec![d],
+                        wcet: 1,
+                    });
+                }
+            }
+        }
+        let dag = pim_trace::dag::TaskDag::new(trace.num_windows(), tasks, vec![]).unwrap();
+        let gated = crate::simulate_cycles_dag(&trace, &schedule, &dag, Pool::serial()).unwrap();
+        let report = report.with_dag_cycles(&gated);
+        assert_eq!(
+            report.dag_completion_cycles,
+            Some(report.simulated_completion_cycles)
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"dag\":{\"completion_cycles\":"), "{json}");
+        assert!(json.contains("\"window_completion_cycles\":["), "{json}");
     }
 
     #[test]

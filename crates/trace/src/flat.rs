@@ -588,4 +588,78 @@ mod tests {
         assert!(chunk >= 1 && chunk * 4 * 8 >= 100_000 - 4 * 8 * chunk);
         assert!(chunk <= 100_000usize.div_ceil(4));
     }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Traces biased toward the degenerate corners: windows are empty
+        /// more often than not, so zero-reference datums, all-empty
+        /// windows and single-window traces (`nw == 1`) all occur.
+        fn arb_degenerate_trace() -> impl Strategy<Value = WindowedTrace> {
+            (2u32..5, 2u32..5, 1usize..4, 1usize..5).prop_flat_map(|(wd, ht, nw, nd)| {
+                let grid = Grid::new(wd, ht);
+                let m = grid.num_procs() as u32;
+                let window = proptest::collection::vec((0..m, 1u32..6), 0..3);
+                proptest::collection::vec(proptest::collection::vec(window, nw..=nw), nd..=nd)
+                    .prop_map(move |data| {
+                        WindowedTrace::from_parts(
+                            grid,
+                            data.into_iter()
+                                .map(|ws| {
+                                    ws.into_iter()
+                                        .map(|pairs| {
+                                            WindowRefs::from_pairs(
+                                                pairs.into_iter().map(|(p, c)| (ProcId(p), c)),
+                                            )
+                                        })
+                                        .collect()
+                                })
+                                .collect(),
+                        )
+                    })
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn degenerate_traces_round_trip(trace in arb_degenerate_trace()) {
+                let flat = FlatTrace::from_trace(&trace);
+                prop_assert_eq!(flat.num_windows(), trace.num_windows());
+                prop_assert_eq!(flat.total_volume(), trace.total_volume());
+                prop_assert_eq!(&flat.to_windowed(), &trace);
+                prop_assert_eq!(FlatTrace::from_trace(&flat.to_windowed()), flat);
+            }
+
+            #[test]
+            fn from_records_agrees_with_from_trace(trace in arb_degenerate_trace()) {
+                let flat = FlatTrace::from_trace(&trace);
+                // Re-feed the flattened refs as raw records, reversed so
+                // the canonical sort actually has work to do.
+                let grid = flat.grid();
+                let mut records = Vec::new();
+                for d in 0..flat.num_data() {
+                    for r in flat.span(DataId(d as u32)) {
+                        records.push(FlatRecord {
+                            datum: DataId(d as u32),
+                            window: r.window,
+                            proc: grid.proc_xy(r.x, r.y),
+                            count: r.count,
+                        });
+                    }
+                }
+                records.reverse();
+                let rebuilt = FlatTrace::from_records(
+                    grid,
+                    flat.num_windows(),
+                    flat.num_data(),
+                    records,
+                )
+                .expect("records came from a valid trace");
+                prop_assert_eq!(rebuilt, flat);
+            }
+        }
+    }
 }

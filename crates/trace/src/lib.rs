@@ -14,6 +14,8 @@
 //!   scheduler input, plus re-windowing utilities for window-size studies.
 //! * [`flat`] — flat structure-of-arrays (CSR) trace layout for big
 //!   instances, plus a streaming text loader.
+//! * [`dag`] — optional task precedence DAGs over a trace's windows
+//!   (validated ownership partition + JSON round-trip).
 //! * [`builder`] — ergonomic trace construction.
 //! * [`stats`] — descriptive statistics (reference locality, spread).
 //! * [`encode`] — compact binary encoding (magic + version framing) for
@@ -38,6 +40,7 @@
 
 pub mod adaptive;
 pub mod builder;
+pub mod dag;
 pub mod encode;
 pub mod flat;
 pub mod ids;
@@ -49,6 +52,7 @@ pub mod validate;
 pub mod window;
 
 pub use builder::TraceBuilder;
+pub use dag::{DagError, Task, TaskDag};
 pub use flat::{FlatRecord, FlatRef, FlatTrace, FlatTraceError};
 pub use ids::DataId;
 pub use step::{Access, ExecStep, StepTrace};

@@ -1,0 +1,141 @@
+//! Natural task DAGs for the dependence-carrying kernels.
+//!
+//! The dense-factorization benchmarks are genuinely sequential at step
+//! granularity: LU's elimination step `k` reads the pivot row produced by
+//! step `k − 1`, right-looking Cholesky's trailing update feeds the next
+//! column step, and the triangular-solve wavefront consumes the previous
+//! row's solutions. [`step_chain_dag`] encodes exactly that loop-carried
+//! chain as a `pim_trace::dag::TaskDag`: one task per execution step,
+//! chained in program order, bucketed into the same fixed windows as
+//! [`StepTrace::window_fixed`] so the DAG validates against the windowed
+//! trace every experiment actually schedules
+//! ([`TaskDag::validate_cover`]).
+//!
+//! Ownership follows first touch: within a window, the first step that
+//! references a datum owns its reference string there (later steps of the
+//! same window observe it through the chain edge, not through ownership —
+//! the cover must be a partition).
+//!
+//! [`natural_dag`] is the registry-level entry point: `Some` for the
+//! kernels whose step order is a real dependence chain (LU, Cholesky,
+//! triangular solve), `None` for the rest (stencils, transposes and FFT
+//! steps are data-parallel sweeps; a chain would be an invented
+//! constraint, not a natural one).
+
+use crate::registry::Benchmark;
+use pim_array::grid::Grid;
+use pim_trace::dag::{Task, TaskDag};
+use pim_trace::step::StepTrace;
+use std::collections::HashSet;
+
+/// Build the step-chain DAG of `steps` under the same window bucketing as
+/// [`StepTrace::window_fixed`]: one task per non-empty step, an edge from
+/// each non-empty step to the next, first-touch ownership per window, and
+/// `wcet` equal to the step's total reference volume.
+///
+/// # Panics
+/// Panics if `steps_per_window == 0` (same contract as `window_fixed`).
+pub fn step_chain_dag(steps: &StepTrace, steps_per_window: usize) -> TaskDag {
+    assert!(steps_per_window > 0, "window size must be positive");
+    let num_windows = steps.num_steps().div_ceil(steps_per_window).max(1);
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut owned: HashSet<(usize, u32)> = HashSet::new(); // (window, datum)
+    let mut prev_window = usize::MAX;
+    for (s, step) in steps.steps.iter().enumerate() {
+        if step.accesses.is_empty() {
+            continue;
+        }
+        let w = (s / steps_per_window).min(num_windows - 1);
+        if w != prev_window {
+            owned.clear();
+            prev_window = w;
+        }
+        let mut data = Vec::new();
+        for a in &step.accesses {
+            if owned.insert((w, a.data.0)) {
+                data.push(a.data);
+            }
+        }
+        data.sort_unstable_by_key(|d| d.0);
+        data.dedup();
+        let id = tasks.len() as u32;
+        if id > 0 {
+            edges.push((id - 1, id));
+        }
+        tasks.push(Task {
+            window: w as u32,
+            data,
+            wcet: step.total_refs(),
+        });
+    }
+    TaskDag::new(num_windows, tasks, edges).expect("step-chain dag is valid by construction")
+}
+
+/// The natural task DAG of `bench` under the experiment-standard
+/// generation and windowing (mirrors [`crate::registry::windowed`]):
+/// `Some` step-chain DAG for the dependence-carrying kernels (LU,
+/// Cholesky, triangular solve), `None` for kernels whose steps are
+/// data-parallel sweeps.
+pub fn natural_dag(
+    bench: Benchmark,
+    grid: Grid,
+    n: u32,
+    steps_per_window: usize,
+    seed: u64,
+) -> Option<TaskDag> {
+    match bench {
+        Benchmark::Lu | Benchmark::Cholesky | Benchmark::Trisolve => {
+            let (steps, _) = bench.generate(grid, n, seed);
+            Some(step_chain_dag(&steps, steps_per_window))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::windowed;
+
+    #[test]
+    fn natural_dags_cover_their_windowed_traces() {
+        let grid = Grid::new(4, 4);
+        for bench in [Benchmark::Lu, Benchmark::Cholesky, Benchmark::Trisolve] {
+            for spw in [1usize, 3] {
+                let dag = natural_dag(bench, grid, 8, spw, 11).expect("chain kernels have a dag");
+                let (trace, _) = windowed(bench, grid, 8, spw, 11);
+                assert_eq!(dag.num_windows(), trace.num_windows(), "{bench} spw={spw}");
+                dag.validate_cover(&trace)
+                    .unwrap_or_else(|e| panic!("{bench} spw={spw}: {e}"));
+                assert!(dag.num_tasks() > 1, "{bench}");
+                // A chain: every consecutive task pair is an edge.
+                assert_eq!(dag.edges().len(), dag.num_tasks() - 1, "{bench}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_kernels_have_no_natural_dag() {
+        let grid = Grid::new(4, 4);
+        for bench in [Benchmark::MatMul, Benchmark::Jacobi, Benchmark::Fft] {
+            assert!(natural_dag(bench, grid, 8, 2, 11).is_none(), "{bench}");
+        }
+    }
+
+    #[test]
+    fn first_touch_ownership_is_a_partition() {
+        let grid = Grid::new(4, 4);
+        let (steps, _) = Benchmark::Lu.generate(grid, 8, 0);
+        let dag = step_chain_dag(&steps, 4);
+        // Within any window, no datum appears in two tasks.
+        for w in 0..dag.num_windows() {
+            let mut seen = std::collections::HashSet::new();
+            for &t in dag.tasks_in_window(w as u32) {
+                for d in &dag.task(t).data {
+                    assert!(seen.insert(d.0), "datum {} owned twice in window {w}", d.0);
+                }
+            }
+        }
+    }
+}

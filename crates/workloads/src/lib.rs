@@ -23,12 +23,15 @@
 //! [`space`] tracks multi-array data spaces (e.g. matrix multiply reads `A`
 //! and writes `C`) and builds the straight-forward baseline placement;
 //! [`registry`] gives a uniform handle over every benchmark;
-//! [`paper_example`] reconstructs Figure 1 of the paper.
+//! [`paper_example`] reconstructs Figure 1 of the paper; [`dag`] derives
+//! the natural step-chain task DAGs of the dependence-carrying kernels
+//! (LU, Cholesky, triangular solve) for precedence-aware scheduling.
 
 pub mod cholesky;
 pub mod code;
 pub mod combos;
 pub mod coopt;
+pub mod dag;
 pub mod fft;
 pub mod granularity;
 pub mod lu;
@@ -41,5 +44,6 @@ pub mod stencil;
 pub mod transpose;
 pub mod trisolve;
 
+pub use dag::{natural_dag, step_chain_dag};
 pub use registry::{windowed, Benchmark};
 pub use space::{ArrayHandle, DataSpace};

@@ -133,4 +133,42 @@ else
   echo "scale smoke: expected keys present (grep fallback)"
 fi
 
+# DAG smoke: precedence-gated run on the Cholesky natural chain under
+# minimum-capacity memory (the regime BENCH_dag.json benchmarks). The
+# aware schedule (list-scds) must complete no later than the precedence-
+# oblivious GOMCDS schedule under the same gated simulator, and the
+# metrics JSON must carry the "dag" section with a per-window breakdown.
+echo "== --dag smoke run (Cholesky natural chain) =="
+(cd "$metrics_tmp" && "$OLDPWD/target/release/pim-cli" \
+  run --bench cholesky --size 16 --window 2 --memory 1x --method list-scds \
+  --dag natural --metrics dag_aware.json)
+(cd "$metrics_tmp" && "$OLDPWD/target/release/pim-cli" \
+  run --bench cholesky --size 16 --window 2 --memory 1x --method gomcds \
+  --dag natural --metrics dag_oblivious.json)
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$metrics_tmp/dag_aware.json" "$metrics_tmp/dag_oblivious.json" <<'PY'
+import json, sys
+aware = json.load(open(sys.argv[1]))
+oblivious = json.load(open(sys.argv[2]))
+for name, report in (("aware", aware), ("oblivious", oblivious)):
+    assert "dag" in report, f"{name}: missing 'dag' section in RunReport"
+    dag = report["dag"]
+    assert dag["window_completion_cycles"], f"{name}: no per-window dag cycles"
+    assert dag["completion_cycles"] == sum(dag["window_completion_cycles"]), \
+        f"{name}: dag completion is not the sum of its windows"
+    assert dag["completion_cycles"] >= report["cycle"]["completion_cycles"], \
+        f"{name}: gated release beat the ungated run"
+a, o = aware["dag"]["completion_cycles"], oblivious["dag"]["completion_cycles"]
+assert a <= o, \
+    f"precedence-aware completion {a} exceeds the oblivious baseline {o}"
+print(f"dag smoke: aware {a} <= oblivious {o} gated cycles, dag section present")
+PY
+else
+  for f in dag_aware.json dag_oblivious.json; do
+    grep -q '"dag":{"completion_cycles":' "$metrics_tmp/$f" \
+      || { echo "$f missing the dag section"; exit 1; }
+  done
+  echo "dag smoke: dag sections present (grep fallback)"
+fi
+
 echo "ci: all green"

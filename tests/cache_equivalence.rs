@@ -191,6 +191,48 @@ proptest! {
         }
     }
 
+    /// Without an attached DAG the precedence-aware strategies *are*
+    /// GOMCDS, bit for bit, across every execution wrapper — the
+    /// precedence layer is invisible until `Run::dag` opts in.
+    #[test]
+    fn precedence_schedulers_without_a_dag_are_gomcds(
+        trace in arb_trace(),
+        threads in 2usize..=4,
+    ) {
+        for policy in policies(&trace) {
+            let gomcds = Run::new(&trace).policy(policy).run_named("GOMCDS");
+            for name in ["list-scds", "edf-scds"] {
+                for cached in [true, false] {
+                    let s = Run::new(&trace).policy(policy).cached(cached).run_named(name);
+                    match (&gomcds, &s) {
+                        (Ok(a), Ok(b)) => prop_assert_eq!(
+                            a, b, "{} (cached={}) under {:?}", name, cached, policy
+                        ),
+                        (Err(_), Err(_)) => {}
+                        _ => prop_assert!(
+                            false,
+                            "{} under {:?}: feasibility diverged from GOMCDS", name, policy
+                        ),
+                    }
+                }
+                let par = Run::new(&trace)
+                    .policy(policy)
+                    .parallel(Pool::with_threads(threads))
+                    .run_named(name);
+                match (&gomcds, &par) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(
+                        a, b, "{} (parallel) under {:?}", name, policy
+                    ),
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(
+                        false,
+                        "{} (parallel) under {:?}: feasibility diverged", name, policy
+                    ),
+                }
+            }
+        }
+    }
+
     /// The SoA trace layout is a pure representation change: a cost cache
     /// built from the flat CSR refs drives every registered scheduler ×
     /// policy to exactly the schedule the nested-trace cache produces.

@@ -11,6 +11,8 @@ use pim_array::grid::{Grid, ProcId};
 use pim_sim::contention::window_completion_time;
 use pim_sim::cycle::{run_window_oracle, CycleSim};
 use pim_sim::message::{Message, MessageKind};
+use pim_sim::WindowPrecedence;
+use pim_trace::dag::{Task, TaskDag};
 use pim_trace::ids::DataId;
 use proptest::prelude::*;
 
@@ -90,5 +92,50 @@ proptest! {
             .map(|m| grid.dist(m.src, m.dst) * m.volume as u64)
             .sum();
         prop_assert_eq!(r.flit_hops, hop_volume);
+    }
+
+    /// Precedence-gated release with an edge-free DAG injects everything
+    /// at cycle 0 — pinned bit-identical to the ungated simulator on every
+    /// observable (the no-DAG conformance of the gating layer).
+    #[test]
+    fn edge_free_gating_matches_ungated((grid, msgs) in arb_window()) {
+        let plain = CycleSim::new(grid).run_window(&msgs).expect("plain sim");
+        let tasks: Vec<Task> = msgs
+            .iter()
+            .map(|m| Task { window: 0, data: vec![m.data], wcet: 1 })
+            .collect();
+        let dag = TaskDag::new(1, tasks, vec![]).expect("edge-free dag");
+        let prec = WindowPrecedence::build(&dag, 0, &msgs).expect("one task per message");
+        let gated = CycleSim::new(grid)
+            .run_window_gated(&msgs, Some(&prec))
+            .expect("gated sim");
+        prop_assert_eq!(gated, plain, "edge-free gating diverged from the ungated sim");
+    }
+
+    /// Gating under a full serial chain can only delay injection: the
+    /// delivered flit-hops are conserved and completion never improves on
+    /// the all-at-window-start run.
+    #[test]
+    fn chain_gating_conserves_hops_and_never_speeds_up((grid, msgs) in arb_window()) {
+        let plain = CycleSim::new(grid).run_window(&msgs).expect("plain sim");
+        let tasks: Vec<Task> = msgs
+            .iter()
+            .map(|m| Task { window: 0, data: vec![m.data], wcet: 1 })
+            .collect();
+        let edges = (1..tasks.len() as u32).map(|t| (t - 1, t)).collect();
+        let dag = TaskDag::new(1, tasks, edges).expect("chain dag");
+        let prec = WindowPrecedence::build(&dag, 0, &msgs).expect("one task per message");
+        let gated = CycleSim::new(grid)
+            .run_window_gated(&msgs, Some(&prec))
+            .expect("gated sim");
+        prop_assert_eq!(gated.flit_hops, plain.flit_hops, "gating lost flits");
+        prop_assert!(
+            gated.peak_in_flight <= plain.peak_in_flight,
+            "serializing release cannot raise the in-flight peak"
+        );
+        prop_assert!(
+            gated.completion_cycle >= plain.completion_cycle,
+            "gated {} beat ungated {}", gated.completion_cycle, plain.completion_cycle
+        );
     }
 }
