@@ -1,0 +1,76 @@
+//! Criterion bench: incremental delta re-solve vs a from-scratch flat
+//! re-schedule under 1% churn ticks.
+//!
+//! The acceptance bar for the incremental engine is ≥ 10× over
+//! from-scratch at 1% churn on the 16×16 × 100k instance; `report_churn`
+//! records the full comparison (with per-tick parity asserts) as
+//! `BENCH_churn.json`. Here a smaller instance keeps the wall time down
+//! while preserving the shape: the `incremental` rows re-solve one tick's
+//! dirty set in place, the `scratch` rows materialize and re-schedule the
+//! whole trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_array::grid::Grid;
+use pim_bench::scale::{synthetic_flat, Rng64, SCALE_SEED, SCALE_WINDOWS};
+use pim_sched::{flat_lomcds, flat_scds, IncrementalRun, MemoryPolicy, Method};
+use pim_trace::edit::TraceDelta;
+use pim_trace::ids::DataId;
+use std::hint::black_box;
+
+const SIDE: u32 = 16;
+const NUM_DATA: usize = 10_000;
+
+/// One churn tick's delta: rewrite one window run for 1% of the data.
+/// Simpler than the harness generator (fixed two-ref runs) — Criterion
+/// needs a repeatable tick, not workload realism.
+fn tick_delta(grid: Grid, rng: &mut Rng64) -> TraceDelta {
+    let (w, h) = (grid.width() as u64, grid.height() as u64);
+    let mut delta = TraceDelta::new();
+    for _ in 0..NUM_DATA / 100 {
+        let d = DataId(rng.below(NUM_DATA as u64) as u32);
+        let window = rng.below(SCALE_WINDOWS as u64) as u32;
+        let x = rng.below(w) as u32;
+        let y = rng.below(h) as u32;
+        delta.set_run(
+            d,
+            window,
+            [(grid.proc_xy(x, y), 2), (grid.proc_xy(x, y), 1)],
+        );
+    }
+    delta
+}
+
+fn bench_churn_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_scaling");
+    group.sample_size(10);
+    let grid = Grid::new(SIDE, SIDE);
+    let pool = pim_par::Pool::auto();
+    let policy = MemoryPolicy::Unbounded;
+    for (label, method) in [("scds", Method::Scds), ("lomcds", Method::Lomcds)] {
+        let flat = synthetic_flat(grid, SCALE_WINDOWS, NUM_DATA, SCALE_SEED);
+        let mut engine =
+            IncrementalRun::new(flat, method, policy, pool).expect("method supports incremental");
+        let mut rng = Rng64::new(SCALE_SEED ^ 0xC4A4);
+        group.bench_function(BenchmarkId::new("incremental", label), |b| {
+            b.iter(|| {
+                let delta = tick_delta(grid, &mut rng);
+                engine.incremental(black_box(&delta)).unwrap();
+                black_box(engine.schedule().center(DataId(0), 0))
+            })
+        });
+        group.bench_function(BenchmarkId::new("scratch", label), |b| {
+            b.iter(|| {
+                let edited = engine.trace().materialize();
+                let sched = match method {
+                    Method::Scds => flat_scds(&edited, policy, pool).unwrap(),
+                    _ => flat_lomcds(&edited, policy, pool).unwrap(),
+                };
+                black_box(sched.center(DataId(0), 0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn_scaling);
+criterion_main!(benches);

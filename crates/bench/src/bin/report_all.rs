@@ -15,13 +15,13 @@ use pim_array::layout::Layout;
 use pim_bench::cycle_workload::reversal_window;
 use pim_bench::experiments::{paper_config, run_table, PaperConfig};
 use pim_bench::table;
+use pim_bench::timing::{bench_ns, warn_if_slower};
 use pim_sched::registry::schedulers;
 use pim_sched::schedule::improvement_pct;
 use pim_sched::{compare_methods, registry, schedule, MemoryPolicy, Method, Run};
 use pim_workloads::{windowed, Benchmark};
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
 
 fn main() {
     let cfg = PaperConfig {
@@ -109,23 +109,6 @@ fn main() {
     println!("\nall consistency assertions passed");
 }
 
-/// Best (minimum) wall time of `f` in nanoseconds over `reps` timed runs
-/// (after one warmup run), together with the last result. The minimum is
-/// the noise-robust statistic on a shared box: scheduler preemption and
-/// cache pollution only ever add time, so the best observation is the
-/// closest to the true cost — means let one preempted run flip a
-/// cached-vs-reference comparison.
-fn bench_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> (u128, R) {
-    let mut out = black_box(f());
-    let mut best = u128::MAX;
-    for _ in 0..reps {
-        let start = Instant::now();
-        out = black_box(f());
-        best = best.min(start.elapsed().as_nanos());
-    }
-    (best, out)
-}
-
 /// Time the registry's comparison set cached and uncached over benchmark ×
 /// size, plus the `compare_methods` headline (benchmark 3, 32×32 data, 4×4
 /// array), and render the results as JSON (hand-rolled; the vendored serde
@@ -193,14 +176,14 @@ fn bench_sched_json() -> String {
                 };
                 let cost = sched.evaluate(&trace).total();
                 let speedup = uncached_ns as f64 / cached_ns.max(1) as f64;
-                if speedup < 1.0 {
-                    eprintln!(
-                        "warning: {} on benchmark {} size {size}: cached path slower \
-                         than the reference (speedup {speedup:.3})",
+                warn_if_slower(
+                    &format!(
+                        "{} on benchmark {} size {size}: cached path",
                         scheduler.name(),
                         bench.label(),
-                    );
-                }
+                    ),
+                    speedup,
+                );
                 if !first {
                     json.push_str(",\n");
                 }
@@ -236,12 +219,7 @@ fn bench_sched_json() -> String {
     });
     assert_eq!(costs, uncached_costs, "cached diverged from reference");
     let speedup = uncached_ns as f64 / cached_ns.max(1) as f64;
-    if speedup < 1.0 {
-        eprintln!(
-            "warning: compare_methods headline: cached path slower than the \
-             reference (speedup {speedup:.3})"
-        );
-    }
+    warn_if_slower("compare_methods headline: cached path", speedup);
     write!(
         json,
         "  \"compare_methods\": {{\"benchmark\": \"3\", \"size\": 32, \"grid\": \"4x4\", \
@@ -293,12 +271,10 @@ fn bench_cycle_json() -> String {
         });
         assert_eq!(event, oracle, "event-driven diverged from the oracle");
         let speedup = oracle_ns as f64 / event_ns.max(1) as f64;
-        if speedup < 1.0 {
-            eprintln!(
-                "warning: cycle sim on {side}x{side}: event-driven path slower \
-                 than the oracle (speedup {speedup:.3})"
-            );
-        }
+        warn_if_slower(
+            &format!("cycle sim on {side}x{side}: event-driven path"),
+            speedup,
+        );
         if i > 0 {
             json.push_str(",\n");
         }

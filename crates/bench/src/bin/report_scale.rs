@@ -14,6 +14,7 @@
 //!   `./BENCH_scale.json`.
 
 use pim_bench::scale::{render_json, scale_row, ScaleRow};
+use pim_bench::timing::warn_if_slower;
 
 fn main() {
     let mut out = String::from("BENCH_scale.json");
@@ -77,13 +78,10 @@ fn report(side: u32, num_data: usize, parity: bool, reps: u32) -> ScaleRow {
             );
         }
         if let Some(s) = m.speedup() {
-            if s < 1.0 {
-                eprintln!(
-                    "warning: {} at {side}x{side} n={num_data}: flat path slower \
-                     than the exact path (speedup {s:.3})",
-                    m.method,
-                );
-            }
+            warn_if_slower(
+                &format!("{} at {side}x{side} n={num_data}: flat path", m.method),
+                s,
+            );
         }
     }
     println!(", peak RSS {} MB", row.peak_rss_kb / 1024);

@@ -23,10 +23,18 @@
 //! `report_scale` (module [`scale`]) is the big-instance harness: synthetic
 //! flat traces up to 64×64 grids × 1M data, timing the SoA fast paths
 //! against the classic schedulers and writing `BENCH_scale.json`.
+//!
+//! `report_churn` (module [`churn`]) is the steady-state churn harness:
+//! per-tick trace edits driven through the incremental engine vs a
+//! from-scratch re-schedule, writing `BENCH_churn.json`. Shared timing
+//! conventions (min-of-reps, slower-than-reference warnings) live in
+//! [`timing`].
 
+pub mod churn;
 pub mod cycle_workload;
 pub mod experiments;
 pub mod scale;
 pub mod table;
+pub mod timing;
 
 pub use experiments::{paper_config, run_comparison, ComparisonRow, PaperConfig};

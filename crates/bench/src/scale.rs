@@ -105,7 +105,7 @@ pub fn peak_rss_kb() -> Option<u64> {
 pub struct MethodScale {
     /// Registry name of the method (`scds`, `lomcds`).
     pub method: &'static str,
-    /// Wall time of the flat fast path, nanoseconds.
+    /// Best (min-of-reps) wall time of the flat fast path, nanoseconds.
     pub flat_ns: u128,
     /// Total cost of the flat schedule (reference + movement).
     pub total_cost: u64,
@@ -153,7 +153,8 @@ pub const SCALE_SEED: u64 = 1998;
 /// Build and measure one scale instance. `parity` additionally runs the
 /// classic schedulers on the equivalent nested trace and asserts the total
 /// costs are identical; `reps` is the timed-repetition count for the flat
-/// path (the exact path always runs once — it is the slow side).
+/// path, reported min-of-reps (the exact path always runs once — it is the
+/// slow side).
 pub fn scale_row(side: u32, num_data: usize, parity: bool, reps: u32) -> ScaleRow {
     let grid = Grid::new(side, side);
     let pool = pim_par::Pool::auto();
@@ -172,12 +173,8 @@ pub fn scale_row(side: u32, num_data: usize, parity: bool, reps: u32) -> ScaleRo
             "scds" => flat_scds(&flat, policy, pool).expect("unbounded cannot exhaust"),
             _ => flat_lomcds(&flat, policy, pool).expect("unbounded cannot exhaust"),
         };
-        let mut sched = run_flat();
-        let start = Instant::now();
-        for _ in 0..reps {
-            sched = std::hint::black_box(run_flat());
-        }
-        let flat_ns = start.elapsed().as_nanos() / reps.max(1) as u128;
+        // Min-of-reps (not mean): see `crate::timing` for the rationale.
+        let (flat_ns, sched) = crate::timing::bench_ns(reps.max(1), run_flat);
         let total_cost = flat_total_cost(&flat, &sched).total();
 
         let (exact_ns, exact_cost) = match &windowed {

@@ -1,0 +1,62 @@
+//! Shared wall-clock measurement conventions for the report binaries.
+//!
+//! Every `report_*` binary used to carry its own copy of the same two
+//! idioms; they live here once so the conventions cannot drift:
+//!
+//! * [`bench_ns`] — warmup + **minimum**-of-reps timing. The minimum is
+//!   the noise-robust statistic on a shared box: scheduler preemption and
+//!   cache pollution only ever add time, so the best observation is the
+//!   closest to the true cost — means let one preempted run flip an
+//!   optimized-vs-reference comparison.
+//! * [`warn_if_slower`] — losing rows are loud on stderr, not buried in
+//!   the JSON.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best (minimum) wall time of `f` in nanoseconds over `reps` timed runs
+/// (after one warmup run), together with the last result.
+pub fn bench_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> (u128, R) {
+    let mut out = black_box(f());
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        out = black_box(f());
+        best = best.min(start.elapsed().as_nanos());
+    }
+    (best, out)
+}
+
+/// Warn on stderr when a measured speedup dips below 1 — the optimized
+/// path lost to its reference. `what` names the row, e.g.
+/// `"SCDS on benchmark 3 size 16: cached path"`.
+pub fn warn_if_slower(what: &str, speedup: f64) {
+    if speedup < 1.0 {
+        eprintln!("warning: {what} slower than the reference (speedup {speedup:.3})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ns_returns_result_and_min() {
+        let mut calls = 0u32;
+        let (ns, out) = bench_ns(3, || {
+            calls += 1;
+            calls
+        });
+        // 1 warmup + 3 timed.
+        assert_eq!(calls, 4);
+        assert_eq!(out, 4);
+        assert!(ns < u128::MAX);
+    }
+
+    #[test]
+    fn bench_ns_zero_reps_still_warms_up() {
+        let (ns, out) = bench_ns(0, || 7);
+        assert_eq!(out, 7);
+        assert_eq!(ns, u128::MAX);
+    }
+}

@@ -31,13 +31,18 @@ fn main() -> ExitCode {
             };
             let flat = if s.flat_capable() { "  [flat]" } else { "" };
             let dag = if s.precedence_aware() { "  [dag]" } else { "" };
+            let incr = if s.incremental() {
+                "  [incremental]"
+            } else {
+                ""
+            };
             let cmp = if s.in_comparison() {
                 ""
             } else {
                 "  [not in compare]"
             };
             println!(
-                "  {:<16} {}{par}{flat}{dag}{cmp}",
+                "  {:<16} {}{par}{flat}{dag}{incr}{cmp}",
                 s.name(),
                 s.description()
             );

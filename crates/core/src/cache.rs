@@ -74,16 +74,36 @@ use std::sync::{Arc, OnceLock};
 const SINGLE_WINDOW_SWEEP_SLACK: u32 = 1;
 
 /// Where a datum's raw references live: the nested per-window
-/// representation, or one contiguous window-major slice of a
-/// [`FlatTrace`]. Both orderings iterate references identically
-/// (window-major, ascending processor id) and all served quantities are
-/// exact `u64` sums, so the backing choice can never change a table bit.
-#[derive(Debug, Clone, Copy)]
+/// representation, one contiguous window-major slice of a [`FlatTrace`],
+/// or a shared (`Arc`-owned) flat source that outlives any borrow — the
+/// form the incremental engine uses so it can rebind a datum's span after
+/// an edit without the cache borrowing the trace. All orderings iterate
+/// references identically (window-major, ascending processor id) and all
+/// served quantities are exact `u64` sums, so the backing choice can never
+/// change a table bit.
+#[derive(Debug, Clone)]
 enum RefSource<'r> {
     /// Nested per-window reference string.
     Windowed(&'r DataRefString),
     /// One datum's span of a [`FlatTrace`], sorted by (window, proc).
     Flat(&'r [FlatRef]),
+    /// One datum of a shared flat trace (span looked up per query).
+    SharedTrace(Arc<FlatTrace>, DataId),
+    /// A shared standalone span in [`FlatTrace`] canonical order (the
+    /// overlay form `pim_trace::edit::EditableTrace` produces).
+    SharedSpan(Arc<[FlatRef]>),
+}
+
+impl RefSource<'_> {
+    /// The window-major flat slice behind every non-`Windowed` variant.
+    fn flat(&self) -> Option<&[FlatRef]> {
+        match self {
+            RefSource::Windowed(_) => None,
+            RefSource::Flat(refs) => Some(refs),
+            RefSource::SharedTrace(trace, d) => Some(trace.span(*d)),
+            RefSource::SharedSpan(refs) => Some(refs),
+        }
+    }
 }
 
 /// The axis-weight prefix sums of one datum, built lazily on first use.
@@ -123,7 +143,7 @@ impl Clone for DatumCostCache<'_> {
         DatumCostCache {
             grid: self.grid,
             num_windows: self.num_windows,
-            src: self.src,
+            src: self.src.clone(),
             tables: self.tables.clone(),
             raw_singles: AtomicU32::new(self.raw_singles.load(Ordering::Relaxed)),
             stats: self.stats.clone(),
@@ -146,6 +166,27 @@ impl<'r> DatumCostCache<'r> {
         Self::from_source(grid, RefSource::Flat(refs), num_windows)
     }
 
+    /// Wrap one datum of a shared flat trace. Borrow-free (`'static`):
+    /// the cache co-owns the trace, so a caller holding the same `Arc`
+    /// may keep editing an overlay beside it — the form the incremental
+    /// engine builds its initial cache in.
+    pub fn build_shared_trace(grid: &Grid, trace: Arc<FlatTrace>, d: DataId) -> DatumCostCache<'r> {
+        let nw = trace.num_windows();
+        Self::from_source(grid, RefSource::SharedTrace(trace, d), nw)
+    }
+
+    /// Wrap a shared standalone span in [`FlatTrace`] canonical order
+    /// (window-major `(window, y, x)`, duplicates aggregated) — the
+    /// overlay form `pim_trace::edit::EditableTrace` produces for edited
+    /// data.
+    pub fn build_shared_span(
+        grid: &Grid,
+        refs: Arc<[FlatRef]>,
+        num_windows: usize,
+    ) -> DatumCostCache<'r> {
+        Self::from_source(grid, RefSource::SharedSpan(refs), num_windows)
+    }
+
     fn from_source(grid: &Grid, src: RefSource<'r>, num_windows: usize) -> Self {
         DatumCostCache {
             grid: *grid,
@@ -159,7 +200,7 @@ impl<'r> DatumCostCache<'r> {
 
     /// Datum `d`'s references within windows `lo..hi` of the flat span
     /// (binary search on the sorted window ids).
-    fn flat_range(refs: &'r [FlatRef], lo: usize, hi: usize) -> &'r [FlatRef] {
+    fn flat_range(refs: &[FlatRef], lo: usize, hi: usize) -> &[FlatRef] {
         let a = refs.partition_point(|r| (r.window as usize) < lo);
         let b = refs.partition_point(|r| (r.window as usize) < hi);
         &refs[a..b]
@@ -184,6 +225,7 @@ impl<'r> DatumCostCache<'r> {
             let mut px = vec![0u64; (nw + 1) * w];
             let mut py = vec![0u64; (nw + 1) * h];
             let mut vol = vec![0u64; nw + 1];
+            let flat = self.src.flat();
             let mut flat_next = 0usize;
             for wi in 0..nw {
                 let (prev_x, row_x) = px[wi * w..(wi + 2) * w].split_at_mut(w);
@@ -191,16 +233,8 @@ impl<'r> DatumCostCache<'r> {
                 let (prev_y, row_y) = py[wi * h..(wi + 2) * h].split_at_mut(h);
                 row_y.copy_from_slice(prev_y);
                 vol[wi + 1] = vol[wi];
-                match self.src {
-                    RefSource::Windowed(rs) => {
-                        for r in rs.window(wi).iter() {
-                            let p = self.grid.point_of(r.proc);
-                            row_x[p.x as usize] += r.count as u64;
-                            row_y[p.y as usize] += r.count as u64;
-                            vol[wi + 1] += r.count as u64;
-                        }
-                    }
-                    RefSource::Flat(refs) => {
+                match (flat, &self.src) {
+                    (Some(refs), _) => {
                         while let Some(r) = refs.get(flat_next) {
                             if r.window as usize != wi {
                                 break;
@@ -211,6 +245,15 @@ impl<'r> DatumCostCache<'r> {
                             flat_next += 1;
                         }
                     }
+                    (None, RefSource::Windowed(rs)) => {
+                        for r in rs.window(wi).iter() {
+                            let p = self.grid.point_of(r.proc);
+                            row_x[p.x as usize] += r.count as u64;
+                            row_y[p.y as usize] += r.count as u64;
+                            vol[wi + 1] += r.count as u64;
+                        }
+                    }
+                    (None, _) => unreachable!("every non-windowed source is flat"),
                 }
             }
             PrefixTables { px, py, vol }
@@ -220,6 +263,92 @@ impl<'r> DatumCostCache<'r> {
     /// Force the prefix-table build now (used to warm caches on a pool).
     pub fn ensure_tables(&self) {
         let _ = self.tables();
+    }
+
+    /// Drop any built prefix tables and reset the lazy-build counter.
+    /// The datum becomes an *invalidation unit*: an incremental engine
+    /// calls this (via [`DatumCostCache::rebind_span`]) for exactly the
+    /// data an edit rewrote, leaving every other datum's tables intact.
+    pub fn invalidate(&mut self) {
+        if self.tables.get().is_some() {
+            if let Some(stats) = &self.stats {
+                stats.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.tables = OnceLock::new();
+        self.raw_singles = AtomicU32::new(0);
+    }
+
+    /// Rebind to a rewritten shared span (canonical order) covering
+    /// `num_windows` windows, invalidating any built tables.
+    pub fn rebind_span(&mut self, refs: Arc<[FlatRef]>, num_windows: usize) {
+        self.src = RefSource::SharedSpan(refs);
+        self.num_windows = num_windows;
+        self.invalidate();
+    }
+
+    /// Rebind to a shared span that *extends* the current one: every
+    /// reference in pre-existing windows is unchanged and new references
+    /// live only in windows `>= self.num_windows()`. Built prefix tables
+    /// are extended in place (new rows appended) instead of rebuilt.
+    pub fn extend_span(&mut self, refs: Arc<[FlatRef]>, num_windows: usize) {
+        debug_assert!(num_windows >= self.num_windows);
+        let old_nw = self.num_windows;
+        self.src = RefSource::SharedSpan(refs);
+        self.num_windows = num_windows;
+        self.extend_tables(old_nw);
+    }
+
+    /// Grow the window count without touching the source: the appended
+    /// windows hold no references to this datum (the caller's contract —
+    /// data referenced by an append get [`DatumCostCache::extend_span`]
+    /// instead). Built prefix tables gain copy-forward rows in place.
+    pub fn extend_windows(&mut self, num_windows: usize) {
+        debug_assert!(num_windows >= self.num_windows);
+        let old_nw = self.num_windows;
+        self.num_windows = num_windows;
+        self.extend_tables(old_nw);
+    }
+
+    /// Append prefix rows for windows `old_nw..self.num_windows` to
+    /// already-built tables (no-op while still lazy — the eventual build
+    /// covers the new count). Row `wi+1` = row `wi` + refs of window `wi`,
+    /// exactly what a from-scratch build would compute.
+    fn extend_tables(&mut self, old_nw: usize) {
+        let nw = self.num_windows;
+        if nw == old_nw {
+            return;
+        }
+        let w = self.grid.width() as usize;
+        let h = self.grid.height() as usize;
+        let refs = self.src.flat();
+        let Some(t) = self.tables.get_mut() else {
+            return;
+        };
+        if let Some(stats) = &self.stats {
+            stats.prefix_extends.fetch_add(1, Ordering::Relaxed);
+        }
+        t.px.resize((nw + 1) * w, 0);
+        t.py.resize((nw + 1) * h, 0);
+        t.vol.resize(nw + 1, 0);
+        let refs = refs.expect("extendable sources are flat");
+        let mut next = refs.partition_point(|r| (r.window as usize) < old_nw);
+        for wi in old_nw..nw {
+            let (prev_x, row_x) = t.px[wi * w..(wi + 2) * w].split_at_mut(w);
+            row_x.copy_from_slice(prev_x);
+            let (prev_y, row_y) = t.py[wi * h..(wi + 2) * h].split_at_mut(h);
+            row_y.copy_from_slice(prev_y);
+            t.vol[wi + 1] = t.vol[wi];
+            while let Some(r) = refs.get(next) {
+                if r.window as usize != wi {
+                    break;
+                }
+                row_x[r.x as usize] += r.count as u64;
+                row_y[r.y as usize] += r.count as u64;
+                t.vol[wi + 1] += r.count as u64;
+                next += 1;
+            }
+        }
     }
 
     /// Number of execution windows the cache covers.
@@ -246,18 +375,19 @@ impl<'r> DatumCostCache<'r> {
 
     /// Range volume by walking the raw references of `lo..hi`.
     fn raw_volume(&self, lo: usize, hi: usize) -> u64 {
-        match self.src {
-            RefSource::Windowed(rs) => {
+        match (&self.src, self.src.flat()) {
+            (RefSource::Windowed(rs), _) => {
                 if lo == 0 && hi == self.num_windows {
                     rs.total_volume()
                 } else {
                     (lo..hi).map(|w| rs.window(w).total_volume()).sum()
                 }
             }
-            RefSource::Flat(refs) => Self::flat_range(refs, lo, hi)
+            (_, Some(refs)) => Self::flat_range(refs, lo, hi)
                 .iter()
                 .map(|r| r.count as u64)
                 .sum(),
+            (_, None) => unreachable!("every non-windowed source is flat"),
         }
     }
 
@@ -303,8 +433,8 @@ impl<'r> DatumCostCache<'r> {
     /// Project the raw references of `lo..hi` onto the axis weights.
     fn fill_weights_raw(&self, lo: usize, hi: usize, axes: &mut AxisScratch) {
         axes.reset_weights(&self.grid);
-        match self.src {
-            RefSource::Windowed(rs) => {
+        match (&self.src, self.src.flat()) {
+            (RefSource::Windowed(rs), _) => {
                 for w in lo..hi {
                     for r in rs.window(w).iter() {
                         let p = self.grid.point_of(r.proc);
@@ -313,12 +443,13 @@ impl<'r> DatumCostCache<'r> {
                     }
                 }
             }
-            RefSource::Flat(refs) => {
+            (_, Some(refs)) => {
                 for r in Self::flat_range(refs, lo, hi) {
                     axes.wx[r.x as usize] += r.count as u64;
                     axes.wy[r.y as usize] += r.count as u64;
                 }
             }
+            (_, None) => unreachable!("every non-windowed source is flat"),
         }
     }
 
@@ -430,9 +561,30 @@ impl<'t> CostCache<'t> {
         }
     }
 
+    /// Wrap every datum of a shared flat trace. Borrow-free (usable as
+    /// `CostCache<'static>`): each datum co-owns the trace through the
+    /// `Arc`, so the caller can keep an editable overlay beside the cache
+    /// and [rebind](DatumCostCache::rebind_span) edited data one by one.
+    pub fn build_shared(trace: &Arc<FlatTrace>) -> Self {
+        let grid = trace.grid();
+        CostCache {
+            data: (0..trace.num_data())
+                .map(|d| {
+                    DatumCostCache::build_shared_trace(&grid, Arc::clone(trace), DataId(d as u32))
+                })
+                .collect(),
+        }
+    }
+
     /// The cache of one datum.
     pub fn datum(&self, d: DataId) -> &DatumCostCache<'t> {
         &self.data[d.index()]
+    }
+
+    /// Mutable access to one datum's cache, for per-datum invalidation
+    /// and append extension by the incremental engine.
+    pub fn datum_mut(&mut self, d: DataId) -> &mut DatumCostCache<'t> {
+        &mut self.data[d.index()]
     }
 
     /// Install shared cache counters into every datum's cache (from an
@@ -589,6 +741,99 @@ mod tests {
         assert_eq!(stats.raw_serves.load(Ordering::Relaxed), 2);
         assert_eq!(stats.prefix_builds.load(Ordering::Relaxed), 1);
         assert_eq!(stats.prefix_hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn shared_sources_rebind_and_extend() {
+        use pim_trace::flat::FlatRecord;
+        let grid = Grid::new(4, 3);
+        let rec = |d: u32, w: u32, p: u32, c: u32| FlatRecord {
+            datum: DataId(d),
+            window: w,
+            proc: ProcId(p),
+            count: c,
+        };
+        let flat = Arc::new(
+            FlatTrace::from_records(
+                grid,
+                2,
+                1,
+                vec![rec(0, 0, 0, 3), rec(0, 1, 6, 5), rec(0, 1, 10, 2)],
+            )
+            .unwrap(),
+        );
+        let mut cache = DatumCostCache::build_shared_trace(&grid, Arc::clone(&flat), DataId(0));
+        let stats = Arc::new(CacheStats::default());
+        cache.set_stats(Arc::clone(&stats));
+        cache.ensure_tables();
+        assert_eq!(cache.range_volume(0, 2), 10);
+
+        // Append-extension: new window's refs extend the built tables in
+        // place, matching a from-scratch build on the extended span.
+        let mut extended: Vec<FlatRef> = flat.span(DataId(0)).to_vec();
+        extended.push(FlatRef {
+            window: 2,
+            x: 1,
+            y: 1,
+            count: 7,
+        });
+        cache.extend_span(Arc::from(extended.clone()), 3);
+        assert_eq!(stats.prefix_extends.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.invalidations.load(Ordering::Relaxed), 0);
+        let oracle = DatumCostCache::build_shared_span(&grid, Arc::from(extended), 3);
+        oracle.ensure_tables();
+        let mut axes = AxisScratch::default();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for lo in 0..3 {
+            for hi in lo + 1..=3 {
+                cache.range_table(lo, hi, &mut axes, &mut a);
+                oracle.range_table(lo, hi, &mut axes, &mut b);
+                assert_eq!(a, b, "range {lo}..{hi}");
+                assert_eq!(cache.range_volume(lo, hi), oracle.range_volume(lo, hi));
+            }
+        }
+
+        // Rewrite: rebinding invalidates, then rebuilds lazily.
+        let rewritten: Arc<[FlatRef]> = Arc::from(vec![FlatRef {
+            window: 0,
+            x: 2,
+            y: 2,
+            count: 1,
+        }]);
+        cache.rebind_span(Arc::clone(&rewritten), 3);
+        assert_eq!(stats.invalidations.load(Ordering::Relaxed), 1);
+        assert!(cache.tables.get().is_none(), "rebind drops tables");
+        assert_eq!(cache.range_volume(0, 3), 1);
+    }
+
+    #[test]
+    fn extend_windows_copies_rows_forward() {
+        let grid = Grid::new(4, 3);
+        let rs = sample_rs(&grid); // 4 windows
+        let span: Vec<FlatRef> = (0..rs.num_windows())
+            .flat_map(|w| {
+                rs.window(w).iter().map(move |r| {
+                    let p = grid.point_of(r.proc);
+                    FlatRef {
+                        window: w as u32,
+                        x: p.x,
+                        y: p.y,
+                        count: r.count,
+                    }
+                })
+            })
+            .collect();
+        let mut cache = DatumCostCache::build_shared_span(&grid, Arc::from(span), 4);
+        cache.ensure_tables();
+        cache.extend_windows(6);
+        assert_eq!(cache.num_windows(), 6);
+        assert_eq!(cache.range_volume(4, 6), 0);
+        assert_eq!(cache.range_volume(0, 6), rs.total_volume());
+        let mut axes = AxisScratch::default();
+        let (mut full, mut old) = (Vec::new(), Vec::new());
+        cache.range_table(0, 6, &mut axes, &mut full);
+        cache.range_table(0, 4, &mut axes, &mut old);
+        assert_eq!(full, old, "empty appended windows add no cost");
     }
 
     #[test]

@@ -54,8 +54,14 @@ fn datum_ids(nd: usize) -> Vec<DataId> {
 }
 
 /// Full-span cost table of one datum (merged over all windows), built from
-/// the flat refs — the spill path when a median center has no room.
-fn span_full_table(grid: &Grid, span: &[FlatRef], axes: &mut AxisScratch, out: &mut Vec<u64>) {
+/// the flat refs — the spill path when a median center has no room. Shared
+/// with the incremental engine's SCDS fallback replay.
+pub(crate) fn span_full_table(
+    grid: &Grid,
+    span: &[FlatRef],
+    axes: &mut AxisScratch,
+    out: &mut Vec<u64>,
+) {
     axes.reset_weights(grid);
     for r in span {
         axes.wx[r.x as usize] += r.count as u64;

@@ -362,6 +362,119 @@ fn solve_layered(
     Some((path, best))
 }
 
+/// A saved DP prefix of one datum's unconstrained layered solve: forward
+/// rows `0..layers` of `dp` and the memoized node rows, each `layers × m`.
+/// Because row `w` is a pure function of the node rows `0..=w`, a
+/// checkpoint whose prefix windows are unedited resumes bit-identically —
+/// the incremental engine truncates `layers` to the first dirty window on
+/// every edit and [`gomcds_path_resumable`] recomputes only from there
+/// ("first dirty layer" resume).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct DpCheckpoint {
+    /// Number of valid leading DP layers (windows).
+    pub layers: usize,
+    /// Row-major `layers × m` forward DP values.
+    pub dp: Vec<u64>,
+    /// Row-major `layers × m` node-cost rows.
+    pub nodes: Vec<u64>,
+}
+
+impl DpCheckpoint {
+    /// Invalidate every layer from `first_dirty` on.
+    pub fn truncate(&mut self, first_dirty: usize, m: usize) {
+        if self.layers > first_dirty {
+            self.layers = first_dirty;
+            self.dp.truncate(first_dirty * m);
+            self.nodes.truncate(first_dirty * m);
+        }
+    }
+}
+
+/// [`gomcds_path_cached`] for the unconstrained distance-transform case,
+/// resuming from (and optionally saving) a [`DpCheckpoint`]. Bit-identical
+/// to a from-scratch [`gomcds_path_cached`] call as long as the
+/// checkpoint's `layers` prefix predates every edited window — guaranteed
+/// by the engine's truncate-on-edit discipline (unit-tested below).
+pub(crate) fn gomcds_path_resumable(
+    grid: &Grid,
+    cache: &DatumCostCache,
+    ws: &mut Workspace,
+    resume: Option<&DpCheckpoint>,
+    save: Option<&mut DpCheckpoint>,
+) -> (Vec<ProcId>, u64) {
+    let m = grid.num_procs();
+    let nw = cache.num_windows();
+    let Workspace {
+        axes,
+        dp,
+        node,
+        relaxed,
+        nodes_all,
+        ..
+    } = ws;
+    dp.clear();
+    dp.reserve(nw * m);
+    nodes_all.clear();
+    nodes_all.reserve(nw * m);
+    let start = resume.map_or(0, |c| c.layers.min(nw));
+    if let Some(c) = resume {
+        dp.extend_from_slice(&c.dp[..start * m]);
+        nodes_all.extend_from_slice(&c.nodes[..start * m]);
+    }
+
+    for w in start..nw {
+        cache.window_table(w, axes, node);
+        nodes_all.extend_from_slice(node);
+        if w == 0 {
+            dp.extend_from_slice(node);
+        } else {
+            {
+                let prev = &dp[(w - 1) * m..w * m];
+                crate::dt::l1_relax_weighted(grid, prev, 1, relaxed);
+            }
+            for k in 0..m {
+                dp.push(relaxed[k].saturating_add(node[k]));
+            }
+        }
+    }
+
+    if let Some(out) = save {
+        out.layers = nw;
+        out.dp.clear();
+        out.dp.extend_from_slice(dp);
+        out.nodes.clear();
+        out.nodes.extend_from_slice(nodes_all);
+    }
+
+    // Sink and backtrack exactly as `solve_layered` (lowest-id argmin,
+    // lowest-id predecessor) so resumed paths tie-break identically.
+    let last = &dp[(nw - 1) * m..nw * m];
+    let (mut k, &best) = last
+        .iter()
+        .enumerate()
+        .min_by_key(|&(i, &c)| (c, i))
+        .expect("non-empty grid");
+    let mut path = vec![ProcId(0); nw];
+    path[nw - 1] = ProcId(k as u32);
+    for w in (1..nw).rev() {
+        let noderow = &nodes_all[w * m..(w + 1) * m];
+        let need = dp[w * m + k] - noderow[k];
+        let prev_row = &dp[(w - 1) * m..w * m];
+        let kp = grid.point_of(ProcId(k as u32));
+        let mut found = None;
+        for j in 0..m {
+            let hop = grid.point_of(ProcId(j as u32)).l1_dist(kp);
+            if prev_row[j].saturating_add(hop) == need {
+                found = Some(j);
+                break;
+            }
+        }
+        k = found.expect("dp backtrack must find a predecessor");
+        path[w - 1] = ProcId(k as u32);
+    }
+    (path, best)
+}
+
 /// Compute the GOMCDS schedule with the distance-transform solver.
 pub fn gomcds_schedule(trace: &WindowedTrace, spec: MemorySpec) -> Schedule {
     gomcds_schedule_with(trace, spec, Solver::DistanceTransform)
@@ -692,6 +805,36 @@ mod tests {
         assert_eq!(s.max_occupancy(), 1);
         assert_eq!(s.center(DataId(0), 0), grid.proc_xy(2, 2));
         assert_ne!(s.center(DataId(1), 0), grid.proc_xy(2, 2));
+    }
+
+    #[test]
+    fn resumable_solve_matches_cached_from_every_layer() {
+        let grid = Grid::new(5, 4);
+        let rs = DataRefString::new(vec![
+            WindowRefs::from_pairs([(grid.proc_xy(0, 0), 2), (grid.proc_xy(4, 3), 1)]),
+            WindowRefs::new(),
+            WindowRefs::from_pairs([(grid.proc_xy(2, 2), 3)]),
+            WindowRefs::from_pairs([(grid.proc_xy(4, 0), 1), (grid.proc_xy(0, 3), 1)]),
+            WindowRefs::from_pairs([(grid.proc_xy(1, 3), 4)]),
+        ]);
+        let cache = DatumCostCache::build(&grid, &rs);
+        let mut ws = Workspace::new();
+        let expect = gomcds_path_cached(&grid, &cache, Solver::DistanceTransform, &mut ws);
+
+        // Save a full checkpoint, then resume from every truncation point
+        // (0 = cold, nw = fully warm): all must be bit-identical.
+        let mut ckpt = DpCheckpoint::default();
+        let saved = gomcds_path_resumable(&grid, &cache, &mut ws, None, Some(&mut ckpt));
+        assert_eq!(saved, expect);
+        assert_eq!(ckpt.layers, rs.num_windows());
+        let m = grid.num_procs();
+        for cut in 0..=rs.num_windows() {
+            let mut c = ckpt.clone();
+            c.truncate(cut, m);
+            assert_eq!(c.layers, cut);
+            let got = gomcds_path_resumable(&grid, &cache, &mut ws, Some(&c), None);
+            assert_eq!(got, expect, "resume from layer {cut}");
+        }
     }
 
     #[test]

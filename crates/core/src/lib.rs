@@ -93,6 +93,7 @@ pub mod flat;
 pub mod generic;
 pub mod gomcds;
 pub mod grouping;
+pub mod incremental;
 pub mod kcopy;
 pub mod lomcds;
 pub mod median;
@@ -111,6 +112,7 @@ pub use cache::{CostCache, DatumCostCache};
 pub use context::{PrecedencePolicy, SchedContext};
 pub use error::SchedError;
 pub use flat::{flat_gomcds, flat_lomcds, flat_scds, flat_total_cost};
+pub use incremental::{IncrementalError, IncrementalRun};
 pub use pim_metrics::{Metrics, MetricsReport};
 pub use pipeline::{
     compare_methods, schedule, schedule_cached, schedule_parallel, schedule_uncached, MemoryPolicy,

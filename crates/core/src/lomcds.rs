@@ -176,6 +176,24 @@ pub(crate) fn lomcds_assign(
     ws: &mut Workspace,
     anchors: &[ProcId],
 ) -> Result<Schedule, SchedError> {
+    lomcds_assign_observed(grid, nw, spec, cache, ws, anchors, &mut |_, _, _| {})
+}
+
+/// [`lomcds_assign`] with an observer: `observe(d, w, rank0)` fires once
+/// per placement, `rank0` meaning the datum landed on its *unconstrained*
+/// desired processor (window median when referenced, anchor when not).
+/// The incremental engine's fallback replay records these flags to decide
+/// whether future edits may be patched in place; `lomcds_assign` delegates
+/// here with a no-op observer so both paths are the same code.
+pub(crate) fn lomcds_assign_observed(
+    grid: Grid,
+    nw: usize,
+    spec: MemorySpec,
+    cache: &CostCache,
+    ws: &mut Workspace,
+    anchors: &[ProcId],
+    observe: &mut dyn FnMut(DataId, usize, bool),
+) -> Result<Schedule, SchedError> {
     let nd = cache.num_data();
     ensure_feasible(&grid, spec, nd)?;
     let metrics = ws.metrics.clone();
@@ -191,8 +209,10 @@ pub(crate) fn lomcds_assign(
                 centers[d][w - 1]
             };
             let p = if dc.range_is_empty(w, w + 1) {
-                nearest_free(&grid, anchor, &mut mem)
-                    .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?
+                let p = nearest_free(&grid, anchor, &mut mem)
+                    .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?;
+                observe(DataId(d as u32), w, p == anchor);
+                p
             } else {
                 // Median-first: the window's weighted-median center is the
                 // head of its processor list (lowest-id argmin), so when it
@@ -204,6 +224,7 @@ pub(crate) fn lomcds_assign(
                     mem.allocate(m)
                         .map_err(|_| exhausted(DataId(d as u32), Some(w)))?;
                     metrics.record_placement(0);
+                    observe(DataId(d as u32), w, true);
                     m
                 } else {
                     dc.window_table(w, &mut ws.axes, &mut ws.table);
@@ -211,6 +232,7 @@ pub(crate) fn lomcds_assign(
                         .assign_ranked(&mut mem)
                         .ok_or_else(|| exhausted(DataId(d as u32), Some(w)))?;
                     metrics.record_placement(rank);
+                    observe(DataId(d as u32), w, rank == 0);
                     p
                 }
             };

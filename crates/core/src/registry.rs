@@ -106,6 +106,13 @@ pub trait Scheduler: Send + Sync {
     fn precedence_aware(&self) -> bool {
         false
     }
+
+    /// Whether [`crate::incremental::IncrementalRun`] can drive this
+    /// strategy under trace churn (dirty-tracked delta re-solves instead
+    /// of from-scratch reruns). `pim-cli list-methods` reports the flag.
+    fn incremental(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -126,6 +133,10 @@ impl Scheduler for ScdsScheduler {
     }
 
     fn flat_capable(&self) -> bool {
+        true
+    }
+
+    fn incremental(&self) -> bool {
         true
     }
 
@@ -184,6 +195,10 @@ impl Scheduler for LomcdsScheduler {
     }
 
     fn flat_capable(&self) -> bool {
+        true
+    }
+
+    fn incremental(&self) -> bool {
         true
     }
 
@@ -267,6 +282,11 @@ impl Scheduler for GomcdsScheduler {
 
     fn flat_capable(&self) -> bool {
         // The flat fast path only drives the production solver.
+        self.solver == Solver::DistanceTransform
+    }
+
+    fn incremental(&self) -> bool {
+        // The incremental engine resumes the distance-transform DP only.
         self.solver == Solver::DistanceTransform
     }
 
@@ -757,6 +777,12 @@ mod tests {
             .map(|s| s.name())
             .collect();
         assert_eq!(dag, vec!["list-scds", "edf-scds"]);
+        let incr: Vec<_> = r
+            .iter()
+            .filter(|s| s.incremental())
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(incr, vec!["SCDS", "LOMCDS", "GOMCDS"]);
     }
 
     #[test]

@@ -109,6 +109,32 @@ impl Schedule {
         &self.centers[d.index()]
     }
 
+    /// Replace datum `d`'s full center sequence (incremental re-solves).
+    ///
+    /// # Panics
+    /// Panics when `row.len()` differs from the schedule's window count.
+    pub fn set_row(&mut self, d: DataId, row: Vec<ProcId>) {
+        assert_eq!(row.len(), self.num_windows(), "row length mismatch");
+        self.centers[d.index()] = row;
+    }
+
+    /// Overwrite datum `d`'s whole row with one center, in place — the
+    /// static-placement shape, without [`set_row`](Self::set_row)'s
+    /// per-call allocation (churn rewrites thousands of rows per tick).
+    pub fn fill_row(&mut self, d: DataId, center: ProcId) {
+        self.centers[d.index()].fill(center);
+    }
+
+    /// Grow every datum by one window that repeats its last center — the
+    /// unconstrained optimum for a window with no references (staying put
+    /// adds zero cost; see the append-extension argument in DESIGN.md §12).
+    pub fn append_window_repeat_last(&mut self) {
+        for cs in &mut self.centers {
+            let last = *cs.last().expect("schedules have ≥1 window");
+            cs.push(last);
+        }
+    }
+
     /// Whether the schedule ever moves a datum between windows.
     pub fn has_movement(&self) -> bool {
         self.centers

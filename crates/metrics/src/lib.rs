@@ -47,6 +47,19 @@ pub struct CacheStats {
     /// Range queries served directly from the raw per-axis projections
     /// (single-window or full-range, where no tables are needed).
     pub raw_serves: AtomicU64,
+    /// Per-datum prefix tables discarded because an edit rewrote the
+    /// datum's reference string (incremental rescheduling only).
+    pub invalidations: AtomicU64,
+    /// Built prefix tables extended in place by append-only window edits
+    /// instead of being rebuilt from scratch.
+    pub prefix_extends: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct IncrementalStats {
+    resolves: AtomicU64,
+    dirty_data: AtomicU64,
+    fallbacks: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -93,6 +106,7 @@ struct PhaseAgg {
 struct Sink {
     cache: Arc<CacheStats>,
     placement: PlacementStats,
+    incremental: IncrementalStats,
     phases: Mutex<Vec<PhaseAgg>>,
     pool: Mutex<PoolUsage>,
 }
@@ -165,6 +179,22 @@ impl Metrics {
         }
     }
 
+    /// Record one incremental resolve: how many data were dirty, and
+    /// whether the bounded-policy patch had to fall back to a full
+    /// capacity replay because a dirty datum displaced a clean one.
+    pub fn record_incremental(&self, dirty_data: u64, fallback: bool) {
+        let Some(sink) = self.sink.as_deref() else {
+            return;
+        };
+        sink.incremental.resolves.fetch_add(1, Ordering::Relaxed);
+        sink.incremental
+            .dirty_data
+            .fetch_add(dirty_data, Ordering::Relaxed);
+        if fallback {
+            sink.incremental.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Accumulate a pool-utilization delta (one per scheduled run).
     pub fn record_pool(&self, usage: PoolUsage) {
         let Some(sink) = self.sink.as_deref() else {
@@ -191,6 +221,13 @@ impl Metrics {
                 prefix_builds: load(&sink.cache.prefix_builds),
                 prefix_hits: load(&sink.cache.prefix_hits),
                 raw_serves: load(&sink.cache.raw_serves),
+                invalidations: load(&sink.cache.invalidations),
+                prefix_extends: load(&sink.cache.prefix_extends),
+            },
+            incremental: IncrementalReport {
+                resolves: load(&sink.incremental.resolves),
+                dirty_data: load(&sink.incremental.dirty_data),
+                fallbacks: load(&sink.incremental.fallbacks),
             },
             placement: PlacementReport {
                 placements,
@@ -256,6 +293,21 @@ pub struct CacheReport {
     pub prefix_hits: u64,
     /// Queries served from raw projections.
     pub raw_serves: u64,
+    /// Per-datum tables discarded by rewriting edits.
+    pub invalidations: u64,
+    /// Built tables extended in place by append-only edits.
+    pub prefix_extends: u64,
+}
+
+/// Frozen incremental-rescheduling counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IncrementalReport {
+    /// Delta resolves performed by an incremental engine.
+    pub resolves: u64,
+    /// Total dirty data re-solved across all resolves.
+    pub dirty_data: u64,
+    /// Resolves that fell back to a full capacity replay.
+    pub fallbacks: u64,
 }
 
 /// Frozen capacity-displacement counters.
@@ -294,6 +346,8 @@ pub struct MetricsReport {
     pub cache: CacheReport,
     /// Capacity-displacement summary.
     pub placement: PlacementReport,
+    /// Incremental-rescheduling summary (all zero outside delta runs).
+    pub incremental: IncrementalReport,
     /// Per-phase wall times, in first-recorded order.
     pub phases: Vec<PhaseReport>,
     /// Worker-pool utilization.
@@ -309,13 +363,20 @@ impl MetricsReport {
         write!(
             s,
             "{{\"enabled\": {}, \"cache\": {{\"prefix_builds\": {}, \"prefix_hits\": {}, \
-             \"raw_serves\": {}}}, \"placement\": {{\"placements\": {}, \"displaced\": {}, \
+             \"raw_serves\": {}, \"invalidations\": {}, \"prefix_extends\": {}}}, \
+             \"incremental\": {{\"resolves\": {}, \"dirty_data\": {}, \"fallbacks\": {}}}, \
+             \"placement\": {{\"placements\": {}, \"displaced\": {}, \
              \"total_displacement\": {}, \"max_displacement\": {}, \"mean_displacement\": {:.3}}}, \
              \"phases\": [",
             self.enabled,
             self.cache.prefix_builds,
             self.cache.prefix_hits,
             self.cache.raw_serves,
+            self.cache.invalidations,
+            self.cache.prefix_extends,
+            self.incremental.resolves,
+            self.incremental.dirty_data,
+            self.incremental.fallbacks,
             self.placement.placements,
             self.placement.displaced,
             self.placement.total_displacement,
@@ -390,10 +451,25 @@ mod tests {
         stats.prefix_builds.fetch_add(1, Ordering::Relaxed);
         stats.prefix_hits.fetch_add(5, Ordering::Relaxed);
         stats.raw_serves.fetch_add(7, Ordering::Relaxed);
+        stats.invalidations.fetch_add(2, Ordering::Relaxed);
+        stats.prefix_extends.fetch_add(3, Ordering::Relaxed);
         let report = m.report();
         assert_eq!(report.cache.prefix_builds, 1);
         assert_eq!(report.cache.prefix_hits, 5);
         assert_eq!(report.cache.raw_serves, 7);
+        assert_eq!(report.cache.invalidations, 2);
+        assert_eq!(report.cache.prefix_extends, 3);
+    }
+
+    #[test]
+    fn incremental_counters_feed_the_report() {
+        let m = Metrics::enabled();
+        m.record_incremental(10, false);
+        m.record_incremental(3, true);
+        let report = m.report();
+        assert_eq!(report.incremental.resolves, 2);
+        assert_eq!(report.incremental.dirty_data, 13);
+        assert_eq!(report.incremental.fallbacks, 1);
     }
 
     #[test]
@@ -447,6 +523,12 @@ mod tests {
             "\"prefix_builds\"",
             "\"prefix_hits\"",
             "\"raw_serves\"",
+            "\"invalidations\"",
+            "\"prefix_extends\"",
+            "\"incremental\"",
+            "\"resolves\"",
+            "\"dirty_data\"",
+            "\"fallbacks\"",
             "\"placement\"",
             "\"placements\"",
             "\"mean_displacement\"",

@@ -261,6 +261,35 @@ impl FlatTrace {
         })
     }
 
+    /// Assemble from already-canonical CSR parts: `offsets[d]..offsets[d+1]`
+    /// spans `refs`, every span sorted by `(window, y, x)` with duplicates
+    /// pre-aggregated. Used by [`crate::edit::EditableTrace::materialize`],
+    /// whose overlay spans uphold the invariants by construction; debug
+    /// builds re-check the ordering.
+    pub(crate) fn from_sorted_parts(
+        grid: Grid,
+        num_windows: usize,
+        offsets: Vec<usize>,
+        refs: Vec<FlatRef>,
+    ) -> FlatTrace {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().expect("non-empty"), refs.len());
+        debug_assert!(offsets.windows(2).all(|w| {
+            refs[w[0]..w[1]]
+                .windows(2)
+                .all(|p| (p[0].window, p[0].y, p[0].x) < (p[1].window, p[1].y, p[1].x))
+        }));
+        debug_assert!(refs.iter().all(|r| (r.window as usize) < num_windows.max(1)
+            && r.x < grid.width()
+            && r.y < grid.height()));
+        FlatTrace {
+            grid,
+            num_windows: num_windows.max(1),
+            offsets,
+            refs,
+        }
+    }
+
     /// Stream the line-oriented text format (see [`FlatTrace::to_text`]):
     ///
     /// ```text

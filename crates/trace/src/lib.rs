@@ -14,6 +14,8 @@
 //!   scheduler input, plus re-windowing utilities for window-size studies.
 //! * [`flat`] — flat structure-of-arrays (CSR) trace layout for big
 //!   instances, plus a streaming text loader.
+//! * [`edit`] — churn deltas over a flat trace: per-datum overlay spans,
+//!   dirty tracking, and a trace version for incremental rescheduling.
 //! * [`dag`] — optional task precedence DAGs over a trace's windows
 //!   (validated ownership partition + JSON round-trip).
 //! * [`builder`] — ergonomic trace construction.
@@ -41,6 +43,7 @@
 pub mod adaptive;
 pub mod builder;
 pub mod dag;
+pub mod edit;
 pub mod encode;
 pub mod flat;
 pub mod ids;
@@ -53,6 +56,7 @@ pub mod window;
 
 pub use builder::TraceBuilder;
 pub use dag::{DagError, Task, TaskDag};
+pub use edit::{DirtyKind, DirtySummary, EditOp, EditableTrace, TraceDelta};
 pub use flat::{FlatRecord, FlatRef, FlatTrace, FlatTraceError};
 pub use ids::DataId;
 pub use step::{Access, ExecStep, StepTrace};

@@ -133,6 +133,45 @@ else
   echo "scale smoke: expected keys present (grep fallback)"
 fi
 
+# Churn smoke: drive the incremental engine through 5 edit ticks on a
+# 16×16 × 50k instance plus the tight-capacity fallback row, and validate
+# the BENCH_churn.json shape. Bit-identical parity with the from-scratch
+# path is asserted inside churn_row itself — the binary exits non-zero on
+# divergence; here we additionally check the parity flags made it into
+# the JSON and that the fallback row actually exercised the full-replay
+# path (fallbacks > 0 somewhere). Speedups are reported, not gated —
+# timings are machine-dependent.
+echo "== churn smoke (16x16 x 50k, 5 ticks) =="
+./target/release/report_churn --smoke --out "$metrics_tmp/churn_smoke.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$metrics_tmp/churn_smoke.json" <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+rows = bench["rows"]
+assert rows, "churn smoke produced no rows"
+for row in rows:
+    for key in ("grid", "num_data", "method", "policy", "ticks",
+                "dirty_per_tick", "mean_tick_ns", "mean_scratch_ns",
+                "speedup", "fallbacks", "parity", "tick_ns"):
+        assert key in row, f"row missing {key!r}: {row}"
+    assert row["parity"] is True, f"{row['method']}/{row['policy']}: parity lost"
+    assert len(row["tick_ns"]) == row["ticks"], "tick_ns length != ticks"
+    if row["speedup"] < 1.0 and row["fallbacks"] == 0:
+        print(f"warning: {row['method']}/{row['policy']}: incremental slower "
+              f"than scratch (speedup {row['speedup']:.3f})", file=sys.stderr)
+assert any(r["fallbacks"] > 0 for r in rows), \
+    "no row exercised the full-replay fallback path"
+print(f"churn smoke: parses, {len(rows)} rows, parity holds, fallback path hit")
+PY
+else
+  for key in '"rows"' '"mean_tick_ns"' '"mean_scratch_ns"' '"speedup"' \
+             '"fallbacks"' '"parity": true'; do
+    grep -q "$key" "$metrics_tmp/churn_smoke.json" \
+      || { echo "churn_smoke.json missing $key"; exit 1; }
+  done
+  echo "churn smoke: expected keys present (grep fallback)"
+fi
+
 # DAG smoke: precedence-gated run on the Cholesky natural chain under
 # minimum-capacity memory (the regime BENCH_dag.json benchmarks). The
 # aware schedule (list-scds) must complete no later than the precedence-
