@@ -29,11 +29,17 @@
 //! from-scratch re-schedule, writing `BENCH_churn.json`. Shared timing
 //! conventions (min-of-reps, slower-than-reference warnings) live in
 //! [`timing`].
+//!
+//! `report_serve` (module [`serve_load`]) is the daemon load harness:
+//! closed-loop clients against an in-process `pim-serve` TCP daemon
+//! (warm / churn / cold request mixes plus an overload burst), writing
+//! `BENCH_serve.json` with throughput and latency percentiles.
 
 pub mod churn;
 pub mod cycle_workload;
 pub mod experiments;
 pub mod scale;
+pub mod serve_load;
 pub mod table;
 pub mod timing;
 

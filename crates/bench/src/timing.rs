@@ -16,8 +16,18 @@ use std::time::Instant;
 
 /// Best (minimum) wall time of `f` in nanoseconds over `reps` timed runs
 /// (after one warmup run), together with the last result.
+///
+/// `reps == 0` falls back to the timed warmup run: returning a `u128::MAX`
+/// sentinel (as this once did) silently poisons every downstream
+/// `reference_ns / optimized_ns` division into a ~0 "speedup" instead of
+/// failing loudly, and a caller passing a computed rep count of zero
+/// almost certainly still wants *a* measurement.
 pub fn bench_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> (u128, R) {
+    let warmup_start = Instant::now();
     let mut out = black_box(f());
+    if reps == 0 {
+        return (warmup_start.elapsed().as_nanos(), out);
+    }
     let mut best = u128::MAX;
     for _ in 0..reps {
         let start = Instant::now();
@@ -54,9 +64,17 @@ mod tests {
     }
 
     #[test]
-    fn bench_ns_zero_reps_still_warms_up() {
-        let (ns, out) = bench_ns(0, || 7);
-        assert_eq!(out, 7);
-        assert_eq!(ns, u128::MAX);
+    fn bench_ns_zero_reps_times_the_warmup() {
+        // Regression: this used to return the u128::MAX sentinel, which
+        // poisoned downstream speedup divisions into ~0 instead of
+        // failing loudly.
+        let mut calls = 0u32;
+        let (ns, out) = bench_ns(0, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 1); // warmup only, and it is the measurement
+        assert_eq!(out, 1);
+        assert!(ns < u128::MAX);
     }
 }

@@ -32,6 +32,10 @@ pub enum Command {
     /// `--windows`) and run a scheduler's SoA fast path, printing build
     /// and schedule wall times.
     Scale,
+    /// Long-running scheduling daemon speaking newline-delimited JSON
+    /// over stdin (`--stdin`, the default), a Unix socket (`--socket`)
+    /// or TCP (`--tcp`).
+    Serve,
 }
 
 /// Fully parsed CLI invocation.
@@ -79,6 +83,18 @@ pub struct ParsedArgs {
     pub data: usize,
     /// `scale` only: number of execution windows.
     pub windows: usize,
+    /// `serve` only: Unix socket path to listen on.
+    pub serve_socket: Option<String>,
+    /// `serve` only: TCP address to listen on (e.g. `127.0.0.1:7070`;
+    /// port 0 picks a free port and prints it).
+    pub serve_tcp: Option<String>,
+    /// `serve` only: service worker threads.
+    pub serve_workers: usize,
+    /// `serve` only: admission queue capacity (a full queue rejects
+    /// requests with a typed `overloaded` error).
+    pub queue: usize,
+    /// `serve` only: resident-trace store budget, MiB.
+    pub cache_mb: u64,
 }
 
 impl Default for ParsedArgs {
@@ -100,6 +116,11 @@ impl Default for ParsedArgs {
             dag: None,
             data: 100_000,
             windows: 32,
+            serve_socket: None,
+            serve_tcp: None,
+            serve_workers: 2,
+            queue: 64,
+            cache_mb: 256,
         }
     }
 }
@@ -168,6 +189,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
         "explain" => Command::Explain,
         "list-methods" => Command::ListMethods,
         "scale" => Command::Scale,
+        "serve" => Command::Serve,
         "-h" | "--help" | "help" => return Err(usage()),
         other => return Err(format!("unknown command '{other}'\n{}", usage())),
     };
@@ -231,6 +253,36 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
                     return Err("--windows must be positive".to_string());
                 }
             }
+            "--stdin" => {} // serve's default transport; accepted for symmetry
+            "--socket" => out.serve_socket = Some(value()?),
+            "--tcp" => out.serve_tcp = Some(value()?),
+            "--serve-workers" => {
+                let v = value()?;
+                out.serve_workers = v.parse().map_err(|_| {
+                    format!("bad value '{v}' for --serve-workers, expected an integer")
+                })?;
+                if out.serve_workers == 0 {
+                    return Err("--serve-workers must be positive".to_string());
+                }
+            }
+            "--queue" => {
+                let v = value()?;
+                out.queue = v
+                    .parse()
+                    .map_err(|_| format!("bad value '{v}' for --queue, expected an integer"))?;
+                if out.queue == 0 {
+                    return Err("--queue must be positive".to_string());
+                }
+            }
+            "--cache-mb" => {
+                let v = value()?;
+                out.cache_mb = v
+                    .parse()
+                    .map_err(|_| format!("bad value '{v}' for --cache-mb, expected an integer"))?;
+                if out.cache_mb == 0 {
+                    return Err("--cache-mb must be positive".to_string());
+                }
+            }
             "--out" => out.out = Some(value()?),
             "--metrics" => out.metrics_out = Some(value()?),
             "--trace" => out.trace_file = Some(value()?),
@@ -242,6 +294,25 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
             }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
+    }
+    if out.command == Command::Serve {
+        if out.serve_socket.is_some() && out.serve_tcp.is_some() {
+            return Err("--socket and --tcp are mutually exclusive".to_string());
+        }
+    } else if out.serve_socket.is_some()
+        || out.serve_tcp.is_some()
+        || argv.iter().any(|a| {
+            matches!(
+                a.as_str(),
+                "--stdin" | "--serve-workers" | "--queue" | "--cache-mb"
+            )
+        })
+    {
+        return Err(
+            "--stdin/--socket/--tcp/--serve-workers/--queue/--cache-mb are only \
+             supported by `serve`"
+                .to_string(),
+        );
     }
     if out.metrics_out.is_some() && !matches!(out.command, Command::Run | Command::Compare) {
         return Err("--metrics is only supported by `run` and `compare`".to_string());
@@ -275,7 +346,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
 
 /// The usage text.
 pub fn usage() -> String {
-    "usage: pim-cli <run|compare|stats|simulate|refine|replicate|windows|export|explain|list-methods|scale> \
+    "usage: pim-cli <run|compare|stats|simulate|refine|replicate|windows|export|explain|list-methods|scale|serve> \
      [--bench 1-5|code|jacobi|transpose|sor] [--size N] [--grid WxH] \
      [--window STEPS] [--method NAME (see `pim-cli list-methods`)] \
      [--memory unbounded|Nx|CAP] [--seed S] [--out FILE] [--trace FILE] \
@@ -283,7 +354,9 @@ pub fn usage() -> String {
      [--metrics FILE (run/compare: write a JSON run report)] \
      [--flat (run: SoA fast path for scds/lomcds/gomcds)] \
      [--dag FILE|natural (run: precedence-gated simulation; export: write the DAG)] \
-     [--data N] [--windows N (scale: synthetic instance shape)]"
+     [--data N] [--windows N (scale: synthetic instance shape)] \
+     [--stdin|--socket PATH|--tcp ADDR (serve: transport, default stdin)] \
+     [--serve-workers N] [--queue N] [--cache-mb MB (serve: sizing)]"
         .to_string()
 }
 
@@ -440,6 +513,42 @@ mod tests {
         assert!(err.contains("--flat"), "{err}");
         let err = parse(&v(&["run", "--dag", "natural", "--trace", "t.bin"])).unwrap_err();
         assert!(err.contains("--trace"), "{err}");
+    }
+
+    #[test]
+    fn serve_flags() {
+        let a = parse(&v(&["serve"])).unwrap();
+        assert_eq!(a.command, Command::Serve);
+        assert_eq!(a.serve_socket, None);
+        assert_eq!(a.serve_tcp, None);
+        assert_eq!((a.serve_workers, a.queue, a.cache_mb), (2, 64, 256));
+
+        let a = parse(&v(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--serve-workers",
+            "4",
+            "--queue",
+            "128",
+            "--cache-mb",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(a.serve_tcp.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!((a.serve_workers, a.queue, a.cache_mb), (4, 128, 64));
+
+        let a = parse(&v(&["serve", "--socket", "/tmp/pim.sock"])).unwrap();
+        assert_eq!(a.serve_socket.as_deref(), Some("/tmp/pim.sock"));
+
+        let err = parse(&v(&["serve", "--socket", "s", "--tcp", "t"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse(&v(&["run", "--queue", "8"])).unwrap_err();
+        assert!(err.contains("serve"), "{err}");
+        let err = parse(&v(&["serve", "--queue", "0"])).unwrap_err();
+        assert!(err.contains("--queue must be positive"), "{err}");
+        let err = parse(&v(&["serve", "--serve-workers", "0"])).unwrap_err();
+        assert!(err.contains("--serve-workers must be positive"), "{err}");
     }
 
     #[test]

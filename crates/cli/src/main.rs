@@ -21,6 +21,9 @@ fn main() -> ExitCode {
     if parsed.command == Command::Scale {
         return run_scale(&parsed);
     }
+    if parsed.command == Command::Serve {
+        return run_serve(&parsed);
+    }
     if parsed.command == Command::ListMethods {
         println!("registered scheduling methods:");
         for s in pim_sched::registry().iter() {
@@ -437,7 +440,7 @@ fn main() -> ExitCode {
                 println!("  {len:>3} -> {count}");
             }
         }
-        Command::ListMethods | Command::Scale => {
+        Command::ListMethods | Command::Scale | Command::Serve => {
             unreachable!("handled before trace construction")
         }
     }
@@ -547,5 +550,52 @@ fn run_scale(parsed: &pim_cli::args::ParsedArgs) -> ExitCode {
         s.max_occupancy(),
         pim_bench::scale::peak_rss_kb().unwrap_or(0) / 1024
     );
+    ExitCode::SUCCESS
+}
+
+/// The `serve` subcommand: run the scheduling daemon on the selected
+/// transport until EOF (stdin) or a `shutdown` request (sockets).
+fn run_serve(parsed: &pim_cli::args::ParsedArgs) -> ExitCode {
+    let config = pim_serve::ServeConfig {
+        workers: parsed.serve_workers,
+        queue_capacity: parsed.queue,
+        cache_bytes: parsed.cache_mb << 20,
+        pool_threads: parsed.threads,
+    };
+    if let Some(path) = &parsed.serve_socket {
+        eprintln!(
+            "pim-serve listening on unix socket {path} ({} workers, queue {}, cache {} MiB)",
+            config.workers, config.queue_capacity, parsed.cache_mb
+        );
+        match pim_serve::Server::start_unix(&config, std::path::Path::new(path)) {
+            Ok(server) => server.wait(),
+            Err(e) => {
+                eprintln!("cannot bind {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(addr) = &parsed.serve_tcp {
+        match pim_serve::Server::start_tcp(&config, addr) {
+            Ok(server) => {
+                eprintln!(
+                    "pim-serve listening on tcp {} ({} workers, queue {}, cache {} MiB)",
+                    server.tcp_addr().expect("tcp server"),
+                    config.workers,
+                    config.queue_capacity,
+                    parsed.cache_mb
+                );
+                server.wait();
+            }
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    // Default: newline-delimited JSON over stdin/stdout until EOF.
+    pim_serve::serve_stdio(&config);
     ExitCode::SUCCESS
 }

@@ -354,9 +354,22 @@ pub struct MetricsReport {
     pub pool: PoolUsage,
 }
 
+/// Format a mean/ratio field for JSON: `NaN`/`inf` (a zero denominator,
+/// or a report assembled by hand) must never reach the output — bare
+/// `NaN` is not valid JSON and would break every consumer of the serve
+/// `stats` endpoint downstream.
+fn json_f64(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
 impl MetricsReport {
     /// Render as a JSON object, suitable for embedding as a value inside a
-    /// larger hand-rolled JSON document.
+    /// larger hand-rolled JSON document. Non-finite float fields are
+    /// clamped to `0.0` so the output always parses.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::with_capacity(512);
@@ -381,7 +394,7 @@ impl MetricsReport {
             self.placement.displaced,
             self.placement.total_displacement,
             self.placement.max_displacement,
-            self.placement.mean_displacement,
+            json_f64(self.placement.mean_displacement),
         )
         .expect("write to String cannot fail");
         for (i, p) in self.phases.iter().enumerate() {
@@ -542,5 +555,39 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_report_renders_valid_json() {
+        // Regression: an empty (zero-placement) report must parse as JSON.
+        // `pim-serve` embeds this output verbatim in its `stats` response,
+        // so a bare NaN here would take the whole endpoint down.
+        for report in [Metrics::disabled().report(), Metrics::enabled().report()] {
+            let json = report.to_json();
+            assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+            pim_trace::json::parse(&json)
+                .unwrap_or_else(|e| panic!("empty report JSON does not parse: {e}\n{json}"));
+        }
+    }
+
+    #[test]
+    fn non_finite_means_are_clamped_in_json() {
+        // The struct's fields are public; a hand-assembled report (or a
+        // future unguarded division) must still render parseable JSON.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let report = MetricsReport {
+                enabled: true,
+                placement: PlacementReport {
+                    placements: 0,
+                    mean_displacement: bad,
+                    ..PlacementReport::default()
+                },
+                ..MetricsReport::default()
+            };
+            let json = report.to_json();
+            assert!(json.contains("\"mean_displacement\": 0.000"), "{json}");
+            pim_trace::json::parse(&json)
+                .unwrap_or_else(|e| panic!("clamped report JSON does not parse: {e}\n{json}"));
+        }
     }
 }

@@ -1,0 +1,146 @@
+//! Typed serve-layer errors. Every failure a request can hit — malformed
+//! JSON, an unknown trace, a scheduler refusal, an over-budget trace, a
+//! full admission queue — maps to one [`ServeError`] variant, and every
+//! variant renders as a structured error response. The daemon never
+//! panics on request input; the decode paths feeding this type are
+//! property-tested in `crates/trace/tests/encode_props.rs` and the
+//! serve end-to-end suite.
+
+use pim_sched::SchedError;
+use pim_trace::FlatTraceError;
+
+/// Why a request was rejected or failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request line did not parse or had the wrong shape.
+    BadRequest(String),
+    /// The named trace is not resident (never loaded, or evicted).
+    UnknownTrace(String),
+    /// The request named a method the serve layer cannot drive (only the
+    /// incremental-capable SCDS/LOMCDS/GOMCDS run resident).
+    UnknownMethod(String),
+    /// `edit`/`simulate` against a trace with no resident engine: a
+    /// `schedule` request must establish method + policy first.
+    NoSchedule(String),
+    /// The trace payload or edit delta failed validation.
+    Trace(FlatTraceError),
+    /// Scheduling failed (typically capacity exhausted under the policy).
+    Sched(SchedError),
+    /// The trace alone exceeds the store's byte budget; admission control
+    /// refuses it up front instead of evicting everything else.
+    TooLarge {
+        /// Estimated resident bytes of the offending trace.
+        bytes: u64,
+        /// Configured store budget.
+        budget: u64,
+    },
+    /// The admission queue is full; the client should back off.
+    Overloaded {
+        /// Queue depth observed at rejection (== capacity).
+        queue_depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The daemon is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// Stable machine-readable error kind (the `"error"` response field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::UnknownTrace(_) => "unknown_trace",
+            ServeError::UnknownMethod(_) => "unknown_method",
+            ServeError::NoSchedule(_) => "no_schedule",
+            ServeError::Trace(_) => "trace_error",
+            ServeError::Sched(_) => "sched_error",
+            ServeError::TooLarge { .. } => "too_large",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Human-readable detail line.
+    pub fn detail(&self) -> String {
+        match self {
+            ServeError::BadRequest(msg) => msg.clone(),
+            ServeError::UnknownTrace(key) => format!("trace {key} is not resident"),
+            ServeError::UnknownMethod(m) => {
+                format!("method {m:?} cannot be served (use scds, lomcds or gomcds)")
+            }
+            ServeError::NoSchedule(key) => {
+                format!("trace {key} has no resident engine; send a schedule request first")
+            }
+            ServeError::Trace(e) => e.to_string(),
+            ServeError::Sched(e) => e.to_string(),
+            ServeError::TooLarge { bytes, budget } => {
+                format!("trace needs ~{bytes} resident bytes, budget is {budget}")
+            }
+            ServeError::Overloaded {
+                queue_depth,
+                capacity,
+            } => format!("queue full ({queue_depth}/{capacity}); retry later"),
+            ServeError::ShuttingDown => "server is draining".to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.detail())
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Trace(e) => Some(e),
+            ServeError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlatTraceError> for ServeError {
+    fn from(e: FlatTraceError) -> Self {
+        ServeError::Trace(e)
+    }
+}
+
+impl From<SchedError> for ServeError {
+    fn from(e: SchedError) -> Self {
+        ServeError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let errs = [
+            ServeError::BadRequest("x".into()),
+            ServeError::UnknownTrace("t".into()),
+            ServeError::UnknownMethod("m".into()),
+            ServeError::NoSchedule("t".into()),
+            ServeError::TooLarge {
+                bytes: 2,
+                budget: 1,
+            },
+            ServeError::Overloaded {
+                queue_depth: 4,
+                capacity: 4,
+            },
+            ServeError::ShuttingDown,
+        ];
+        let mut kinds: Vec<&str> = errs.iter().map(ServeError::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), errs.len());
+        for e in &errs {
+            assert!(!e.detail().is_empty());
+        }
+    }
+}

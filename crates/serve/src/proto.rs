@@ -1,0 +1,368 @@
+//! Wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every request is one JSON object on one line with an `"op"` field and
+//! an optional numeric `"id"` the server echoes back, letting clients
+//! pipeline requests over one connection. Responses are one line each:
+//! `{"id":…,"ok":true,…}` on success, `{"id":…,"ok":false,"error":
+//! "<kind>","detail":"…"}` on failure, with machine-readable extras for
+//! the errors a client is expected to act on (`overloaded` carries the
+//! queue depth and capacity, `too_large` the byte estimate and budget).
+//!
+//! The ops:
+//!
+//! | op        | fields                                 | reply payload |
+//! |-----------|----------------------------------------|---------------|
+//! | `load`    | `text` (flat-trace text format)        | `trace`, `fresh`, dims |
+//! | `schedule`| `trace`, `method`, `policy?`           | cost, `warm`, `version` |
+//! | `simulate`| `trace`                                | hop volumes, completion time |
+//! | `edit`    | `trace`, `delta` (TraceDelta JSON)     | `version`, `fallbacks` |
+//! | `stats`   | —                                      | server + store counters |
+//! | `evict`   | `trace`, `scope?` (`trace`\|`engine`)  | `evicted` |
+//! | `ping`    | —                                      | `pong` |
+//! | `shutdown`| —                                      | `draining` |
+//!
+//! Parsing never panics: every malformed line becomes a typed
+//! [`ServeError::BadRequest`], which is what the decode-path property
+//! tests assert.
+
+use pim_sched::{MemoryPolicy, Method};
+use pim_trace::json::{self, Value};
+use pim_trace::TraceDelta;
+
+use crate::error::ServeError;
+use crate::store;
+
+/// What an `evict` request removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictScope {
+    /// Drop the whole entry (base trace and all warm state).
+    Trace,
+    /// Drop only the engine and derived caches; the base stays resident.
+    /// This is how the benchmark forces cold-cache scheduling.
+    Engine,
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub enum Request {
+    /// Admit a trace (flat text format) into the store.
+    Load {
+        /// The `flat v1 …` text document.
+        text: String,
+    },
+    /// Build or warm-hit the scheduling engine and return the cost.
+    Schedule {
+        /// Resident trace key.
+        trace: u64,
+        /// Scheduling method (scds, lomcds or gomcds).
+        method: Method,
+        /// Memory policy (defaults to unbounded).
+        policy: MemoryPolicy,
+    },
+    /// Simulate the engine's schedule on the mesh.
+    Simulate {
+        /// Resident trace key.
+        trace: u64,
+    },
+    /// Apply a churn delta and incrementally re-solve.
+    Edit {
+        /// Resident trace key.
+        trace: u64,
+        /// The edit batch.
+        delta: TraceDelta,
+    },
+    /// Server + store counters and latency percentiles.
+    Stats,
+    /// Drop a trace or just its engine.
+    Evict {
+        /// Resident trace key.
+        trace: u64,
+        /// What to drop.
+        scope: EvictScope,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful drain.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire op name (matches [`crate::stats::OPS`]).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Load { .. } => "load",
+            Request::Schedule { .. } => "schedule",
+            Request::Simulate { .. } => "simulate",
+            Request::Edit { .. } => "edit",
+            Request::Stats => "stats",
+            Request::Evict { .. } => "evict",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> ServeError {
+    ServeError::BadRequest(msg.into())
+}
+
+fn req_str<'v>(obj: &'v Value, key: &str) -> Result<&'v str, ServeError> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad(format!("missing or non-string {key:?} field")))
+}
+
+fn trace_field(obj: &Value) -> Result<u64, ServeError> {
+    let text = req_str(obj, "trace")?;
+    store::parse_key(text).ok_or_else(|| bad(format!("malformed trace key {text:?}")))
+}
+
+fn policy_field(obj: &Value) -> Result<MemoryPolicy, ServeError> {
+    let v = match obj.get("policy") {
+        None => return Ok(MemoryPolicy::Unbounded),
+        Some(v) => v,
+    };
+    if let Some(name) = v.as_str() {
+        return match name {
+            "unbounded" => Ok(MemoryPolicy::Unbounded),
+            other => Err(bad(format!("unknown policy name {other:?}"))),
+        };
+    }
+    if let Some(obj) = v.as_obj() {
+        if obj.len() != 1 {
+            return Err(bad("policy object must have exactly one key"));
+        }
+        let (key, val) = &obj[0];
+        let num = val
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .filter(|&n| n > 0)
+            .ok_or_else(|| bad(format!("policy {key:?} needs a positive u32 value")))?;
+        return match key.as_str() {
+            "capacity" => Ok(MemoryPolicy::Capacity(num)),
+            "scaled_min" => Ok(MemoryPolicy::ScaledMinimum { factor: num }),
+            other => Err(bad(format!("unknown policy key {other:?}"))),
+        };
+    }
+    Err(bad(
+        "policy must be \"unbounded\", {\"capacity\":N} or {\"scaled_min\":N}",
+    ))
+}
+
+/// Parse one request line. The `id` (when present and numeric) is
+/// returned even when the body is malformed, so error responses still
+/// correlate; any other failure mode is a typed [`ServeError`].
+pub fn parse_request(line: &str) -> (Option<u64>, Result<Request, ServeError>) {
+    let line = line.trim();
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return (None, Err(bad(format!("request is not JSON: {e}")))),
+    };
+    if doc.as_obj().is_none() {
+        return (None, Err(bad("request must be a JSON object")));
+    }
+    let id = doc.get("id").and_then(Value::as_u64);
+    (id, parse_body(&doc))
+}
+
+fn parse_body(doc: &Value) -> Result<Request, ServeError> {
+    let op = req_str(doc, "op")?;
+    match op {
+        "load" => Ok(Request::Load {
+            text: req_str(doc, "text")?.to_string(),
+        }),
+        "schedule" => {
+            let method_name = req_str(doc, "method")?;
+            let method = Method::parse(method_name)
+                .ok_or_else(|| ServeError::UnknownMethod(method_name.to_string()))?;
+            Ok(Request::Schedule {
+                trace: trace_field(doc)?,
+                method,
+                policy: policy_field(doc)?,
+            })
+        }
+        "simulate" => Ok(Request::Simulate {
+            trace: trace_field(doc)?,
+        }),
+        "edit" => {
+            let delta_doc = doc
+                .get("delta")
+                .ok_or_else(|| bad("missing \"delta\" field"))?;
+            let delta = TraceDelta::from_json_value(delta_doc)
+                .map_err(|e| bad(format!("bad delta: {e}")))?;
+            Ok(Request::Edit {
+                trace: trace_field(doc)?,
+                delta,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "evict" => {
+            let scope = match doc.get("scope") {
+                None => EvictScope::Trace,
+                Some(v) => match v.as_str() {
+                    Some("trace") => EvictScope::Trace,
+                    Some("engine") => EvictScope::Engine,
+                    _ => return Err(bad("scope must be \"trace\" or \"engine\"")),
+                },
+            };
+            Ok(Request::Evict {
+                trace: trace_field(doc)?,
+                scope,
+            })
+        }
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ServeError::UnknownMethod(format!("op {other:?}"))),
+    }
+}
+
+fn push_id(out: &mut String, id: Option<u64>) {
+    use core::fmt::Write;
+    match id {
+        Some(id) => {
+            let _ = write!(out, "{{\"id\":{id},");
+        }
+        None => out.push('{'),
+    }
+}
+
+/// Build a success response: `fields` is a pre-rendered `"k":v,…` run
+/// (may be empty) appended after `"ok":true`.
+pub fn ok_response(id: Option<u64>, fields: &str) -> String {
+    let mut out = String::with_capacity(fields.len() + 32);
+    push_id(&mut out, id);
+    out.push_str("\"ok\":true");
+    if !fields.is_empty() {
+        out.push(',');
+        out.push_str(fields);
+    }
+    out.push('}');
+    out
+}
+
+/// Build a failure response with the error's stable kind, its human
+/// detail, and machine-readable extras where a client can act on them.
+pub fn error_response(id: Option<u64>, err: &ServeError) -> String {
+    use core::fmt::Write;
+    let mut out = String::with_capacity(96);
+    push_id(&mut out, id);
+    let _ = write!(
+        out,
+        "\"ok\":false,\"error\":\"{}\",\"detail\":\"",
+        err.kind()
+    );
+    json::escape_into(&mut out, &err.detail());
+    out.push('"');
+    match err {
+        ServeError::Overloaded {
+            queue_depth,
+            capacity,
+        } => {
+            let _ = write!(
+                out,
+                ",\"queue_depth\":{queue_depth},\"capacity\":{capacity}"
+            );
+        }
+        ServeError::TooLarge { bytes, budget } => {
+            let _ = write!(out, ",\"bytes\":{bytes},\"budget\":{budget}");
+        }
+        _ => {}
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_op() {
+        let key = store::key_hex(0xabcd);
+        let cases: &[(&str, &str)] = &[
+            (r#"{"id":1,"op":"load","text":"flat v1 4 4 1 1\n"}"#, "load"),
+            (r#"{"op":"stats"}"#, "stats"),
+            (r#"{"op":"ping"}"#, "ping"),
+            (r#"{"op":"shutdown"}"#, "shutdown"),
+        ];
+        for (line, op) in cases {
+            let (_, req) = parse_request(line);
+            assert_eq!(req.expect(line).op(), *op);
+        }
+        let line = format!(
+            r#"{{"id":7,"op":"schedule","trace":"{key}","method":"lomcds","policy":{{"capacity":3}}}}"#
+        );
+        let (id, req) = parse_request(&line);
+        assert_eq!(id, Some(7));
+        match req.unwrap() {
+            Request::Schedule {
+                trace,
+                method,
+                policy,
+            } => {
+                assert_eq!(trace, 0xabcd);
+                assert_eq!(method, Method::Lomcds);
+                assert_eq!(policy, MemoryPolicy::Capacity(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let line = format!(r#"{{"op":"evict","trace":"{key}","scope":"engine"}}"#);
+        match parse_request(&line).1.unwrap() {
+            Request::Evict { scope, .. } => assert_eq!(scope, EvictScope::Engine),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_yield_typed_errors_with_id() {
+        // Unknown op keeps the id for correlation.
+        let (id, req) = parse_request(r#"{"id":9,"op":"frobnicate"}"#);
+        assert_eq!(id, Some(9));
+        assert_eq!(req.unwrap_err().kind(), "unknown_method");
+        for line in [
+            "",
+            "not json",
+            "[1,2,3]",
+            r#"{"op":42}"#,
+            r#"{"op":"schedule","trace":"xyz","method":"scds"}"#,
+            r#"{"op":"schedule","trace":"0000000000000001","method":"bazro"}"#,
+            r#"{"op":"schedule","trace":"0000000000000001","method":"scds","policy":{"capacity":0}}"#,
+            r#"{"op":"edit","trace":"0000000000000001","delta":{"version":2,"ops":[]}}"#,
+            r#"{"op":"evict","trace":"0000000000000001","scope":"galaxy"}"#,
+        ] {
+            let (_, req) = parse_request(line);
+            let err = req.expect_err(line);
+            assert!(
+                matches!(
+                    err,
+                    ServeError::BadRequest(_) | ServeError::UnknownMethod(_)
+                ),
+                "{line} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_parser() {
+        let ok = ok_response(Some(3), "\"pong\":true");
+        let v = json::parse(&ok).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("pong").and_then(Value::as_bool), Some(true));
+
+        let err = error_response(
+            None,
+            &ServeError::Overloaded {
+                queue_depth: 8,
+                capacity: 8,
+            },
+        );
+        let v = json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("overloaded"));
+        assert_eq!(v.get("queue_depth").and_then(Value::as_u64), Some(8));
+
+        let err = error_response(Some(1), &ServeError::BadRequest("quote \" here".into()));
+        assert!(json::parse(&err).is_ok(), "detail must be escaped: {err}");
+    }
+}

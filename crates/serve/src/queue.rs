@@ -1,0 +1,154 @@
+//! Bounded admission queue between connection handlers and service
+//! workers.
+//!
+//! This queue is the backpressure mechanism the ISSUE names: connection
+//! threads *try* to enqueue and get an immediate, typed answer — either
+//! the job is admitted, or the queue is full and the caller must turn
+//! that into an `overloaded` error response carrying the observed depth.
+//! Nothing ever blocks on the submit side, so a burst beyond capacity is
+//! rejected in microseconds instead of growing an unbounded backlog.
+//!
+//! Workers block on [`JobQueue::pop`]; closing the queue wakes them all
+//! and lets them drain what was already admitted before exiting —
+//! that drain is what makes shutdown graceful.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`JobQueue::try_push`] refused a job. The rejected job itself is
+/// handed back alongside this, so the caller can build a correlated
+/// error response without having paid to copy or re-parse it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue held `depth` jobs (== capacity) at rejection time.
+    Full {
+        /// Observed depth at rejection.
+        depth: usize,
+    },
+    /// The queue was closed (server draining).
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    q: VecDeque<T>,
+    open: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO with non-blocking submit.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `capacity` waiting jobs (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                q: VecDeque::with_capacity(capacity.max(1)),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting (racy by nature; for stats only).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").q.len()
+    }
+
+    /// Admit a job or refuse immediately, returning it. Never blocks.
+    pub fn try_push(&self, job: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if !inner.open {
+            return Err((job, PushError::Closed));
+        }
+        if inner.q.len() >= self.capacity {
+            let depth = inner.q.len();
+            return Err((job, PushError::Full { depth }));
+        }
+        inner.q.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available; `None` once the queue is closed
+    /// *and* fully drained (workers exit on `None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.q.pop_front() {
+                return Some(job);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Stop admitting; wake every waiting worker. Already-admitted jobs
+    /// stay queued and will still be popped (the graceful drain).
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").open = false;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_with_depth() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err((3, PushError::Full { depth: 2 })));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Arc::new(JobQueue::new(4));
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert_eq!(q.try_push(12), Err((12, PushError::Closed)));
+        // Admitted jobs still drain in order, then pop reports closure.
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(JobQueue::<u32>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().expect("worker exits"), None);
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Transports and the worker pool: stdin/stdout, Unix socket, TCP.
+//!
+//! All three transports funnel request lines through one [`submit`]
+//! path: try to enqueue on the bounded [`JobQueue`], reject immediately
+//! with `overloaded` when full, otherwise block for the worker's
+//! response. Service workers pull from the queue and execute on the
+//! shared [`ServeCore`]; connection threads only move bytes. The socket
+//! transports accept with a poll loop and read with a short timeout so
+//! every thread notices the drain flag within a fraction of a second —
+//! graceful shutdown is: flip the flag (the `shutdown` op does this),
+//! stop accepting, close the queue, let workers drain admitted jobs,
+//! join everything.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pim_trace::json;
+
+use crate::core::{ServeConfig, ServeCore};
+use crate::error::ServeError;
+use crate::proto;
+use crate::queue::{JobQueue, PushError};
+
+/// How long blocking socket reads wait before re-checking the drain
+/// flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Accept-loop poll interval. Much shorter than [`POLL`]: this sleep is
+/// the worst-case latency a fresh connection's first request pays, so
+/// it must stay well under any latency target while remaining cheap to
+/// spin (a no-op accept is one syscall).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// One admitted request: the raw line and where to send the response.
+pub struct Job {
+    line: String,
+    reply: mpsc::SyncSender<String>,
+}
+
+/// Best-effort id extraction for responses built before a request is
+/// admitted (rejections must still correlate).
+fn peek_id(line: &str) -> Option<u64> {
+    json::parse(line)
+        .ok()?
+        .get("id")
+        .and_then(json::Value::as_u64)
+}
+
+/// Admission control + execution for one request line: returns the
+/// response line, always (rejections are responses too).
+pub fn submit(core: &ServeCore, queue: &JobQueue<Job>, line: String) -> String {
+    let (tx, rx) = mpsc::sync_channel(1);
+    let job = Job { line, reply: tx };
+    match queue.try_push(job) {
+        Ok(()) => rx.recv().unwrap_or_else(|_| {
+            // Workers are gone (drain raced the admit); tell the client.
+            proto::error_response(None, &ServeError::ShuttingDown)
+        }),
+        Err((job, PushError::Full { depth })) => {
+            core.stats().record_overloaded();
+            proto::error_response(
+                peek_id(&job.line),
+                &ServeError::Overloaded {
+                    queue_depth: depth,
+                    capacity: queue.capacity(),
+                },
+            )
+        }
+        Err((job, PushError::Closed)) => {
+            proto::error_response(peek_id(&job.line), &ServeError::ShuttingDown)
+        }
+    }
+}
+
+fn worker_loop(core: Arc<ServeCore>, queue: Arc<JobQueue<Job>>) {
+    while let Some(job) = queue.pop() {
+        let view = (queue.depth(), queue.capacity());
+        let response = core.handle_line(&job.line, view);
+        // A client that hung up before its response is not an error.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn spawn_workers(
+    core: &Arc<ServeCore>,
+    queue: &Arc<JobQueue<Job>>,
+    count: usize,
+) -> Vec<JoinHandle<()>> {
+    (0..count.max(1))
+        .map(|i| {
+            let core = Arc::clone(core);
+            let queue = Arc::clone(queue);
+            std::thread::Builder::new()
+                .name(format!("pim-serve-worker-{i}"))
+                .spawn(move || worker_loop(core, queue))
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+/// Serve one duplex byte stream: read request lines, write response
+/// lines. Returns on EOF, on an unrecoverable stream error, or once the
+/// drain flag is up (reads time out every [`POLL`] to check).
+fn serve_stream<R: io::Read, W: Write>(
+    core: &ServeCore,
+    queue: &JobQueue<Job>,
+    reader: R,
+    mut writer: W,
+) {
+    let mut reader = BufReader::new(reader);
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let line = std::mem::take(&mut buf);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = submit(core, queue, line);
+                if writer
+                    .write_all(response.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return; // client hung up
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Read timeout: partial bytes (if any) stay in `buf` and
+                // the next read_line keeps appending.
+                if core.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Run the daemon over stdin/stdout, blocking until EOF or a `shutdown`
+/// request, then drain. This is the transport the CI smoke uses: pipe
+/// requests in, read responses out, no socket lifecycle to manage.
+pub fn serve_stdio(config: &ServeConfig) {
+    let core = Arc::new(ServeCore::new(config));
+    let queue = Arc::new(JobQueue::new(config.queue_capacity));
+    let workers = spawn_workers(&core, &queue, config.workers);
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    {
+        let mut reader = stdin.lock();
+        let mut writer = stdout.lock();
+        let mut buf = String::new();
+        loop {
+            if core.is_shutting_down() {
+                break;
+            }
+            buf.clear();
+            match reader.read_line(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => {
+                    if buf.trim().is_empty() {
+                        continue;
+                    }
+                    let response = submit(&core, &queue, std::mem::take(&mut buf));
+                    if writeln!(writer, "{response}")
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+    core.begin_shutdown();
+    queue.close();
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+enum Endpoint {
+    Unix(PathBuf),
+    Tcp(SocketAddr),
+}
+
+/// A running socket daemon (Unix or TCP). Dropping without
+/// [`Server::wait`]/[`Server::shutdown`] aborts the drain (threads are
+/// detached); call one of them.
+pub struct Server {
+    core: Arc<ServeCore>,
+    queue: Arc<JobQueue<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+    endpoint: Endpoint,
+}
+
+fn accept_loop_unix(core: Arc<ServeCore>, queue: Arc<JobQueue<Job>>, listener: UnixListener) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    listener
+        .set_nonblocking(true)
+        .expect("unix listener nonblocking");
+    loop {
+        if core.is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(POLL));
+                let core = Arc::clone(&core);
+                let queue = Arc::clone(&queue);
+                conns.push(
+                    std::thread::Builder::new()
+                        .name("pim-serve-conn".into())
+                        .spawn(move || {
+                            let writer = stream.try_clone().expect("clone unix stream");
+                            serve_stream(&core, &queue, stream, writer);
+                        })
+                        .expect("spawn connection thread"),
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+}
+
+fn accept_loop_tcp(core: Arc<ServeCore>, queue: Arc<JobQueue<Job>>, listener: TcpListener) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    listener
+        .set_nonblocking(true)
+        .expect("tcp listener nonblocking");
+    loop {
+        if core.is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(POLL));
+                let _ = stream.set_nodelay(true);
+                let core = Arc::clone(&core);
+                let queue = Arc::clone(&queue);
+                conns.push(
+                    std::thread::Builder::new()
+                        .name("pim-serve-conn".into())
+                        .spawn(move || {
+                            let writer = stream.try_clone().expect("clone tcp stream");
+                            serve_stream(&core, &queue, stream, writer);
+                        })
+                        .expect("spawn connection thread"),
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+}
+
+impl Server {
+    /// Bind a Unix-socket daemon at `path` (an existing socket file is
+    /// replaced) and start accepting.
+    pub fn start_unix(config: &ServeConfig, path: &Path) -> io::Result<Server> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        let core = Arc::new(ServeCore::new(config));
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let workers = spawn_workers(&core, &queue, config.workers);
+        let accept = {
+            let core = Arc::clone(&core);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("pim-serve-accept".into())
+                .spawn(move || accept_loop_unix(core, queue, listener))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            core,
+            queue,
+            workers,
+            accept: Some(accept),
+            endpoint: Endpoint::Unix(path.to_path_buf()),
+        })
+    }
+
+    /// Bind a TCP daemon at `addr` (`127.0.0.1:0` picks a free port —
+    /// read it back via [`Server::tcp_addr`]) and start accepting.
+    pub fn start_tcp(config: &ServeConfig, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let core = Arc::new(ServeCore::new(config));
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let workers = spawn_workers(&core, &queue, config.workers);
+        let accept = {
+            let core = Arc::clone(&core);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("pim-serve-accept".into())
+                .spawn(move || accept_loop_tcp(core, queue, listener))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            core,
+            queue,
+            workers,
+            accept: Some(accept),
+            endpoint: Endpoint::Tcp(local),
+        })
+    }
+
+    /// Shared daemon state (tests inspect counters through this).
+    pub fn core(&self) -> &Arc<ServeCore> {
+        &self.core
+    }
+
+    /// The bound TCP address, when this is a TCP server.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self.endpoint {
+            Endpoint::Tcp(addr) => Some(addr),
+            Endpoint::Unix(_) => None,
+        }
+    }
+
+    /// Block until a `shutdown` request flips the drain flag, then
+    /// drain and join everything.
+    pub fn wait(mut self) {
+        while !self.core.is_shutting_down() {
+            std::thread::sleep(POLL);
+        }
+        self.drain();
+    }
+
+    /// Initiate shutdown from the owning side (equivalent to receiving
+    /// a `shutdown` request) and drain.
+    pub fn shutdown(mut self) {
+        self.core.begin_shutdown();
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.core.begin_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+enum ClientStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+/// A blocking line-protocol client for tests, the benchmark load
+/// generator and simple scripting.
+pub struct Client {
+    reader: BufReader<ClientStream>,
+}
+
+impl io::Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.read(buf),
+            ClientStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl ClientStream {
+    fn writer(&self) -> io::Result<ClientStream> {
+        match self {
+            ClientStream::Unix(s) => s.try_clone().map(ClientStream::Unix),
+            ClientStream::Tcp(s) => s.try_clone().map(ClientStream::Tcp),
+        }
+    }
+
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        let mut out = Vec::with_capacity(line.len() + 1);
+        out.extend_from_slice(line.as_bytes());
+        if !line.ends_with('\n') {
+            out.push(b'\n');
+        }
+        match self {
+            ClientStream::Unix(s) => s.write_all(&out),
+            ClientStream::Tcp(s) => s.write_all(&out),
+        }
+    }
+}
+
+impl Client {
+    /// Connect to a Unix-socket daemon.
+    pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        Ok(Client {
+            reader: BufReader::new(ClientStream::Unix(UnixStream::connect(path)?)),
+        })
+    }
+
+    /// Connect to a TCP daemon.
+    pub fn connect_tcp(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            reader: BufReader::new(ClientStream::Tcp(stream)),
+        })
+    }
+
+    /// Send one request line and block for its response line.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.reader.get_mut().writer()?.write_line(line)?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_bytes: 16 << 20,
+            pool_threads: 0,
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_and_graceful_shutdown() {
+        let server = Server::start_tcp(&config(), "127.0.0.1:0").expect("bind");
+        let addr = server.tcp_addr().expect("tcp endpoint");
+        let mut client = Client::connect_tcp(addr).expect("connect");
+        let pong = client.request(r#"{"id":1,"op":"ping"}"#).expect("ping");
+        assert!(pong.contains("\"pong\":true"), "{pong}");
+        let stats = client.request(r#"{"op":"stats"}"#).expect("stats");
+        assert!(pim_trace::json::parse(&stats).is_ok(), "{stats}");
+        let bye = client.request(r#"{"op":"shutdown"}"#).expect("shutdown");
+        assert!(bye.contains("\"draining\":true"), "{bye}");
+        server.wait(); // must return, not hang
+    }
+
+    #[test]
+    fn unix_round_trip() {
+        let path = std::env::temp_dir().join(format!("pim-serve-test-{}.sock", std::process::id()));
+        let server = Server::start_unix(&config(), &path).expect("bind");
+        let mut client = Client::connect_unix(&path).expect("connect");
+        let pong = client.request(r#"{"op":"ping"}"#).expect("ping");
+        assert!(pong.contains("\"pong\":true"), "{pong}");
+        drop(client);
+        server.shutdown();
+        assert!(!path.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn submit_rejects_when_queue_full() {
+        // No workers draining: fill the queue by hand, then submit.
+        let core = ServeCore::new(&config());
+        let queue: JobQueue<Job> = JobQueue::new(2);
+        let (tx, _rx) = mpsc::sync_channel(1);
+        for _ in 0..2 {
+            let admitted = queue.try_push(Job {
+                line: String::new(),
+                reply: tx.clone(),
+            });
+            assert!(admitted.is_ok());
+        }
+        let resp = submit(&core, &queue, r#"{"op":"ping"}"#.to_string());
+        assert!(resp.contains("\"error\":\"overloaded\""), "{resp}");
+        assert!(resp.contains("\"queue_depth\":2"), "{resp}");
+        let v = pim_trace::json::parse(&resp).unwrap();
+        assert_eq!(
+            v.get("capacity").and_then(pim_trace::json::Value::as_u64),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Server-side counters and the request-latency ring.
+//!
+//! Everything here is cheap enough to record on every request: per-op
+//! counters are relaxed atomic adds, and the latency ring is a fixed-size
+//! circular buffer behind a short mutex (one push per request). The
+//! `stats` request freezes a snapshot; percentiles are computed only
+//! then, by copying and sorting the occupied part of the ring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Request ops the server counts, in wire order.
+pub const OPS: [&str; 8] = [
+    "load", "schedule", "simulate", "edit", "stats", "evict", "ping", "shutdown",
+];
+
+/// Latency observations kept for percentile estimation. Old observations
+/// fall off; 4096 is plenty for p99 under sustained load while keeping a
+/// `stats` request's copy + sort in the tens of microseconds.
+pub const LATENCY_RING: usize = 4096;
+
+/// Fixed-size ring of per-request service latencies, nanoseconds.
+#[derive(Debug)]
+pub struct LatencyRing {
+    buf: Vec<u64>,
+    next: usize,
+    total: u64,
+}
+
+impl LatencyRing {
+    fn new() -> Self {
+        LatencyRing {
+            buf: Vec::with_capacity(LATENCY_RING),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, ns: u64) {
+        if self.buf.len() < LATENCY_RING {
+            self.buf.push(ns);
+        } else {
+            self.buf[self.next] = ns;
+        }
+        self.next = (self.next + 1) % LATENCY_RING;
+        self.total += 1;
+    }
+
+    /// Percentile over the retained window (nearest-rank on the sorted
+    /// copy). `None` when nothing has been recorded.
+    fn snapshot(&self) -> Option<LatencySnapshot> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut sorted = self.buf.clone();
+        sorted.sort_unstable();
+        let pick = |p: f64| {
+            let rank = ((sorted.len() as f64) * p).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Some(LatencySnapshot {
+            count: self.total,
+            p50_ns: pick(0.50),
+            p90_ns: pick(0.90),
+            p99_ns: pick(0.99),
+            max_ns: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Frozen latency percentiles over the retained ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Requests ever recorded (not just the retained window).
+    pub count: u64,
+    /// Median service latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Worst retained observation.
+    pub max_ns: u64,
+}
+
+/// Live server counters (shared across worker threads).
+#[derive(Debug)]
+pub struct ServerStats {
+    per_op: [AtomicU64; OPS.len()],
+    rejected_overloaded: AtomicU64,
+    errors: AtomicU64,
+    engine_builds: AtomicU64,
+    engine_reuses: AtomicU64,
+    latency: Mutex<LatencyRing>,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            per_op: std::array::from_fn(|_| AtomicU64::new(0)),
+            rejected_overloaded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            engine_builds: AtomicU64::new(0),
+            engine_reuses: AtomicU64::new(0),
+            latency: Mutex::new(LatencyRing::new()),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Count one request of op `op` (wire name); unknown ops count as
+    /// errors elsewhere and are not tracked per-op.
+    pub fn record_op(&self, op: &str) {
+        if let Some(i) = OPS.iter().position(|&o| o == op) {
+            self.per_op[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one error response (any [`crate::ServeError`]).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one admission-control rejection (also an error response).
+    pub fn record_overloaded(&self) {
+        self.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+        self.record_error();
+    }
+
+    /// Count one engine build (cold schedule) or reuse (warm schedule).
+    pub fn record_engine(&self, reused: bool) {
+        if reused {
+            self.engine_reuses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.engine_builds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one completed request's service latency.
+    pub fn record_latency(&self, ns: u64) {
+        self.latency.lock().expect("latency lock").push(ns);
+    }
+
+    /// Freeze the latency percentiles.
+    pub fn latency_snapshot(&self) -> Option<LatencySnapshot> {
+        self.latency.lock().expect("latency lock").snapshot()
+    }
+
+    /// Render the `"server"` JSON fragment of a `stats` response (an
+    /// object; caller embeds it).
+    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize) -> String {
+        use core::fmt::Write;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut s = String::with_capacity(512);
+        s.push_str("{\"requests\":{");
+        let mut total = 0u64;
+        for (i, op) in OPS.iter().enumerate() {
+            let n = load(&self.per_op[i]);
+            total += n;
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{op}\":{n}");
+        }
+        let _ = write!(
+            s,
+            ",\"total\":{total}}},\"rejected_overloaded\":{},\"errors\":{},\
+             \"engine_builds\":{},\"engine_reuses\":{},",
+            load(&self.rejected_overloaded),
+            load(&self.errors),
+            load(&self.engine_builds),
+            load(&self.engine_reuses),
+        );
+        let _ = write!(
+            s,
+            "\"queue\":{{\"depth\":{queue_depth},\"capacity\":{queue_capacity}}},"
+        );
+        match self.latency_snapshot() {
+            Some(l) => {
+                let us = |ns: u64| ns as f64 / 1000.0;
+                let _ = write!(
+                    s,
+                    "\"latency\":{{\"count\":{},\"p50_us\":{:.1},\"p90_us\":{:.1},\
+                     \"p99_us\":{:.1},\"max_us\":{:.1}}}}}",
+                    l.count,
+                    us(l.p50_ns),
+                    us(l.p90_ns),
+                    us(l.p99_ns),
+                    us(l.max_ns),
+                );
+            }
+            None => s.push_str("\"latency\":null}"),
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_percentiles_are_ordered() {
+        let stats = ServerStats::default();
+        assert!(stats.latency_snapshot().is_none());
+        for ns in 1..=1000u64 {
+            stats.record_latency(ns * 1000);
+        }
+        let l = stats.latency_snapshot().expect("recorded");
+        assert_eq!(l.count, 1000);
+        assert!(l.p50_ns <= l.p90_ns && l.p90_ns <= l.p99_ns && l.p99_ns <= l.max_ns);
+        assert_eq!(l.p50_ns, 500_000);
+        assert_eq!(l.max_ns, 1_000_000);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_counting() {
+        let stats = ServerStats::default();
+        for _ in 0..(LATENCY_RING as u64 + 100) {
+            stats.record_latency(7);
+        }
+        let l = stats.latency_snapshot().expect("recorded");
+        assert_eq!(l.count, LATENCY_RING as u64 + 100);
+        assert_eq!(l.p99_ns, 7);
+    }
+
+    #[test]
+    fn json_fragment_parses() {
+        let stats = ServerStats::default();
+        stats.record_op("load");
+        stats.record_op("schedule");
+        stats.record_overloaded();
+        stats.record_engine(false);
+        stats.record_engine(true);
+        stats.record_latency(1234);
+        let json = stats.to_json(2, 64);
+        let v = pim_trace::json::parse(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert_eq!(
+            v.get("requests")
+                .and_then(|r| r.get("load"))
+                .and_then(|n| n.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("rejected_overloaded").and_then(|n| n.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("queue")
+                .and_then(|q| q.get("capacity"))
+                .and_then(|n| n.as_u64()),
+            Some(64)
+        );
+        assert!(v.get("latency").and_then(|l| l.get("p99_us")).is_some());
+    }
+}

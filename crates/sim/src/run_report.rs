@@ -112,8 +112,11 @@ impl RunReport {
         self
     }
 
-    /// Serialize as one JSON object.
+    /// Serialize as one JSON object. Non-finite float fields render as
+    /// `0.0` — the struct's fields are public, and a hand-assembled report
+    /// must not be able to emit bare `NaN` (invalid JSON).
     pub fn to_json(&self) -> String {
+        let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
         let hottest = match &self.hottest_link {
             Some(l) => format!("\"{}\"", escape_json(l)),
             None => "null".to_string(),
@@ -159,8 +162,8 @@ impl RunReport {
             self.completion_time,
             hottest,
             self.hottest_link_volume,
-            self.mean_active_link_volume,
-            self.link_imbalance,
+            finite(self.mean_active_link_volume),
+            finite(self.link_imbalance),
             self.simulated_completion_cycles,
             self.peak_in_flight,
             windows,

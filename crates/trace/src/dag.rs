@@ -29,6 +29,7 @@
 //! the binary trace encoding without a new container format.
 
 use crate::ids::DataId;
+use crate::json;
 use crate::window::WindowedTrace;
 
 /// One node of the precedence graph: a task in execution window `window`
@@ -537,164 +538,6 @@ fn csr(n: usize, pairs: impl Iterator<Item = (u32, u32)> + Clone) -> (Vec<usize>
         adj[off[i]..off[i + 1]].sort_unstable();
     }
     (off, adj)
-}
-
-/// Just-enough JSON for the DAG document: objects, arrays, unsigned
-/// integers and strings (no floats, no escapes beyond `\"` and `\\` —
-/// nothing the writer emits needs more).
-mod json {
-    /// A parsed JSON value. Strings only appear as object keys — a string
-    /// in value position is a parse error (the DAG document has none).
-    #[derive(Debug)]
-    pub enum Value {
-        /// Unsigned integer.
-        Num(u64),
-        /// Array of values.
-        Arr(Vec<Value>),
-        /// Object as ordered key/value pairs.
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn as_u64(&self) -> Option<u64> {
-            match self {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-        pub fn as_arr(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(v) => Some(v),
-                _ => None,
-            }
-        }
-        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
-            match self {
-                Value::Obj(v) => Some(v),
-                _ => None,
-            }
-        }
-    }
-
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let v = value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
-        skip_ws(b, pos);
-        if *pos < b.len() && b[*pos] == ch {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", ch as char, *pos))
-        }
-    }
-
-    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b'{') => {
-                *pos += 1;
-                let mut out = Vec::new();
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b'}') {
-                    *pos += 1;
-                    return Ok(Value::Obj(out));
-                }
-                loop {
-                    skip_ws(b, pos);
-                    let key = string(b, pos)?;
-                    expect(b, pos, b':')?;
-                    out.push((key, value(b, pos)?));
-                    skip_ws(b, pos);
-                    match b.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b'}') => {
-                            *pos += 1;
-                            return Ok(Value::Obj(out));
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *pos += 1;
-                let mut out = Vec::new();
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b']') {
-                    *pos += 1;
-                    return Ok(Value::Arr(out));
-                }
-                loop {
-                    out.push(value(b, pos)?);
-                    skip_ws(b, pos);
-                    match b.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b']') => {
-                            *pos += 1;
-                            return Ok(Value::Arr(out));
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-                    }
-                }
-            }
-            Some(b'"') => Err(format!("unexpected string value at byte {}", *pos)),
-            Some(c) if c.is_ascii_digit() => {
-                let start = *pos;
-                while *pos < b.len() && b[*pos].is_ascii_digit() {
-                    *pos += 1;
-                }
-                let s = core::str::from_utf8(&b[start..*pos]).expect("digits are utf8");
-                s.parse::<u64>()
-                    .map(Value::Num)
-                    .map_err(|_| format!("number {s} overflows u64"))
-            }
-            _ => Err(format!("unexpected input at byte {}", *pos)),
-        }
-    }
-
-    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        if b.get(*pos) != Some(&b'"') {
-            return Err(format!("expected string at byte {}", *pos));
-        }
-        *pos += 1;
-        let mut out = String::new();
-        while *pos < b.len() {
-            match b[*pos] {
-                b'"' => {
-                    *pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    *pos += 1;
-                    match b.get(*pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        _ => return Err(format!("unsupported escape at byte {}", *pos)),
-                    }
-                    *pos += 1;
-                }
-                c => {
-                    out.push(c as char);
-                    *pos += 1;
-                }
-            }
-        }
-        Err("unterminated string".to_string())
-    }
 }
 
 #[cfg(test)]

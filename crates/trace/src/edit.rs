@@ -119,7 +119,227 @@ impl TraceDelta {
     pub fn len(&self) -> usize {
         self.ops.len()
     }
+
+    /// Serialize to the JSON document [`TraceDelta::from_json`] accepts:
+    ///
+    /// ```json
+    /// {"version":1,"ops":[
+    ///   {"op":"set_run","datum":3,"window":1,"refs":[[5,2],[6,1]]},
+    ///   {"op":"append_window","rows":[[0,5,2]]}
+    /// ]}
+    /// ```
+    ///
+    /// `refs` pairs are `[processor, count]`, `rows` triples are
+    /// `[datum, processor, count]`.
+    pub fn to_json(&self) -> String {
+        use core::fmt::Write;
+        let mut out = String::from("{\"version\":1,\"ops\":[");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match op {
+                EditOp::SetRun {
+                    datum,
+                    window,
+                    refs,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"op\":\"set_run\",\"datum\":{},\"window\":{},\"refs\":[",
+                        datum.0, window
+                    );
+                    for (j, (p, n)) in refs.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{},{}]", p.0, n);
+                    }
+                    out.push_str("]}");
+                }
+                EditOp::AppendWindow { rows } => {
+                    out.push_str("{\"op\":\"append_window\",\"rows\":[");
+                    for (j, (d, p, n)) in rows.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{},{},{}]", d.0, p.0, n);
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse the document produced by [`TraceDelta::to_json`]. Shape
+    /// errors (wrong types, unknown keys, id overflow) come back as
+    /// [`DeltaJsonError`]; range validation against a concrete trace
+    /// happens later in [`EditableTrace::check`].
+    pub fn from_json(text: &str) -> Result<TraceDelta, DeltaJsonError> {
+        let v = crate::json::parse(text).map_err(DeltaJsonError)?;
+        TraceDelta::from_json_value(&v)
+    }
+
+    /// [`TraceDelta::from_json`] over an already-parsed [`crate::json::Value`]
+    /// (the serve protocol embeds deltas inside request objects).
+    pub fn from_json_value(v: &crate::json::Value) -> Result<TraceDelta, DeltaJsonError> {
+        let err = |msg: &str| DeltaJsonError(msg.to_string());
+        let narrow = |v: u64, what: &str| {
+            u32::try_from(v).map_err(|_| DeltaJsonError(format!("{what} {v} overflows u32")))
+        };
+        let obj = v.as_obj().ok_or_else(|| err("delta must be an object"))?;
+        let mut version = None;
+        let mut ops: Option<Vec<EditOp>> = None;
+        for (k, val) in obj {
+            match k.as_str() {
+                "version" => version = Some(val.as_u64().ok_or_else(|| err("version"))?),
+                "ops" => {
+                    let arr = val.as_arr().ok_or_else(|| err("ops must be an array"))?;
+                    let mut out = Vec::with_capacity(arr.len());
+                    for opv in arr {
+                        let op = opv.as_obj().ok_or_else(|| err("op must be an object"))?;
+                        let kind = opv
+                            .get("op")
+                            .and_then(crate::json::Value::as_str)
+                            .ok_or_else(|| err("op missing \"op\" kind"))?;
+                        match kind {
+                            "set_run" => {
+                                let mut datum = None;
+                                let mut window = None;
+                                let mut refs = None;
+                                for (k, val) in op {
+                                    match k.as_str() {
+                                        "op" => {}
+                                        "datum" => {
+                                            datum = Some(narrow(
+                                                val.as_u64().ok_or_else(|| err("datum"))?,
+                                                "datum",
+                                            )?)
+                                        }
+                                        "window" => {
+                                            window = Some(narrow(
+                                                val.as_u64().ok_or_else(|| err("window"))?,
+                                                "window",
+                                            )?)
+                                        }
+                                        "refs" => {
+                                            let arr = val
+                                                .as_arr()
+                                                .ok_or_else(|| err("refs must be an array"))?;
+                                            let mut rs = Vec::with_capacity(arr.len());
+                                            for rv in arr {
+                                                let pair = rv
+                                                    .as_arr()
+                                                    .filter(|p| p.len() == 2)
+                                                    .ok_or_else(|| {
+                                                        err("ref must be a [proc, count] pair")
+                                                    })?;
+                                                let p = pair[0]
+                                                    .as_u64()
+                                                    .ok_or_else(|| err("ref proc"))?;
+                                                let n = pair[1]
+                                                    .as_u64()
+                                                    .ok_or_else(|| err("ref count"))?;
+                                                rs.push((
+                                                    ProcId(narrow(p, "proc")?),
+                                                    narrow(n, "count")?,
+                                                ));
+                                            }
+                                            refs = Some(rs);
+                                        }
+                                        other => {
+                                            return Err(DeltaJsonError(format!(
+                                                "unknown set_run key {other:?}"
+                                            )))
+                                        }
+                                    }
+                                }
+                                out.push(EditOp::SetRun {
+                                    datum: DataId(
+                                        datum.ok_or_else(|| err("set_run missing datum"))?,
+                                    ),
+                                    window: window.ok_or_else(|| err("set_run missing window"))?,
+                                    refs: refs.ok_or_else(|| err("set_run missing refs"))?,
+                                });
+                            }
+                            "append_window" => {
+                                let mut rows = None;
+                                for (k, val) in op {
+                                    match k.as_str() {
+                                        "op" => {}
+                                        "rows" => {
+                                            let arr = val
+                                                .as_arr()
+                                                .ok_or_else(|| err("rows must be an array"))?;
+                                            let mut rs = Vec::with_capacity(arr.len());
+                                            for rv in arr {
+                                                let t = rv
+                                                    .as_arr()
+                                                    .filter(|t| t.len() == 3)
+                                                    .ok_or_else(|| {
+                                                        err("row must be a [datum, proc, count] triple")
+                                                    })?;
+                                                let d = t[0]
+                                                    .as_u64()
+                                                    .ok_or_else(|| err("row datum"))?;
+                                                let p =
+                                                    t[1].as_u64().ok_or_else(|| err("row proc"))?;
+                                                let n = t[2]
+                                                    .as_u64()
+                                                    .ok_or_else(|| err("row count"))?;
+                                                rs.push((
+                                                    DataId(narrow(d, "datum")?),
+                                                    ProcId(narrow(p, "proc")?),
+                                                    narrow(n, "count")?,
+                                                ));
+                                            }
+                                            rows = Some(rs);
+                                        }
+                                        other => {
+                                            return Err(DeltaJsonError(format!(
+                                                "unknown append_window key {other:?}"
+                                            )))
+                                        }
+                                    }
+                                }
+                                out.push(EditOp::AppendWindow {
+                                    rows: rows.ok_or_else(|| err("append_window missing rows"))?,
+                                });
+                            }
+                            other => {
+                                return Err(DeltaJsonError(format!("unknown op kind {other:?}")))
+                            }
+                        }
+                    }
+                    ops = Some(out);
+                }
+                other => return Err(DeltaJsonError(format!("unknown delta key {other:?}"))),
+            }
+        }
+        match version {
+            Some(1) => {}
+            Some(v) => return Err(DeltaJsonError(format!("unsupported delta version {v}"))),
+            None => return Err(err("missing version")),
+        }
+        Ok(TraceDelta {
+            ops: ops.ok_or_else(|| err("missing ops"))?,
+        })
+    }
 }
+
+/// A [`TraceDelta`] JSON document failed to parse or had the wrong shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaJsonError(pub String);
+
+impl core::fmt::Display for DeltaJsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "bad delta JSON: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeltaJsonError {}
 
 /// How an edited datum is dirty, deciding what downstream caches may keep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -809,6 +1029,39 @@ mod tests {
                 prop_assert!(!t.is_dirty());
                 prop_assert_eq!(t.version(), delta.len() as u64);
             }
+        }
+    }
+    #[test]
+    fn delta_json_round_trips() {
+        let mut d = TraceDelta::new();
+        d.set_run(DataId(3), 1, [(ProcId(5), 2), (ProcId(6), 1)])
+            .remove_run(DataId(0), 0)
+            .append_window([(DataId(1), ProcId(2), 7)])
+            .append_window([]);
+        let text = d.to_json();
+        let back = TraceDelta::from_json(&text).unwrap();
+        assert_eq!(back, d);
+        let empty = TraceDelta::new();
+        assert_eq!(TraceDelta::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn delta_json_rejects_malformed_input() {
+        for bad in [
+            "",
+            "[]",
+            "{\"version\":2,\"ops\":[]}",
+            "{\"ops\":[]}",
+            "{\"version\":1}",
+            "{\"version\":1,\"ops\":[{}]}",
+            "{\"version\":1,\"ops\":[{\"op\":\"bogus\"}]}",
+            "{\"version\":1,\"ops\":[{\"op\":\"set_run\",\"datum\":0,\"window\":0}]}",
+            "{\"version\":1,\"ops\":[{\"op\":\"set_run\",\"datum\":0,\"window\":0,\"refs\":[[1]]}]}",
+            "{\"version\":1,\"ops\":[{\"op\":\"append_window\",\"rows\":[[1,2]]}]}",
+            "{\"version\":1,\"ops\":[],\"bogus\":3}",
+            "{\"version\":1,\"ops\":[{\"op\":\"set_run\",\"datum\":4294967296,\"window\":0,\"refs\":[]}]}",
+        ] {
+            assert!(TraceDelta::from_json(bad).is_err(), "accepted: {bad}");
         }
     }
 }

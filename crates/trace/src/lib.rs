@@ -18,6 +18,9 @@
 //!   dirty tracking, and a trace version for incremental rescheduling.
 //! * [`dag`] — optional task precedence DAGs over a trace's windows
 //!   (validated ownership partition + JSON round-trip).
+//! * [`json`] — the shared hand-rolled JSON parser and string escaper
+//!   behind every JSON surface (DAG files, churn deltas, `pim-serve`
+//!   requests); the vendored serde shim has no serializer.
 //! * [`builder`] — ergonomic trace construction.
 //! * [`stats`] — descriptive statistics (reference locality, spread).
 //! * [`encode`] — compact binary encoding (magic + version framing) for
@@ -47,6 +50,7 @@ pub mod edit;
 pub mod encode;
 pub mod flat;
 pub mod ids;
+pub mod json;
 pub mod perproc;
 pub mod stats;
 pub mod step;
@@ -56,7 +60,7 @@ pub mod window;
 
 pub use builder::TraceBuilder;
 pub use dag::{DagError, Task, TaskDag};
-pub use edit::{DirtyKind, DirtySummary, EditOp, EditableTrace, TraceDelta};
+pub use edit::{DeltaJsonError, DirtyKind, DirtySummary, EditOp, EditableTrace, TraceDelta};
 pub use flat::{FlatRecord, FlatRef, FlatTrace, FlatTraceError};
 pub use ids::DataId;
 pub use step::{Access, ExecStep, StepTrace};

@@ -35,7 +35,7 @@ cargo bench --no-run -q
 echo "== cargo doc --no-deps (first-party, -D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p pim-array -p pim-trace -p pim-par -p pim-workloads \
-  -p pim-sched -p pim-sim -p pim-cli -p pim-bench
+  -p pim-sched -p pim-sim -p pim-serve -p pim-cli -p pim-bench
 
 # Metrics export smoke: `--metrics` must emit JSON that parses and
 # carries the three RunReport sections. Falls back to grep when no
@@ -208,6 +208,98 @@ else
       || { echo "$f missing the dag section"; exit 1; }
   done
   echo "dag smoke: dag sections present (grep fallback)"
+fi
+
+# Serve smoke: drive one request of each op through the daemon's stdio
+# transport (the same submit/worker path the socket transports use) and
+# validate the responses; then run the serve load harness's smoke mode
+# and validate the BENCH_serve.json shape — including that the burst
+# actually shed load as typed overloaded rejections.
+echo "== serve smoke (stdio, one request of each op) =="
+serve_trace='flat v1 4 4 2 3\n0 0 1 3\n0 1 5 2\n1 0 9 4\n1 1 2 1\n2 0 7 2\n2 1 12 6\n'
+{
+  printf '{"id":1,"op":"load","text":"%s"}\n' "$serve_trace"
+  printf '{"id":2,"op":"stats"}\n'
+  printf '{"id":3,"op":"ping"}\n'
+  printf 'not json at all\n'
+} > "$metrics_tmp/serve_in_1.txt"
+./target/release/pim-cli serve --serve-workers 1 < "$metrics_tmp/serve_in_1.txt" \
+  > "$metrics_tmp/serve_out_1.txt"
+serve_key="$(sed -n 's/.*"trace":"\([0-9a-f]\{16\}\)".*/\1/p' \
+  "$metrics_tmp/serve_out_1.txt" | head -n 1)"
+[ -n "$serve_key" ] || { echo "serve smoke: load returned no trace key"; exit 1; }
+{
+  printf '{"id":1,"op":"load","text":"%s"}\n' "$serve_trace"
+  printf '{"id":2,"op":"schedule","trace":"%s","method":"scds"}\n' "$serve_key"
+  printf '{"id":3,"op":"simulate","trace":"%s"}\n' "$serve_key"
+  printf '{"id":4,"op":"edit","trace":"%s","delta":{"version":1,"ops":[{"op":"set_run","datum":0,"window":1,"refs":[[3,2]]}]}}\n' "$serve_key"
+  printf '{"id":5,"op":"schedule","trace":"%s","method":"scds"}\n' "$serve_key"
+  printf '{"id":6,"op":"evict","trace":"%s","scope":"engine"}\n' "$serve_key"
+  printf '{"id":7,"op":"stats"}\n'
+  printf '{"id":8,"op":"shutdown"}\n'
+} > "$metrics_tmp/serve_in_2.txt"
+./target/release/pim-cli serve --serve-workers 1 < "$metrics_tmp/serve_in_2.txt" \
+  > "$metrics_tmp/serve_out_2.txt"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$metrics_tmp/serve_out_1.txt" "$metrics_tmp/serve_out_2.txt" <<'PY'
+import json, sys
+probe = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert probe[0]["ok"] and probe[0]["fresh"], "load failed"
+assert probe[1]["ok"] and "server" in probe[1] and "store" in probe[1], "stats shape"
+assert probe[2]["ok"] and probe[2].get("pong"), "ping failed"
+assert not probe[3]["ok"] and probe[3]["error"] == "bad_request", \
+    "malformed line did not get a typed bad_request"
+session = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+ops = ["load", "schedule", "simulate", "edit", "schedule", "evict", "stats", "shutdown"]
+assert len(session) == len(ops), f"expected {len(ops)} responses, got {len(session)}"
+for i, (resp, op) in enumerate(zip(session, ops)):
+    assert resp["ok"], f"op {op} (response {i+1}) failed: {resp}"
+assert session[1]["warm"] is False and session[4]["warm"] is True, \
+    "second schedule after edit should be the warm path"
+assert session[3]["version"] == 1, "edit did not bump the version"
+assert session[1]["cost"]["total"] == \
+    session[1]["cost"]["reference"] + session[1]["cost"]["movement"]
+stats = session[6]["server"]
+assert stats["requests"]["schedule"] == 2 and stats["engine_builds"] >= 1
+print("serve smoke: all ops answered, warm path hit, stats consistent")
+PY
+else
+  grep -q '"ok":true' "$metrics_tmp/serve_out_2.txt" \
+    || { echo "serve smoke: no ok responses"; exit 1; }
+  grep -q '"error":"bad_request"' "$metrics_tmp/serve_out_1.txt" \
+    || { echo "serve smoke: malformed line not rejected"; exit 1; }
+  echo "serve smoke: expected markers present (grep fallback)"
+fi
+
+echo "== serve load smoke (report_serve --smoke) =="
+./target/release/report_serve --smoke --out "$metrics_tmp/serve_smoke.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$metrics_tmp/serve_smoke.json" <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+rows = bench["rows"]
+assert rows, "serve smoke produced no rows"
+for row in rows:
+    for key in ("grid", "num_data", "mode", "concurrency", "requests", "ok",
+                "overloaded", "errors", "elapsed_ns", "throughput_rps",
+                "p50_us", "p90_us", "p99_us", "max_us"):
+        assert key in row, f"row missing {key!r}: {row}"
+    assert row["errors"] == 0, f"serve row had hard errors: {row}"
+modes = {row["mode"] for row in rows}
+assert {"warm", "churn", "cold"} <= modes, f"missing modes: {modes}"
+burst = bench["burst"]
+assert burst["overloaded"] > 0, "burst produced no overload rejections"
+assert burst["ok"] + burst["overloaded"] + burst["errors"] == burst["requests"], \
+    "burst dropped requests"
+print(f"serve smoke: {len(rows)} rows, burst shed "
+      f"{burst['overloaded']}/{burst['requests']} requests")
+PY
+else
+  for key in '"rows"' '"throughput_rps"' '"p99_us"' '"burst"' '"overloaded"'; do
+    grep -q "$key" "$metrics_tmp/serve_smoke.json" \
+      || { echo "serve_smoke.json missing $key"; exit 1; }
+  done
+  echo "serve load smoke: expected keys present (grep fallback)"
 fi
 
 echo "ci: all green"
