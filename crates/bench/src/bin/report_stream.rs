@@ -1,0 +1,276 @@
+//! Out-of-core streaming report: packs a big synthetic instance to the
+//! `.pimb` binary format, schedules it end-to-end through the streaming
+//! pipeline and through the resident in-memory pipeline, and writes the
+//! comparison (wall time, cost parity, peak RSS, binary-vs-text load
+//! speed) to `BENCH_stream.json`.
+//!
+//! Peak RSS (`VmHWM`) is a process-wide high-water mark, so each measured
+//! phase runs in its own child process: the binary re-executes itself
+//! with `--phase ...` and the parent folds the children's `phase-result`
+//! lines into the document (see `pim_bench::stream`).
+//!
+//! Flags:
+//!
+//! * `--smoke` — 16×16 × 50k instance (the CI gate) instead of the full
+//!   64×64 × 10M run;
+//! * `--out PATH` — write the JSON somewhere other than
+//!   `./BENCH_stream.json`;
+//! * `--phase NAME ...` — internal: run one measured phase and print its
+//!   result line.
+
+use pim_bench::stream::{
+    inmem_phase, load_phase, pack_phase, parse_phase_line, render_json, render_phase_line,
+    stream_phase, LoadStats, PackStats, PhaseStats, StreamRow,
+};
+use pim_bench::timing::warn_if_slower;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--phase") {
+        run_phase(&args[1..]);
+        return;
+    }
+
+    let mut out = String::from("BENCH_stream.json");
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            other => {
+                eprintln!("unknown flag {other}; flags: --smoke, --out PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Full run: the acceptance instance at the default chunk size.
+    // Smoke: small enough for CI but chunked so even its 50k instance
+    // walks the same multi-chunk machinery (8k data per chunk).
+    let (side, num_data, load_data, load_reps, chunk) = if smoke {
+        (16u32, 50_000usize, 50_000usize, 1u32, 8_192usize)
+    } else {
+        (64, 10_000_000, 1_000_000, 3, 0)
+    };
+
+    let dir = std::env::temp_dir().join(format!("pim_stream_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+    let pimb = dir.join("instance.pimb");
+
+    let pack = parse_pack(&child(&[
+        "--phase",
+        "pack",
+        "--path",
+        pimb.to_str().expect("temp path is utf-8"),
+        "--side",
+        &side.to_string(),
+        "--data",
+        &num_data.to_string(),
+    ]));
+    println!(
+        "packed {side}x{side} n={num_data}: {} refs, {:.1} MB",
+        pack.num_refs,
+        pack.bytes as f64 / 1e6
+    );
+
+    let mut rows = Vec::new();
+    for method in ["scds", "lomcds"] {
+        let stream = parse_phase(&child(&[
+            "--phase",
+            "stream",
+            "--path",
+            pimb.to_str().expect("temp path is utf-8"),
+            "--method",
+            method,
+            "--chunk",
+            &chunk.to_string(),
+        ]));
+        let inmem = parse_phase(&child(&[
+            "--phase",
+            "inmem",
+            "--path",
+            pimb.to_str().expect("temp path is utf-8"),
+            "--method",
+            method,
+        ]));
+        assert_eq!(
+            stream.cost, inmem.cost,
+            "{method}: streamed cost diverged from the in-memory pipeline"
+        );
+        let row = StreamRow {
+            method: if method == "scds" { "scds" } else { "lomcds" },
+            stream,
+            inmem,
+        };
+        report_row(&row);
+        rows.push(row);
+    }
+
+    let load = parse_load(&child(&[
+        "--phase",
+        "load",
+        "--dir",
+        dir.to_str().expect("temp path is utf-8"),
+        "--side",
+        &side.to_string(),
+        "--data",
+        &load_data.to_string(),
+        "--reps",
+        &load_reps.to_string(),
+    ]));
+    println!(
+        "load n={}: binary {:.1} ms vs text {:.1} ms ({:.1}x)",
+        load.num_data,
+        load.binary_ns as f64 / 1e6,
+        load.text_ns as f64 / 1e6,
+        load.speedup()
+    );
+    if load.speedup() < 10.0 {
+        eprintln!(
+            "warning: binary load only {:.1}x faster than the text parse (target is 10x)",
+            load.speedup()
+        );
+    }
+    warn_if_slower("binary load vs text parse", load.speedup());
+
+    let json = render_json(side, num_data, chunk, pack, load, &rows);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn report_row(row: &StreamRow) {
+    let ms = |ns: u128| ns as f64 / 1e6;
+    println!(
+        "{}: stream {:.1} ms over {} chunks (peak RSS {} MB) vs in-memory {:.1} ms \
+         (peak RSS {} MB), rss ratio {:.3}, cost parity ok",
+        row.method,
+        ms(row.stream.ns),
+        row.stream.num_chunks,
+        row.stream.peak_rss_kb / 1024,
+        ms(row.inmem.ns),
+        row.inmem.peak_rss_kb / 1024,
+        row.rss_ratio(),
+    );
+    if row.rss_ratio() > 0.25 {
+        eprintln!(
+            "warning: {}: streaming peak RSS is {:.1}% of the in-memory pipeline's \
+             (bounded-memory target is 25%)",
+            row.method,
+            row.rss_ratio() * 100.0
+        );
+    }
+}
+
+/// Run one measured phase in this process and print its result line.
+fn run_phase(args: &[String]) {
+    let mut path: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut method: Option<String> = None;
+    let mut side = 0u32;
+    let mut data = 0usize;
+    let mut reps = 1u32;
+    let mut chunk = 0usize;
+    let mut it = args.iter();
+    let phase = it.next().expect("--phase needs a name").clone();
+    while let Some(a) = it.next() {
+        let val = it.next().unwrap_or_else(|| panic!("{a} needs a value"));
+        match a.as_str() {
+            "--path" => path = Some(PathBuf::from(val)),
+            "--dir" => dir = Some(PathBuf::from(val)),
+            "--method" => method = Some(val.clone()),
+            "--side" => side = val.parse().expect("--side"),
+            "--data" => data = val.parse().expect("--data"),
+            "--reps" => reps = val.parse().expect("--reps"),
+            "--chunk" => chunk = val.parse().expect("--chunk"),
+            other => panic!("unknown phase flag {other}"),
+        }
+    }
+    let need = |p: Option<PathBuf>, flag: &str| p.unwrap_or_else(|| panic!("phase needs {flag}"));
+    let line = match phase.as_str() {
+        "pack" => {
+            let s = pack_phase(&need(path, "--path"), side, data);
+            render_phase_line(&[
+                ("bytes", s.bytes.to_string()),
+                ("num_refs", s.num_refs.to_string()),
+            ])
+        }
+        "stream" | "inmem" => {
+            let m = method.expect("phase needs --method");
+            let p = need(path, "--path");
+            let s = if phase == "stream" {
+                stream_phase(&p, &m, chunk)
+            } else {
+                inmem_phase(&p, &m)
+            };
+            render_phase_line(&[
+                ("cost", s.cost.to_string()),
+                ("ns", s.ns.to_string()),
+                ("rss_kb", s.peak_rss_kb.to_string()),
+                ("chunks", s.num_chunks.to_string()),
+            ])
+        }
+        "load" => {
+            let s = load_phase(&need(dir, "--dir"), side, data, reps);
+            render_phase_line(&[
+                ("num_data", s.num_data.to_string()),
+                ("binary_ns", s.binary_ns.to_string()),
+                ("text_ns", s.text_ns.to_string()),
+            ])
+        }
+        other => panic!("unknown phase {other}"),
+    };
+    println!("{line}");
+}
+
+/// Re-execute this binary with `args`, inherit stderr, capture stdout,
+/// and return the parsed `phase-result` map.
+fn child(args: &[&str]) -> BTreeMap<String, String> {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = Command::new(&exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {}: {e}", exe.display()));
+    eprint!("{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    if !out.status.success() {
+        panic!("phase {args:?} failed ({}): {stdout}", out.status);
+    }
+    parse_phase_line(&stdout)
+        .unwrap_or_else(|| panic!("phase {args:?} printed no result line: {stdout}"))
+}
+
+fn req(map: &BTreeMap<String, String>, key: &str) -> u128 {
+    map.get(key)
+        .unwrap_or_else(|| panic!("phase result missing {key}: {map:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("phase result {key} not a number: {map:?}"))
+}
+
+fn parse_pack(map: &BTreeMap<String, String>) -> PackStats {
+    PackStats {
+        bytes: req(map, "bytes") as u64,
+        num_refs: req(map, "num_refs") as usize,
+    }
+}
+
+fn parse_phase(map: &BTreeMap<String, String>) -> PhaseStats {
+    PhaseStats {
+        cost: req(map, "cost") as u64,
+        ns: req(map, "ns"),
+        peak_rss_kb: req(map, "rss_kb") as u64,
+        num_chunks: req(map, "chunks") as usize,
+    }
+}
+
+fn parse_load(map: &BTreeMap<String, String>) -> LoadStats {
+    LoadStats {
+        num_data: req(map, "num_data") as usize,
+        binary_ns: req(map, "binary_ns"),
+        text_ns: req(map, "text_ns"),
+    }
+}

@@ -46,6 +46,10 @@ pub struct ChurnRow {
     /// bit for bit (always true — divergence panics — recorded so the CI
     /// validator can check the field exists and holds).
     pub parity: bool,
+    /// Process-wide peak-RSS high-water mark (`VmHWM`) sampled after this
+    /// row, kilobytes — monotone across rows within one report run; 0 when
+    /// unavailable.
+    pub peak_rss_kb: u64,
 }
 
 impl ChurnRow {
@@ -226,6 +230,7 @@ pub fn churn_row(
         scratch_ns,
         fallbacks: engine.fallbacks() - warmup_fallbacks,
         parity: true,
+        peak_rss_kb: crate::timing::peak_rss_kb().unwrap_or(0),
     }
 }
 
@@ -248,7 +253,7 @@ pub fn render_json(rows: &[ChurnRow]) -> String {
             "    {{\"grid\": \"{0}x{0}\", \"num_data\": {1}, \"method\": \"{2}\", \
              \"policy\": \"{3}\", \"ticks\": {4}, \"dirty_per_tick\": {5}, \
              \"mean_tick_ns\": {6}, \"mean_scratch_ns\": {7}, \"speedup\": {8:.3}, \
-             \"fallbacks\": {9}, \"parity\": {10}, \"tick_ns\": [",
+             \"fallbacks\": {9}, \"parity\": {10}, \"peak_rss_kb\": {11}, \"tick_ns\": [",
             row.side,
             row.num_data,
             row.method,
@@ -260,6 +265,7 @@ pub fn render_json(rows: &[ChurnRow]) -> String {
             row.speedup(),
             row.fallbacks,
             row.parity,
+            row.peak_rss_kb,
         );
         for (j, ns) in row.tick_ns.iter().enumerate() {
             if j > 0 {
@@ -288,6 +294,7 @@ mod tests {
         assert!(json.contains("\"grid\": \"8x8\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"fallbacks\""));
+        assert!(json.contains("\"peak_rss_kb\""));
     }
 
     #[test]

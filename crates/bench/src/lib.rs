@@ -34,12 +34,20 @@
 //! closed-loop clients against an in-process `pim-serve` TCP daemon
 //! (warm / churn / cold request mixes plus an overload burst), writing
 //! `BENCH_serve.json` with throughput and latency percentiles.
+//!
+//! `report_stream` (module [`stream`]) is the out-of-core harness: a big
+//! instance packed to the `.pimb` binary format, scheduled end-to-end by
+//! the streaming pipeline and by the resident in-memory pipeline in
+//! separate child processes (peak RSS is process-wide), writing
+//! `BENCH_stream.json` with cost parity, RSS ratios and binary-vs-text
+//! load speed.
 
 pub mod churn;
 pub mod cycle_workload;
 pub mod experiments;
 pub mod scale;
 pub mod serve_load;
+pub mod stream;
 pub mod table;
 pub mod timing;
 

@@ -92,14 +92,6 @@ pub fn synthetic_records(
     records
 }
 
-/// Peak resident set size of this process in kilobytes (`VmHWM` from
-/// `/proc/self/status`), or `None` off Linux.
-pub fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
-}
-
 /// One method's timings within a [`ScaleRow`].
 #[derive(Debug, Clone)]
 pub struct MethodScale {
@@ -210,7 +202,7 @@ pub fn scale_row(side: u32, num_data: usize, parity: bool, reps: u32) -> ScaleRo
         num_refs: flat.num_refs(),
         build_ns,
         methods,
-        peak_rss_kb: peak_rss_kb().unwrap_or(0),
+        peak_rss_kb: crate::timing::peak_rss_kb().unwrap_or(0),
     }
 }
 

@@ -37,6 +37,19 @@ pub fn bench_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> (u128, R) {
     (best, out)
 }
 
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux.
+///
+/// `VmHWM` is a process-wide high-water mark: it only ever rises, so a
+/// reading reflects the hungriest phase *so far*, not the current working
+/// set. Report binaries that compare phases must isolate each phase in its
+/// own process (see `report_stream`).
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Warn on stderr when a measured speedup dips below 1 — the optimized
 /// path lost to its reference. `what` names the row, e.g.
 /// `"SCDS on benchmark 3 size 16: cached path"`.

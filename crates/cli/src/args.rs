@@ -36,6 +36,13 @@ pub enum Command {
     /// over stdin (`--stdin`, the default), a Unix socket (`--socket`)
     /// or TCP (`--tcp`).
     Serve,
+    /// Pack a flat trace (`--trace` text file, or synthetic via
+    /// `--grid`/`--data`/`--windows`/`--seed`) into the `.pimb` binary
+    /// container at `--out`.
+    Pack,
+    /// Decode a `.pimb` binary trace (`--trace`) back to the flat text
+    /// format at `--out`.
+    Unpack,
 }
 
 /// Fully parsed CLI invocation.
@@ -74,6 +81,11 @@ pub struct ParsedArgs {
     /// `run` only: convert the trace to the flat SoA layout and use the
     /// big-instance fast path (SCDS/LOMCDS/GOMCDS only).
     pub flat: bool,
+    /// `run`: `--trace` is a `.pimb` binary file, memory-mapped and
+    /// scheduled zero-copy through the flat fast path. `scale`: pack the
+    /// synthetic instance to a temporary `.pimb` and schedule it through
+    /// the out-of-core streaming pipeline.
+    pub bin: bool,
     /// Task DAG source: a JSON file path, or the literal `natural` for
     /// the benchmark's analytically known dependence chain (`run`: gate
     /// the cycle simulation and inform precedence-aware schedulers;
@@ -113,6 +125,7 @@ impl Default for ParsedArgs {
             threads: 0,
             metrics_out: None,
             flat: false,
+            bin: false,
             dag: None,
             data: 100_000,
             windows: 32,
@@ -190,6 +203,8 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
         "list-methods" => Command::ListMethods,
         "scale" => Command::Scale,
         "serve" => Command::Serve,
+        "pack" => Command::Pack,
+        "unpack" => Command::Unpack,
         "-h" | "--help" | "help" => return Err(usage()),
         other => return Err(format!("unknown command '{other}'\n{}", usage())),
     };
@@ -234,6 +249,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
                     .map_err(|_| format!("bad value '{v}' for --seed, expected an integer"))?;
             }
             "--flat" => out.flat = true,
+            "--bin" => out.bin = true,
             "--dag" => out.dag = Some(value()?),
             "--data" => {
                 let v = value()?;
@@ -322,6 +338,23 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
             "--flat is only supported by `run` (use `scale` for synthetic instances)".to_string(),
         );
     }
+    if out.bin {
+        if !matches!(out.command, Command::Run | Command::Scale) {
+            return Err("--bin is only supported by `run` and `scale`".to_string());
+        }
+        if out.flat {
+            return Err("--bin already takes the flat fast path; drop --flat".to_string());
+        }
+        if out.command == Command::Run && out.trace_file.is_none() {
+            return Err("run --bin needs --trace FILE.pimb".to_string());
+        }
+    }
+    if out.command == Command::Pack && out.out.is_none() {
+        return Err("pack needs --out FILE.pimb".to_string());
+    }
+    if out.command == Command::Unpack && (out.trace_file.is_none() || out.out.is_none()) {
+        return Err("unpack needs --trace FILE.pimb and --out FILE".to_string());
+    }
     if out.dag.is_some() {
         if !matches!(out.command, Command::Run | Command::Export) {
             return Err("--dag is only supported by `run` and `export`".to_string());
@@ -346,17 +379,21 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, ParseError> {
 
 /// The usage text.
 pub fn usage() -> String {
-    "usage: pim-cli <run|compare|stats|simulate|refine|replicate|windows|export|explain|list-methods|scale|serve> \
+    "usage: pim-cli <run|compare|stats|simulate|refine|replicate|windows|export|explain|list-methods|scale|serve|pack|unpack> \
      [--bench 1-5|code|jacobi|transpose|sor] [--size N] [--grid WxH] \
      [--window STEPS] [--method NAME (see `pim-cli list-methods`)] \
      [--memory unbounded|Nx|CAP] [--seed S] [--out FILE] [--trace FILE] \
      [--threads N (0 = sequential)] \
      [--metrics FILE (run/compare: write a JSON run report)] \
      [--flat (run: SoA fast path for scds/lomcds/gomcds)] \
+     [--bin (run: --trace is a memory-mapped .pimb; scale: stream out-of-core)] \
      [--dag FILE|natural (run: precedence-gated simulation; export: write the DAG)] \
-     [--data N] [--windows N (scale: synthetic instance shape)] \
+     [--data N] [--windows N (scale/pack: synthetic instance shape)] \
      [--stdin|--socket PATH|--tcp ADDR (serve: transport, default stdin)] \
-     [--serve-workers N] [--queue N] [--cache-mb MB (serve: sizing)]"
+     [--serve-workers N] [--queue N] [--cache-mb MB (serve: sizing)]\n\
+     pack writes a flat trace (--trace text, or synthetic --grid/--data/--windows/--seed) \
+     to the .pimb binary container at --out; unpack decodes a .pimb back to text; \
+     export and scale write .pimb when --out ends in .pimb"
         .to_string()
 }
 
@@ -549,6 +586,41 @@ mod tests {
         assert!(err.contains("--queue must be positive"), "{err}");
         let err = parse(&v(&["serve", "--serve-workers", "0"])).unwrap_err();
         assert!(err.contains("--serve-workers must be positive"), "{err}");
+    }
+
+    #[test]
+    fn pack_unpack_and_bin_flags() {
+        let a = parse(&v(&[
+            "pack", "--grid", "16x16", "--data", "1000", "--out", "t.pimb",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, Command::Pack);
+        assert_eq!(a.out.as_deref(), Some("t.pimb"));
+
+        let a = parse(&v(&["pack", "--trace", "t.txt", "--out", "t.pimb"])).unwrap();
+        assert_eq!(a.trace_file.as_deref(), Some("t.txt"));
+
+        let a = parse(&v(&["unpack", "--trace", "t.pimb", "--out", "t.txt"])).unwrap();
+        assert_eq!(a.command, Command::Unpack);
+
+        let a = parse(&v(&[
+            "run", "--bin", "--trace", "t.pimb", "--method", "scds",
+        ]))
+        .unwrap();
+        assert!(a.bin && !a.flat);
+        let a = parse(&v(&["scale", "--bin", "--data", "5000"])).unwrap();
+        assert!(a.bin);
+
+        let err = parse(&v(&["pack", "--grid", "4x4"])).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+        let err = parse(&v(&["unpack", "--trace", "t.pimb"])).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+        let err = parse(&v(&["compare", "--bin"])).unwrap_err();
+        assert!(err.contains("--bin"), "{err}");
+        let err = parse(&v(&["run", "--bin"])).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+        let err = parse(&v(&["run", "--bin", "--flat", "--trace", "t.pimb"])).unwrap_err();
+        assert!(err.contains("--flat"), "{err}");
     }
 
     #[test]

@@ -24,6 +24,15 @@ fn main() -> ExitCode {
     if parsed.command == Command::Serve {
         return run_serve(&parsed);
     }
+    if parsed.command == Command::Pack {
+        return run_pack(&parsed);
+    }
+    if parsed.command == Command::Unpack {
+        return run_unpack(&parsed);
+    }
+    if parsed.command == Command::Run && parsed.bin {
+        return run_bin(&parsed);
+    }
     if parsed.command == Command::ListMethods {
         println!("registered scheduling methods:");
         for s in pim_sched::registry().iter() {
@@ -369,6 +378,21 @@ fn main() -> ExitCode {
                     d.edges().len(),
                     d.num_windows()
                 );
+            } else if path.ends_with(".pimb") {
+                // A `.pimb` destination selects the flat binary container
+                // (zero-copy loadable via `run --bin` / `serve` `path`).
+                let flat = pim_trace::flat::FlatTrace::from_trace(&trace);
+                match pim_trace::binfmt::pack_file(&flat, path) {
+                    Ok(bytes) => println!(
+                        "wrote {bytes} bytes (binary flat trace, {} data x {} windows) to {path}",
+                        flat.num_data(),
+                        flat.num_windows()
+                    ),
+                    Err(e) => {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             } else {
                 let bytes = pim_trace::encode::encode_trace(&trace);
                 if let Err(e) = std::fs::write(path, &bytes) {
@@ -440,7 +464,11 @@ fn main() -> ExitCode {
                 println!("  {len:>3} -> {count}");
             }
         }
-        Command::ListMethods | Command::Scale | Command::Serve => {
+        Command::ListMethods
+        | Command::Scale
+        | Command::Serve
+        | Command::Pack
+        | Command::Unpack => {
             unreachable!("handled before trace construction")
         }
     }
@@ -480,10 +508,12 @@ fn load_dag(
     Ok(Some(dag))
 }
 
-/// Dispatch a method name to its flat SoA fast path.
-fn flat_schedule(
+/// Dispatch a method name to its flat SoA fast path. Generic over
+/// [`pim_trace::flat::FlatView`] so the same dispatch serves owned traces
+/// (`--flat`) and memory-mapped `.pimb` files (`--bin`).
+fn flat_schedule<V: pim_trace::flat::FlatView + ?Sized>(
     method: &str,
-    flat: &pim_trace::flat::FlatTrace,
+    flat: &V,
     memory: pim_sched::MemoryPolicy,
     pool: Pool,
 ) -> Result<pim_sched::Schedule, String> {
@@ -495,6 +525,127 @@ fn flat_schedule(
             "--flat supports SCDS, LOMCDS and GOMCDS (got '{other}')"
         )),
     }
+}
+
+/// The `run --bin` path: memory-map a `.pimb` binary trace and drive the
+/// flat fast path zero-copy off the mapped view.
+fn run_bin(parsed: &pim_cli::args::ParsedArgs) -> ExitCode {
+    use std::time::Instant;
+    let path = parsed.trace_file.as_deref().expect("validated by args");
+    let start = Instant::now();
+    let bt = match pim_trace::BinTrace::open(path) {
+        Ok(bt) => bt,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let load = start.elapsed();
+    use pim_trace::flat::FlatView as _;
+    println!(
+        "{}: {} data x {} windows on {}, {} reference runs{}, opened in {:.1} ms",
+        path,
+        bt.num_data(),
+        bt.num_windows(),
+        bt.grid(),
+        bt.num_refs(),
+        if bt.is_mapped() {
+            " (memory-mapped)"
+        } else {
+            " (decoded)"
+        },
+        load.as_secs_f64() * 1e3
+    );
+    let pool = if parsed.threads > 0 {
+        Pool::with_threads(parsed.threads)
+    } else {
+        Pool::serial()
+    };
+    let start = Instant::now();
+    let s = match flat_schedule(&parsed.method, &bt, parsed.memory, pool) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sched = start.elapsed();
+    let cost = pim_sched::flat_total_cost(&bt, &s);
+    println!("schedule {:.1} ms", sched.as_secs_f64() * 1e3);
+    println!("{}", render::breakdown(&parsed.method, cost));
+    println!(
+        "moves: {}, max occupancy: {}",
+        s.num_moves(),
+        s.max_occupancy()
+    );
+    ExitCode::SUCCESS
+}
+
+/// The `pack` subcommand: encode a flat trace (a text file via `--trace`,
+/// or a synthetic instance) into the `.pimb` binary container.
+fn run_pack(parsed: &pim_cli::args::ParsedArgs) -> ExitCode {
+    let out = parsed.out.as_deref().expect("validated by args");
+    let flat = if let Some(path) = &parsed.trace_file {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match pim_trace::flat::FlatTrace::from_reader(std::io::BufReader::new(file)) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!(
+            "packing synthetic instance: {} data x {} windows on {}, seed {}",
+            parsed.data, parsed.windows, parsed.grid, parsed.seed
+        );
+        pim_bench::scale::synthetic_flat(parsed.grid, parsed.windows, parsed.data, parsed.seed)
+    };
+    match pim_trace::binfmt::pack_file(&flat, out) {
+        Ok(bytes) => {
+            println!(
+                "wrote {bytes} bytes ({} data x {} windows, {} reference runs) to {out}",
+                flat.num_data(),
+                flat.num_windows(),
+                flat.num_refs()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `unpack` subcommand: decode a `.pimb` back to the flat text format.
+fn run_unpack(parsed: &pim_cli::args::ParsedArgs) -> ExitCode {
+    let path = parsed.trace_file.as_deref().expect("validated by args");
+    let out = parsed.out.as_deref().expect("validated by args");
+    let flat = match pim_trace::binfmt::load_flat(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot decode {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out, flat.to_text()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} data x {} windows ({} reference runs) to {out}",
+        flat.num_data(),
+        flat.num_windows(),
+        flat.num_refs()
+    );
+    ExitCode::SUCCESS
 }
 
 /// The `scale` subcommand: synthesize a flat big instance and time the
@@ -522,11 +673,35 @@ fn run_scale(parsed: &pim_cli::args::ParsedArgs) -> ExitCode {
         }
     };
     let build = start.elapsed();
+    // `--out` persists the instance: the `.pimb` binary container when the
+    // path says so, the flat text format otherwise.
+    if let Some(out) = &parsed.out {
+        let res = if out.ends_with(".pimb") {
+            pim_trace::binfmt::pack_file(&flat, out)
+                .map(|bytes| format!("{bytes} bytes, binary"))
+                .map_err(|e| e.to_string())
+        } else {
+            let text = flat.to_text();
+            std::fs::write(out, &text)
+                .map(|()| format!("{} bytes, text", text.len()))
+                .map_err(|e| e.to_string())
+        };
+        match res {
+            Ok(what) => println!("wrote instance ({what}) to {out}"),
+            Err(e) => {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let pool = if parsed.threads > 0 {
         Pool::with_threads(parsed.threads)
     } else {
         Pool::serial()
     };
+    if parsed.bin {
+        return scale_stream(parsed, &flat, build, pool);
+    }
     let start = Instant::now();
     let s = match flat_schedule(&parsed.method, &flat, parsed.memory, pool) {
         Ok(s) => s,
@@ -548,9 +723,74 @@ fn run_scale(parsed: &pim_cli::args::ParsedArgs) -> ExitCode {
         "moves: {}, max occupancy: {}, peak RSS {} MB",
         s.num_moves(),
         s.max_occupancy(),
-        pim_bench::scale::peak_rss_kb().unwrap_or(0) / 1024
+        pim_bench::timing::peak_rss_kb().unwrap_or(0) / 1024
     );
     ExitCode::SUCCESS
+}
+
+/// The `scale --bin` path: pack the synthetic instance to a `.pimb` file
+/// (reusing `--out` when it already names one, else a temporary) and
+/// schedule it through the out-of-core streaming pipeline.
+fn scale_stream(
+    parsed: &pim_cli::args::ParsedArgs,
+    flat: &pim_trace::flat::FlatTrace,
+    build: std::time::Duration,
+    pool: Pool,
+) -> ExitCode {
+    use std::time::Instant;
+    let method = match parsed.method.as_str() {
+        "SCDS" => pim_sched::Method::Scds,
+        "LOMCDS" => pim_sched::Method::Lomcds,
+        "GOMCDS" => pim_sched::Method::Gomcds,
+        other => {
+            eprintln!("--bin supports SCDS, LOMCDS and GOMCDS (got '{other}')");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (path, temp) = match &parsed.out {
+        Some(out) if out.ends_with(".pimb") => (std::path::PathBuf::from(out), false),
+        _ => {
+            let p = std::env::temp_dir().join(format!("pim_scale_{}.pimb", std::process::id()));
+            if let Err(e) = pim_trace::binfmt::pack_file(flat, &p) {
+                eprintln!("cannot write {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+            (p, true)
+        }
+    };
+    let start = Instant::now();
+    let outcome = pim_sched::stream_schedule(
+        &path,
+        method,
+        parsed.memory,
+        pool,
+        pim_sched::StreamConfig::default(),
+    );
+    let sched = start.elapsed();
+    if temp {
+        let _ = std::fs::remove_file(&path);
+    }
+    match outcome {
+        Ok(o) => {
+            println!(
+                "{} reference runs streamed in {} chunks; build {:.1} ms, schedule {:.1} ms",
+                o.num_refs,
+                o.num_chunks,
+                build.as_secs_f64() * 1e3,
+                sched.as_secs_f64() * 1e3
+            );
+            println!("{}", render::breakdown(&parsed.method, o.cost));
+            println!(
+                "peak RSS {} MB",
+                pim_bench::timing::peak_rss_kb().unwrap_or(0) / 1024
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The `serve` subcommand: run the scheduling daemon on the selected

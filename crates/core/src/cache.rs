@@ -551,7 +551,7 @@ impl<'t> CostCache<'t> {
     /// [`CostCache::build`] on the equivalent nested trace
     /// (property-tested in `tests/cache_equivalence.rs`), while datum
     /// spans stay contiguous slices of one shared `refs` array.
-    pub fn build_flat(flat: &'t FlatTrace) -> Self {
+    pub fn build_flat<V: pim_trace::flat::FlatView + ?Sized>(flat: &'t V) -> Self {
         let grid = flat.grid();
         let nw = flat.num_windows();
         CostCache {

@@ -1,10 +1,13 @@
-//! Scheduling straight off a [`FlatTrace`] — the big-instance fast path.
+//! Scheduling straight off a flat CSR trace — the big-instance fast path.
 //!
 //! The registry schedulers consume a [`pim_trace::window::WindowedTrace`];
 //! at millions of data the nested representation's allocation count and
 //! pointer chasing dominate the runtime before any scheduling math runs.
 //! The entry points here drive SCDS, LOMCDS and GOMCDS directly from the
-//! flat CSR layout:
+//! flat CSR layout. They are generic over [`FlatView`], so the same code
+//! runs against an owned in-memory [`pim_trace::flat::FlatTrace`] or a zero-copy
+//! memory-mapped [`pim_trace::binfmt::BinTrace`] — scheduling straight off
+//! file bytes:
 //!
 //! * center selection uses the incremental weighted medians of
 //!   [`crate::median::MedianState`] wherever the classic path's full cost
@@ -37,13 +40,14 @@ use crate::workspace::Workspace;
 use pim_array::grid::{Grid, ProcId};
 use pim_array::memory::MemoryMap;
 use pim_par::Pool;
-use pim_trace::flat::{FlatRef, FlatTrace};
+use pim_trace::flat::{span_window_runs, FlatRef, FlatView};
 use pim_trace::ids::DataId;
 
-/// Per-worker scratch for the median-driven phases.
+/// Per-worker scratch for the median-driven phases. Shared with the
+/// out-of-core pipeline in [`crate::stream`].
 #[derive(Default)]
-struct FlatScratch {
-    med: MedianState,
+pub(crate) struct FlatScratch {
+    pub(crate) med: MedianState,
     axes: AxisScratch,
     table: Vec<u64>,
 }
@@ -70,13 +74,63 @@ pub(crate) fn span_full_table(
     axes.sweep_into(grid, out);
 }
 
+/// The merged-window weighted median of one span — SCDS's pure per-datum
+/// phase. Shared with the out-of-core pipeline in [`crate::stream`].
+pub(crate) fn span_merged_median(grid: &Grid, span: &[FlatRef], med: &mut MedianState) -> ProcId {
+    med.reset(grid);
+    for r in span {
+        med.add(r.x, r.y, r.count as u64);
+    }
+    med.center(grid)
+}
+
+/// SCDS's sequential capacity replay: medians are offered in ascending
+/// datum order, and a datum whose median is full falls back to its full
+/// (cost, id)-ordered processor list — exactly the classic scheduler's
+/// decisions. Factored into a state object so [`crate::stream`] can feed
+/// it chunk by chunk and stay bit-identical to [`flat_scds`].
+pub(crate) struct ScdsReplay {
+    mem: MemoryMap,
+    scratch: FlatScratch,
+}
+
+impl ScdsReplay {
+    pub(crate) fn new(grid: &Grid, spec: pim_array::memory::MemorySpec) -> ScdsReplay {
+        ScdsReplay {
+            mem: MemoryMap::new(grid, spec),
+            scratch: FlatScratch::default(),
+        }
+    }
+
+    /// Place datum `d` (with precomputed merged median `c`), mutating the
+    /// shared capacity state. Must be called in ascending datum order.
+    pub(crate) fn place(
+        &mut self,
+        grid: &Grid,
+        d: DataId,
+        span: &[FlatRef],
+        c: ProcId,
+    ) -> Result<ProcId, SchedError> {
+        if self.mem.has_room(c) {
+            self.mem.allocate(c).map_err(|_| exhausted(d, None))?;
+            return Ok(c);
+        }
+        // The median (= list head) is full: fall back to the full
+        // (cost, id)-ordered list, exactly as the classic path does.
+        span_full_table(grid, span, &mut self.scratch.axes, &mut self.scratch.table);
+        ProcessorList::from_cost_table(&self.scratch.table)
+            .assign(&mut self.mem)
+            .ok_or_else(|| exhausted(d, None))
+    }
+}
+
 /// SCDS on a flat trace: one merged-window median per datum, capacity
 /// resolved in ascending datum order. Bit-identical to
 /// [`crate::scds::scds_schedule_cached`] on the equivalent nested trace —
 /// the merged median *is* the head of the merged processor list, and a
 /// datum only needs the rest of that list when its median is full.
-pub fn flat_scds(
-    flat: &FlatTrace,
+pub fn flat_scds<V: FlatView + ?Sized>(
+    flat: &V,
     policy: MemoryPolicy,
     pool: Pool,
 ) -> Result<Schedule, SchedError> {
@@ -91,31 +145,13 @@ pub fn flat_scds(
         &ids,
         pim_par::auto_chunk(nd, pool.threads()),
         FlatScratch::default,
-        |s, _, &d| {
-            s.med.reset(&grid);
-            for r in flat.span(d) {
-                s.med.add(r.x, r.y, r.count as u64);
-            }
-            s.med.center(&grid)
-        },
+        |s, _, &d| span_merged_median(&grid, flat.span(d), &mut s.med),
     );
 
-    let mut mem = MemoryMap::new(&grid, spec);
-    let mut scratch = FlatScratch::default();
+    let mut replay = ScdsReplay::new(&grid, spec);
     let mut placement = Vec::with_capacity(nd);
     for (d, &c) in ids.iter().zip(&medians) {
-        let p = if mem.has_room(c) {
-            mem.allocate(c).map_err(|_| exhausted(*d, None))?;
-            c
-        } else {
-            // The median (= list head) is full: fall back to the full
-            // (cost, id)-ordered list, exactly as the classic path does.
-            span_full_table(&grid, flat.span(*d), &mut scratch.axes, &mut scratch.table);
-            ProcessorList::from_cost_table(&scratch.table)
-                .assign(&mut mem)
-                .ok_or_else(|| exhausted(*d, None))?
-        };
-        placement.push(p);
+        placement.push(replay.place(&grid, *d, flat.span(*d), c)?);
     }
     Ok(Schedule::static_placement(
         grid,
@@ -127,16 +163,16 @@ pub fn flat_scds(
 /// The unconstrained LOMCDS center sequence of one datum from its flat
 /// span: per-window incremental medians with carry-forward / backfill gap
 /// resolution — `lomcds_centers_unconstrained` without a cost table.
-fn flat_lomcds_centers(
+/// Shared with the out-of-core pipeline in [`crate::stream`].
+pub(crate) fn span_lomcds_centers(
     grid: &Grid,
-    flat: &FlatTrace,
-    d: DataId,
+    span: &[FlatRef],
     nw: usize,
     med: &mut MedianState,
 ) -> Vec<ProcId> {
     let mut centers: Vec<Option<ProcId>> = vec![None; nw];
     med.reset(grid);
-    for (w, run) in flat.window_runs(d) {
+    for (w, run) in span_window_runs(span) {
         for r in run {
             med.add(r.x, r.y, r.count as u64);
         }
@@ -160,8 +196,8 @@ fn flat_lomcds_centers(
 /// trace: with unbounded memory the classic loop's `nearest_free(anchor)`
 /// returns the anchor and its processor-list head is the window median, so
 /// the whole loop degenerates to exactly the gap-resolved median sequence.
-pub fn flat_lomcds(
-    flat: &FlatTrace,
+pub fn flat_lomcds<V: FlatView + ?Sized>(
+    flat: &V,
     policy: MemoryPolicy,
     pool: Pool,
 ) -> Result<Schedule, SchedError> {
@@ -179,7 +215,7 @@ pub fn flat_lomcds(
             &ids,
             chunk,
             FlatScratch::default,
-            |s, _, &d| flat_lomcds_centers(&grid, flat, d, nw, &mut s.med),
+            |s, _, &d| span_lomcds_centers(&grid, flat.span(d), nw, &mut s.med),
         );
         return Ok(Schedule::new(grid, centers));
     }
@@ -189,7 +225,7 @@ pub fn flat_lomcds(
     // window-major replay over a flat-backed cache.
     let anchors =
         pim_par::parallel_map_with_chunked(pool, &ids, chunk, FlatScratch::default, |s, _, &d| {
-            match flat.window_runs(d).next() {
+            match span_window_runs(flat.span(d)).next() {
                 Some((_, run)) => {
                     s.med.reset(&grid);
                     for r in run {
@@ -210,8 +246,8 @@ pub fn flat_lomcds(
 /// two-phase capacity replay for bounded runs. Bit-identical to
 /// [`crate::gomcds::gomcds_schedule_cached`] on the equivalent nested
 /// trace — the cache serves identical tables from either backing.
-pub fn flat_gomcds(
-    flat: &FlatTrace,
+pub fn flat_gomcds<V: FlatView + ?Sized>(
+    flat: &V,
     policy: MemoryPolicy,
     pool: Pool,
 ) -> Result<Schedule, SchedError> {
@@ -266,7 +302,7 @@ pub fn flat_gomcds(
 /// # Panics
 /// Panics when the schedule shape (grid, data count, window count) does
 /// not match the trace.
-pub fn flat_total_cost(flat: &FlatTrace, schedule: &Schedule) -> CostBreakdown {
+pub fn flat_total_cost<V: FlatView + ?Sized>(flat: &V, schedule: &Schedule) -> CostBreakdown {
     let grid = flat.grid();
     assert_eq!(grid, schedule.grid(), "schedule/trace grid mismatch");
     assert_eq!(flat.num_data(), schedule.num_data(), "data count mismatch");
@@ -296,6 +332,7 @@ pub fn flat_total_cost(flat: &FlatTrace, schedule: &Schedule) -> CostBreakdown {
 mod tests {
     use super::*;
     use pim_array::grid::Grid;
+    use pim_trace::flat::FlatTrace;
     use pim_trace::window::{WindowRefs, WindowedTrace};
 
     fn sample_trace() -> WindowedTrace {
@@ -367,7 +404,9 @@ mod tests {
         let trace = WindowedTrace::from_parts(grid, vec![vec![WindowRefs::new()]; 3]);
         let flat = FlatTrace::from_trace(&trace);
         let pool = Pool::serial();
-        for f in [flat_scds, flat_lomcds, flat_gomcds] {
+        type FlatFn = fn(&FlatTrace, MemoryPolicy, Pool) -> Result<Schedule, SchedError>;
+        let fns: [FlatFn; 3] = [flat_scds, flat_lomcds, flat_gomcds];
+        for f in fns {
             let err = f(&flat, MemoryPolicy::Capacity(1), pool).unwrap_err();
             assert!(matches!(err, SchedError::CapacityExhausted { .. }));
         }

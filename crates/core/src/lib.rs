@@ -44,8 +44,13 @@
 //!   every strategy (the three schedulers, grouping, the baseline, and the
 //!   `online`/`kcopy`/`replicate` extensions) as a pluggable named value.
 //! * [`flat`] — big-instance fast paths driving SCDS/LOMCDS/GOMCDS
-//!   straight off the flat SoA trace (`pim_trace::flat::FlatTrace`) with
-//!   incremental medians and chunk-sharded parallelism.
+//!   straight off any flat CSR view (`pim_trace::flat::FlatView`: owned
+//!   [`pim_trace::flat::FlatTrace`] or memory-mapped
+//!   `pim_trace::binfmt::BinTrace`) with incremental medians and
+//!   chunk-sharded parallelism.
+//! * [`stream`] — out-of-core scheduling: walk a `.pimb` binary trace in
+//!   bounded datum chunks with double-buffered prefetch, folding costs
+//!   instead of materializing schedules, bit-identical to [`flat`].
 //! * [`context`] — the [`SchedContext`] a scheduler runs against: grid,
 //!   policy, shared cost cache, workspace, optional pool.
 //! * [`pipeline`] — the [`Run`] builder (one canonical entry point driving
@@ -105,6 +110,7 @@ pub mod registry;
 pub mod replicate;
 pub mod scds;
 pub mod schedule;
+pub mod stream;
 pub mod theory;
 pub mod workspace;
 
@@ -123,4 +129,8 @@ pub use precedence::{
 };
 pub use registry::{registry, Scheduler, SchedulerRegistry};
 pub use schedule::{CostBreakdown, Schedule};
+pub use stream::{
+    stream_schedule, stream_schedule_with, stream_total_cost, StreamConfig, StreamError,
+    StreamOutcome,
+};
 pub use workspace::Workspace;

@@ -17,7 +17,7 @@ use pim_sched::{flat_total_cost, IncrementalError, IncrementalRun, MemoryPolicy,
 use pim_trace::FlatTrace;
 
 use crate::error::ServeError;
-use crate::proto::{self, EvictScope, Request};
+use crate::proto::{self, EvictScope, LoadSource, Request};
 use crate::stats::ServerStats;
 use crate::store::{self, TraceStore};
 
@@ -130,7 +130,7 @@ impl ServeCore {
 
     fn execute(&self, req: Request, queue: QueueView) -> Result<String, ServeError> {
         match req {
-            Request::Load { text } => self.do_load(&text),
+            Request::Load { source } => self.do_load(source),
             Request::Schedule {
                 trace,
                 method,
@@ -148,8 +148,16 @@ impl ServeCore {
         }
     }
 
-    fn do_load(&self, text: &str) -> Result<String, ServeError> {
-        let flat = FlatTrace::from_reader(text.as_bytes())?;
+    fn do_load(&self, source: LoadSource) -> Result<String, ServeError> {
+        let flat = match source {
+            LoadSource::Text(text) => FlatTrace::from_reader(text.as_bytes())?,
+            // The binary file is memory-mapped and fully validated
+            // (checksum + structure) before the resident copy is made;
+            // any failure is a typed `io_error`. The content key is the
+            // same one an equivalent text load would produce, so path
+            // and text loads of one trace dedup to one resident entry.
+            LoadSource::Path(path) => pim_trace::BinTrace::open(&path)?.to_flat(),
+        };
         let grid = flat.grid();
         let (windows, data, refs) = (flat.num_windows(), flat.num_data(), flat.num_refs());
         let (key, fresh) = self.store.insert(flat)?;
@@ -557,5 +565,91 @@ mod tests {
             let sched = solve(&flat, MemoryPolicy::Unbounded, Pool::serial()).unwrap();
             assert_eq!(served, flat_total_cost(&flat, &sched).total(), "{method}");
         }
+    }
+
+    /// Temp `.pimb` path that is cleaned up on drop.
+    struct TempBin(std::path::PathBuf);
+
+    impl TempBin {
+        fn pack(flat: &FlatTrace, name: &str) -> Self {
+            let path = std::env::temp_dir()
+                .join(format!("pim_serve_core_{}_{name}.pimb", std::process::id()));
+            pim_trace::binfmt::pack_file(flat, &path).expect("pack temp trace");
+            TempBin(path)
+        }
+
+        fn req(&self) -> String {
+            let mut line = String::from("{\"op\":\"load\",\"path\":\"");
+            pim_trace::json::escape_into(&mut line, &self.0.display().to_string());
+            line.push_str("\"}");
+            line
+        }
+    }
+
+    impl Drop for TempBin {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn load_by_path_admits_and_schedules() {
+        let core = core();
+        let flat = FlatTrace::from_reader(trace_text().as_bytes()).unwrap();
+        let bin = TempBin::pack(&flat, "admit");
+        let loaded = ok(&core, &bin.req());
+        assert_eq!(loaded.get("fresh").and_then(Value::as_bool), Some(true));
+        assert_eq!(loaded.get("data").and_then(Value::as_u64), Some(3));
+        let key = loaded
+            .get("trace")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        let v = ok(
+            &core,
+            &format!(r#"{{"op":"schedule","trace":"{key}","method":"scds"}}"#),
+        );
+        assert!(v.get("cost").is_some());
+    }
+
+    #[test]
+    fn load_by_path_dedups_against_text_load() {
+        // Path and text loads of the same trace must hash to one
+        // resident entry: the second load reports fresh:false and the
+        // same key.
+        let core = core();
+        let text = trace_text();
+        let by_text = ok(&core, &load_req(&text));
+        let flat = FlatTrace::from_reader(text.as_bytes()).unwrap();
+        let bin = TempBin::pack(&flat, "dedup");
+        let by_path = ok(&core, &bin.req());
+        assert_eq!(by_path.get("fresh").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            by_path.get("trace").and_then(Value::as_str),
+            by_text.get("trace").and_then(Value::as_str)
+        );
+    }
+
+    #[test]
+    fn load_by_path_failures_are_typed_io_errors() {
+        let core = core();
+        let missing = std::env::temp_dir().join(format!(
+            "pim_serve_core_{}_missing.pimb",
+            std::process::id()
+        ));
+        let mut line = String::from("{\"op\":\"load\",\"path\":\"");
+        pim_trace::json::escape_into(&mut line, &missing.display().to_string());
+        line.push_str("\"}");
+        assert_eq!(fail(&core, &line), "io_error");
+
+        // Corrupt container: flip a refs byte so the checksum mismatches.
+        let flat = FlatTrace::from_reader(trace_text().as_bytes()).unwrap();
+        let bin = TempBin::pack(&flat, "corrupt");
+        let mut bytes = std::fs::read(&bin.0).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&bin.0, &bytes).unwrap();
+        assert_eq!(fail(&core, &bin.req()), "io_error");
+        assert!(core.handle_line(&bin.req(), NO_QUEUE).contains("detail"));
     }
 }

@@ -7,7 +7,7 @@
 //! serve end-to-end suite.
 
 use pim_sched::SchedError;
-use pim_trace::FlatTraceError;
+use pim_trace::{BinError, FlatTraceError};
 
 /// Why a request was rejected or failed.
 #[derive(Debug)]
@@ -24,6 +24,9 @@ pub enum ServeError {
     NoSchedule(String),
     /// The trace payload or edit delta failed validation.
     Trace(FlatTraceError),
+    /// A `load` by `path` could not read or validate the `.pimb` binary
+    /// file (missing file, truncation, checksum or structural failure).
+    Io(BinError),
     /// Scheduling failed (typically capacity exhausted under the policy).
     Sched(SchedError),
     /// The trace alone exceeds the store's byte budget; admission control
@@ -54,6 +57,7 @@ impl ServeError {
             ServeError::UnknownMethod(_) => "unknown_method",
             ServeError::NoSchedule(_) => "no_schedule",
             ServeError::Trace(_) => "trace_error",
+            ServeError::Io(_) => "io_error",
             ServeError::Sched(_) => "sched_error",
             ServeError::TooLarge { .. } => "too_large",
             ServeError::Overloaded { .. } => "overloaded",
@@ -73,6 +77,7 @@ impl ServeError {
                 format!("trace {key} has no resident engine; send a schedule request first")
             }
             ServeError::Trace(e) => e.to_string(),
+            ServeError::Io(e) => e.to_string(),
             ServeError::Sched(e) => e.to_string(),
             ServeError::TooLarge { bytes, budget } => {
                 format!("trace needs ~{bytes} resident bytes, budget is {budget}")
@@ -96,6 +101,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Trace(e) => Some(e),
+            ServeError::Io(e) => Some(e),
             ServeError::Sched(e) => Some(e),
             _ => None,
         }
@@ -114,6 +120,12 @@ impl From<SchedError> for ServeError {
     }
 }
 
+impl From<BinError> for ServeError {
+    fn from(e: BinError) -> Self {
+        ServeError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +137,7 @@ mod tests {
             ServeError::UnknownTrace("t".into()),
             ServeError::UnknownMethod("m".into()),
             ServeError::NoSchedule("t".into()),
+            ServeError::Io(BinError::BadMagic),
             ServeError::TooLarge {
                 bytes: 2,
                 budget: 1,

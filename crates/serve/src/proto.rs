@@ -12,7 +12,7 @@
 //!
 //! | op        | fields                                 | reply payload |
 //! |-----------|----------------------------------------|---------------|
-//! | `load`    | `text` (flat-trace text format)        | `trace`, `fresh`, dims |
+//! | `load`    | `text` (flat-trace text format) *or* `path` (server-local `.pimb` binary file, memory-mapped + validated) | `trace`, `fresh`, dims |
 //! | `schedule`| `trace`, `method`, `policy?`           | cost, `warm`, `version` |
 //! | `simulate`| `trace`                                | hop volumes, completion time |
 //! | `edit`    | `trace`, `delta` (TraceDelta JSON)     | `version`, `fallbacks` |
@@ -42,13 +42,24 @@ pub enum EvictScope {
     Engine,
 }
 
+/// Where a `load` request's trace comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadSource {
+    /// Inline `flat v1 …` text document (the `text` field).
+    Text(String),
+    /// Server-local `.pimb` binary file (the `path` field), memory-mapped
+    /// and validated before admission; I/O and container failures come
+    /// back as a typed `io_error`.
+    Path(String),
+}
+
 /// One parsed request.
 #[derive(Debug)]
 pub enum Request {
-    /// Admit a trace (flat text format) into the store.
+    /// Admit a trace into the store.
     Load {
-        /// The `flat v1 …` text document.
-        text: String,
+        /// Inline text or an on-disk binary file — exactly one.
+        source: LoadSource,
     },
     /// Build or warm-hit the scheduling engine and return the cost.
     Schedule {
@@ -168,9 +179,15 @@ pub fn parse_request(line: &str) -> (Option<u64>, Result<Request, ServeError>) {
 fn parse_body(doc: &Value) -> Result<Request, ServeError> {
     let op = req_str(doc, "op")?;
     match op {
-        "load" => Ok(Request::Load {
-            text: req_str(doc, "text")?.to_string(),
-        }),
+        "load" => {
+            let source = match (doc.get("text").is_some(), doc.get("path").is_some()) {
+                (true, true) => return Err(bad("load takes exactly one of \"text\" or \"path\"")),
+                (true, false) => LoadSource::Text(req_str(doc, "text")?.to_string()),
+                (false, true) => LoadSource::Path(req_str(doc, "path")?.to_string()),
+                (false, false) => return Err(bad("load needs a \"text\" or \"path\" field")),
+            };
+            Ok(Request::Load { source })
+        }
         "schedule" => {
             let method_name = req_str(doc, "method")?;
             let method = Method::parse(method_name)
@@ -310,6 +327,34 @@ mod tests {
         match parse_request(&line).1.unwrap() {
             Request::Evict { scope, .. } => assert_eq!(scope, EvictScope::Engine),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_takes_text_or_path_exactly_one() {
+        match parse_request(r#"{"op":"load","path":"/data/t.pimb"}"#)
+            .1
+            .unwrap()
+        {
+            Request::Load { source } => {
+                assert_eq!(source, LoadSource::Path("/data/t.pimb".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_request(r#"{"op":"load","text":"flat v1 4 4 1 1\n"}"#)
+            .1
+            .unwrap()
+        {
+            Request::Load { source } => assert!(matches!(source, LoadSource::Text(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+        for line in [
+            r#"{"op":"load"}"#,
+            r#"{"op":"load","text":"flat v1 4 4 1 1\n","path":"/t.pimb"}"#,
+            r#"{"op":"load","path":42}"#,
+        ] {
+            let err = parse_request(line).1.expect_err(line);
+            assert_eq!(err.kind(), "bad_request", "{line}");
         }
     }
 

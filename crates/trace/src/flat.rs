@@ -35,7 +35,13 @@ use std::io::BufRead;
 
 /// One reference in the flat layout: "in `window`, the processor at
 /// `(x, y)` touched this datum `count` times".
+///
+/// `#[repr(C)]` pins the field order so the record has a guaranteed
+/// 16-byte layout (four `u32`s, no padding, every bit pattern valid) —
+/// [`crate::binfmt`] relies on this to reinterpret mapped file bytes as
+/// `&[FlatRef]` without copying.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct FlatRef {
     /// Execution window of the reference.
     pub window: u32,
@@ -139,6 +145,70 @@ impl From<crate::ids::IdOverflow> for FlatTraceError {
     fn from(e: crate::ids::IdOverflow) -> Self {
         FlatTraceError::IdOverflow(e)
     }
+}
+
+/// Read-only accessor surface of a datum-major CSR trace.
+///
+/// Everything `pim_sched`'s flat schedulers consume is behind this trait,
+/// so they run unchanged against an owned in-memory [`FlatTrace`] or a
+/// zero-copy [`crate::binfmt::BinTrace`] borrowing memory-mapped file
+/// bytes. Implementations must uphold the CSR invariants documented in
+/// the [module docs](self): spans sorted by `(window, y, x)`, duplicates
+/// aggregated, windows and coordinates in range.
+///
+/// The `Sync` bound lets schedulers shard spans across the worker pool by
+/// shared reference.
+pub trait FlatView: Sync {
+    /// The processor grid.
+    fn grid(&self) -> Grid;
+    /// Number of execution windows.
+    fn num_windows(&self) -> usize;
+    /// Number of data items.
+    fn num_data(&self) -> usize;
+    /// Total number of (aggregated) reference records.
+    fn num_refs(&self) -> usize;
+    /// Datum `d`'s whole reference run, window-major.
+    fn span(&self, d: DataId) -> &[FlatRef];
+
+    /// Sum of every record's count.
+    fn total_volume(&self) -> u64 {
+        (0..self.num_data())
+            .map(|d| {
+                self.span(DataId(d as u32))
+                    .iter()
+                    .map(|r| r.count as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Datum `d`'s references in window `w` (possibly empty), found by
+    /// binary search within the span.
+    fn window_run(&self, d: DataId, w: usize) -> &[FlatRef] {
+        let span = self.span(d);
+        let lo = span.partition_point(|r| (r.window as usize) < w);
+        let hi = span.partition_point(|r| (r.window as usize) <= w);
+        &span[lo..hi]
+    }
+
+    /// A contiguous chunk size for sharding per-datum work over `threads`
+    /// workers — see [`FlatTrace::suggested_chunk`].
+    fn suggested_chunk(&self, threads: usize) -> usize {
+        let nd = self.num_data();
+        if nd == 0 {
+            return 1;
+        }
+        let per_thread = nd.div_ceil(threads.max(1));
+        per_thread.div_ceil(8).clamp(1, per_thread.max(1))
+    }
+}
+
+/// Iterate a span's non-empty windows as `(window, run)` pairs in
+/// ascending window order. Works for any [`FlatView`] span; this is the
+/// free-function form of [`FlatTrace::window_runs`].
+pub fn span_window_runs(span: &[FlatRef]) -> impl Iterator<Item = (u32, &[FlatRef])> {
+    span.chunk_by(|a, b| a.window == b.window)
+        .map(|run| (run[0].window, run))
 }
 
 /// Datum-major CSR view of a whole windowed trace (see the module docs).
@@ -453,9 +523,19 @@ impl FlatTrace {
     /// Iterate datum `d`'s non-empty windows as `(window, run)` pairs, in
     /// ascending window order.
     pub fn window_runs(&self, d: DataId) -> impl Iterator<Item = (u32, &[FlatRef])> {
-        self.span(d)
-            .chunk_by(|a, b| a.window == b.window)
-            .map(|run| (run[0].window, run))
+        span_window_runs(self.span(d))
+    }
+
+    /// The raw CSR offset array (`num_data + 1` entries, first `0`, last
+    /// `num_refs`). Used by [`crate::binfmt`]'s writer.
+    pub(crate) fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw aggregated-reference array, all spans concatenated.
+    /// Used by [`crate::binfmt`]'s writer.
+    pub(crate) fn refs(&self) -> &[FlatRef] {
+        &self.refs
     }
 
     /// A contiguous chunk size for sharding per-datum work over `threads`
@@ -471,6 +551,51 @@ impl FlatTrace {
         let per_thread = nd.div_ceil(threads.max(1));
         // ~8 chunks per worker, each at least one datum.
         per_thread.div_ceil(8).clamp(1, per_thread.max(1))
+    }
+}
+
+// Shared-ownership wrappers view exactly what they point at, so call
+// sites that hold an `Arc<FlatTrace>` (e.g. the serve store) pass it to
+// generic schedulers directly.
+impl<V: FlatView + Send + ?Sized> FlatView for std::sync::Arc<V> {
+    fn grid(&self) -> Grid {
+        (**self).grid()
+    }
+    fn num_windows(&self) -> usize {
+        (**self).num_windows()
+    }
+    fn num_data(&self) -> usize {
+        (**self).num_data()
+    }
+    fn num_refs(&self) -> usize {
+        (**self).num_refs()
+    }
+    fn span(&self, d: DataId) -> &[FlatRef] {
+        (**self).span(d)
+    }
+    fn total_volume(&self) -> u64 {
+        (**self).total_volume()
+    }
+}
+
+impl FlatView for FlatTrace {
+    fn grid(&self) -> Grid {
+        FlatTrace::grid(self)
+    }
+    fn num_windows(&self) -> usize {
+        FlatTrace::num_windows(self)
+    }
+    fn num_data(&self) -> usize {
+        FlatTrace::num_data(self)
+    }
+    fn num_refs(&self) -> usize {
+        FlatTrace::num_refs(self)
+    }
+    fn span(&self, d: DataId) -> &[FlatRef] {
+        FlatTrace::span(self, d)
+    }
+    fn total_volume(&self) -> u64 {
+        FlatTrace::total_volume(self)
     }
 }
 

@@ -13,7 +13,11 @@
 //! * [`window`] — windowed (bucketed) reference strings: the canonical
 //!   scheduler input, plus re-windowing utilities for window-size studies.
 //! * [`flat`] — flat structure-of-arrays (CSR) trace layout for big
-//!   instances, plus a streaming text loader.
+//!   instances, plus a streaming text loader and the [`flat::FlatView`]
+//!   accessor trait every flat scheduler consumes.
+//! * [`binfmt`] — versioned little-endian binary container (`.pimb`) for
+//!   flat traces: whole-file encode/decode plus a zero-copy memory-mapped
+//!   view, with checksum and structural validation.
 //! * [`edit`] — churn deltas over a flat trace: per-datum overlay spans,
 //!   dirty tracking, and a trace version for incremental rescheduling.
 //! * [`dag`] — optional task precedence DAGs over a trace's windows
@@ -44,6 +48,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod binfmt;
 pub mod builder;
 pub mod dag;
 pub mod edit;
@@ -58,10 +63,11 @@ pub mod transform;
 pub mod validate;
 pub mod window;
 
+pub use binfmt::{BinError, BinTrace};
 pub use builder::TraceBuilder;
 pub use dag::{DagError, Task, TaskDag};
 pub use edit::{DeltaJsonError, DirtyKind, DirtySummary, EditOp, EditableTrace, TraceDelta};
-pub use flat::{FlatRecord, FlatRef, FlatTrace, FlatTraceError};
+pub use flat::{FlatRecord, FlatRef, FlatTrace, FlatTraceError, FlatView};
 pub use ids::DataId;
 pub use step::{Access, ExecStep, StepTrace};
 pub use window::{DataRefString, Ref, WindowRefs, WindowedTrace};

@@ -152,7 +152,7 @@ assert rows, "churn smoke produced no rows"
 for row in rows:
     for key in ("grid", "num_data", "method", "policy", "ticks",
                 "dirty_per_tick", "mean_tick_ns", "mean_scratch_ns",
-                "speedup", "fallbacks", "parity", "tick_ns"):
+                "speedup", "fallbacks", "parity", "peak_rss_kb", "tick_ns"):
         assert key in row, f"row missing {key!r}: {row}"
     assert row["parity"] is True, f"{row['method']}/{row['policy']}: parity lost"
     assert len(row["tick_ns"]) == row["ticks"], "tick_ns length != ticks"
@@ -300,6 +300,70 @@ else
       || { echo "serve_smoke.json missing $key"; exit 1; }
   done
   echo "serve load smoke: expected keys present (grep fallback)"
+fi
+
+# Streaming smoke: pack a 16×16 × 50k synthetic instance to the binary
+# container, schedule it memory-mapped (`run --bin`) and through the
+# out-of-core streaming pipeline (`scale --bin` — same synthetic
+# generator, same seed), and assert the two total costs agree. Then run
+# the stream report's smoke mode (which isolates each phase in a child
+# process and asserts stream/in-memory cost parity itself) and validate
+# the BENCH_stream.json shape. RSS ratios and load speedups are
+# reported, not gated, at smoke scale — fixed overheads dominate 50k
+# data; the committed full-scale BENCH_stream.json carries the bounds.
+echo "== streaming smoke (pack / run --bin / scale --bin, 16x16 x 50k) =="
+./target/release/pim-cli pack --grid 16x16 --data 50000 \
+  --out "$metrics_tmp/stream_smoke.pimb"
+./target/release/pim-cli run --bin --trace "$metrics_tmp/stream_smoke.pimb" \
+  --method scds > "$metrics_tmp/stream_mmap.txt"
+./target/release/pim-cli scale --grid 16x16 --data 50000 --method scds --bin \
+  > "$metrics_tmp/stream_stream.txt"
+grep -q "memory-mapped" "$metrics_tmp/stream_mmap.txt" \
+  || { echo "run --bin did not memory-map the container"; exit 1; }
+mmap_cost="$(sed -n 's/.*: total \([0-9]*\) (reference.*/\1/p' \
+  "$metrics_tmp/stream_mmap.txt" | head -n 1)"
+stream_cost="$(sed -n 's/.*: total \([0-9]*\) (reference.*/\1/p' \
+  "$metrics_tmp/stream_stream.txt" | head -n 1)"
+[ -n "$mmap_cost" ] && [ -n "$stream_cost" ] \
+  || { echo "streaming smoke: could not extract total costs"; exit 1; }
+[ "$mmap_cost" = "$stream_cost" ] \
+  || { echo "streaming smoke: mmap cost $mmap_cost != streamed cost $stream_cost"; exit 1; }
+./target/release/pim-cli unpack --trace "$metrics_tmp/stream_smoke.pimb" \
+  --out "$metrics_tmp/stream_smoke.txt"
+grep -q "^flat v1 16 16 " "$metrics_tmp/stream_smoke.txt" \
+  || { echo "unpack did not produce a flat text header"; exit 1; }
+
+echo "== stream report smoke (report_stream --smoke) =="
+./target/release/report_stream --smoke --out "$metrics_tmp/stream_smoke.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$metrics_tmp/stream_smoke.json" <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+for key in ("config", "instance", "load", "rows"):
+    assert key in bench, f"missing {key!r} in BENCH_stream"
+assert bench["load"]["speedup"] > 1.0, "binary load not faster than text parse"
+rows = bench["rows"]
+assert {r["method"] for r in rows} == {"scds", "lomcds"}, "missing a method row"
+for row in rows:
+    for key in ("method", "stream_ns", "stream_cost", "stream_peak_rss_kb",
+                "num_chunks", "inmem_ns", "inmem_cost", "inmem_peak_rss_kb",
+                "rss_ratio", "parity"):
+        assert key in row, f"row missing {key!r}: {row}"
+    assert row["parity"] is True, f"{row['method']}: streamed cost diverged"
+    assert row["num_chunks"] > 1, f"{row['method']}: smoke run was single-chunk"
+    if row["rss_ratio"] > 1.0:
+        print(f"warning: {row['method']}: streaming peak RSS above in-memory "
+              f"(ratio {row['rss_ratio']:.2f})", file=sys.stderr)
+print(f"stream smoke: parses, {len(rows)} rows, parity holds, "
+      f"load speedup {bench['load']['speedup']:.1f}x")
+PY
+else
+  for key in '"rows"' '"stream_cost"' '"inmem_cost"' '"rss_ratio"' \
+             '"parity": true' '"speedup"'; do
+    grep -q "$key" "$metrics_tmp/stream_smoke.json" \
+      || { echo "stream_smoke.json missing $key"; exit 1; }
+  done
+  echo "stream smoke: expected keys present (grep fallback)"
 fi
 
 echo "ci: all green"
